@@ -1,0 +1,87 @@
+"""Ablation — which isolation rules carry the technique?
+
+Disabling rule families and measuring what still isolates quantifies
+each design choice DESIGN.md calls out:
+
+* without rule (16) there is no tail δ and the plan keeps its stacked
+  distincts;
+* without the key-self-join collapses (19)/(20)/(21) the For/If/Comp
+  equi-joins (and the ``#`` row-ids) survive, so the plan cannot reach
+  single-block SQL at all for loop-carrying queries;
+* without the rank rules (9)–(13) the ρ operators stay scattered.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import count_ops, run_plan
+from repro.compiler import compile_core
+from repro.errors import CodegenError
+from repro.rewrite import is_join_graph, isolate
+from repro.sql import generate_join_graph_sql
+from repro.workloads import PAPER_QUERIES
+from repro.xquery import normalize, parse_xquery
+
+ABLATIONS = {
+    "full": set(),
+    "no-tail-distinct": {"16"},
+    "no-key-collapse": {"19", "20", "21"},
+    "no-rank-goal": {"9", "10", "11", "12", "13"},
+    "no-join-pushdown": {"17", "18"},
+}
+
+
+@pytest.fixture(scope="module")
+def q1_core(harness):
+    return normalize(parse_xquery(PAPER_QUERIES["Q1"].text))
+
+
+@pytest.mark.parametrize("ablation", list(ABLATIONS))
+def test_ablated_isolation_still_correct(benchmark, harness, q1_core, ablation):
+    """Whatever subset of rules runs, rewriting must preserve the
+    result — and only the full rule set reaches join graph shape."""
+    store = harness.stores["xmark"]
+    reference = run_plan(compile_core(q1_core, store))
+
+    def ablated():
+        return isolate(compile_core(q1_core, store), disabled=ABLATIONS[ablation])[0]
+
+    isolated = benchmark.pedantic(ablated, rounds=3, iterations=1)
+    assert run_plan(isolated) == reference
+    benchmark.group = "ablation-q1"
+
+
+def test_full_rule_set_reaches_join_graph(harness, q1_core):
+    store = harness.stores["xmark"]
+    isolated, _ = isolate(compile_core(q1_core, store))
+    assert is_join_graph(isolated)
+    generate_join_graph_sql(isolated)  # single block renders
+
+
+def test_without_key_collapse_rowids_survive(harness, q1_core):
+    store = harness.stores["xmark"]
+    isolated, _ = isolate(
+        compile_core(q1_core, store), disabled=ABLATIONS["no-key-collapse"]
+    )
+    ops = count_ops(isolated)
+    assert ops.get("RowId", 0) >= 1
+    with pytest.raises(CodegenError):
+        generate_join_graph_sql(isolated)
+
+
+def test_without_tail_distinct_blocking_distincts_survive(harness, q1_core):
+    store = harness.stores["xmark"]
+    full, _ = isolate(compile_core(q1_core, store))
+    ablated, _ = isolate(
+        compile_core(q1_core, store), disabled=ABLATIONS["no-tail-distinct"]
+    )
+    assert count_ops(ablated)["Distinct"] >= count_ops(full)["Distinct"]
+
+
+def test_without_rank_goal_ranks_survive(harness, q1_core):
+    store = harness.stores["xmark"]
+    ablated, _ = isolate(
+        compile_core(q1_core, store), disabled=ABLATIONS["no-rank-goal"]
+    )
+    assert count_ops(ablated).get("RowRank", 0) >= 1

@@ -1,0 +1,50 @@
+"""Section 2.2 — join-based XPath location step evaluation: the worked
+Q0 example and per-axis step costs across engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.queries import Q0
+
+AXES = (
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "parent",
+    "ancestor",
+    "following",
+    "preceding",
+    "following-sibling",
+    "preceding-sibling",
+    "attribute",
+)
+
+
+def test_q0_worked_example(harness):
+    """doc(...)/descendant::bidder/child::*/child::text() — the
+    three-step path of Section 2.2 agrees across engines (on the
+    Fig. 2 snippet it returns pre ranks 7 and 9; here on XMark)."""
+    processor = harness.processors["xmark"]
+    compiled = processor.compile(Q0)
+    reference = processor.execute(compiled, engine="interpreter")
+    assert processor.execute(compiled, engine="joingraph-sql") == reference
+    assert len(reference) > 0
+
+
+@pytest.mark.parametrize("axis", AXES)
+def test_axis_step_joingraph(benchmark, harness, axis):
+    """One location step along each axis, via the join graph SQL."""
+    processor = harness.processors["xmark"]
+    query = f'doc("auction.xml")//bidder/{axis}::*'
+    if axis == "attribute":
+        query = f'doc("auction.xml")//itemref/{axis}::*'
+    compiled = processor.compile(query)
+    reference = processor.execute(compiled, engine="interpreter")
+    result = benchmark.pedantic(
+        lambda: processor.execute(compiled, engine="joingraph-sql"),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == reference
+    benchmark.group = "axis-steps"

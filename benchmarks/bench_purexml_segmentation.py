@@ -1,0 +1,89 @@
+"""Section 4.2's storage-design sensitivity: pureXML "favors database
+designs that lead to comparably small XML document segments".
+
+This bench varies the segmented store's granularity (cut depth) and
+the availability of an eligible XMLPATTERN index, showing the two
+regimes of Table 9's right-hand columns: point queries fly when an
+index pinpoints a few small segments, and degrade toward
+whole-document traversal when no index applies or segments are large.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.infoset.encoding import node_pre_map
+from repro.purexml import PureXMLEngine
+from repro.workloads import PAPER_QUERIES
+
+Q3 = PAPER_QUERIES["Q3"].text  # indexed point query
+Q4 = PAPER_QUERIES["Q4"].text  # raw traversal: no index applies
+
+
+@pytest.fixture(scope="module")
+def setups(harness):
+    document = harness.xmark_doc
+    patterns = ("/site/people/person/@id",)
+    return {
+        "whole": PureXMLEngine({"auction.xml": document}),
+        "segmented-indexed": PureXMLEngine(
+            {"auction.xml": document},
+            segmented=True,
+            cut_depth=2,
+            patterns=patterns,
+        ),
+        "segmented-noindex": PureXMLEngine(
+            {"auction.xml": document}, segmented=True, cut_depth=2
+        ),
+        "segmented-coarse": PureXMLEngine(
+            {"auction.xml": document},
+            segmented=True,
+            cut_depth=1,
+            patterns=patterns,
+        ),
+    }
+
+
+@pytest.fixture(scope="module")
+def reference(harness):
+    pre_map = node_pre_map(harness.xmark_doc)
+    def result_of(engine, query):
+        return Counter(pre_map[id(n)] for n in engine.run(query))
+    return result_of
+
+
+@pytest.mark.parametrize("setup", ["whole", "segmented-indexed",
+                                   "segmented-noindex", "segmented-coarse"])
+@pytest.mark.parametrize("query_name,query", [("Q3", Q3), ("Q4", Q4)])
+def test_segmentation_grid(benchmark, setups, reference, setup, query_name, query):
+    engine = setups[setup]
+    expected = reference(setups["whole"], query)
+    result = benchmark.pedantic(
+        lambda: reference(engine, query), rounds=3, iterations=1
+    )
+    assert result == expected
+    benchmark.group = f"purexml-{query_name}"
+
+
+def test_index_matters_for_point_queries(setups, reference):
+    import time
+
+    expected = reference(setups["whole"], Q3)
+
+    def seconds(engine):
+        start = time.perf_counter()
+        assert reference(engine, Q3) == expected
+        return time.perf_counter() - start
+
+    indexed = seconds(setups["segmented-indexed"])
+    unindexed = seconds(setups["segmented-noindex"])
+    # without an eligible XMLPATTERN index every segment is scanned
+    assert indexed < unindexed
+
+
+def test_segment_counts(setups):
+    fine = setups["segmented-indexed"].store.segment_count
+    coarse = setups["segmented-coarse"].store.segment_count
+    assert fine > coarse  # deeper cut => more, smaller segments

@@ -1,0 +1,69 @@
+"""Paper Table 6 — the B-tree index set proposed by the design advisor
+for the Q2-representative workload, and the utility of those indexes.
+
+Checks that (a) the advisor proposes the paper's key family, and
+(b) executing the join graph with the Table 6 index set is much faster
+than with no indexes (the "utility of the proposed indexes will be
+high" claim).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.planner import advise_indexes
+from repro.sql import SQLiteBackend, flatten_query
+from repro.workloads import PAPER_QUERIES
+
+PAPER_TABLE6 = {"nkspl", "nksp", "nlkp", "nlkps", "vnlkp", "nlkpv", "nkdlp", "p|nvkls"}
+
+
+@pytest.fixture(scope="module")
+def workload(harness):
+    queries = []
+    for name in ("Q1", "Q2", "Q3", "Q4"):
+        compiled = harness.compiled(harness.query(name))
+        queries.append(flatten_query(compiled.isolated_plan))
+    return queries
+
+
+def test_advisor_proposes_table6_keys(workload, capsys):
+    advised = advise_indexes(workload)
+    proposed = {a.short_name for a in advised}
+    assert proposed == PAPER_TABLE6
+    with capsys.disabled():
+        print()
+        print("Table 6 (reproduced): B-tree indexes proposed by the advisor")
+        for a in advised:
+            print(f"  {a.short_name:8} {','.join(a.key):32} {a.deployment}")
+
+
+def test_advisor_on_single_path_query(harness):
+    """A pure path workload needs no value indexes."""
+    compiled = harness.compiled(harness.query("Q1"))
+    advised = advise_indexes([flatten_query(compiled.isolated_plan)])
+    names = {a.short_name for a in advised}
+    assert "nksp" in names
+    assert "vnlkp" not in names  # no value comparison in Q1
+
+
+def test_index_utility(benchmark, harness):
+    """Join graph execution with vs without the Table 6 indexes.
+
+    Q1's three-fold self-join is used: without indexes the back-end is
+    reduced to nested table scans (Q2's twenty-fold chain would not
+    terminate in bench-able time without indexes, which is the point).
+    """
+    compiled = harness.compiled(harness.query("Q1"))
+    sql = compiled.joingraph_sql
+    table = harness.stores["xmark"].table
+    with SQLiteBackend(table) as indexed, SQLiteBackend(table, indexes={}) as bare:
+        reference = indexed.run(sql)
+        result = benchmark.pedantic(lambda: indexed.run(sql), rounds=3, iterations=1)
+        assert result == reference
+        import time
+
+        start = time.perf_counter()
+        assert bare.run(sql) == reference
+        bare_seconds = time.perf_counter() - start
+    assert benchmark.stats.stats.mean < bare_seconds

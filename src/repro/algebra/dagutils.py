@@ -1,0 +1,171 @@
+"""DAG utilities: traversal, parent maps, node replacement, printing."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+from repro.algebra.ops import Operator
+
+
+def all_nodes(root: Operator) -> list[Operator]:
+    """Every node reachable from ``root``, each exactly once,
+    in a post-order (children before parents)."""
+    seen: set[int] = set()
+    out: list[Operator] = []
+
+    def visit(node: Operator) -> None:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children:
+            visit(child)
+        out.append(node)
+
+    visit(root)
+    return out
+
+
+def topological_order(root: Operator) -> list[Operator]:
+    """Nodes in bottom-up topological order (alias of :func:`all_nodes`)."""
+    return all_nodes(root)
+
+
+def parents_map(root: Operator) -> dict[int, list[Operator]]:
+    """Map from ``id(node)`` to the list of its parents in the DAG.
+
+    A parent appears once per child slot (a self-join over a shared
+    subplan contributes the parent twice).
+    """
+    parents: dict[int, list[Operator]] = {id(root): []}
+    for node in all_nodes(root):
+        parents.setdefault(id(node), [])
+        for child in node.children:
+            parents.setdefault(id(child), []).append(node)
+    return parents
+
+
+def replace_node(root: Operator, old: Operator, new: Operator) -> Operator:
+    """Replace every edge into ``old`` by an edge into ``new``.
+
+    Returns the (possibly new) root.  Mutates parent nodes in place —
+    shared subplans keep being shared.
+    """
+    if old is new:
+        return root
+    if root is old:
+        return new
+    for node in all_nodes(root):
+        for i, child in enumerate(node.children):
+            if child is old:
+                node.children[i] = new
+    return root
+
+
+def reachable(source: Operator, target: Operator) -> bool:
+    """The paper's reachability relation  — True if ``target`` occurs
+    in the subplan rooted at ``source`` (reflexive)."""
+    return any(node is target for node in all_nodes(source))
+
+
+def count_ops(root: Operator) -> Counter:
+    """Histogram of operator class names in the plan (DAG nodes counted
+    once, regardless of sharing)."""
+    return Counter(type(node).__name__ for node in all_nodes(root))
+
+
+def iter_edges(root: Operator) -> Iterator[tuple[Operator, int, Operator]]:
+    """All (parent, child_slot, child) edges of the DAG."""
+    for node in all_nodes(root):
+        for slot, child in enumerate(node.children):
+            yield node, slot, child
+
+
+def plan_fingerprint(root: Operator) -> int:
+    """Structural hash of the plan DAG (sharing-sensitive): two plans
+    get equal fingerprints iff they have the same shape, labels and
+    sharing pattern.  Used by the rewrite engine for cycle detection."""
+    numbering: dict[int, int] = {}
+    parts: list[tuple] = []
+    for node in all_nodes(root):  # post-order: children numbered first
+        numbering[id(node)] = len(numbering)
+        parts.append(
+            (node.label(), tuple(numbering[id(c)] for c in node.children))
+        )
+    return hash(tuple(parts))
+
+
+def validate_plan(root: Operator) -> None:
+    """Check structural invariants: join/cross schemas disjoint, all
+    referenced columns present.  Raises RewriteError on violation."""
+    from repro.algebra.ops import Cross, Join, Project, RowRank, Select, Serialize
+    from repro.errors import RewriteError
+
+    for node in all_nodes(root):
+        if isinstance(node, (Join, Cross)):
+            overlap = set(node.children[0].columns) & set(node.children[1].columns)
+            if overlap:
+                raise RewriteError(
+                    f"{node.label()}: overlapping columns {sorted(overlap)}"
+                )
+        have = set()
+        for child in node.children:
+            have.update(child.columns)
+        needed: set[str] = set()
+        if isinstance(node, (Select, Join)):
+            needed = set(node.pred.cols())
+        elif isinstance(node, Project):
+            needed = {old for _, old in node.cols}
+        elif isinstance(node, RowRank):
+            needed = set(node.order)
+        elif isinstance(node, Serialize):
+            needed = {node.item, node.pos}
+        missing = needed - have
+        if missing:
+            raise RewriteError(
+                f"{node.label()}: references missing columns {sorted(missing)}"
+            )
+
+
+def plan_to_text(root: Operator) -> str:
+    """Render the plan DAG as indented text; shared nodes are expanded
+    once and referenced as ``*<n>`` afterwards."""
+    ids: dict[int, int] = {}
+    shared = {
+        id(node)
+        for node, count in _reference_counts(root).items()
+        if count > 1
+    }
+    lines: list[str] = []
+
+    def visit(node: Operator, depth: int) -> None:
+        pad = "  " * depth
+        if id(node) in ids:
+            lines.append(f"{pad}*{ids[id(node)]}")
+            return
+        marker = ""
+        if id(node) in shared:
+            ids[id(node)] = len(ids) + 1
+            marker = f"  (={ids[id(node)]})"
+        lines.append(f"{pad}{node.label()}{marker}")
+        for child in node.children:
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return "\n".join(lines)
+
+
+def _reference_counts(root: Operator) -> dict[Operator, int]:
+    counts: dict[Operator, int] = {}
+    seen: set[int] = set()
+
+    def visit(node: Operator) -> None:
+        counts[node] = counts.get(node, 0) + 1
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        for child in node.children:
+            visit(child)
+
+    visit(root)
+    return counts

@@ -1,0 +1,328 @@
+"""Predicate and scalar expression trees used by σ and ⋈ operators.
+
+The expression language is deliberately small — exactly what the axis
+and node-test predicates of paper Fig. 3 and the comparison rules need:
+column references, constants, ``+`` (for ``pre + size`` range bounds),
+the six general comparison operators, and conjunction/disjunction.
+
+``None`` follows SQL NULL semantics: any comparison involving ``None``
+is false.  This matches the behaviour of the generated SQL on the
+back-end, keeping all engines differentially consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping
+
+Value = int | float | str | None
+
+#: comparison operator name -> (python test, SQL token)
+COMPARISONS = {
+    "=": (lambda a, b: a == b, "="),
+    "!=": (lambda a, b: a != b, "<>"),
+    "<": (lambda a, b: a < b, "<"),
+    "<=": (lambda a, b: a <= b, "<="),
+    ">": (lambda a, b: a > b, ">"),
+    ">=": (lambda a, b: a >= b, ">="),
+}
+
+#: mirror image of each comparison (for axis reversal: a < b  <=>  b > a)
+MIRRORED = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class Expr:
+    """Base class for expressions.  Instances are immutable."""
+
+    def cols(self) -> frozenset[str]:
+        """Column names referenced by this expression (the paper's
+        auxiliary ``cols(.)`` on predicates)."""
+        raise NotImplementedError
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        """Evaluate against a row given as a column -> value mapping."""
+        raise NotImplementedError
+
+    def rename(self, mapping: Mapping[str, str]) -> "Expr":
+        """A copy with column names substituted per ``mapping``
+        (names absent from the mapping are kept)."""
+        raise NotImplementedError
+
+    def substitute(self, mapping: Mapping[str, "Expr"]) -> "Expr":
+        """A copy with column references replaced by whole expressions
+        (names absent from the mapping are kept as references)."""
+        if isinstance(self, ColRef):
+            return mapping.get(self.name, self)
+        if isinstance(self, Const):
+            return self
+        if isinstance(self, Plus):
+            return Plus(self.left.substitute(mapping), self.right.substitute(mapping))
+        if isinstance(self, Comparison):
+            return Comparison(
+                self.op,
+                self.left.substitute(mapping),
+                self.right.substitute(mapping),
+            )
+        if isinstance(self, And):
+            return And(p.substitute(mapping) for p in self.parts)
+        if isinstance(self, Or):
+            return Or(p.substitute(mapping) for p in self.parts)
+        raise NotImplementedError(type(self).__name__)
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        """Render as an SQL expression; ``render_col`` maps a column
+        name to its SQL spelling (e.g. ``d2.pre``)."""
+        raise NotImplementedError
+
+    # Structural equality / hashing so that rewrite rules can compare
+    # predicates (e.g. when detecting duplicate conjuncts).
+    def _key(self) -> tuple:
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return type(self) is type(other) and self._key() == other._key()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def __repr__(self) -> str:
+        return self.to_sql(lambda c: c)
+
+
+class ColRef(Expr):
+    """Reference to a column of the input table."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def cols(self) -> frozenset[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        return row[self.name]
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColRef":
+        return ColRef(mapping.get(self.name, self.name))
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        return render_col(self.name)
+
+    def _key(self) -> tuple:
+        return (self.name,)
+
+
+class Const(Expr):
+    """Literal constant."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Value):
+        self.value = value
+
+    def cols(self) -> frozenset[str]:
+        return frozenset()
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        return self.value
+
+    def rename(self, mapping: Mapping[str, str]) -> "Const":
+        return self
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        if self.value is None:
+            return "NULL"
+        if isinstance(self.value, str):
+            escaped = self.value.replace("'", "''")
+            return f"'{escaped}'"
+        return repr(self.value)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+class Plus(Expr):
+    """Arithmetic sum, e.g. ``pre + size`` in axis range bounds."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: Expr, right: Expr):
+        self.left = left
+        self.right = right
+
+    def cols(self) -> frozenset[str]:
+        return self.left.cols() | self.right.cols()
+
+    def evaluate(self, row: Mapping[str, Value]) -> Value:
+        a = self.left.evaluate(row)
+        b = self.right.evaluate(row)
+        if a is None or b is None:
+            return None
+        return a + b  # type: ignore[operator]
+
+    def rename(self, mapping: Mapping[str, str]) -> "Plus":
+        return Plus(self.left.rename(mapping), self.right.rename(mapping))
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        return f"{self.left.to_sql(render_col)} + {self.right.to_sql(render_col)}"
+
+    def _key(self) -> tuple:
+        return (self.left, self.right)
+
+
+class Comparison(Expr):
+    """One of the six general comparisons ``= != < <= > >=``."""
+
+    __slots__ = ("op", "left", "right")
+
+    def __init__(self, op: str, left: Expr, right: Expr):
+        if op not in COMPARISONS:
+            raise ValueError(f"unknown comparison operator {op!r}")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def cols(self) -> frozenset[str]:
+        return self.left.cols() | self.right.cols()
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        a = self.left.evaluate(row)
+        b = self.right.evaluate(row)
+        if a is None or b is None:
+            return False  # SQL NULL semantics
+        return COMPARISONS[self.op][0](a, b)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Comparison":
+        return Comparison(self.op, self.left.rename(mapping), self.right.rename(mapping))
+
+    def mirrored(self) -> "Comparison":
+        """Swap the sides (``a < b`` becomes ``b > a``)."""
+        return Comparison(MIRRORED[self.op], self.right, self.left)
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        sql_op = COMPARISONS[self.op][1]
+        return f"{self.left.to_sql(render_col)} {sql_op} {self.right.to_sql(render_col)}"
+
+    def is_col_eq_col(self) -> tuple[str, str] | None:
+        """``(a, b)`` when this is a plain column equality ``a = b``."""
+        if (
+            self.op == "="
+            and isinstance(self.left, ColRef)
+            and isinstance(self.right, ColRef)
+        ):
+            return self.left.name, self.right.name
+        return None
+
+    def _key(self) -> tuple:
+        return (self.op, self.left, self.right)
+
+
+class And(Expr):
+    """Conjunction of one or more predicates; flattens nested Ands."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Expr]):
+        flat: list[Expr] = []
+        for part in parts:
+            if isinstance(part, And):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if not flat:
+            raise ValueError("And() needs at least one conjunct")
+        self.parts = tuple(flat)
+
+    def cols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.cols()
+        return out
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return all(part.evaluate(row) for part in self.parts)
+
+    def rename(self, mapping: Mapping[str, str]) -> "And":
+        return And(part.rename(mapping) for part in self.parts)
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        rendered = []
+        for part in self.parts:
+            text = part.to_sql(render_col)
+            if isinstance(part, Or):
+                text = f"({text})"
+            rendered.append(text)
+        return " AND ".join(rendered)
+
+    def _key(self) -> tuple:
+        return (self.parts,)
+
+
+class Or(Expr):
+    """Disjunction (needed only for descendant-or-self on attribute
+    context nodes, see :mod:`repro.compiler.axes`)."""
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[Expr]):
+        flat: list[Expr] = []
+        for part in parts:
+            if isinstance(part, Or):
+                flat.extend(part.parts)
+            else:
+                flat.append(part)
+        if not flat:
+            raise ValueError("Or() needs at least one disjunct")
+        self.parts = tuple(flat)
+
+    def cols(self) -> frozenset[str]:
+        out: frozenset[str] = frozenset()
+        for part in self.parts:
+            out |= part.cols()
+        return out
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        return any(part.evaluate(row) for part in self.parts)
+
+    def rename(self, mapping: Mapping[str, str]) -> "Or":
+        return Or(part.rename(mapping) for part in self.parts)
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        rendered = []
+        for part in self.parts:
+            text = part.to_sql(render_col)
+            if isinstance(part, And):
+                text = f"({text})"
+            rendered.append(text)
+        return " OR ".join(rendered)
+
+    def _key(self) -> tuple:
+        return (self.parts,)
+
+
+# -- convenience constructors -----------------------------------------------
+
+
+def col(name: str) -> ColRef:
+    """Shorthand for :class:`ColRef`."""
+    return ColRef(name)
+
+
+def lit(value: Value) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+def conjuncts(pred: Expr) -> tuple[Expr, ...]:
+    """The top-level conjuncts of a predicate (itself, if not an And)."""
+    if isinstance(pred, And):
+        return pred.parts
+    return (pred,)
+
+
+def conjoin(parts: Iterable[Expr]) -> Expr:
+    """Build a conjunction, collapsing the single-conjunct case."""
+    items = list(parts)
+    if len(items) == 1:
+        return items[0]
+    return And(items)

@@ -1,0 +1,354 @@
+"""Reference interpreter for the table algebra.
+
+This executor defines the *semantics* of plans: it evaluates a DAG
+bottom-up with memoization (shared subplans are computed once) over
+plain in-memory tables.  Every other execution engine in the repository
+(generated SQL on SQLite, the physical planner, the pureXML baseline)
+is differential-tested against it.
+
+Performance is a non-goal here — joins are hash/nested-loop over Python
+tuples — but plans over small to medium documents evaluate quickly
+enough to serve as the "stacked plan" baseline of the paper's Table 9.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.algebra.expressions import ColRef, Comparison, Value
+from repro.algebra.ops import (
+    Attach,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+
+
+class Table(NamedTuple):
+    """An ordered-schema table: column names plus a list of value rows."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple[Value, ...]]
+
+    def column_index(self, name: str) -> int:
+        return self.columns.index(name)
+
+    def as_dicts(self) -> list[dict[str, Value]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+def _sort_key(value: Value) -> tuple:
+    """Total order with None first (SQL NULLS FIRST)."""
+    if value is None:
+        return (0, 0)
+    return (1, value)
+
+
+def evaluate(node: Operator, cache: dict[int, Table] | None = None) -> Table:
+    """Evaluate a plan node to a :class:`Table` (memoized over the DAG)."""
+    if cache is None:
+        cache = {}
+    hit = cache.get(id(node))
+    if hit is not None:
+        return hit
+    result = _evaluate(node, cache)
+    cache[id(node)] = result
+    return result
+
+
+def _evaluate(node: Operator, cache: dict[int, Table]) -> Table:
+    if isinstance(node, DocScan):
+        table = node.store.table
+        return Table(
+            ("pre", "size", "level", "kind", "name", "value", "data"),
+            [tuple(row) for row in table.rows()],
+        )
+
+    if isinstance(node, LitTable):
+        return Table(node.names, [tuple(r) for r in node.rows])
+
+    if isinstance(node, Project):
+        child = evaluate(node.child, cache)
+        indices = [child.column_index(old) for _, old in node.cols]
+        return Table(
+            tuple(new for new, _ in node.cols),
+            [tuple(row[i] for i in indices) for row in child.rows],
+        )
+
+    if isinstance(node, Select):
+        child = evaluate(node.child, cache)
+        cols = child.columns
+        pred = node.pred
+        kept = [row for row in child.rows if pred.evaluate(dict(zip(cols, row)))]
+        return Table(cols, kept)
+
+    if isinstance(node, Join):
+        return _evaluate_join(node, cache)
+
+    if isinstance(node, Cross):
+        left = evaluate(node.left, cache)
+        right = evaluate(node.right, cache)
+        rows = [lr + rr for lr in left.rows for rr in right.rows]
+        return Table(left.columns + right.columns, rows)
+
+    if isinstance(node, Distinct):
+        child = evaluate(node.child, cache)
+        seen: set[tuple] = set()
+        rows: list[tuple] = []
+        for row in child.rows:
+            if row not in seen:
+                seen.add(row)
+                rows.append(row)
+        return Table(child.columns, rows)
+
+    if isinstance(node, Attach):
+        child = evaluate(node.child, cache)
+        return Table(
+            child.columns + (node.col,),
+            [row + (node.value,) for row in child.rows],
+        )
+
+    if isinstance(node, RowId):
+        child = evaluate(node.child, cache)
+        return Table(
+            child.columns + (node.col,),
+            [row + (i + 1,) for i, row in enumerate(child.rows)],
+        )
+
+    if isinstance(node, RowRank):
+        return _evaluate_rank(node, cache)
+
+    if isinstance(node, Serialize):
+        child = evaluate(node.child, cache)
+        pos_i = child.column_index(node.pos)
+        item_i = child.column_index(node.item)
+        ordered = sorted(
+            child.rows,
+            key=lambda row: (_sort_key(row[pos_i]), _sort_key(row[item_i])),
+        )
+        return Table(("pos", "item"), [(r[pos_i], r[item_i]) for r in ordered])
+
+    raise TypeError(f"cannot evaluate {type(node).__name__}")
+
+
+def _evaluate_join(node: Join, cache: dict[int, Table]) -> Table:
+    """Conjunct-aware join: single-column predicates pre-filter their
+    side, column equalities drive a hash join, range comparisons over
+    one left column drive a band join (sort + bisect) — the rest is
+    verified per candidate pair.  This keeps the reference interpreter
+    usable on the paper's stacked plans, whose XPath axis joins are
+    conjunctive range predicates (Fig. 3)."""
+    import bisect
+
+    from repro.algebra.expressions import And
+
+    left = evaluate(node.left, cache)
+    right = evaluate(node.right, cache)
+    out_cols = left.columns + right.columns
+    left_cols, right_cols = set(left.columns), set(right.columns)
+
+    parts = node.pred.parts if isinstance(node.pred, And) else (node.pred,)
+    left_only: list = []
+    right_only: list = []
+    equi: list[tuple[str, str]] = []  # (left col, right col)
+    band: list[tuple[str, str]] = []  # (op, left col) with right expr
+    band_exprs: list = []
+    residual: list = []
+    for part in parts:
+        cols_used = part.cols()
+        if cols_used <= left_cols:
+            left_only.append(part)
+            continue
+        if cols_used <= right_cols:
+            right_only.append(part)
+            continue
+        placed = False
+        if isinstance(part, Comparison):
+            eq = part.is_col_eq_col()
+            if eq is not None:
+                a, b = eq
+                if a in left_cols and b in right_cols:
+                    equi.append((a, b))
+                    placed = True
+                elif b in left_cols and a in right_cols:
+                    equi.append((b, a))
+                    placed = True
+            if not placed:
+                cmp_part = part
+                if (
+                    isinstance(cmp_part.right, ColRef)
+                    and cmp_part.right.name in left_cols
+                    and cmp_part.left.cols() <= right_cols
+                ):
+                    cmp_part = cmp_part.mirrored()
+                if (
+                    isinstance(cmp_part.left, ColRef)
+                    and cmp_part.left.name in left_cols
+                    and cmp_part.right.cols() <= right_cols
+                    and cmp_part.op in ("<", "<=", ">", ">=", "=")
+                ):
+                    band.append((cmp_part.op, cmp_part.left.name))
+                    band_exprs.append(cmp_part.right)
+                    placed = True
+        if not placed:
+            residual.append(part)
+
+    def filter_side(table: Table, preds: list) -> list[tuple]:
+        if not preds:
+            return table.rows
+        cols = table.columns
+        return [
+            row
+            for row in table.rows
+            if all(p.evaluate(dict(zip(cols, row))) for p in preds)
+        ]
+
+    left_rows = filter_side(left, left_only)
+    right_rows = filter_side(right, right_only)
+    rows: list[tuple] = []
+
+    def verify(lr: tuple, rr: tuple) -> bool:
+        if not residual:
+            return True
+        row_map = dict(zip(left.columns, lr))
+        row_map.update(zip(right.columns, rr))
+        return all(p.evaluate(row_map) for p in residual)
+
+    if equi:
+        l_idx = [left.column_index(a) for a, _ in equi]
+        r_idx = [right.column_index(b) for _, b in equi]
+        residual = residual + [
+            Comparison(op, ColRef(c), e)
+            for (op, c), e in zip(band, band_exprs)
+        ]
+        buckets: dict[tuple, list[tuple]] = {}
+        for rr in right_rows:
+            key = tuple(rr[i] for i in r_idx)
+            if None not in key:
+                buckets.setdefault(key, []).append(rr)
+        for lr in left_rows:
+            key = tuple(lr[i] for i in l_idx)
+            for rr in buckets.get(key, ()):
+                if verify(lr, rr):
+                    rows.append(lr + rr)
+        return Table(out_cols, rows)
+
+    if band:
+        # band join on the left column used most often
+        from collections import Counter as _Counter
+
+        target = _Counter(c for _, c in band).most_common(1)[0][0]
+        ti = left.column_index(target)
+        usable = [
+            (op, e)
+            for (op, c), e in zip(band, band_exprs)
+            if c == target
+        ]
+        leftover = [
+            Comparison(op, ColRef(c), e)
+            for (op, c), e in zip(band, band_exprs)
+            if c != target
+        ]
+        residual = residual + leftover
+        ordered = sorted(
+            (lr for lr in left_rows if lr[ti] is not None),
+            key=lambda lr: lr[ti],
+        )
+        keys = [lr[ti] for lr in ordered]
+        for rr in right_rows:
+            rmap = dict(zip(right.columns, rr))
+            lo, hi = 0, len(ordered)
+            exact: Value | object = _UNSET
+            ok = True
+            for op, expr in usable:
+                bound = expr.evaluate(rmap)
+                if bound is None:
+                    ok = False
+                    break
+                if op == "=":
+                    exact = bound
+                elif op == ">":
+                    lo = max(lo, bisect.bisect_right(keys, bound))
+                elif op == ">=":
+                    lo = max(lo, bisect.bisect_left(keys, bound))
+                elif op == "<":
+                    hi = min(hi, bisect.bisect_left(keys, bound))
+                elif op == "<=":
+                    hi = min(hi, bisect.bisect_right(keys, bound))
+            if not ok:
+                continue
+            if exact is not _UNSET:
+                lo = max(lo, bisect.bisect_left(keys, exact))
+                hi = min(hi, bisect.bisect_right(keys, exact))
+            for i in range(lo, hi):
+                lr = ordered[i]
+                if verify(lr, rr):
+                    rows.append(lr + rr)
+        return Table(out_cols, rows)
+
+    # general theta join: nested loop with predicate evaluation
+    for lr in left_rows:
+        partial = dict(zip(left.columns, lr))
+        for rr in right_rows:
+            row_map = dict(partial)
+            row_map.update(zip(right.columns, rr))
+            if all(p.evaluate(row_map) for p in residual):
+                rows.append(lr + rr)
+    return Table(out_cols, rows)
+
+
+class _Unset:
+    pass
+
+
+_UNSET = _Unset()
+
+
+def _evaluate_rank(node: RowRank, cache: dict[int, Table]) -> Table:
+    child = evaluate(node.child, cache)
+    order_idx = [child.column_index(c) for c in node.order]
+    keyed = [
+        (tuple(_sort_key(row[i]) for i in order_idx), n, row)
+        for n, row in enumerate(child.rows)
+    ]
+    keyed.sort(key=lambda knr: (knr[0], knr[1]))
+    out_rows: list[tuple | None] = [None] * len(keyed)
+    prev_key = None
+    rank = 0
+    for position, (key, n, row) in enumerate(keyed, start=1):
+        if key != prev_key:
+            rank = position  # RANK(): ties share a rank, with gaps
+            prev_key = key
+        out_rows[n] = row + (rank,)
+    return Table(child.columns + (node.col,), out_rows)  # type: ignore[arg-type]
+
+
+def run_plan(root: Operator) -> list[Value]:
+    """Evaluate a plan and return the result item sequence in order.
+
+    ``root`` is expected to be (or to contain at its top) a
+    :class:`Serialize` operator; for convenience a bare table-producing
+    plan may also be passed, in which case the item order is the row
+    order of its ``pos``/``item`` columns.
+    """
+    result = evaluate(root)
+    if isinstance(root, Serialize):
+        return [item for _, item in result.rows]
+    if "item" in result.columns:
+        pos_i = result.column_index("pos") if "pos" in result.columns else None
+        item_i = result.column_index("item")
+        rows = result.rows
+        if pos_i is not None:
+            rows = sorted(
+                rows, key=lambda r: (_sort_key(r[pos_i]), _sort_key(r[item_i]))
+            )
+        return [r[item_i] for r in rows]
+    raise TypeError("plan does not produce an item sequence")

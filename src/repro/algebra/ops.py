@@ -1,0 +1,362 @@
+"""Operators of the table algebra (paper Table 1).
+
+========================  =============================================
+operator                  paper notation
+========================  =============================================
+:class:`Serialize`        ⌐_{b1,b2} — plan root, serialize b1 in b2 order
+:class:`Project`          π_{a1:b1,..,an:bn} — project / rename
+:class:`Select`           σ_p — row selection
+:class:`Join`             ⋈_p — join with predicate p
+:class:`Cross`            × — Cartesian product
+:class:`Distinct`         δ — duplicate row elimination
+:class:`Attach`           @_{a:c} — attach constant column
+:class:`RowId`            #_a — attach arbitrary unique row id
+:class:`RowRank`          %_{a:⟨b1,..,bn⟩} — RANK() OVER (ORDER BY b1..bn)
+:class:`DocScan`          doc — the XML infoset encoding table
+:class:`LitTable`         literal table
+========================  =============================================
+
+Plans are DAGs of these nodes; sharing is by node identity (the single
+``doc`` leaf in particular is referenced from every XPath step).  Node
+schemas (``columns``) are computed on demand so that rewrites that swap
+children are immediately reflected.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.algebra.expressions import Expr, Value
+from repro.errors import RewriteError
+
+#: Schema of the XML infoset encoding table (Fig. 2).
+DOC_COLUMNS = ("pre", "size", "level", "kind", "name", "value", "data")
+
+
+class Operator:
+    """Base class of all plan operators.
+
+    Identity semantics: two nodes are the same plan position iff they
+    are the same object (``is``); the DAG shares subplans by reference.
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Sequence["Operator"]):
+        self.children = list(children)
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        """Output schema (computed from the current children)."""
+        raise NotImplementedError
+
+    def label(self) -> str:
+        """Short human-readable operator label for plan printing."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{self.label()} @{id(self):#x}>"
+
+    def _require(self, needed: Iterable[str], where: str) -> None:
+        have = set()
+        for child in self.children:
+            have.update(child.columns)
+        missing = [c for c in needed if c not in have]
+        if missing:
+            raise RewriteError(
+                f"{where}: columns {missing} not provided by input "
+                f"(have {sorted(have)})"
+            )
+
+
+class Serialize(Operator):
+    """Plan root ⌐_{b1,b2}: deliver column ``item`` ordered by ``pos``."""
+
+    __slots__ = ("item", "pos")
+
+    def __init__(self, child: Operator, item: str = "item", pos: str = "pos"):
+        super().__init__([child])
+        self.item = item
+        self.pos = pos
+        self._require([item, pos], "Serialize")
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return (self.pos, self.item)
+
+    def label(self) -> str:
+        return f"SERIALIZE[{self.item} by {self.pos}]"
+
+
+class Project(Operator):
+    """π_{a1:b1,..,an:bn}: project onto columns, optionally renaming.
+
+    ``cols`` is an ordered tuple of ``(new_name, old_name)`` pairs.
+    """
+
+    __slots__ = ("cols",)
+
+    def __init__(self, child: Operator, cols: Sequence[tuple[str, str]]):
+        super().__init__([child])
+        self.cols = tuple((str(n), str(o)) for n, o in cols)
+        new_names = [n for n, _ in self.cols]
+        if len(set(new_names)) != len(new_names):
+            raise RewriteError(f"Project: duplicate output columns {new_names}")
+        self._require([o for _, o in self.cols], "Project")
+
+    @staticmethod
+    def keep(child: Operator, names: Sequence[str]) -> "Project":
+        """Projection without renaming."""
+        return Project(child, [(n, n) for n in names])
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(n for n, _ in self.cols)
+
+    @property
+    def renaming(self) -> dict[str, str]:
+        """new -> old column mapping."""
+        return dict(self.cols)
+
+    def is_pure_rename(self) -> bool:
+        """True when the projection keeps all input columns (possibly
+        renamed), i.e. drops nothing."""
+        kept = {o for _, o in self.cols}
+        return kept == set(self.child.columns) and len(self.cols) == len(
+            self.child.columns
+        )
+
+    def label(self) -> str:
+        parts = [n if n == o else f"{n}:{o}" for n, o in self.cols]
+        return f"PROJECT[{','.join(parts)}]"
+
+
+class Select(Operator):
+    """σ_p: keep rows satisfying predicate ``pred``."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, child: Operator, pred: Expr):
+        super().__init__([child])
+        self.pred = pred
+        self._require(pred.cols(), "Select")
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def label(self) -> str:
+        return f"SELECT[{self.pred!r}]"
+
+
+class Join(Operator):
+    """⋈_p: join of two inputs with disjoint schemas."""
+
+    __slots__ = ("pred",)
+
+    def __init__(self, left: Operator, right: Operator, pred: Expr):
+        super().__init__([left, right])
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise RewriteError(f"Join: overlapping columns {sorted(overlap)}")
+        self.pred = pred
+        self._require(pred.cols(), "Join")
+
+    @property
+    def left(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def right(self) -> Operator:
+        return self.children[1]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns + self.right.columns
+
+    def equijoin_cols(self) -> tuple[str, str] | None:
+        """``(a, b)`` when the predicate is the single equality ``a = b``
+        between plain columns — the 1_{a=b} form of the rewrite rules."""
+        from repro.algebra.expressions import Comparison
+
+        if isinstance(self.pred, Comparison):
+            return self.pred.is_col_eq_col()
+        return None
+
+    def label(self) -> str:
+        return f"JOIN[{self.pred!r}]"
+
+
+class Cross(Operator):
+    """×: Cartesian product of two inputs with disjoint schemas."""
+
+    __slots__ = ()
+
+    def __init__(self, left: Operator, right: Operator):
+        super().__init__([left, right])
+        overlap = set(left.columns) & set(right.columns)
+        if overlap:
+            raise RewriteError(f"Cross: overlapping columns {sorted(overlap)}")
+
+    @property
+    def left(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def right(self) -> Operator:
+        return self.children[1]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.left.columns + self.right.columns
+
+    def label(self) -> str:
+        return "CROSS"
+
+
+class Distinct(Operator):
+    """δ: eliminate duplicate rows."""
+
+    __slots__ = ()
+
+    def __init__(self, child: Operator):
+        super().__init__([child])
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns
+
+    def label(self) -> str:
+        return "DISTINCT"
+
+
+class Attach(Operator):
+    """@_{a:c}: attach a constant column (abbreviates × with a literal)."""
+
+    __slots__ = ("col", "value")
+
+    def __init__(self, child: Operator, col: str, value: Value):
+        super().__init__([child])
+        if col in child.columns:
+            raise RewriteError(f"Attach: column {col!r} already present")
+        self.col = col
+        self.value = value
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.col,)
+
+    def label(self) -> str:
+        return f"ATTACH[{self.col}:{self.value!r}]"
+
+
+class RowId(Operator):
+    """#_a: attach an arbitrary unique row id in column ``col``."""
+
+    __slots__ = ("col",)
+
+    def __init__(self, child: Operator, col: str):
+        super().__init__([child])
+        if col in child.columns:
+            raise RewriteError(f"RowId: column {col!r} already present")
+        self.col = col
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.col,)
+
+    def label(self) -> str:
+        return f"ROWID[{self.col}]"
+
+
+class RowRank(Operator):
+    """%_{a:⟨b1,..,bn⟩}: SQL:1999 RANK() OVER (ORDER BY b1,..,bn) AS a.
+
+    Encodes sequence/document order as plain data so that order becomes
+    accessible to logical query optimization (paper Section 5).
+    """
+
+    __slots__ = ("col", "order")
+
+    def __init__(self, child: Operator, col: str, order: Sequence[str]):
+        super().__init__([child])
+        if col in child.columns:
+            raise RewriteError(f"RowRank: column {col!r} already present")
+        if not order:
+            raise RewriteError("RowRank: empty order criteria")
+        self.col = col
+        self.order = tuple(order)
+        self._require(self.order, "RowRank")
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.child.columns + (self.col,)
+
+    def label(self) -> str:
+        return f"RANK[{self.col}:<{','.join(self.order)}>]"
+
+
+class DocScan(Operator):
+    """The XML infoset encoding table ``doc`` (shared plan leaf)."""
+
+    __slots__ = ("store",)
+
+    def __init__(self, store):
+        super().__init__([])
+        self.store = store  # repro.infoset.DocumentStore
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return DOC_COLUMNS
+
+    def label(self) -> str:
+        return "DOC"
+
+
+class LitTable(Operator):
+    """Literal table with fixed columns and rows."""
+
+    __slots__ = ("names", "rows")
+
+    def __init__(self, names: Sequence[str], rows: Sequence[Sequence[Value]]):
+        super().__init__([])
+        self.names = tuple(names)
+        self.rows = tuple(tuple(r) for r in rows)
+        for row in self.rows:
+            if len(row) != len(self.names):
+                raise RewriteError("LitTable: row arity mismatch")
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return self.names
+
+    def label(self) -> str:
+        return f"TABLE[{','.join(self.names)}; {len(self.rows)} rows]"

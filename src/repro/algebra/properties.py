@@ -1,0 +1,283 @@
+"""Plan property inference (paper Tables 2–5).
+
+Four properties drive the join graph isolation rewrites:
+
+``icols``
+    Columns strictly required by an operator's *upstream* plan
+    (top-down; union over all consumers of a shared node).  Seeded at
+    the plan root with ``{pos, item}`` — the columns needed to
+    serialize the result.  Enables projection push-down.
+``const``
+    Columns known to carry one constant value in every row
+    (bottom-up; seeded at literal tables and ``Attach``).
+``key``
+    Candidate keys (sets of columns) of each operator's output
+    (bottom-up; equi-join and rank inference follow the functional
+    dependency arguments of the paper / [23, §5.2.1]).
+``set``
+    True when the operator's output rows will undergo duplicate
+    elimination upstream on *every* consumer path, so that producing
+    fewer duplicates early is unobservable (top-down; a simpler,
+    modular form of Starburst's "Distinct Pushdown").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.dagutils import all_nodes
+from repro.algebra.expressions import Value
+from repro.algebra.ops import (
+    Attach,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+
+Keys = frozenset[frozenset[str]]
+
+
+@dataclass
+class PlanProperties:
+    """Inferred properties for every node of one plan DAG, keyed by
+    node identity."""
+
+    _icols: dict[int, frozenset[str]] = field(default_factory=dict)
+    _const: dict[int, dict[str, Value]] = field(default_factory=dict)
+    _keys: dict[int, Keys] = field(default_factory=dict)
+    _set: dict[int, bool] = field(default_factory=dict)
+
+    def icols(self, node: Operator) -> frozenset[str]:
+        return self._icols[id(node)]
+
+    def const(self, node: Operator) -> dict[str, Value]:
+        return self._const[id(node)]
+
+    def const_cols(self, node: Operator) -> frozenset[str]:
+        return frozenset(self._const[id(node)])
+
+    def keys(self, node: Operator) -> Keys:
+        return self._keys[id(node)]
+
+    def set_prop(self, node: Operator) -> bool:
+        return self._set[id(node)]
+
+    def has_key_within(self, node: Operator, cols: frozenset[str]) -> bool:
+        """True if some candidate key of ``node`` is contained in ``cols``."""
+        return any(k <= cols for k in self._keys[id(node)])
+
+    def has_singleton_key(self, node: Operator, column: str) -> bool:
+        """True if ``{column}`` (or the empty key: at most one row) is a
+        candidate key of ``node``."""
+        return any(k <= frozenset((column,)) for k in self._keys[id(node)])
+
+
+def infer_properties(root: Operator) -> PlanProperties:
+    """Run all four inferences over the DAG rooted at ``root``."""
+    props = PlanProperties()
+    order = all_nodes(root)  # post-order: children before parents
+
+    for node in order:  # bottom-up: const, key
+        props._const[id(node)] = _infer_const(node, props)
+        keys = _infer_keys(node, props)
+        # constant columns add no discrimination: reduce keys by them.
+        # (The empty key means the table holds at most one row.)
+        const_cols = frozenset(props._const[id(node)])
+        if const_cols:
+            keys = frozenset(k - const_cols for k in keys)
+        props._keys[id(node)] = keys
+
+    # top-down: icols, set — initialise accumulators, then let each
+    # parent contribute to its children in reverse topological order.
+    for node in order:
+        props._icols[id(node)] = frozenset()
+        props._set[id(node)] = True
+    if isinstance(root, Serialize):
+        props._icols[id(root)] = frozenset(("pos", "item"))
+    else:
+        # analysing a bare subplan: assume everything is needed and
+        # nothing is deduplicated upstream.
+        props._icols[id(root)] = frozenset(root.columns)
+    props._set[id(root)] = False
+
+    for node in reversed(order):  # parents before children
+        _contribute_downward(node, props)
+    return props
+
+
+# -- const (Table 3) ---------------------------------------------------------
+
+
+def _infer_const(node: Operator, props: PlanProperties) -> dict[str, Value]:
+    if isinstance(node, LitTable):
+        if not node.rows:
+            return {}
+        out: dict[str, Value] = {}
+        for i, name in enumerate(node.names):
+            values = {row[i] for row in node.rows}
+            if len(values) == 1:
+                out[name] = next(iter(values))
+        return out
+    if isinstance(node, DocScan):
+        return {}
+    if isinstance(node, Project):
+        child_const = props._const[id(node.child)]
+        return {new: child_const[old] for new, old in node.cols if old in child_const}
+    if isinstance(node, Attach):
+        out = dict(props._const[id(node.child)])
+        out[node.col] = node.value
+        return out
+    if isinstance(node, (Join, Cross)):
+        out = dict(props._const[id(node.children[0])])
+        out.update(props._const[id(node.children[1])])
+        return out
+    # Serialize, Select, Distinct, RowId, RowRank: pass through
+    return dict(props._const[id(node.children[0])])
+
+
+# -- key (Table 4) -----------------------------------------------------------
+
+
+def _infer_keys(node: Operator, props: PlanProperties) -> Keys:
+    if isinstance(node, DocScan):
+        return frozenset((frozenset(("pre",)),))
+    if isinstance(node, LitTable):
+        out: set[frozenset[str]] = set()
+        for i, name in enumerate(node.names):
+            values = [row[i] for row in node.rows]
+            if len(set(values)) == len(values):
+                out.add(frozenset((name,)))
+        if len(node.rows) <= 1:
+            out.update(frozenset((n,)) for n in node.names)
+        return frozenset(out)
+    if isinstance(node, Project):
+        child_keys = props._keys[id(node.child)]
+        olds = {old for _, old in node.cols}
+        out = set()
+        for k in child_keys:
+            if not k <= olds:
+                continue
+            # a source column may be duplicated under several new names;
+            # each choice of one new name per source column is a key.
+            choices = [
+                [new for new, old in node.cols if old == src] for src in k
+            ]
+            out.update(_products(choices))
+        return frozenset(out)
+    if isinstance(node, (Select, Serialize)):
+        return props._keys[id(node.children[0])]
+    if isinstance(node, Distinct):
+        child = node.child
+        return props._keys[id(child)] | {frozenset(child.columns)}
+    if isinstance(node, Attach):
+        return props._keys[id(node.child)]
+    if isinstance(node, RowId):
+        return props._keys[id(node.child)] | {frozenset((node.col,))}
+    if isinstance(node, RowRank):
+        child_keys = props._keys[id(node.child)]
+        order = frozenset(node.order)
+        extra = {
+            frozenset((node.col,)) | (k - order)
+            for k in child_keys
+            if k & order
+        }
+        return child_keys | extra
+    if isinstance(node, Join):
+        return _join_keys(node, props)
+    if isinstance(node, Cross):
+        k1 = props._keys[id(node.left)]
+        k2 = props._keys[id(node.right)]
+        return frozenset(a | b for a in k1 for b in k2)
+    raise TypeError(f"key inference: unknown operator {type(node).__name__}")
+
+
+def _join_keys(node: Join, props: PlanProperties) -> Keys:
+    left, right = node.left, node.right
+    k1s = props._keys[id(left)]
+    k2s = props._keys[id(right)]
+    out: set[frozenset[str]] = set(a | b for a in k1s for b in k2s)
+
+    eq = node.equijoin_cols()
+    if eq is not None:
+        a, b = eq
+        # orient: a on the left input, b on the right input
+        if a in right.columns and b in left.columns:
+            a, b = b, a
+        if a in left.columns and b in right.columns:
+            # {b} (or the empty key: at most one row) being a key means
+            # each left row finds at most one partner, and vice versa.
+            right_b_key = any(k <= frozenset((b,)) for k in k2s)
+            left_a_key = any(k <= frozenset((a,)) for k in k1s)
+            if right_b_key:
+                out.update(k1s)  # each left row matches at most one right row
+                out.update((k1 - {a}) | k2 for k1 in k1s for k2 in k2s)
+            if left_a_key:
+                out.update(k2s)
+                out.update(k1 | (k2 - {b}) for k1 in k1s for k2 in k2s)
+    return frozenset(out)
+
+
+def _products(choices: list[list[str]], limit: int = 16) -> set[frozenset[str]]:
+    """All ways of picking one element per choice list, as frozensets,
+    capped to keep key sets small."""
+    out: set[frozenset[str]] = {frozenset()}
+    for options in choices:
+        out = {k | {o} for k in out for o in options}
+        if len(out) > limit:
+            return set(list(out)[:limit])
+    return out
+
+
+# -- icols (Table 2) and set (Table 5): downward contributions ---------------
+
+
+def _contribute_downward(node: Operator, props: PlanProperties) -> None:
+    icols = props._icols[id(node)]
+    set_here = props._set[id(node)]
+
+    def add_icols(child: Operator, cols: frozenset[str]) -> None:
+        props._icols[id(child)] |= cols & frozenset(child.columns)
+
+    def and_set(child: Operator, value: bool) -> None:
+        props._set[id(child)] = props._set[id(child)] and value
+
+    if isinstance(node, Serialize):
+        add_icols(node.child, frozenset((node.item, node.pos)))
+        and_set(node.child, False)
+    elif isinstance(node, Project):
+        needed = frozenset(old for new, old in node.cols if new in icols)
+        add_icols(node.child, needed)
+        and_set(node.child, set_here)
+    elif isinstance(node, Select):
+        add_icols(node.child, icols | node.pred.cols())
+        and_set(node.child, set_here)
+    elif isinstance(node, Join):
+        needed = icols | node.pred.cols()
+        for child in node.children:
+            add_icols(child, needed)
+            and_set(child, set_here)
+    elif isinstance(node, Cross):
+        for child in node.children:
+            add_icols(child, icols)
+            and_set(child, set_here)
+    elif isinstance(node, Distinct):
+        add_icols(node.child, icols)
+        and_set(node.child, True)
+    elif isinstance(node, Attach):
+        add_icols(node.child, icols - {node.col})
+        and_set(node.child, set_here)
+    elif isinstance(node, RowId):
+        add_icols(node.child, icols - {node.col})
+        and_set(node.child, False)
+    elif isinstance(node, RowRank):
+        add_icols(node.child, (icols - {node.col}) | frozenset(node.order))
+        and_set(node.child, set_here)
+    # DocScan / LitTable: leaves, nothing to contribute

@@ -1,0 +1,7 @@
+"""Benchmark harness: one place that wires every engine to the paper's
+workloads so the ``benchmarks/`` suite can regenerate each table and
+figure of the evaluation section."""
+
+from repro.bench.harness import BenchHarness, EngineRun
+
+__all__ = ["BenchHarness", "EngineRun"]

@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro``.
+
+Examples
+--------
+Run a query against a document::
+
+    python -m repro 'doc("auction.xml")//open_auction[bidder]' \\
+        --doc auction.xml
+
+Show the generated single-block SQL instead of executing::
+
+    python -m repro '//closed_auction[price > 500]' --doc auction.xml --sql
+
+Explain the physical plan our optimizer would choose::
+
+    python -m repro '//closed_auction[price > 500]' --doc auction.xml --explain
+
+Generate a built-in benchmark document::
+
+    python -m repro --generate xmark --factor 0.01 > auction.xml
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.errors import ReproError
+from repro.pipeline import XQueryProcessor
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="A relational XQuery processor (EDBT 2010 reproduction): "
+        "compiles the XQuery workhorse fragment into join graph SQL.",
+    )
+    parser.add_argument("query", nargs="?", help="XQuery expression")
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="FILE[=URI]",
+        help="XML document to load; URI defaults to the file name. "
+        "May be given several times.",
+    )
+    parser.add_argument(
+        "--engine",
+        default="joingraph-sql",
+        choices=["joingraph-sql", "stacked-sql", "interpreter",
+                 "isolated-interpreter", "planner"],
+        help="execution engine (default: the isolated single SQL block)",
+    )
+    parser.add_argument(
+        "--sql", action="store_true", help="print the join graph SQL and exit"
+    )
+    parser.add_argument(
+        "--stacked-sql",
+        action="store_true",
+        help="print the pre-isolation CTE chain and exit",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the cost-based physical plan and exit",
+    )
+    parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the isolated algebra plan and exit",
+    )
+    parser.add_argument(
+        "--items",
+        action="store_true",
+        help="print result pre ranks instead of serialized XML",
+    )
+    parser.add_argument(
+        "--time", action="store_true", help="report execution wall-clock"
+    )
+    parser.add_argument(
+        "--serialize-step",
+        action="store_true",
+        help="make the serialization point explicit "
+        "(append /descendant-or-self::node(), as in the paper's Section 4)",
+    )
+    parser.add_argument(
+        "--generate",
+        choices=["xmark", "dblp"],
+        help="emit a benchmark document to stdout instead of querying",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=0.01, help="generator scale factor"
+    )
+    parser.add_argument(
+        "--seed", type=int, default=42, help="generator random seed"
+    )
+    return parser
+
+
+def _generate(kind: str, factor: float, seed: int) -> str:
+    from repro.workloads import (
+        DBLPConfig,
+        XMarkConfig,
+        generate_dblp,
+        generate_xmark,
+    )
+    from repro.xmltree import serialize
+
+    if kind == "xmark":
+        return serialize(generate_xmark(XMarkConfig(factor=factor, seed=seed)))
+    return serialize(generate_dblp(DBLPConfig(factor=factor, seed=seed)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    if args.generate:
+        sys.stdout.write(_generate(args.generate, args.factor, args.seed))
+        return 0
+
+    if not args.query:
+        parser.error("a query is required (or use --generate)")
+    if not args.doc:
+        parser.error("at least one --doc FILE is required")
+
+    processor = XQueryProcessor(serialize_step=args.serialize_step)
+    try:
+        for spec in args.doc:
+            path, _, uri = spec.partition("=")
+            text = Path(path).read_text()
+            processor.load(text, uri or Path(path).name)
+
+        compiled = processor.compile(args.query)
+
+        if args.plan:
+            from repro.algebra.dagutils import plan_to_text
+
+            print(plan_to_text(compiled.isolated_plan))
+            return 0
+        if args.sql:
+            print(compiled.joingraph_sql.text)
+            return 0
+        if args.stacked_sql:
+            print(compiled.stacked_sql.text)
+            return 0
+        if args.explain:
+            from repro.planner import JoinGraphPlanner, explain_plan
+            from repro.sql import flatten_query
+
+            planner = JoinGraphPlanner(processor.store.table)
+            plan = planner.plan(flatten_query(compiled.isolated_plan))
+            print(explain_plan(plan))
+            return 0
+
+        start = time.perf_counter()
+        if args.engine == "planner":
+            from repro.planner import JoinGraphPlanner
+            from repro.sql import flatten_query
+
+            planner = JoinGraphPlanner(processor.store.table)
+            items = planner.plan(flatten_query(compiled.isolated_plan)).execute()
+        else:
+            items = processor.execute(compiled, engine=args.engine)
+        elapsed = time.perf_counter() - start
+
+        if args.items:
+            print(" ".join(str(i) for i in items))
+        else:
+            print(processor.serialize(items))
+        if args.time:
+            print(
+                f"-- {len(items)} item(s) in {elapsed * 1000:.2f} ms "
+                f"[{args.engine}]",
+                file=sys.stderr,
+            )
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Loop-lifting XQuery compiler (paper Section 2.3, Fig. 13).
+
+Compiles XQuery Core into DAG-shaped plans of the table algebra: every
+subexpression is represented by a table with schema ``iter|pos|item``,
+one row per item produced per iteration of the innermost enclosing
+``for`` loop.
+"""
+
+from repro.compiler.axes import axis_predicate, node_test_predicate
+from repro.compiler.looplift import LoopLiftingCompiler, compile_core
+
+__all__ = [
+    "LoopLiftingCompiler",
+    "axis_predicate",
+    "compile_core",
+    "node_test_predicate",
+]

@@ -1,0 +1,169 @@
+"""Axis and node-test predicates over the infoset encoding (paper Fig. 3).
+
+The structural relationship of an XPath axis ``α`` maps to a conjunctive
+range predicate ``axis(α)`` over the columns ``pre``, ``size`` and
+``level`` of the stepped-to ``doc`` row and of the context row (whose
+columns carry a suffix, the paper's ``°`` mark).  Kind and name tests
+yield equality predicates over ``kind`` and ``name``.
+
+Two details beyond the paper's excerpt:
+
+* Non-attribute axes must not deliver ATTR rows (attributes are stored
+  inside their owner's ``pre``/``size`` range, Fig. 2) — a ``kind <>
+  ATTR`` conjunct is added whenever the node test does not already pin
+  the kind.
+* ``descendant-or-self`` keeps an ATTR context node itself visible via
+  a disjunct ``(kind <> ATTR OR pre = pre°)``.
+
+The sibling axes are *not* expressible as one conjunctive predicate
+over (context, node) in this encoding; the compiler lowers them to a
+parent-then-child join pair (see ``looplift.py``).
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import (
+    And,
+    Comparison,
+    Expr,
+    Or,
+    Plus,
+    col,
+    lit,
+)
+from repro.errors import CompileError
+from repro.xmltree.model import NodeKind
+
+#: axes directly supported by one conjunctive predicate
+PAIRWISE_AXES = frozenset(
+    (
+        "child",
+        "descendant",
+        "descendant-or-self",
+        "self",
+        "parent",
+        "ancestor",
+        "ancestor-or-self",
+        "following",
+        "preceding",
+        "attribute",
+    )
+)
+
+#: axes lowered to a parent-join + child-join pair
+SIBLING_AXES = frozenset(("following-sibling", "preceding-sibling"))
+
+_KIND_OF_TEST = {
+    "element": int(NodeKind.ELEM),
+    "attribute": int(NodeKind.ATTR),
+    "text": int(NodeKind.TEXT),
+    "comment": int(NodeKind.COMMENT),
+    "processing-instruction": int(NodeKind.PI),
+    "document-node": int(NodeKind.DOC),
+}
+
+_ATTR = int(NodeKind.ATTR)
+
+
+def node_test_predicate(kind_test: str | None, name_test: str | None) -> Expr | None:
+    """``kindt(n) ∧ namet(n)`` of Fig. 3; ``None`` when the test is
+    vacuous (``node()``)."""
+    conjuncts: list[Expr] = []
+    if kind_test is not None and kind_test != "node":
+        if kind_test not in _KIND_OF_TEST:
+            raise CompileError(f"unknown kind test {kind_test!r}")
+        conjuncts.append(Comparison("=", col("kind"), lit(_KIND_OF_TEST[kind_test])))
+    if name_test is not None and name_test != "*":
+        conjuncts.append(Comparison("=", col("name"), lit(name_test)))
+    if not conjuncts:
+        return None
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(conjuncts)
+
+
+def axis_predicate(axis: str, suffix: str, kind_pinned: bool) -> Expr:
+    """``axis(α)`` of Fig. 3 as a predicate between the raw ``doc``
+    columns (the stepped-to node) and the context columns
+    ``pre<suffix>``, ``size<suffix>``, ``level<suffix>``.
+
+    ``kind_pinned`` is True when the accompanying node test already
+    fixes the node kind, making the ``kind <> ATTR`` guard redundant.
+    """
+    if axis not in PAIRWISE_AXES:
+        raise CompileError(
+            f"axis {axis!r} has no pairwise predicate; "
+            "sibling axes are lowered by the compiler"
+        )
+    pre_c = col(f"pre{suffix}")
+    size_c = col(f"size{suffix}")
+    level_c = col(f"level{suffix}")
+    pre, size, level, kind = col("pre"), col("size"), col("level"), col("kind")
+    not_attr = Comparison("!=", kind, lit(_ATTR))
+
+    def guard(parts: list[Expr]) -> Expr:
+        if not kind_pinned:
+            parts = parts + [not_attr]
+        return And(parts) if len(parts) > 1 else parts[0]
+
+    if axis == "child":
+        return guard(
+            [
+                Comparison("<", pre_c, pre),
+                Comparison("<=", pre, Plus(pre_c, size_c)),
+                Comparison("=", Plus(level_c, lit(1)), level),
+            ]
+        )
+    if axis == "descendant":
+        return guard(
+            [
+                Comparison("<", pre_c, pre),
+                Comparison("<=", pre, Plus(pre_c, size_c)),
+            ]
+        )
+    if axis == "descendant-or-self":
+        parts: list[Expr] = [
+            Comparison("<=", pre_c, pre),
+            Comparison("<=", pre, Plus(pre_c, size_c)),
+        ]
+        if not kind_pinned:
+            parts.append(Or([not_attr, Comparison("=", pre, pre_c)]))
+        return And(parts)
+    if axis == "self":
+        return Comparison("=", pre, pre_c)
+    if axis == "parent":
+        return And(
+            [
+                Comparison("<", pre, pre_c),
+                Comparison("<=", pre_c, Plus(pre, size)),
+                Comparison("=", Plus(level, lit(1)), level_c),
+            ]
+        )
+    if axis == "ancestor":
+        return And(
+            [
+                Comparison("<", pre, pre_c),
+                Comparison("<=", pre_c, Plus(pre, size)),
+            ]
+        )
+    if axis == "ancestor-or-self":
+        return And(
+            [
+                Comparison("<=", pre, pre_c),
+                Comparison("<=", pre_c, Plus(pre, size)),
+            ]
+        )
+    if axis == "following":
+        return guard([Comparison("<", Plus(pre_c, size_c), pre)])
+    if axis == "preceding":
+        return guard([Comparison("<", Plus(pre, size), pre_c)])
+    if axis == "attribute":
+        parts = [
+            Comparison("<", pre_c, pre),
+            Comparison("<=", pre, Plus(pre_c, size_c)),
+            Comparison("=", Plus(level_c, lit(1)), level),
+        ]
+        if not kind_pinned:  # the node test usually pins kind = ATTR
+            parts.append(Comparison("=", kind, lit(_ATTR)))
+        return And(parts)
+    raise CompileError(f"unhandled axis {axis!r}")  # pragma: no cover

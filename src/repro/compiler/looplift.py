@@ -1,0 +1,307 @@
+"""The loop-lifting compilation scheme ``Γ; loop ⊢ e ⇒ q`` (Fig. 13).
+
+Every Core subexpression ``e`` compiles into a plan producing a table
+with schema ``iter|pos|item``: row ``[i, p, v]`` states that in
+iteration ``i``, ``e`` returned the node with pre rank ``v`` at
+sequence position ``p``.
+
+The compiler threads
+
+* ``env`` (the paper's Γ): variable name → plan, and
+* ``loop``: a single-column ``iter`` table with one row per iteration
+  of the innermost enclosing for loop,
+
+and emits one *shared* :class:`DocScan` leaf serving all node
+references — the plans are DAGs, exactly as in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.expressions import And, Comparison, Expr, col, lit
+from repro.algebra.ops import (
+    Attach,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+from repro.compiler.axes import (
+    PAIRWISE_AXES,
+    SIBLING_AXES,
+    axis_predicate,
+    node_test_predicate,
+)
+from repro.errors import CompileError
+from repro.infoset.encoding import DocumentStore
+from repro.xmltree.model import NodeKind
+from repro.xquery.core import (
+    CoreComp,
+    CoreDdo,
+    CoreDoc,
+    CoreEmpty,
+    CoreExpr,
+    CoreFor,
+    CoreIf,
+    CoreLet,
+    CoreStep,
+    CoreValComp,
+    CoreVar,
+)
+
+_DOC = int(NodeKind.DOC)
+
+Env = dict[str, Operator]
+
+
+class LoopLiftingCompiler:
+    """Compiles Core expressions to algebra plans over one document store."""
+
+    def __init__(self, store: DocumentStore):
+        self.store = store
+        #: the single shared ``doc`` leaf of the plan DAG
+        self.doc = DocScan(store)
+        self._counter = 0
+
+    # -- helpers ---------------------------------------------------------
+
+    def _fresh(self) -> int:
+        self._counter += 1
+        return self._counter
+
+    def _iter_pos_item(self, plan: Operator) -> Operator:
+        """Project a plan onto the canonical iter|pos|item schema."""
+        return Project.keep(plan, ("iter", "pos", "item"))
+
+    # -- entry points ----------------------------------------------------
+
+    def compile(self, core: CoreExpr) -> Serialize:
+        """Compile a top-level expression: a pseudo loop with a single
+        iteration wraps the query; the plan root serializes item by pos."""
+        loop = LitTable(("iter",), [(1,)])
+        q = self.compile_expr(core, {}, loop)
+        return Serialize(q, item="item", pos="pos")
+
+    def compile_expr(self, core: CoreExpr, env: Env, loop: Operator) -> Operator:
+        if isinstance(core, CoreDoc):
+            return self._rule_doc(core, loop)
+        if isinstance(core, CoreDdo):
+            return self._rule_ddo(core, env, loop)
+        if isinstance(core, CoreStep):
+            return self._rule_step(core, env, loop)
+        if isinstance(core, CoreIf):
+            return self._rule_if(core, env, loop)
+        if isinstance(core, CoreValComp):
+            return self._rule_valcomp(core, env, loop)
+        if isinstance(core, CoreComp):
+            return self._rule_comp(core, env, loop)
+        if isinstance(core, CoreFor):
+            return self._rule_for(core, env, loop)
+        if isinstance(core, CoreLet):
+            return self._rule_let(core, env, loop)
+        if isinstance(core, CoreVar):
+            return self._rule_var(core, env)
+        if isinstance(core, CoreEmpty):
+            return LitTable(("iter", "pos", "item"), [])
+        raise CompileError(f"cannot compile {type(core).__name__}")
+
+    # -- rules (Fig. 13) --------------------------------------------------
+
+    def _rule_doc(self, core: CoreDoc, loop: Operator) -> Operator:
+        """Doc: the DOC row of the given URI, replicated per iteration."""
+        doc_row = Select(
+            self.doc,
+            And(
+                [
+                    Comparison("=", col("kind"), lit(_DOC)),
+                    Comparison("=", col("name"), lit(core.uri)),
+                ]
+            ),
+        )
+        lifted = Cross(doc_row, Attach(loop, "pos", 1))
+        return Project(lifted, [("iter", "iter"), ("pos", "pos"), ("item", "pre")])
+
+    def _rule_ddo(self, core: CoreDdo, env: Env, loop: Operator) -> Operator:
+        """Ddo: duplicate node removal + document order per iteration."""
+        q = self.compile_expr(core.expr, env, loop)
+        dedup = Distinct(Project.keep(q, ("iter", "item")))
+        return RowRank(dedup, "pos", ("item",))
+
+    def _rule_step(self, core: CoreStep, env: Env, loop: Operator) -> Operator:
+        """Step: join-based XPath location step evaluation."""
+        if core.axis in SIBLING_AXES:
+            return self._rule_step_sibling(core, env, loop)
+        if core.axis not in PAIRWISE_AXES:
+            raise CompileError(f"unknown axis {core.axis!r}")
+
+        q = self.compile_expr(core.input, env, loop)
+        n = self._fresh()
+        suffix = str(n)
+        context = Project(
+            Join(self.doc, q, Comparison("=", col("pre"), col("item"))),
+            [
+                ("iter", "iter"),
+                (f"pre{suffix}", "pre"),
+                (f"size{suffix}", "size"),
+                (f"level{suffix}", "level"),
+            ],
+        )
+        tested = self._tested_doc(core.kind_test, core.name_test)
+        kind_pinned = _kind_pinned(core.axis, core.kind_test)
+        joined = Join(tested, context, axis_predicate(core.axis, suffix, kind_pinned))
+        stepped = Project(joined, [("iter", "iter"), ("item", "pre")])
+        return RowRank(stepped, "pos", ("item",))
+
+    def _rule_step_sibling(self, core: CoreStep, env: Env, loop: Operator) -> Operator:
+        """Sibling axes, lowered to parent-join + child-join:
+        ``w ∈ v/following-sibling::n`` iff ``w ∈ parent(v)/child::n``
+        and ``w.pre > v.pre`` (``<`` for preceding-sibling)."""
+        q = self.compile_expr(core.input, env, loop)
+        na, nb = str(self._fresh()), str(self._fresh())
+        context = Project(
+            Join(self.doc, q, Comparison("=", col("pre"), col("item"))),
+            [
+                ("iter", "iter"),
+                (f"pre{na}", "pre"),
+                (f"size{na}", "size"),
+                (f"level{na}", "level"),
+            ],
+        )
+        parent = Join(self.doc, context, axis_predicate("parent", na, False))
+        parent_ctx = Project(
+            parent,
+            [
+                ("iter", "iter"),
+                (f"pre{nb}", "pre"),
+                (f"size{nb}", "size"),
+                (f"level{nb}", "level"),
+                (f"pre{na}", f"pre{na}"),
+            ],
+        )
+        tested = self._tested_doc(core.kind_test, core.name_test)
+        kind_pinned = _kind_pinned(core.axis, core.kind_test)
+        direction = ">" if core.axis == "following-sibling" else "<"
+        pred = And(
+            [
+                axis_predicate("child", nb, kind_pinned),
+                Comparison(direction, col("pre"), col(f"pre{na}")),
+            ]
+        )
+        joined = Join(tested, parent_ctx, pred)
+        stepped = Project(joined, [("iter", "iter"), ("item", "pre")])
+        return RowRank(stepped, "pos", ("item",))
+
+    def _tested_doc(self, kind_test: str | None, name_test: str | None) -> Operator:
+        """σ_{kindt(n) ∧ namet(n)}(doc) — or the bare doc leaf for node()."""
+        pred = node_test_predicate(kind_test, name_test)
+        if pred is None:
+            return self.doc
+        return Select(self.doc, pred)
+
+    def _rule_if(self, core: CoreIf, env: Env, loop: Operator) -> Operator:
+        """If: restrict the loop to iterations where the condition's
+        effective boolean value is true; compile the then-branch there."""
+        q_if = self.compile_expr(core.cond, env, loop)
+        loop_if = Distinct(Project(q_if, [("iter1", "iter")]))
+        new_env: Env = {
+            name: self._iter_pos_item(
+                Join(loop_if, plan, Comparison("=", col("iter1"), col("iter")))
+            )
+            for name, plan in env.items()
+        }
+        new_loop = Project(loop_if, [("iter", "iter1")])
+        return self.compile_expr(core.then, new_env, new_loop)
+
+    def _rule_valcomp(self, core: CoreValComp, env: Env, loop: Operator) -> Operator:
+        """ValComp: existential comparison of a node sequence against a
+        literal.  Numeric literals use the typed ``data`` column, string
+        literals the untyped ``value`` column."""
+        q = self.compile_expr(core.expr, env, loop)
+        fetched = Join(self.doc, q, Comparison("=", col("pre"), col("item")))
+        if isinstance(core.value, (int, float)):
+            pred: Expr = Comparison(core.op, col("data"), lit(float(core.value)))
+        else:
+            pred = Comparison(core.op, col("value"), lit(core.value))
+        true_iters = Distinct(Project.keep(Select(fetched, pred), ("iter",)))
+        return Attach(Attach(true_iters, "pos", 1), "item", 1)
+
+    def _rule_comp(self, core: CoreComp, env: Env, loop: Operator) -> Operator:
+        """Comp: existential general comparison between two sequences,
+        on the untyped string values."""
+        q1 = self.compile_expr(core.left, env, loop)
+        q2 = self.compile_expr(core.right, env, loop)
+        n = self._fresh()
+        left = Join(self.doc, q1, Comparison("=", col("pre"), col("item")))
+        right = Project(
+            Join(self.doc, q2, Comparison("=", col("pre"), col("item"))),
+            [(f"iter{n}", "iter"), (f"value{n}", "value")],
+        )
+        both = Join(left, right, Comparison("=", col("iter"), col(f"iter{n}")))
+        matched = Select(both, Comparison(core.op, col("value"), col(f"value{n}")))
+        true_iters = Distinct(Project.keep(matched, ("iter",)))
+        return Attach(Attach(true_iters, "pos", 1), "item", 1)
+
+    def _rule_for(self, core: CoreFor, env: Env, loop: Operator) -> Operator:
+        """For: the centerpiece — map each binding of ``$x`` to a fresh
+        inner iteration, compile the body there, and rank the results
+        back into the outer iterations' sequence order."""
+        q_in = self.compile_expr(core.sequence, env, loop)
+        n = self._fresh()
+        inner, outer, sort, pos1 = (
+            f"inner{n}",
+            f"outer{n}",
+            f"sort{n}",
+            f"pos{n}",
+        )
+        q_x = RowId(q_in, inner)
+        map_plan = Project(q_x, [(outer, "iter"), (inner, inner), (sort, "pos")])
+
+        new_env: Env = {
+            name: self._iter_pos_item(
+                Project(
+                    Join(map_plan, plan, Comparison("=", col(outer), col("iter"))),
+                    [("iter", inner), ("pos", "pos"), ("item", "item")],
+                )
+            )
+            for name, plan in env.items()
+        }
+        new_env[core.var] = Attach(
+            Project(q_x, [("iter", inner), ("item", "item")]), "pos", 1
+        )
+        new_loop = Project(map_plan, [("iter", inner)])
+
+        q = self.compile_expr(core.ret, new_env, new_loop)
+        joined = Join(q, map_plan, Comparison("=", col("iter"), col(inner)))
+        ranked = RowRank(joined, pos1, (sort, "pos"))
+        return Project(ranked, [("iter", outer), ("pos", pos1), ("item", "item")])
+
+    def _rule_let(self, core: CoreLet, env: Env, loop: Operator) -> Operator:
+        q_bind = self.compile_expr(core.value, env, loop)
+        new_env = dict(env)
+        new_env[core.var] = q_bind
+        return self.compile_expr(core.ret, new_env, loop)
+
+    def _rule_var(self, core: CoreVar, env: Env) -> Operator:
+        try:
+            return env[core.name]
+        except KeyError:
+            raise CompileError(f"unbound variable ${core.name}") from None
+
+
+def _kind_pinned(axis: str, kind_test: str | None) -> bool:
+    """True when the node test already fixes the node kind in a way
+    consistent with the axis' ATTR in/exclusion."""
+    if kind_test in (None, "node"):
+        return False
+    return (axis == "attribute") == (kind_test == "attribute")
+
+
+def compile_core(core: CoreExpr, store: DocumentStore) -> Serialize:
+    """Compile a normalized Core expression against a document store."""
+    return LoopLiftingCompiler(store).compile(core)

@@ -1,0 +1,63 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the failing subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XMLParseError(ReproError):
+    """Raised when XML text is not well-formed.
+
+    Carries the (1-based) ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+        self.line = line
+        self.column = column
+
+
+class XQuerySyntaxError(ReproError):
+    """Raised when an XQuery expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class XQueryTypeError(ReproError):
+    """Raised when an XQuery expression is outside the supported fragment
+    or violates the static typing rules of the workhorse dialect."""
+
+
+class CompileError(ReproError):
+    """Raised when loop-lifting compilation fails."""
+
+
+class RewriteError(ReproError):
+    """Raised when join graph isolation encounters an inconsistent plan."""
+
+
+class CodegenError(ReproError):
+    """Raised when an isolated plan cannot be rendered as a single
+    SELECT-DISTINCT-FROM-WHERE-ORDER BY block."""
+
+
+class PlanError(ReproError):
+    """Raised by the relational optimizer / physical engine."""
+
+
+class DocumentError(ReproError):
+    """Raised when a referenced document URI is unknown to the store."""

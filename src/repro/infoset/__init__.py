@@ -1,0 +1,40 @@
+"""Tabular XML infoset encoding (paper Section 2.1, Fig. 2).
+
+For each node ``v`` of an XML document, a row of the ``doc`` table stores
+
+====== =======================================================
+column meaning
+====== =======================================================
+pre    document order rank (the row key)
+size   number of nodes in the subtree below ``v``
+level  length of the path from ``v`` to its document root
+kind   node kind (DOC, ELEM, ATTR, TEXT, COMMENT, PI)
+name   tag / attribute name; the document URI for DOC rows
+value  untyped string value, for nodes with ``size <= 1``
+data   result of casting ``value`` to xs:decimal, if possible
+====== =======================================================
+
+One :class:`DocTable` may host several trees (multiple DOC rows,
+distinguished by URI in ``name``), exactly as described in the paper.
+"""
+
+from repro.infoset.encoding import DocTable, DocumentStore, Row, shred
+from repro.infoset.navigation import AXES, axis_nodes
+from repro.infoset.serialize import serialize_nodes, serialize_sequence
+from repro.infoset.staircase import STAIRCASE_AXES, prune_contexts, staircase_join
+from repro.infoset.validate import validate_encoding
+
+__all__ = [
+    "AXES",
+    "STAIRCASE_AXES",
+    "DocTable",
+    "DocumentStore",
+    "Row",
+    "axis_nodes",
+    "serialize_nodes",
+    "prune_contexts",
+    "serialize_sequence",
+    "shred",
+    "staircase_join",
+    "validate_encoding",
+]

@@ -1,0 +1,271 @@
+"""The ``doc`` table: shredding XML trees into pre/size/level rows."""
+
+from __future__ import annotations
+
+from typing import Iterable, NamedTuple
+
+import numpy as np
+
+from repro.errors import DocumentError
+from repro.xmltree.model import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    NodeKind,
+    PINode,
+    TextNode,
+    XMLNode,
+)
+from repro.xmltree.parser import parse_document
+
+
+class Row(NamedTuple):
+    """One row of table ``doc`` (Fig. 2)."""
+
+    pre: int
+    size: int
+    level: int
+    kind: int
+    name: str | None
+    value: str | None
+    data: float | None
+
+
+def _decimal_cast(value: str) -> float | None:
+    """Cast an untyped value to xs:decimal, or ``None`` if not castable."""
+    try:
+        return float(value.strip())
+    except (ValueError, AttributeError):
+        return None
+
+
+class DocTable:
+    """Column-oriented, append-only encoding table for XML infosets.
+
+    The table may host several trees; each tree contributes one DOC row
+    whose ``name`` column carries the document URI.  ``pre`` ranks are
+    global over the whole table so that subtree ranges of distinct
+    documents never overlap.
+    """
+
+    def __init__(self) -> None:
+        self.size: list[int] = []
+        self.level: list[int] = []
+        self.kind: list[int] = []
+        self.name: list[str | None] = []
+        self.value: list[str | None] = []
+        self.data: list[float | None] = []
+        self._doc_roots: dict[str, int] = {}
+        self._frozen: _FrozenColumns | None = None
+
+    # -- population --------------------------------------------------------
+
+    def add_tree(self, document: DocumentNode) -> int:
+        """Shred a parsed document into the table.
+
+        Returns the ``pre`` rank of the new DOC row.
+
+        Raises
+        ------
+        DocumentError
+            If a document with the same URI is already hosted.
+        """
+        uri = document.uri
+        if uri in self._doc_roots:
+            raise DocumentError(f"document {uri!r} already loaded")
+        root_pre = len(self.size)
+        self._shred(document)
+        self._doc_roots[uri] = root_pre
+        self._frozen = None
+        return root_pre
+
+    def add_document(self, text: str, uri: str) -> int:
+        """Parse and shred an XML document given as text."""
+        return self.add_tree(parse_document(text, uri=uri))
+
+    def _shred(self, node: XMLNode, level: int = 0) -> int:
+        """Emit rows for ``node``'s subtree; returns the subtree size
+        *including* ``node`` itself."""
+        pre = len(self.size)
+        self.size.append(0)  # patched below
+        self.level.append(level)
+        if isinstance(node, DocumentNode):
+            self.kind.append(int(NodeKind.DOC))
+            self.name.append(node.uri)
+            self.value.append(None)
+            self.data.append(None)
+        elif isinstance(node, ElementNode):
+            self.kind.append(int(NodeKind.ELEM))
+            self.name.append(node.tag)
+            self.value.append(None)  # patched below if size <= 1
+            self.data.append(None)
+        elif isinstance(node, AttributeNode):
+            self.kind.append(int(NodeKind.ATTR))
+            self.name.append(node.name)
+            self.value.append(node.value)
+            self.data.append(_decimal_cast(node.value))
+        elif isinstance(node, TextNode):
+            self.kind.append(int(NodeKind.TEXT))
+            self.name.append(None)
+            self.value.append(node.text)
+            self.data.append(_decimal_cast(node.text))
+        elif isinstance(node, CommentNode):
+            self.kind.append(int(NodeKind.COMMENT))
+            self.name.append(None)
+            self.value.append(node.text)
+            self.data.append(None)
+        elif isinstance(node, PINode):
+            self.kind.append(int(NodeKind.PI))
+            self.name.append(node.target)
+            self.value.append(node.text)
+            self.data.append(None)
+        else:  # pragma: no cover - exhaustive over the model
+            raise TypeError(f"cannot shred {type(node).__name__}")
+
+        subtree = 1
+        if isinstance(node, ElementNode):
+            for attr in node.attributes:
+                subtree += self._shred(attr, level + 1)
+        for child in node.children:
+            subtree += self._shred(child, level + 1)
+        self.size[pre] = subtree - 1
+
+        if isinstance(node, ElementNode) and self.size[pre] <= 1:
+            text = node.string_value()
+            self.value[pre] = text
+            self.data[pre] = _decimal_cast(text)
+        return subtree
+
+    # -- access ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.size)
+
+    def row(self, pre: int) -> Row:
+        """The full row for a given ``pre`` rank."""
+        return Row(
+            pre,
+            self.size[pre],
+            self.level[pre],
+            self.kind[pre],
+            self.name[pre],
+            self.value[pre],
+            self.data[pre],
+        )
+
+    def rows(self) -> Iterable[Row]:
+        """All rows in ``pre`` order (a serialization-order table scan)."""
+        for pre in range(len(self)):
+            yield self.row(pre)
+
+    @property
+    def doc_uris(self) -> list[str]:
+        """URIs of all hosted documents."""
+        return list(self._doc_roots)
+
+    def root_of(self, uri: str) -> int:
+        """``pre`` rank of the DOC row for the given URI."""
+        try:
+            return self._doc_roots[uri]
+        except KeyError:
+            raise DocumentError(f"unknown document {uri!r}") from None
+
+    def document_of(self, pre: int) -> int:
+        """``pre`` rank of the DOC row whose tree contains ``pre``."""
+        best = -1
+        for root in self._doc_roots.values():
+            if root <= pre <= root + self.size[root] and root > best:
+                best = root
+        if best < 0:
+            raise DocumentError(f"pre rank {pre} not in any document")
+        return best
+
+    def string_value(self, pre: int) -> str:
+        """XPath string value of the node at ``pre``.
+
+        Served from the ``value`` column where materialized
+        (``size <= 1``); computed by a subtree scan otherwise.
+        """
+        if self.value[pre] is not None and self.kind[pre] != int(NodeKind.COMMENT):
+            if self.size[pre] <= 1:
+                return self.value[pre]
+        end = pre + self.size[pre]
+        text_kind = int(NodeKind.TEXT)
+        return "".join(
+            self.value[p] or ""
+            for p in range(pre, end + 1)
+            if self.kind[p] == text_kind
+        )
+
+    # -- frozen numpy views (used by the planner and index layer) ----------
+
+    def columns(self) -> "_FrozenColumns":
+        """Immutable numpy views of the numeric columns plus the string
+        columns as Python lists.  Cached until the table is mutated."""
+        if self._frozen is None:
+            self._frozen = _FrozenColumns(
+                pre=np.arange(len(self.size), dtype=np.int64),
+                size=np.asarray(self.size, dtype=np.int64),
+                level=np.asarray(self.level, dtype=np.int64),
+                kind=np.asarray(self.kind, dtype=np.int64),
+                name=list(self.name),
+                value=list(self.value),
+                data=np.asarray(
+                    [float("nan") if d is None else d for d in self.data],
+                    dtype=np.float64,
+                ),
+            )
+        return self._frozen
+
+
+class _FrozenColumns(NamedTuple):
+    pre: np.ndarray
+    size: np.ndarray
+    level: np.ndarray
+    kind: np.ndarray
+    name: list[str | None]
+    value: list[str | None]
+    data: np.ndarray
+
+
+def shred(text: str, uri: str = "doc.xml") -> DocTable:
+    """Convenience: shred a single XML document into a fresh table."""
+    table = DocTable()
+    table.add_document(text, uri)
+    return table
+
+
+def node_pre_map(document, root_pre: int = 0) -> dict[int, int]:
+    """Map ``id(node)`` of every tree node to its ``pre`` rank in the
+    encoding, given the DOC row's rank.  The shredder and
+    ``iter_subtree`` emit nodes in the same order (node, attributes,
+    children), so enumeration order *is* pre order — used to compare
+    native (tree-based) engine results against relational ones."""
+    return {
+        id(node): root_pre + offset
+        for offset, node in enumerate(document.iter_subtree())
+    }
+
+
+class DocumentStore:
+    """A named collection of XML documents sharing one :class:`DocTable`.
+
+    This is the object the query pipeline runs against: ``doc(uri)``
+    references resolve against the store, and all documents share one
+    encoding table — the single ``doc`` leaf of the algebra plans.
+    """
+
+    def __init__(self) -> None:
+        self.table = DocTable()
+
+    def load(self, text: str, uri: str) -> int:
+        """Parse and add a document; returns the DOC row's pre rank."""
+        return self.table.add_document(text, uri)
+
+    def load_tree(self, document: DocumentNode) -> int:
+        """Add an already-parsed document tree."""
+        return self.table.add_tree(document)
+
+    def __contains__(self, uri: str) -> bool:
+        return uri in self.table.doc_uris

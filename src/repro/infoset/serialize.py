@@ -1,0 +1,96 @@
+"""Serialization of result node sequences from the tabular encoding.
+
+The plan root operator of the algebra delivers rows that encode the
+resulting XML node sequence as ``pre`` ranks; these helpers turn such a
+sequence back into XML text by scanning each node's subtree range in
+``pre`` order — the "table scan in pre order" of Section 2.1.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.infoset.encoding import DocTable
+from repro.xmltree.model import NodeKind
+from repro.xmltree.serializer import escape_attribute, escape_text
+
+_DOC = int(NodeKind.DOC)
+_ELEM = int(NodeKind.ELEM)
+_ATTR = int(NodeKind.ATTR)
+_TEXT = int(NodeKind.TEXT)
+_COMMENT = int(NodeKind.COMMENT)
+_PI = int(NodeKind.PI)
+
+
+def serialize_nodes(table: DocTable, pre: int) -> str:
+    """Serialize the subtree rooted at ``pre`` to XML text."""
+    kind = table.kind[pre]
+    if kind == _TEXT:
+        return escape_text(table.value[pre] or "")
+    if kind == _ATTR:
+        return f'{table.name[pre]}="{escape_attribute(table.value[pre] or "")}"'
+    if kind == _COMMENT:
+        return f"<!--{table.value[pre]}-->"
+    if kind == _PI:
+        return f"<?{table.name[pre]} {table.value[pre]}?>"
+    if kind == _DOC:
+        end = pre + table.size[pre]
+        parts: list[str] = []
+        p = pre + 1
+        while p <= end:
+            parts.append(serialize_nodes(table, p))
+            p += table.size[p] + 1
+        return "".join(parts)
+
+    # element: single forward scan over the subtree range, closing tags
+    # driven by the level column.
+    return _serialize_element(table, pre)
+
+
+def _serialize_element(table: DocTable, root: int) -> str:
+    parts: list[str] = []
+    end = root + table.size[root]
+    open_stack: list[int] = []  # pre ranks of currently open elements
+    p = root
+    while p <= end:
+        level = table.level[p]
+        while open_stack and table.level[open_stack[-1]] >= level:
+            closed = open_stack.pop()
+            parts.append(f"</{table.name[closed]}>")
+        kind = table.kind[p]
+        if kind == _ELEM:
+            # collect the element's attribute rows (they immediately follow)
+            attrs: list[str] = []
+            q = p + 1
+            while q <= end and table.kind[q] == _ATTR and table.level[q] == level + 1:
+                attrs.append(
+                    f' {table.name[q]}="{escape_attribute(table.value[q] or "")}"'
+                )
+                q += 1
+            if table.size[p] == q - p - 1:  # no non-attribute content
+                parts.append(f"<{table.name[p]}{''.join(attrs)}/>")
+            else:
+                parts.append(f"<{table.name[p]}{''.join(attrs)}>")
+                open_stack.append(p)
+            p = q
+            continue
+        if kind == _TEXT:
+            parts.append(escape_text(table.value[p] or ""))
+        elif kind == _COMMENT:
+            parts.append(f"<!--{table.value[p]}-->")
+        elif kind == _PI:
+            parts.append(f"<?{table.name[p]} {table.value[p]}?>")
+        p += 1
+    while open_stack:
+        closed = open_stack.pop()
+        parts.append(f"</{table.name[closed]}>")
+    return "".join(parts)
+
+
+def serialize_sequence(table: DocTable, pres: Iterable[int]) -> str:
+    """Serialize a node sequence (e.g. a query result) to XML text.
+
+    Nodes are emitted in the order given; adjacent items are not
+    separated (standard XML serialization of a node sequence).
+    """
+    return "".join(serialize_nodes(table, pre) for pre in pres)

@@ -1,0 +1,168 @@
+"""Loop-lifted staircase join (paper Section 2.4 / [5], [13]).
+
+MonetDB/XQuery replaces the Step rule's ``⋈_axis(α)`` by a structural
+join operator that, after join graph isolation, becomes a physical
+*loop-lifted staircase join*: for each loop iteration's context node
+set, exploit the pre/size encoding to
+
+* **prune** context nodes whose axis result is covered by another
+  context of the same iteration (a context inside another's subtree
+  contributes no new descendants; only the earliest subtree end
+  matters for ``following``; only the latest ``pre`` for
+  ``preceding``; nested contexts share their outer ancestors), and
+* **scan** the document once per iteration along the pruned
+  "staircase" of ranges, emitting each result node exactly once.
+
+This yields the per-iteration duplicate-free, document-ordered result
+that ``fs:ddo(step)`` demands — without materializing per-context
+intermediates.  The module is a faithful substrate reproduction; the
+main pipeline uses the relational join formulation, and
+``benchmarks/bench_staircase.py`` compares the two.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Iterable, Sequence
+
+from repro.infoset.encoding import DocTable
+from repro.infoset.navigation import axis_nodes
+from repro.xmltree.model import NodeKind
+
+_ATTR = int(NodeKind.ATTR)
+
+#: axes with a staircase evaluation strategy
+STAIRCASE_AXES = ("descendant", "ancestor", "following", "preceding")
+
+
+def prune_contexts(table: DocTable, contexts: Sequence[int], axis: str) -> list[int]:
+    """The pruned context set for one iteration (paper [13]'s pruning):
+    the smallest subset producing the same axis result union."""
+    if not contexts:
+        return []
+    ordered = sorted(set(contexts))
+    if axis == "descendant":
+        kept: list[int] = []
+        horizon = -1  # end of the last kept subtree
+        for pre in ordered:
+            if pre + table.size[pre] <= horizon:
+                continue  # fully covered by a previous context
+            kept.append(pre)
+            horizon = max(horizon, pre + table.size[pre])
+        return kept
+    if axis == "following":
+        # following(v) = (pre_v + size_v, end]; the earliest subtree
+        # end dominates every other context
+        best = min(ordered, key=lambda p: p + table.size[p])
+        return [best]
+    if axis == "preceding":
+        # preceding(v) = nodes whose subtree ends before pre_v; the
+        # largest pre dominates
+        return [max(ordered)]
+    if axis == "ancestor":
+        # a context inside another context's subtree shares all
+        # ancestors above the outer one; keeping the outermost chain
+        # representatives is handled during the merge scan instead
+        return ordered
+    raise ValueError(f"axis {axis!r} has no staircase strategy")
+
+
+def staircase_join(
+    table: DocTable,
+    contexts_by_iter: dict[int, Sequence[int]],
+    axis: str,
+) -> dict[int, list[int]]:
+    """Evaluate one location step (no node test) for every iteration's
+    context set: duplicate-free, document-ordered results per iteration.
+    """
+    if axis not in STAIRCASE_AXES:
+        raise ValueError(f"axis {axis!r} has no staircase strategy")
+    out: dict[int, list[int]] = {}
+    for iteration, contexts in contexts_by_iter.items():
+        pruned = prune_contexts(table, contexts, axis)
+        if not pruned:
+            out[iteration] = []
+        elif axis == "descendant":
+            out[iteration] = _scan_descendant(table, pruned)
+        elif axis == "following":
+            out[iteration] = _scan_following(table, pruned)
+        elif axis == "preceding":
+            out[iteration] = _scan_preceding(table, pruned)
+        else:
+            out[iteration] = _scan_ancestor(table, pruned)
+    return out
+
+
+def _scan_descendant(table: DocTable, pruned: list[int]) -> list[int]:
+    """One forward scan over the merged staircase of subtree ranges."""
+    result: list[int] = []
+    horizon = -1
+    for context in pruned:
+        start = max(context + 1, horizon + 1)
+        end = context + table.size[context]
+        for pre in range(start, end + 1):
+            if table.kind[pre] != _ATTR:
+                result.append(pre)
+        horizon = max(horizon, end)
+    return result
+
+
+def _scan_following(table: DocTable, pruned: list[int]) -> list[int]:
+    context = pruned[0]
+    start = context + table.size[context] + 1
+    return [p for p in range(start, len(table)) if table.kind[p] != _ATTR]
+
+
+def _scan_preceding(table: DocTable, pruned: list[int]) -> list[int]:
+    context = pruned[0]
+    return [
+        p
+        for p in range(context)
+        if p + table.size[p] < context and table.kind[p] != _ATTR
+    ]
+
+
+def _scan_ancestor(table: DocTable, pruned: list[int]) -> list[int]:
+    """Merge the ancestor chains of all contexts; shared upper chains
+    are walked once (the visited set is the staircase's memory)."""
+    seen: set[int] = set()
+    ordered: list[int] = []
+    for context in pruned:
+        current: int | None = context
+        chain: list[int] = []
+        while True:
+            current = _parent(table, current)
+            if current is None or current in seen:
+                break
+            seen.add(current)
+            chain.append(current)
+        for pre in chain:
+            insort(ordered, pre)
+    return ordered
+
+
+def _parent(table: DocTable, pre: int) -> int | None:
+    target = table.level[pre] - 1
+    p = pre - 1
+    while p >= 0:
+        if table.level[p] == target and p + table.size[p] >= pre:
+            return p
+        p -= 1
+    return None
+
+
+def naive_union(
+    table: DocTable,
+    contexts_by_iter: dict[int, Sequence[int]],
+    axis: str,
+) -> dict[int, list[int]]:
+    """Reference implementation: per-context navigation, union + sort —
+    what the staircase join avoids.  Used in tests and as the baseline
+    in ``benchmarks/bench_staircase.py``."""
+    out: dict[int, list[int]] = {}
+    for iteration, contexts in contexts_by_iter.items():
+        merged: set[int] = set()
+        for context in contexts:
+            merged.update(axis_nodes(table, context, axis))
+        out[iteration] = sorted(merged)
+    return out

@@ -1,0 +1,75 @@
+"""Encoding validator: structural invariants of a ``doc`` table.
+
+Useful when constructing tables by hand or ingesting foreign encodings
+(any node-based scheme "fits the bill", paper Section 2.1 — provided
+it satisfies these pre/size/level laws).
+"""
+
+from __future__ import annotations
+
+from repro.errors import DocumentError
+from repro.infoset.encoding import DocTable
+from repro.xmltree.model import NodeKind
+
+_DOC = int(NodeKind.DOC)
+_ELEM = int(NodeKind.ELEM)
+_ATTR = int(NodeKind.ATTR)
+
+
+def validate_encoding(table: DocTable) -> None:
+    """Check the pre/size/level invariants; raises
+    :class:`DocumentError` on the first violation.
+
+    * every subtree range lies inside the table and nests properly;
+    * levels increase by exactly one along containment edges and reset
+      to zero at DOC rows;
+    * DOC rows appear only at level 0 and partition the table;
+    * ATTR rows are leaves placed directly after their owner element;
+    * ``value``/``data`` are materialized only for ``size <= 1`` rows.
+    """
+    n = len(table)
+    expected_next_root = 0
+    for pre in range(n):
+        size = table.size[pre]
+        level = table.level[pre]
+        kind = table.kind[pre]
+        end = pre + size
+        if size < 0 or end >= n and end != n - 1:
+            if end >= n:
+                raise DocumentError(f"row {pre}: subtree exceeds the table")
+        if kind == _DOC:
+            if level != 0:
+                raise DocumentError(f"DOC row {pre} not at level 0")
+            if pre != expected_next_root:
+                raise DocumentError(
+                    f"DOC row {pre} does not start where the previous tree ended"
+                )
+            expected_next_root = end + 1
+        if pre + 1 <= end:
+            child_level = table.level[pre + 1]
+            if child_level != level + 1:
+                raise DocumentError(
+                    f"row {pre + 1}: level {child_level}, expected {level + 1}"
+                )
+        # nesting: every row inside the range closes inside it
+        for inner in range(pre + 1, end + 1):
+            if inner + table.size[inner] > end:
+                raise DocumentError(
+                    f"row {inner}: subtree leaks out of ancestor {pre}"
+                )
+        if kind == _ATTR:
+            if size != 0:
+                raise DocumentError(f"ATTR row {pre} has a subtree")
+            owner = pre - 1
+            while owner >= 0 and table.kind[owner] == _ATTR:
+                owner -= 1
+            if owner < 0 or table.kind[owner] != _ELEM or table.level[owner] != level - 1:
+                raise DocumentError(
+                    f"ATTR row {pre} is not placed directly after its owner"
+                )
+        if size > 1 and table.value[pre] is not None and kind == _ELEM:
+            raise DocumentError(
+                f"row {pre}: value materialized despite size > 1"
+            )
+    if expected_next_root != n and n:
+        raise DocumentError("trailing rows outside any document")

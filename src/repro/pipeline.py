@@ -1,0 +1,217 @@
+"""End-to-end XQuery processing pipeline — the library's public API.
+
+:class:`XQueryProcessor` wires the stages together::
+
+    parse -> normalize (XQuery Core) -> loop-lifting compile
+          -> join graph isolation -> SQL generation -> execution
+
+and offers every intermediate as an inspectable artifact.  Four
+execution engines are available (all differential-consistent):
+
+``interpreter``           the algebra reference interpreter on the
+                          stacked (un-isolated) plan — ground truth;
+``isolated-interpreter``  the same interpreter on the isolated plan;
+``stacked-sql``           the CTE chain on SQLite (the paper's
+                          pre-isolation DB2 baseline);
+``joingraph-sql``         the single SELECT-DISTINCT-FROM-WHERE-ORDER
+                          BY block on SQLite (the paper's contribution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal
+
+from repro.algebra.interpreter import run_plan
+from repro.algebra.ops import Serialize
+from repro.compiler.looplift import LoopLiftingCompiler
+from repro.errors import XQueryTypeError
+from repro.infoset.encoding import DocumentStore
+from repro.infoset.serialize import serialize_sequence
+from repro.rewrite.engine import IsolationEngine, IsolationStats
+from repro.sql.backend import SQLiteBackend
+from repro.sql.codegen import SQLQuery, generate_join_graph_sql
+from repro.sql.stacked import generate_stacked_sql
+from repro.xquery import ast
+from repro.xquery.core import CoreDdo, CoreExpr, CoreFor, CoreStep, CoreVar
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+
+Engine = Literal[
+    "interpreter", "isolated-interpreter", "stacked-sql", "joingraph-sql"
+]
+
+
+@dataclass
+class CompiledQuery:
+    """All artifacts of one query's journey through the pipeline."""
+
+    source: str
+    core: CoreExpr
+    stacked_plan: Serialize
+    isolated_plan: Serialize
+    isolation_stats: IsolationStats
+    _stacked_sql: SQLQuery | None = field(default=None, repr=False)
+    _joingraph_sql: SQLQuery | None = field(default=None, repr=False)
+
+    @property
+    def stacked_sql(self) -> SQLQuery:
+        if self._stacked_sql is None:
+            self._stacked_sql = generate_stacked_sql(self.stacked_plan)
+        return self._stacked_sql
+
+    @property
+    def joingraph_sql(self) -> SQLQuery:
+        if self._joingraph_sql is None:
+            self._joingraph_sql = generate_join_graph_sql(self.isolated_plan)
+        return self._joingraph_sql
+
+
+class XQueryProcessor:
+    """A relational XQuery processor over a document store.
+
+    Parameters
+    ----------
+    store:
+        Shared document store; a fresh one is created when omitted.
+    default_doc:
+        URI that absolute paths (``/site/...``) resolve against.
+    serialize_step:
+        Make the serialization point explicit by appending
+        ``/descendant-or-self::node()`` to the query result, as the
+        paper does for its experiments (Section 4): the result then
+        contains every node needed to serialize the answer subtrees.
+    disabled_rules:
+        Isolation rules to switch off (ablation experiments).
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        default_doc: str | None = None,
+        serialize_step: bool = False,
+        disabled_rules: set[str] | None = None,
+    ):
+        self.store = store if store is not None else DocumentStore()
+        self.default_doc = default_doc
+        self.serialize_step = serialize_step
+        self._engine = IsolationEngine(disabled=disabled_rules)
+        self._backend: SQLiteBackend | None = None
+        self._backend_rows = -1
+
+    # -- documents -------------------------------------------------------
+
+    def load(self, xml_text: str, uri: str) -> None:
+        """Parse and shred a document into the shared store."""
+        self.store.load(xml_text, uri)
+        if self.default_doc is None:
+            self.default_doc = uri
+
+    @property
+    def backend(self) -> SQLiteBackend:
+        """The SQLite back-end, (re)loaded lazily when documents change."""
+        if self._backend is None or self._backend_rows != len(self.store.table):
+            if self._backend is not None:
+                self._backend.close()
+            self._backend = SQLiteBackend(self.store.table)
+            self._backend_rows = len(self.store.table)
+        return self._backend
+
+    # -- compilation -------------------------------------------------------
+
+    def compile(self, query: str) -> CompiledQuery:
+        """Run the full front-end and isolation on ``query``."""
+        surface = parse_xquery(query)
+        core = normalize(surface, default_doc=self.default_doc)
+        if self.serialize_step:
+            core = _with_serialize_step(core)
+        compiler = LoopLiftingCompiler(self.store)
+        stacked = compiler.compile(core)
+        # isolation mutates the DAG: compile a second, independent copy
+        isolated_input = LoopLiftingCompiler(self.store).compile(core)
+        isolated, stats = self._engine.isolate(isolated_input)
+        return CompiledQuery(
+            source=query,
+            core=core,
+            stacked_plan=stacked,
+            isolated_plan=isolated,
+            isolation_stats=stats,
+        )
+
+    def compile_tuple(self, query: str) -> list[CompiledQuery]:
+        """Compile a FLWOR whose return clause is a tuple
+        ``(e1, e2, …)`` — the Table 8 Q6 ``return-tuple`` form — into
+        one query per tuple component sharing the binding clauses."""
+        surface = parse_xquery(query)
+        if not isinstance(surface, ast.FLWOR) or not isinstance(
+            surface.ret, ast.SequenceExpr
+        ):
+            raise XQueryTypeError(
+                "compile_tuple expects a FLWOR returning (e1, e2, ...)"
+            )
+        compiled = []
+        for item in surface.ret.items:
+            component = ast.FLWOR(surface.clauses, surface.where, item)
+            core = normalize(component, default_doc=self.default_doc)
+            if self.serialize_step:
+                core = _with_serialize_step(core)
+            stacked = LoopLiftingCompiler(self.store).compile(core)
+            isolated, stats = self._engine.isolate(
+                LoopLiftingCompiler(self.store).compile(core)
+            )
+            compiled.append(
+                CompiledQuery(
+                    source=str(component),
+                    core=core,
+                    stacked_plan=stacked,
+                    isolated_plan=isolated,
+                    isolation_stats=stats,
+                )
+            )
+        return compiled
+
+    # -- execution ---------------------------------------------------------
+
+    def execute(self, query: str | CompiledQuery, engine: Engine = "joingraph-sql"):
+        """Evaluate a query; returns the item sequence (pre ranks for
+        node results, ``1`` markers for boolean results)."""
+        compiled = query if isinstance(query, CompiledQuery) else self.compile(query)
+        if engine == "interpreter":
+            return run_plan(compiled.stacked_plan)
+        if engine == "isolated-interpreter":
+            return run_plan(compiled.isolated_plan)
+        if engine == "stacked-sql":
+            return self.backend.run(compiled.stacked_sql)
+        if engine == "joingraph-sql":
+            return self.backend.run(compiled.joingraph_sql)
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def serialize(self, items) -> str:
+        """Serialize a node-sequence result back to XML text."""
+        return serialize_sequence(self.store.table, items)
+
+    def run(self, query: str, engine: Engine = "joingraph-sql") -> str:
+        """Execute and serialize in one step."""
+        return self.serialize(self.execute(query, engine=engine))
+
+    def explain(self, query: str | CompiledQuery, mode: str = "statistics") -> str:
+        """The continuation-annotated physical plan our cost-based
+        optimizer chooses for the isolated join graph (paper Figs.
+        10/11 style)."""
+        from repro.planner import JoinGraphPlanner, explain_plan
+        from repro.sql import flatten_query
+
+        compiled = query if isinstance(query, CompiledQuery) else self.compile(query)
+        planner = JoinGraphPlanner(self.store.table, mode=mode)
+        plan = planner.plan(flatten_query(compiled.isolated_plan))
+        return explain_plan(plan)
+
+
+def _with_serialize_step(core: CoreExpr) -> CoreExpr:
+    """Wrap ``Q`` as ``for $s in Q return $s/descendant-or-self::node()``."""
+    var = "#serialize"
+    return CoreFor(
+        var,
+        core,
+        CoreDdo(CoreStep(CoreVar(var), "descendant-or-self", "node", None)),
+    )

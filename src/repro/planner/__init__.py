@@ -1,0 +1,36 @@
+"""A from-scratch relational optimizer + physical engine (the DB2 V9
+stand-in of the paper's Section 4).
+
+Given the declarative :class:`repro.sql.FlatQuery` of an isolated
+plan, the planner
+
+* selects access paths among composite-key B-tree indexes
+  (:mod:`repro.planner.indexes`, the Table 6 set proposed by
+  :mod:`repro.planner.advisor`),
+* runs cost-based greedy join ordering driven by classical
+  selectivities (:mod:`repro.planner.stats`),
+* emits physical plans over the Table 7 operator vocabulary
+  (RETURN / SORT / NLJOIN / HSJOIN / IXSCAN / TBSCAN) that actually
+  execute (:mod:`repro.planner.physical`), and
+* renders Fig. 10/11-style explain output with XPath *continuation*
+  annotations, making step reordering, axis reversal and path
+  stitching observable (:mod:`repro.planner.explain`).
+"""
+
+from repro.planner.indexes import BTreeIndex, IndexCatalog
+from repro.planner.stats import TableStatistics
+from repro.planner.advisor import AdvisedIndex, advise_indexes
+from repro.planner.joinplan import JoinGraphPlanner, PhysicalQuery
+from repro.planner.explain import explain_plan, plan_phenomena
+
+__all__ = [
+    "AdvisedIndex",
+    "BTreeIndex",
+    "IndexCatalog",
+    "JoinGraphPlanner",
+    "PhysicalQuery",
+    "TableStatistics",
+    "advise_indexes",
+    "explain_plan",
+    "plan_phenomena",
+]

@@ -1,0 +1,186 @@
+"""Workload-driven index advisor (the paper's db2advis stand-in).
+
+Given representative queries in :class:`repro.sql.FlatQuery` form, the
+advisor inspects the per-alias predicate shapes of the join graphs and
+proposes the composite B-tree keys of paper Table 6:
+
+========  =====================================================
+key       deployment
+========  =====================================================
+nkspl     XPath node test + axis step (child: level adjacent)
+nksp      XPath node test + axis step, document node access
+nlkp      value comparison with subsequent/preceding step
+nlkps     serialization-oriented node test + subtree range
+vnlkp     atomization / general value comparison (value prefix)
+nlkpv     node test with value payload
+nkdlp     typed (decimal) comparison after node test
+p|nvkls   serialization support (pre prefix, covering columns)
+========  =====================================================
+
+Column letters: p = pre, s = size, l = level, k = kind, n = name,
+v = value, d = data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.algebra.expressions import ColRef, Comparison, Const, Expr, Plus
+from repro.sql.codegen import FlatQuery, _QUALIFIED
+
+
+@dataclass(frozen=True)
+class AdvisedIndex:
+    """One proposed index with its Table 6 short key name."""
+
+    short_name: str  # e.g. "nkspl"
+    key: tuple[str, ...]
+    deployment: str
+
+    @property
+    def ddl_name(self) -> str:
+        return "idx_" + self.short_name.replace("|", "_")
+
+
+_LETTER = {
+    "p": "pre",
+    "s": "size",
+    "l": "level",
+    "k": "kind",
+    "n": "name",
+    "v": "value",
+    "d": "data",
+}
+
+
+def _key(letters: str) -> tuple[str, ...]:
+    return tuple(_LETTER[c] for c in letters.replace("|", ""))
+
+
+@dataclass
+class _AliasShape:
+    """Predicate shape observed for one doc alias across the workload."""
+
+    name_eq: bool = False
+    kind_eq: bool = False
+    pre_range: bool = False
+    level_adjacent: bool = False  # level + 1 = level (child/parent axes)
+    data_compared: bool = False
+    value_compared: bool = False
+    value_joined: bool = False
+    serialization: bool = False  # pre-range step with node() test
+
+
+def _alias_of(expr: Expr) -> str | None:
+    if isinstance(expr, ColRef):
+        m = _QUALIFIED.match(expr.name)
+        return m.group(1) if m else None
+    return None
+
+
+def _column_of(expr: Expr) -> str | None:
+    if isinstance(expr, ColRef):
+        m = _QUALIFIED.match(expr.name)
+        return m.group(2) if m else None
+    return None
+
+
+def _analyze(query: FlatQuery) -> dict[str, _AliasShape]:
+    shapes: dict[str, _AliasShape] = {a: _AliasShape() for a in query.aliases}
+
+    def shape(expr: Expr) -> _AliasShape | None:
+        alias = _alias_of(expr)
+        return shapes.get(alias) if alias else None
+
+    for conjunct in query.conjuncts:
+        if not isinstance(conjunct, Comparison):
+            continue
+        left, right = conjunct.left, conjunct.right
+        for side, other in ((left, right), (right, left)):
+            s = shape(side)
+            if s is None:
+                continue
+            column = _column_of(side)
+            if isinstance(other, Const):
+                if column == "name":
+                    s.name_eq = True
+                elif column == "kind":
+                    s.kind_eq = True
+                elif column == "data":
+                    s.data_compared = True
+                elif column == "value":
+                    s.value_compared = True
+            else:
+                if column == "pre":
+                    s.pre_range = True
+                elif column == "value" and _column_of(other) == "value":
+                    s.value_joined = True
+        # level adjacency: level + 1 = level across aliases
+        for side in (left, right):
+            if isinstance(side, Plus):
+                inner = side.left if isinstance(side.left, ColRef) else side.right
+                if isinstance(inner, ColRef) and _column_of(inner) == "level":
+                    other_side = right if side is left else left
+                    s2 = shape(other_side)
+                    if s2 is not None and _column_of(other_side) == "level":
+                        s2.level_adjacent = True
+
+    for alias, s in shapes.items():
+        if s.pre_range and not s.name_eq and not s.kind_eq:
+            s.serialization = True  # node() step: subtree traversal
+    return shapes
+
+
+def advise_indexes(queries: Iterable[FlatQuery]) -> list[AdvisedIndex]:
+    """Propose the index set for a workload (paper Table 6)."""
+    combined: list[_AliasShape] = []
+    for query in queries:
+        combined.extend(_analyze(query).values())
+
+    proposals: dict[str, AdvisedIndex] = {}
+
+    def propose(short: str, deployment: str) -> None:
+        proposals.setdefault(
+            short, AdvisedIndex(short, _key(short), deployment)
+        )
+
+    for s in combined:
+        if s.name_eq and s.kind_eq and s.pre_range:
+            propose(
+                "nksp",
+                "XPath node test and axis step, access document node (doc(.))",
+            )
+            if s.level_adjacent:
+                propose(
+                    "nkspl",
+                    "XPath node test and axis step (child/parent: level-adjacent)",
+                )
+        if s.data_compared and s.name_eq:
+            propose(
+                "nkdlp",
+                "Atomization, typed value comparison with subsequent/"
+                "preceding XPath step",
+            )
+        if s.value_joined or s.value_compared:
+            propose(
+                "vnlkp",
+                "Atomization, value comparison with subsequent/preceding "
+                "XPath step",
+            )
+            propose("nlkpv", "Node test with value payload for value joins")
+            propose("nlkp", "Value comparison with subsequent/preceding step")
+        if s.name_eq and s.kind_eq and s.level_adjacent:
+            propose("nlkps", "Child-step node test with subtree range payload")
+        if s.serialization:
+            propose(
+                "p|nvkls",
+                "Serialization support (with columns nvkls in the "
+                "INCLUDE(.) clause)",
+            )
+
+    order = ["nkspl", "nksp", "nlkp", "nlkps", "vnlkp", "nlkpv", "nkdlp", "p|nvkls"]
+    return sorted(
+        proposals.values(),
+        key=lambda p: order.index(p.short_name) if p.short_name in order else 99,
+    )

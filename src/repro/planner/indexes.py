@@ -1,0 +1,267 @@
+"""Composite-key B-tree indexes over the ``doc`` encoding table.
+
+These play the role of the "vanilla B-tree indexes provided by any
+RDBMS kernel" the paper relies on: a sorted array of composite keys
+answered by binary search, supporting equality on a key prefix followed
+by one range condition on the next key column — exactly the lookup
+shape of the paper's XPath continuations (Section 4.1).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterable, Sequence
+
+from repro.algebra.expressions import Value
+from repro.infoset.encoding import DocTable
+
+#: markers bracketing every concrete value in the encoded key order
+_LOW = (0,)
+_HIGH = (2,)
+
+
+def _encode(value: Value) -> tuple:
+    """Total order over int/float/str/None (None first, like NULLS
+    FIRST); strings and numbers live in disjoint bands."""
+    if value is None:
+        return (1, 0)
+    if isinstance(value, str):
+        return (1, 2, value)
+    return (1, 1, float(value))
+
+
+class BTreeIndex:
+    """One composite-key index, e.g. ``nkspl`` = (name, kind, size,
+    pre, level).
+
+    ``scan`` answers: equality on the first ``len(equals)`` key columns
+    plus an optional range on the next column, returning the ``pre``
+    ranks of matching rows in key order.
+    """
+
+    def __init__(self, name: str, key: Sequence[str], table: DocTable):
+        self.name = name
+        self.key = tuple(key)
+        self._table = table
+        columns = {
+            "pre": range(len(table)),
+            "size": table.size,
+            "level": table.level,
+            "kind": table.kind,
+            "name": table.name,
+            "value": table.value,
+            "data": table.data,
+        }
+        key_columns = [list(columns[c]) for c in self.key]
+        entries = []
+        for pre in range(len(table)):
+            encoded = tuple(_encode(col[pre]) for col in key_columns)
+            entries.append((encoded, pre))
+        entries.sort()
+        self._keys = [e[0] for e in entries]
+        self._pres = [e[1] for e in entries]
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    # -- capability tests ------------------------------------------------
+
+    def prefix_coverage(
+        self, eq_cols: set[str], range_col: str | None
+    ) -> int | None:
+        """How many leading key columns this index consumes for the
+        given equality columns and optional range column; ``None`` when
+        the index cannot serve the combination.
+
+        The range column may sit *behind* the equality prefix with
+        other key columns in between: the scan then walks the equality
+        group and filters on the range component in the index — the
+        B-tree acts as a partitioned tag stream (paper Section 4,
+        "Partitioned B-tree index support")."""
+        used = 0
+        for key_col in self.key:
+            if key_col in eq_cols:
+                used += 1
+                continue
+            break
+        if range_col is not None:
+            if range_col in self.key[used:]:
+                position = self.key.index(range_col, used)
+                if position == used:
+                    return used + 1  # adjacent: bisect range scan
+                return used if used else None  # in-group filter
+            return None  # range column not in the key at all
+        return used if used else None
+
+    def range_adjacent(self, eq_cols: set[str], range_col: str) -> bool:
+        """True when the range column directly follows the usable
+        equality prefix (bisect range scan, no in-index filtering)."""
+        used = 0
+        for key_col in self.key:
+            if key_col in eq_cols:
+                used += 1
+                continue
+            break
+        return used < len(self.key) and self.key[used] == range_col
+
+    # -- lookups -----------------------------------------------------------
+
+    def scan(
+        self,
+        equals: dict[str, Value] | None = None,
+        range_col: str | None = None,
+        low: Value = None,
+        high: Value = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> list[int]:
+        """``pre`` ranks of rows matching the prefix lookup.
+
+        ``equals`` must bind a prefix of the key; ``range_col`` must be
+        the key column immediately following that prefix.
+        """
+        equals = equals or {}
+        prefix: list[tuple] = []
+        for key_col in self.key[: len(equals)]:
+            if key_col not in equals:
+                raise ValueError(
+                    f"index {self.name}: {key_col!r} missing from equality prefix"
+                )
+            prefix.append(_encode(equals[key_col]))
+        filter_position: int | None = None
+        if range_col is not None and (
+            len(self.key) <= len(prefix) or self.key[len(prefix)] != range_col
+        ):
+            # non-adjacent range column: walk the equality group and
+            # filter on the range component inside the index entries
+            if range_col not in self.key[len(prefix) :]:
+                raise ValueError(
+                    f"index {self.name}: range column {range_col!r} is not "
+                    f"behind the equality prefix {self.key[: len(prefix)]}"
+                )
+            filter_position = self.key.index(range_col, len(prefix))
+            return self._scan_with_filter(
+                tuple(prefix),
+                filter_position,
+                low,
+                high,
+                low_inclusive,
+                high_inclusive,
+            )
+
+        # encoded component with (3,) appended sorts directly after every
+        # key whose component equals the value — the "just past" marker.
+        # A half-open range is clamped to its value band (NULLs and
+        # values of the other type never satisfy a comparison, matching
+        # SQL semantics).
+        base = tuple(prefix)
+        band: float | None = None
+        for bound in (low, high):
+            if bound is not None:
+                band = 2 if isinstance(bound, str) else 1
+                break
+        if range_col is not None and low is not None:
+            lo_component = _encode(low) if low_inclusive else _encode(low) + (3,)
+            lo_key = base + (lo_component,)
+        elif range_col is not None and band is not None:
+            lo_key = base + ((1, band),)  # start of the band
+        else:
+            lo_key = base
+        if range_col is not None and high is not None:
+            hi_component = _encode(high) + (3,) if high_inclusive else _encode(high)
+            hi_key = base + (hi_component,)
+        elif range_col is not None and band is not None:
+            hi_key = base + ((1, band + 0.5),)  # just past the band
+        elif base:
+            hi_key = base + ((3,),)  # end of the equality-prefix group
+        else:
+            hi_key = None  # full scan
+        lo_index = bisect.bisect_left(self._keys, lo_key)
+        hi_index = (
+            len(self._keys)
+            if hi_key is None
+            else bisect.bisect_left(self._keys, hi_key)
+        )
+        return self._pres[lo_index:hi_index]
+
+    def _scan_with_filter(
+        self,
+        prefix: tuple,
+        position: int,
+        low: Value,
+        high: Value,
+        low_inclusive: bool,
+        high_inclusive: bool,
+    ) -> list[int]:
+        """Equality-group walk with an in-index range filter on the key
+        component at ``position``."""
+        lo_index = bisect.bisect_left(self._keys, prefix)
+        hi_index = (
+            bisect.bisect_left(self._keys, prefix + ((3,),))
+            if prefix
+            else len(self._keys)
+        )
+        lo_enc = _encode(low) if low is not None else None
+        hi_enc = _encode(high) if high is not None else None
+        out: list[int] = []
+        for i in range(lo_index, hi_index):
+            component = self._keys[i][position]
+            if lo_enc is not None:
+                if component < lo_enc or (not low_inclusive and component == lo_enc):
+                    continue
+            if hi_enc is not None:
+                if component > hi_enc or (not high_inclusive and component == hi_enc):
+                    continue
+            if (lo_enc or hi_enc) and component[:2] != (
+                (lo_enc or hi_enc)[:2]
+            ):
+                continue  # other value band (NULL / mixed types)
+            out.append(self._pres[i])
+        return out
+
+    def estimated_entries(self, equals: dict[str, Value]) -> int:
+        """Estimated number of entries matching an equality prefix —
+        an exact count here (the sorted array makes it cheap), which is
+        what ANALYZE-style statistics approximate in a real system."""
+        prefix = tuple(_encode(equals[c]) for c in self.key[: len(equals)])
+        lo = bisect.bisect_left(self._keys, prefix)
+        hi = bisect.bisect_right(self._keys, prefix + _HIGH_SUFFIX)
+        return hi - lo
+
+
+_HIGH_SUFFIX = ((3,),) * 8  # sorts after every encoded value tuple
+
+
+class IndexCatalog:
+    """The set of indexes available to the planner (Table 6 by default)."""
+
+    def __init__(self, table: DocTable, definitions: dict[str, Sequence[str]]):
+        self.table = table
+        self.indexes = {
+            name: BTreeIndex(name, key, table) for name, key in definitions.items()
+        }
+
+    def best_for(
+        self, eq_cols: set[str], range_col: str | None
+    ) -> "BTreeIndex | None":
+        """The index serving the predicate shape best: longest equality
+        prefix first (it bounds the entries visited), then an adjacent
+        range (bisect vs in-group filter), then shorter keys."""
+        best: BTreeIndex | None = None
+        best_score: tuple[int, int, int] | None = None
+        for index in self.indexes.values():
+            coverage = index.prefix_coverage(eq_cols, range_col)
+            if coverage is None:
+                continue
+            adjacent = (
+                1
+                if range_col is not None and index.range_adjacent(eq_cols, range_col)
+                else 0
+            )
+            score = (coverage, adjacent, -len(index.key))
+            if best_score is None or score > best_score:
+                best, best_score = index, score
+        return best
+
+    def __iter__(self) -> Iterable[BTreeIndex]:
+        return iter(self.indexes.values())

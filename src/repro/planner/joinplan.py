@@ -1,0 +1,828 @@
+"""Cost-based join tree planning over isolated join graphs.
+
+The planner receives the declarative :class:`repro.sql.FlatQuery` — a
+bundle of ``doc`` aliases and conjuncts — and produces a left-deep
+physical plan, exactly the job the paper hands to DB2's optimizer:
+
+1. pick the most selective alias (by name/kind frequency and value
+   range fractions) as the leading leg;
+2. greedily extend with the cheapest connected alias, realizing each
+   extension as an index nested-loop join whose inner leg is a B-tree
+   *continuation*: equality prefix from the node test, range component
+   bound by the outer binding (Section 4.1);
+3. value-equality edges with a large build side become hash joins
+   (Fig. 11's HSJOIN);
+4. a SORT (with duplicate elimination for the DISTINCT basis) and a
+   RETURN form the tail.
+
+Because the planner is free to start anywhere in the step sequence and
+to orient each range edge either way, **step reordering** and **axis
+reversal** fall out of cost-based ordering exactly as the paper
+describes for DB2 — see :func:`repro.planner.explain.plan_phenomena`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.algebra.expressions import (
+    ColRef,
+    Comparison,
+    Const,
+    Expr,
+    MIRRORED,
+    Value,
+)
+from repro.errors import PlanError
+from repro.infoset.encoding import DocTable
+from repro.planner.indexes import BTreeIndex, IndexCatalog
+from repro.planner.physical import (
+    FilterOp,
+    HsJoin,
+    IxScan,
+    NLJoin,
+    PhysicalOp,
+    Probe,
+    Return,
+    Sort,
+    TbScan,
+    compile_expr,
+)
+from repro.planner.stats import TableStatistics
+from repro.sql.backend import TABLE6_INDEXES
+from repro.sql.codegen import FlatQuery, _QUALIFIED
+
+
+def _aliases_of(expr: Expr) -> frozenset[str]:
+    out = set()
+    for name in expr.cols():
+        m = _QUALIFIED.match(name)
+        if m:
+            out.add(m.group(1))
+    return frozenset(out)
+
+
+def _split_qualified(name: str) -> tuple[str, str] | None:
+    m = _QUALIFIED.match(name)
+    return (m.group(1), m.group(2)) if m else None
+
+
+@dataclass
+class Bound:
+    """One comparison bounding a candidate column by an expression over
+    already-planned aliases: ``<alias>.<col> <op> <expr>``."""
+
+    op: str
+    column: str
+    expr: Expr  # over planned aliases / constants
+    source: Expr  # the original conjunct
+
+
+@dataclass
+class StepInfo:
+    """Metadata about one planning step (for explain / analysis)."""
+
+    alias: str
+    kind: str  # 'leaf' | 'nljoin' | 'hsjoin' | 'cross'
+    index: str | None
+    node_test: dict[str, Value] = field(default_factory=dict)
+    range_col: str | None = None
+    bounds: list[Bound] = field(default_factory=list)
+    bound_sources: frozenset[str] = frozenset()
+    early_out: bool = False
+    estimated_cardinality: float = 0.0
+    #: every alias this step's predicates mention (for semi-join safety)
+    all_refs: frozenset[str] = frozenset()
+
+
+@dataclass
+class PhysicalQuery:
+    """A planned, executable physical query."""
+
+    root: Return
+    steps: list[StepInfo]
+    flat: FlatQuery
+
+    def execute(self) -> list[Value]:
+        """Run the plan; returns the item sequence."""
+        return self.root.items()
+
+    @property
+    def join_order(self) -> list[str]:
+        return [s.alias for s in self.steps]
+
+
+class JoinGraphPlanner:
+    """Plans and executes isolated join graphs over one ``doc`` table.
+
+    Parameters
+    ----------
+    mode:
+        ``"statistics"`` (default) orders joins by classical
+        selectivity estimates; ``"sampling"`` additionally *measures*
+        each candidate continuation's fan-out on a small sample of the
+        already-built intermediate result before committing to it —
+        the "zero-investment" runtime optimization idea the paper's
+        Section 5 cites as the follow-up to join graph isolation
+        (ROX [2]).  Sampling overcomes selectivity misestimation at a
+        small planning cost.
+    sample_size:
+        Number of intermediate bindings probed per candidate in
+        sampling mode.
+    """
+
+    def __init__(
+        self,
+        table: DocTable,
+        catalog: IndexCatalog | None = None,
+        stats: TableStatistics | None = None,
+        mode: str = "statistics",
+        sample_size: int = 24,
+    ):
+        if mode not in ("statistics", "sampling"):
+            raise ValueError(f"unknown planner mode {mode!r}")
+        self.table = table
+        self.catalog = catalog or IndexCatalog(table, TABLE6_INDEXES)
+        self.stats = stats or TableStatistics.collect(table)
+        self.mode = mode
+        self.sample_size = sample_size
+
+    # -- public API --------------------------------------------------------
+
+    def plan(self, flat: FlatQuery) -> PhysicalQuery:
+        """Produce a physical plan for an isolated query."""
+        if flat.impossible:
+            empty = TbScan(self.table, "d0", [lambda b: False])
+            return PhysicalQuery(
+                Return(empty, lambda b: None), [], flat
+            )
+        state = _PlanState(self, flat)
+        state.run()
+        return state.finish()
+
+
+class _PlanState:
+    """One planning episode (mutable working state)."""
+
+    def __init__(self, planner: JoinGraphPlanner, flat: FlatQuery):
+        self.planner = planner
+        self.table = planner.table
+        self.stats = planner.stats
+        self.catalog = planner.catalog
+        self.flat = flat
+        self.aliases = list(flat.aliases)
+        self.local: dict[str, list[Expr]] = {a: [] for a in self.aliases}
+        self.cross: list[Expr] = []
+        for conjunct in flat.conjuncts:
+            involved = _aliases_of(conjunct)
+            if len(involved) == 1:
+                self.local[next(iter(involved))].append(conjunct)
+            elif involved:
+                self.cross.append(conjunct)
+        self.planned: list[str] = []
+        self.plan_ops: PhysicalOp | None = None
+        self.steps: list[StepInfo] = []
+        self.consumed: set[int] = set()  # ids of consumed cross conjuncts
+        self.cardinality = 1.0
+        #: aliases referenced by the output (item / order / distinct)
+        self.output_refs: set[str] = set()
+        for expr in [flat.item, *flat.order, *(flat.distinct or [])]:
+            self.output_refs |= _aliases_of(expr)
+
+    # -- per-alias access-path analysis ---------------------------------
+
+    def local_shape(self, alias: str):
+        """(eq consts, const range bounds, residual local filters)."""
+        eq: dict[str, Value] = {}
+        ranges: list[Bound] = []
+        residual: list[Expr] = []
+        for conjunct in self.local[alias]:
+            bound = self._as_bound(conjunct, alias, frozenset())
+            if bound is None:
+                residual.append(conjunct)
+            elif bound.op == "=" and isinstance(bound.expr, Const):
+                if bound.column in eq and eq[bound.column] != bound.expr.value:
+                    # contradictory equality constants (e.g. a vacuous
+                    # self::t over a text node): keep the conjunct as a
+                    # filter so the contradiction is enforced
+                    residual.append(conjunct)
+                else:
+                    eq[bound.column] = bound.expr.value
+            elif isinstance(bound.expr, Const) and bound.op in ("<", "<=", ">", ">="):
+                ranges.append(bound)
+            else:  # '!=' and other non-sargable shapes: post-filter
+                residual.append(conjunct)
+        return eq, ranges, residual
+
+    def _as_bound(
+        self, conjunct: Expr, alias: str, planned: frozenset[str]
+    ) -> Bound | None:
+        """Interpret a conjunct as a bound on a bare column of ``alias``
+        by an expression over ``planned`` aliases (or constants)."""
+        if not isinstance(conjunct, Comparison):
+            return None
+        for this, other, op in (
+            (conjunct.left, conjunct.right, conjunct.op),
+            (conjunct.right, conjunct.left, MIRRORED[conjunct.op]),
+        ):
+            if not isinstance(this, ColRef):
+                continue
+            split = _split_qualified(this.name)
+            if split is None or split[0] != alias:
+                continue
+            if _aliases_of(other) <= planned:
+                return Bound(op, split[1], other, conjunct)
+        return None
+
+    def base_cardinality(self, alias: str) -> float:
+        eq, ranges, _ = self.local_shape(alias)
+        stats = self.stats
+        if "name" in eq and "kind" in eq:
+            card = stats.name_kind_cardinality(eq["name"], eq["kind"])
+        elif "name" in eq:
+            card = stats.eq_cardinality("name", eq["name"])
+        elif "kind" in eq:
+            card = stats.eq_cardinality("kind", eq["kind"])
+        else:
+            card = float(stats.row_count)
+        for bound in ranges:
+            if bound.column == "data" and isinstance(bound.expr, Const):
+                card *= stats.data_range_fraction(bound.op, bound.expr.value)
+            elif bound.column == "value":
+                card *= 1.0 / max(stats.value_distinct, 1)
+        if "value" in eq or "data" in eq:
+            card *= 1.0 / max(stats.value_distinct, 1)
+        if "pre" in eq:
+            card = min(card, 1.0)
+        return max(card, 0.001)
+
+    # -- greedy ordering ----------------------------------------------------
+
+    def run(self) -> None:
+        remaining = set(self.aliases)
+        while remaining:
+            if not self.planned:
+                choice = min(remaining, key=self.base_cardinality)
+                self._plan_leaf(choice)
+            else:
+                choice = self._cheapest_extension(remaining)
+                if choice is None:
+                    choice = min(remaining, key=self.base_cardinality)
+                self._plan_extension(choice)
+            remaining.discard(choice)
+        self._apply_leftover_filters()
+        self._mark_early_out()
+
+    def _cheapest_extension(self, remaining: set[str]) -> str | None:
+        planned = frozenset(self.planned)
+        best: str | None = None
+        best_cost = float("inf")
+        sample = self._binding_sample() if self.planner.mode == "sampling" else None
+        for alias in sorted(remaining):  # deterministic tie-breaking
+            bounds = self._available_bounds(alias, planned)
+            if not bounds:
+                continue
+            if sample is not None:
+                cost = self._measured_cost(alias, bounds, sample)
+            else:
+                cost = self._extension_cost(alias, bounds)
+            if cost < best_cost:
+                best, best_cost = alias, cost
+        return best
+
+    # -- sampling mode (ROX-style zero-investment measurement) ----------
+
+    def _binding_sample(self) -> list[dict]:
+        """Up to ``sample_size`` bindings off the current intermediate
+        result (re-enumerated; plans are generators, so this costs one
+        bounded pipeline run)."""
+        import itertools
+
+        if self.plan_ops is None:
+            return []
+        return list(
+            itertools.islice(self.plan_ops.rows(), self.planner.sample_size)
+        )
+
+    def _measured_cost(
+        self, alias: str, bounds: list[Bound], sample: list[dict]
+    ) -> float:
+        """Average measured fan-out of the candidate continuation over
+        the sample, scaled by the running cardinality estimate; falls
+        back to the statistics estimate on an empty sample."""
+        if not sample:
+            return self._extension_cost(alias, bounds)
+        eq, local_ranges, local_residual = self.local_shape(alias)
+        try:
+            probe, _, _ = self._build_probe(
+                alias, bounds, eq, local_ranges, local_residual
+            )
+        except PlanError:
+            return self._extension_cost(alias, bounds)
+        matches = 0
+        for binding in sample:
+            for _ in probe.matches(binding):
+                matches += 1
+        fanout = matches / len(sample)
+        return self.cardinality * max(fanout, 0.001)
+
+    def _available_bounds(self, alias: str, planned: frozenset[str]) -> list[Bound]:
+        return self._newly_available(alias, planned)[0]
+
+    def _newly_available(
+        self, alias: str, planned: frozenset[str]
+    ) -> tuple[list[Bound], list[Expr]]:
+        """Unconsumed cross conjuncts that become fully evaluable once
+        ``alias`` joins the planned set: index-usable bounds plus the
+        residual conjuncts that must be filtered *at this step* (e.g.
+        ``x.pre <= y.pre + y.size`` whose alias side is an arithmetic
+        expression)."""
+        bounds: list[Bound] = []
+        residual: list[Expr] = []
+        for conjunct in self.cross:
+            if id(conjunct) in self.consumed:
+                continue
+            involved = _aliases_of(conjunct)
+            if alias not in involved or not (involved - {alias}) <= planned:
+                continue
+            bound = self._as_bound(conjunct, alias, planned)
+            if bound is not None:
+                bounds.append(bound)
+            else:
+                residual.append(conjunct)
+        return bounds, residual
+
+    def _extension_cost(self, alias: str, bounds: list[Bound]) -> float:
+        """Estimated cardinality after joining ``alias`` in.
+
+        Structural (pre-range) bounds are weighted by the *source*
+        alias's expected subtree fraction: containment inside the
+        document root constrains nothing, containment inside a named
+        element constrains a lot, and one-sided bounds (axis reversal,
+        following/preceding) cut the space roughly in half.
+        """
+        base = self.base_cardinality(alias)
+        stats = self.stats
+        per_outer = base
+        pre_bounds = [b for b in bounds if b.column == "pre"]
+        if any(b.op == "=" for b in pre_bounds):
+            per_outer = 1.0
+        elif pre_bounds:
+            lower = any(b.op in (">", ">=") for b in pre_bounds)
+            upper = any(b.op in ("<", "<=") for b in pre_bounds)
+            if lower and upper:
+                fractions = [
+                    self._source_fraction(a)
+                    for b in pre_bounds
+                    for a in _aliases_of(b.expr)
+                ]
+                fraction = min(fractions, default=0.5)
+            else:
+                fraction = 0.5
+            per_outer = max(base * fraction, 0.05)
+        elif any(b.column in ("value", "data") and b.op == "=" for b in bounds):
+            per_outer = base / max(stats.value_distinct, 1)
+        return self.cardinality * max(per_outer, 0.001)
+
+    def _source_fraction(self, alias: str) -> float:
+        """Expected fraction of the table inside ``alias``'s subtree."""
+        for step in self.steps:
+            if step.alias != alias:
+                continue
+            if step.node_test.get("kind") == 0:  # document node
+                return 1.0
+            if "name" in step.node_test:
+                fanout = self.stats.join_fanout()
+                return min(1.0, fanout / max(self.stats.row_count, 1))
+            return 0.5
+        return 0.5
+
+    # -- plan construction ---------------------------------------------------
+
+    def _plan_leaf(self, alias: str) -> None:
+        eq, ranges, residual = self.local_shape(alias)
+        range_bound = ranges[0] if ranges else None
+        index = self.catalog.best_for(
+            set(eq), range_bound.column if range_bound else None
+        )
+        post = [compile_expr(c, self.table) for c in residual]
+        op: PhysicalOp
+        if index is None:
+            all_local = [compile_expr(c, self.table) for c in self.local[alias]]
+            op = TbScan(self.table, alias, all_local)
+            used_index = None
+        else:
+            range_name = range_bound.column if range_bound else None
+            coverage = index.prefix_coverage(set(eq), range_name) or 0
+            covered = index.key[:coverage]
+            eq_used = {c: eq[c] for c in covered if c in eq}
+            leftover_eq = [
+                compile_expr(
+                    Comparison("=", ColRef(f"{alias}.{c}"), Const(v)),
+                    self.table,
+                )
+                for c, v in eq.items()
+                if c not in eq_used
+            ]
+            # a range column behind the prefix is still served by the
+            # index (in-group filter); only a missing column falls back
+            use_range = (
+                range_bound is not None
+                and index.prefix_coverage(set(eq_used), range_bound.column)
+                is not None
+            )
+            extra_ranges = [
+                compile_expr(b.source, self.table)
+                for b in ranges
+                if not (use_range and b is range_bound)
+            ]
+            low = high = None
+            low_inc = high_inc = True
+            if use_range and isinstance(range_bound.expr, Const):
+                if range_bound.op in (">", ">="):
+                    low = range_bound.expr.value
+                    low_inc = range_bound.op == ">="
+                elif range_bound.op in ("<", "<="):
+                    high = range_bound.expr.value
+                    high_inc = range_bound.op == "<="
+                elif range_bound.op == "=":
+                    low = high = range_bound.expr.value
+            op = IxScan(
+                index,
+                alias,
+                eq_used,
+                range_bound.column if use_range else None,
+                low,
+                high,
+                low_inc,
+                high_inc,
+                postfilter=leftover_eq + extra_ranges + post,
+            )
+            used_index = index.name
+        self.plan_ops = op
+        self.planned.append(alias)
+        self.cardinality = self.base_cardinality(alias)
+        self.steps.append(
+            StepInfo(
+                alias=alias,
+                kind="leaf",
+                index=used_index,
+                node_test=dict(eq),
+                range_col=range_bound.column if range_bound else None,
+                bounds=list(ranges),
+                estimated_cardinality=self.cardinality,
+                all_refs=frozenset((alias,)),
+            )
+        )
+
+    def _plan_extension(self, alias: str) -> None:
+        planned = frozenset(self.planned)
+        bounds, cross_residual = self._newly_available(alias, planned)
+        eq, local_ranges, local_residual = self.local_shape(alias)
+        for conjunct in cross_residual:
+            self.consumed.add(id(conjunct))
+
+        value_eqs = [
+            b for b in bounds if b.column in ("value", "data") and b.op == "="
+        ]
+        structural = [b for b in bounds if b.column == "pre"]
+        use_hash = (
+            bool(value_eqs)
+            and not structural
+            and self.cardinality > self.base_cardinality(alias)
+        )
+        if use_hash:
+            self._plan_hash_join(
+                alias, value_eqs, bounds, eq, local_ranges,
+                local_residual, cross_residual,
+            )
+            return
+        self._plan_nl_join(
+            alias, bounds, eq, local_ranges, local_residual + cross_residual
+        )
+
+    def _choose_range_col(self, bounds: list[Bound], eq: dict[str, Value]):
+        """Pick the probe's range column and the index serving it."""
+        priorities = ["pre", "value", "data", "level", "size"]
+        by_col: dict[str, list[Bound]] = {}
+        for bound in bounds:
+            by_col.setdefault(bound.column, []).append(bound)
+        for column in priorities:
+            if column not in by_col:
+                continue
+            index = self.catalog.best_for(set(eq), column)
+            if index is not None:
+                return column, by_col[column], index
+        index = self.catalog.best_for(set(eq), None)
+        return None, [], index
+
+    def _build_probe(
+        self,
+        alias: str,
+        bounds: list[Bound],
+        eq: dict[str, Value],
+        local_ranges: list[Bound],
+        local_residual: list[Expr],
+    ) -> tuple[Probe, "BTreeIndex", str | None]:
+        """Construct the index continuation for joining ``alias`` in,
+        given the bounds available from the planned set.  Shared by
+        actual plan construction and by the sampling cost mode."""
+        range_col, range_bounds, index = self._choose_range_col(bounds, eq)
+        low_fn = high_fn = None
+        low_inc = high_inc = True
+        used: list[Bound] = []
+        if index is not None and range_col is not None:
+            eq_prefix = {
+                c: eq[c]
+                for c in index.key[: index.prefix_coverage(set(eq), range_col) or 0]
+                if c in eq
+            }
+            if index.prefix_coverage(set(eq_prefix), range_col) is None:
+                range_col, range_bounds = None, []
+        if range_col is not None:
+            integer_col = range_col in ("pre", "size", "level")
+            lower_fns: list = []
+            upper_fns: list = []
+            for bound in range_bounds:
+                fn = compile_expr(bound.expr, self.table)
+                if bound.op == "=":
+                    if not (low_inc and high_inc):
+                        continue  # mixing with exclusive bounds: post-filter
+                    lower_fns.append(fn)
+                    upper_fns.append(fn)
+                    used.append(bound)
+                elif bound.op in (">", ">=") and integer_col:
+                    # normalize to inclusive: pre > x  ==  pre >= x+1
+                    lower_fns.append(_shift(fn, +1) if bound.op == ">" else fn)
+                    used.append(bound)
+                elif bound.op in ("<", "<=") and integer_col:
+                    upper_fns.append(_shift(fn, -1) if bound.op == "<" else fn)
+                    used.append(bound)
+                elif bound.op in (">", ">=") and not lower_fns:
+                    low_inc = bound.op == ">="
+                    lower_fns.append(fn)
+                    used.append(bound)
+                elif bound.op in ("<", "<=") and not upper_fns:
+                    high_inc = bound.op == "<="
+                    upper_fns.append(fn)
+                    used.append(bound)
+                # anything else stays in `bounds` and is post-filtered
+            if lower_fns:
+                low_fn = _combine(lower_fns, max)
+            if upper_fns:
+                high_fn = _combine(upper_fns, min)
+
+        eq_used: dict[str, Value] = {}
+        if index is not None:
+            coverage = index.prefix_coverage(
+                set(eq), range_col if range_col else None
+            )
+            covered = index.key[: coverage or 0]
+            eq_used = {c: eq[c] for c in covered if c in eq}
+
+        post_exprs: list[Expr] = []
+        post_exprs += [
+            Comparison("=", ColRef(f"{alias}.{c}"), Const(v))
+            for c, v in eq.items()
+            if c not in eq_used
+        ]
+        post_exprs += [b.source for b in bounds if b not in used]
+        post_exprs += [b.source for b in local_ranges]
+        post_exprs += local_residual
+        post = [compile_expr(e, self.table) for e in post_exprs]
+
+        if index is None:
+            # no eligible index (node() test, no usable bound): fall
+            # back to a full index sweep per outer binding — the
+            # physical equivalent of a nested table scan.
+            index = next(iter(self.catalog), None)
+            if index is None:
+                raise PlanError("no index nor table scan path for probe")
+            range_col = None
+            low_fn = high_fn = None
+            used = []
+        probe = Probe(
+            index,
+            alias,
+            eq_used,
+            range_col,
+            low_fn,
+            high_fn,
+            low_inc,
+            high_inc,
+            post,
+        )
+        return probe, index, range_col
+
+    def _plan_nl_join(
+        self,
+        alias: str,
+        bounds: list[Bound],
+        eq: dict[str, Value],
+        local_ranges: list[Bound],
+        local_residual: list[Expr],
+    ) -> None:
+        probe, index, range_col = self._build_probe(
+            alias, bounds, eq, local_ranges, local_residual
+        )
+        assert self.plan_ops is not None
+        self.plan_ops = NLJoin(self.plan_ops, probe)
+        for bound in bounds:
+            self.consumed.add(id(bound.source))
+        self.planned.append(alias)
+        self.cardinality = self._extension_cost(alias, bounds)
+        post_exprs: list[Expr] = (
+            [b.source for b in bounds]
+            + [b.source for b in local_ranges]
+            + local_residual
+        )
+        self.steps.append(
+            StepInfo(
+                alias=alias,
+                kind="nljoin" if bounds else "cross",
+                index=index.name,
+                node_test=dict(eq),
+                range_col=range_col,
+                bounds=bounds,
+                bound_sources=frozenset(
+                    a for b in bounds for a in _aliases_of(b.expr)
+                ),
+                estimated_cardinality=self.cardinality,
+                all_refs=frozenset(
+                    a for e in post_exprs for a in _aliases_of(e)
+                )
+                | frozenset(a for b in bounds for a in _aliases_of(b.expr))
+                | {alias},
+            )
+        )
+
+    def _plan_hash_join(
+        self,
+        alias: str,
+        value_eqs: list[Bound],
+        bounds: list[Bound],
+        eq: dict[str, Value],
+        local_ranges: list[Bound],
+        local_residual: list[Expr],
+        cross_residual: list[Expr],
+    ) -> None:
+        key = value_eqs[0]
+        build = self._leaf_op(alias, eq, local_ranges, local_residual)
+        build_key = compile_expr(ColRef(f"{alias}.{key.column}"), self.table)
+        probe_key = compile_expr(key.expr, self.table)
+        post = [
+            compile_expr(b.source, self.table)
+            for b in bounds
+            if b is not key
+        ]
+        post += [compile_expr(c, self.table) for c in cross_residual]
+        assert self.plan_ops is not None
+        self.plan_ops = HsJoin(self.plan_ops, build, probe_key, build_key, post)
+        for bound in bounds:
+            self.consumed.add(id(bound.source))
+        self.planned.append(alias)
+        self.cardinality = self._extension_cost(alias, bounds)
+        self.steps.append(
+            StepInfo(
+                alias=alias,
+                kind="hsjoin",
+                index=self.steps_index_of(build),
+                node_test=dict(eq),
+                range_col=key.column,
+                bounds=bounds,
+                bound_sources=frozenset(
+                    a for b in bounds for a in _aliases_of(b.expr)
+                ),
+                estimated_cardinality=self.cardinality,
+                all_refs=frozenset(
+                    a for b in bounds for a in _aliases_of(b.source)
+                )
+                | {alias},
+            )
+        )
+
+    @staticmethod
+    def steps_index_of(op: PhysicalOp) -> str | None:
+        if isinstance(op, IxScan):
+            return op.index.name
+        return None
+
+    def _leaf_op(
+        self,
+        alias: str,
+        eq: dict[str, Value],
+        ranges: list[Bound],
+        residual: list[Expr],
+    ) -> PhysicalOp:
+        index = self.catalog.best_for(set(eq), None)
+        post_exprs = [b.source for b in ranges] + residual
+        if index is None:
+            all_preds = [
+                compile_expr(c, self.table) for c in self.local[alias]
+            ]
+            return TbScan(self.table, alias, all_preds)
+        coverage = index.prefix_coverage(set(eq), None) or 0
+        covered = index.key[:coverage]
+        eq_used = {c: eq[c] for c in covered if c in eq}
+        post_exprs += [
+            Comparison("=", ColRef(f"{alias}.{c}"), Const(v))
+            for c, v in eq.items()
+            if c not in eq_used
+        ]
+        return IxScan(
+            index,
+            alias,
+            eq_used,
+            postfilter=[compile_expr(e, self.table) for e in post_exprs],
+        )
+
+    # -- finishing touches ---------------------------------------------------
+
+    def _apply_leftover_filters(self) -> None:
+        leftover = [
+            compile_expr(c, self.table)
+            for c in self.cross
+            if id(c) not in self.consumed
+        ]
+        # cross conjuncts not consumed as probe bounds were already
+        # added as probe post-filters when their last alias joined —
+        # except ones skipped entirely (e.g. Or-predicates): guard here.
+        applied = {id(c) for c in self.cross if id(c) in self.consumed}
+        pending = [
+            c for c in self.cross if id(c) not in applied
+        ]
+        if pending and self.plan_ops is not None:
+            self.plan_ops = FilterOp(
+                self.plan_ops, [compile_expr(c, self.table) for c in pending]
+            )
+        del leftover
+
+    def _mark_early_out(self) -> None:
+        """Semi-join detection: an NLJOIN whose inner alias feeds
+        neither the output nor any later step may stop at the first
+        match per outer binding (Fig. 10's early-out flag on the bidder
+        leg).  Only sound when a tail duplicate elimination erases
+        multiplicities, so skipped for DISTINCT-free plans."""
+        if self.flat.distinct is None:
+            return
+        leftover_refs: set[str] = set()
+        for conjunct in self.cross:
+            if id(conjunct) not in self.consumed:
+                leftover_refs |= _aliases_of(conjunct)
+        # references needed above step i: output + leftover filters +
+        # predicates of every later step
+        for i, step in enumerate(self.steps):
+            if step.kind != "nljoin":
+                continue
+            needed = set(self.output_refs) | leftover_refs
+            for later in self.steps[i + 1 :]:
+                needed |= later.all_refs
+            if step.alias not in needed:
+                step.early_out = True
+        # transfer flags onto the physical NLJoin nodes
+        flagged = {s.alias for s in self.steps if s.early_out}
+        op = self.plan_ops
+        while op is not None and op.children:
+            if isinstance(op, NLJoin) and op.probe.alias in flagged:
+                op.early_out = True
+            op = op.children[0]
+
+    def finish(self) -> PhysicalQuery:
+        assert self.plan_ops is not None
+        item_fn = compile_expr(self.flat.item, self.table)
+        order_fns = [compile_expr(e, self.table) for e in self.flat.order]
+        order_fns.append(item_fn)
+        distinct_fns = None
+        if self.flat.distinct is not None:
+            distinct_exprs = [self.flat.item, *self.flat.distinct, *self.flat.order]
+            distinct_fns = [
+                compile_expr(e, self.table) for e in distinct_exprs
+            ]
+        sort = Sort(self.plan_ops, order_fns, distinct_fns)
+        root = Return(sort, item_fn)
+        return PhysicalQuery(root, self.steps, self.flat)
+
+
+def _shift(fn, delta: int):
+    """Wrap a bound function, shifting its integer result by delta."""
+
+    def shifted(binding):
+        value = fn(binding)
+        return None if value is None else value + delta
+
+    return shifted
+
+
+def _combine(fns: list, pick):
+    """Combine several bound functions with max (lower bounds) or
+    min (upper bounds); None (NULL) poisons the bound."""
+    if len(fns) == 1:
+        return fns[0]
+
+    def combined(binding):
+        values = [fn(binding) for fn in fns]
+        if any(v is None for v in values):
+            return None
+        return pick(values)
+
+    return combined

@@ -1,0 +1,367 @@
+"""Physical plan operators (paper Table 7) and their executor.
+
+A physical row is a *binding*: a dict from join-graph alias (``d3``) to
+the bound ``pre`` rank.  Operators are generators of bindings; leaf
+scans introduce one alias, joins extend bindings with further aliases.
+
+=========  ====================================================
+operator   semantics
+=========  ====================================================
+RETURN     result row delivery (item extraction)
+SORT       sort rows, optionally with duplicate elimination
+NLJOIN     index nested-loop join (inner re-scanned per outer
+           binding; ``early_out`` makes it a semi-join filter)
+HSJOIN     hash join (right leg: build, left leg: probe)
+IXSCAN     B-tree scan: equality prefix + one range component,
+           residual conditions as post-filter
+TBSCAN     table scan with filter
+=========  ====================================================
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Iterable, Iterator
+
+from repro.algebra.expressions import (
+    And,
+    ColRef,
+    Comparison,
+    Const,
+    Expr,
+    Or,
+    Plus,
+    Value,
+)
+from repro.errors import PlanError
+from repro.infoset.encoding import DocTable
+from repro.planner.indexes import BTreeIndex
+
+_QUALIFIED = re.compile(r"^(d\d+)\.(\w+)$")
+
+Binding = dict[str, int]
+BoundFn = Callable[[Binding], Value]
+
+
+def compile_expr(expr: Expr, table: DocTable) -> BoundFn:
+    """Compile an expression over qualified columns into a closure
+    evaluating against a binding."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda binding: value
+    if isinstance(expr, ColRef):
+        m = _QUALIFIED.match(expr.name)
+        if not m:
+            raise PlanError(f"unqualified column {expr.name!r} in physical plan")
+        alias, column = m.group(1), m.group(2)
+        getter = _column_getter(table, column)
+        return lambda binding: getter(binding[alias])
+    if isinstance(expr, Plus):
+        left = compile_expr(expr.left, table)
+        right = compile_expr(expr.right, table)
+
+        def add(binding: Binding) -> Value:
+            a, b = left(binding), right(binding)
+            if a is None or b is None:
+                return None
+            return a + b  # type: ignore[operator]
+
+        return add
+    if isinstance(expr, Comparison):
+        from repro.algebra.expressions import COMPARISONS
+
+        test = COMPARISONS[expr.op][0]
+        left = compile_expr(expr.left, table)
+        right = compile_expr(expr.right, table)
+
+        def compare(binding: Binding) -> bool:
+            a, b = left(binding), right(binding)
+            if a is None or b is None:
+                return False
+            return test(a, b)
+
+        return compare
+    if isinstance(expr, And):
+        parts = [compile_expr(p, table) for p in expr.parts]
+        return lambda binding: all(p(binding) for p in parts)
+    if isinstance(expr, Or):
+        parts = [compile_expr(p, table) for p in expr.parts]
+        return lambda binding: any(p(binding) for p in parts)
+    raise PlanError(f"cannot compile {type(expr).__name__}")
+
+
+def _column_getter(table: DocTable, column: str):
+    if column == "pre":
+        return lambda pre: pre
+    data = getattr(table, column)
+    return lambda pre: data[pre]
+
+
+class PhysicalOp:
+    """Base class: a generator of bindings with an explainable shape."""
+
+    #: operator name as printed in explain output
+    op_name = "OP"
+
+    def __init__(self, children: Iterable["PhysicalOp"] = ()):
+        self.children = list(children)
+        self.annotation = ""
+
+    def rows(self) -> Iterator[Binding]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        return self.op_name
+
+
+class IxScan(PhysicalOp):
+    """Leaf B-tree scan introducing one alias."""
+
+    op_name = "IXSCAN"
+
+    def __init__(
+        self,
+        index: BTreeIndex,
+        alias: str,
+        equals: dict[str, Value],
+        range_col: str | None = None,
+        low: Value = None,
+        high: Value = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+        postfilter: list[BoundFn] | None = None,
+    ):
+        super().__init__()
+        self.index = index
+        self.alias = alias
+        self.equals = equals
+        self.range_col = range_col
+        self.low, self.high = low, high
+        self.low_inclusive, self.high_inclusive = low_inclusive, high_inclusive
+        self.postfilter = postfilter or []
+
+    def rows(self) -> Iterator[Binding]:
+        for pre in self.index.scan(
+            self.equals,
+            self.range_col,
+            self.low,
+            self.high,
+            self.low_inclusive,
+            self.high_inclusive,
+        ):
+            binding = {self.alias: pre}
+            if all(f(binding) for f in self.postfilter):
+                yield binding
+
+    def describe(self) -> str:
+        eq = ",".join(f"{c}={v!r}" for c, v in self.equals.items())
+        parts = [f"IXSCAN {self.index.name}({self.alias}"]
+        if eq:
+            parts.append(f"; {eq}")
+        if self.range_col:
+            parts.append(f"; {self.range_col} range")
+        return "".join(parts) + ")"
+
+
+class TbScan(PhysicalOp):
+    """Full table scan introducing one alias."""
+
+    op_name = "TBSCAN"
+
+    def __init__(self, table: DocTable, alias: str, postfilter: list[BoundFn] | None = None):
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self.postfilter = postfilter or []
+
+    def rows(self) -> Iterator[Binding]:
+        for pre in range(len(self.table)):
+            binding = {self.alias: pre}
+            if all(f(binding) for f in self.postfilter):
+                yield binding
+
+    def describe(self) -> str:
+        return f"TBSCAN doc({self.alias})"
+
+
+class Probe:
+    """A parameterized index lookup for NLJOIN inner legs: the range
+    bounds are functions of the outer binding (the *continuation* being
+    resumed, in the paper's Section 4.1 terminology)."""
+
+    def __init__(
+        self,
+        index: BTreeIndex,
+        alias: str,
+        equals: dict[str, Value],
+        range_col: str | None,
+        low_fn: BoundFn | None,
+        high_fn: BoundFn | None,
+        low_inclusive: bool,
+        high_inclusive: bool,
+        postfilter: list[BoundFn],
+    ):
+        self.index = index
+        self.alias = alias
+        self.equals = equals
+        self.range_col = range_col
+        self.low_fn, self.high_fn = low_fn, high_fn
+        self.low_inclusive, self.high_inclusive = low_inclusive, high_inclusive
+        self.postfilter = postfilter
+
+    def matches(self, outer: Binding) -> Iterator[Binding]:
+        low = self.low_fn(outer) if self.low_fn else None
+        high = self.high_fn(outer) if self.high_fn else None
+        if (self.low_fn and low is None) or (self.high_fn and high is None):
+            return
+        for pre in self.index.scan(
+            self.equals,
+            self.range_col,
+            low,
+            high,
+            self.low_inclusive,
+            self.high_inclusive,
+        ):
+            binding = dict(outer)
+            binding[self.alias] = pre
+            if all(f(binding) for f in self.postfilter):
+                yield binding
+
+    def describe(self) -> str:
+        eq = ",".join(f"{c}={v!r}" for c, v in self.equals.items())
+        text = f"IXSCAN {self.index.name}({self.alias}"
+        if eq:
+            text += f"; {eq}"
+        if self.range_col:
+            text += f"; {self.range_col} bound by outer"
+        return text + ")"
+
+
+class NLJoin(PhysicalOp):
+    """Index nested-loop join: left leg outer, right leg a probe."""
+
+    op_name = "NLJOIN"
+
+    def __init__(self, outer: PhysicalOp, probe: Probe, early_out: bool = False):
+        super().__init__([outer])
+        self.probe = probe
+        self.early_out = early_out
+
+    def rows(self) -> Iterator[Binding]:
+        for outer_binding in self.children[0].rows():
+            if self.early_out:
+                for _ in self.probe.matches(outer_binding):
+                    yield outer_binding
+                    break
+            else:
+                yield from self.probe.matches(outer_binding)
+
+    def describe(self) -> str:
+        flag = " (early-out)" if self.early_out else ""
+        return f"NLJOIN{flag}"
+
+
+class HsJoin(PhysicalOp):
+    """Hash join: right leg builds, left leg probes (Table 7)."""
+
+    op_name = "HSJOIN"
+
+    def __init__(
+        self,
+        probe_side: PhysicalOp,
+        build_side: PhysicalOp,
+        probe_key: BoundFn,
+        build_key: BoundFn,
+        postfilter: list[BoundFn] | None = None,
+    ):
+        super().__init__([probe_side, build_side])
+        self.probe_key = probe_key
+        self.build_key = build_key
+        self.postfilter = postfilter or []
+
+    def rows(self) -> Iterator[Binding]:
+        buckets: dict[Value, list[Binding]] = {}
+        for binding in self.children[1].rows():
+            key = self.build_key(binding)
+            if key is not None:
+                buckets.setdefault(key, []).append(binding)
+        for probe_binding in self.children[0].rows():
+            key = self.probe_key(probe_binding)
+            for build_binding in buckets.get(key, ()):
+                combined = dict(probe_binding)
+                combined.update(build_binding)
+                if all(f(combined) for f in self.postfilter):
+                    yield combined
+
+
+class FilterOp(PhysicalOp):
+    """Residual predicate application."""
+
+    op_name = "FILTER"
+
+    def __init__(self, child: PhysicalOp, preds: list[BoundFn]):
+        super().__init__([child])
+        self.preds = preds
+
+    def rows(self) -> Iterator[Binding]:
+        for binding in self.children[0].rows():
+            if all(p(binding) for p in self.preds):
+                yield binding
+
+
+class Sort(PhysicalOp):
+    """Sort (+ optional duplicate elimination over the given key)."""
+
+    op_name = "SORT"
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        order_fns: list[BoundFn],
+        distinct_fns: list[BoundFn] | None,
+    ):
+        super().__init__([child])
+        self.order_fns = order_fns
+        self.distinct_fns = distinct_fns
+
+    def rows(self) -> Iterator[Binding]:
+        materialized = list(self.children[0].rows())
+        if self.distinct_fns is not None:
+            seen: set[tuple] = set()
+            unique: list[Binding] = []
+            for binding in materialized:
+                key = tuple(f(binding) for f in self.distinct_fns)
+                if key not in seen:
+                    seen.add(key)
+                    unique.append(binding)
+            materialized = unique
+        materialized.sort(
+            key=lambda b: tuple(_null_first(f(b)) for f in self.order_fns)
+        )
+        yield from materialized
+
+    def describe(self) -> str:
+        dup = " (dup. elim.)" if self.distinct_fns is not None else ""
+        return f"SORT{dup}"
+
+
+class Return(PhysicalOp):
+    """Plan root: extracts the item value from each binding."""
+
+    op_name = "RETURN"
+
+    def __init__(self, child: PhysicalOp, item_fn: BoundFn):
+        super().__init__([child])
+        self.item_fn = item_fn
+
+    def rows(self) -> Iterator[Binding]:  # pragma: no cover - not used
+        yield from self.children[0].rows()
+
+    def items(self) -> list[Value]:
+        return [self.item_fn(b) for b in self.children[0].rows()]
+
+
+def _null_first(value: Value) -> tuple:
+    if value is None:
+        return (0, 0)
+    return (1, value)

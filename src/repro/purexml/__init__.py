@@ -1,0 +1,29 @@
+"""A native XML query processor in the style of DB2 pureXML™
+(paper Section 4.2).
+
+The tree traversal of XPath location steps is implemented by
+:class:`XScan` — a TurboXPath-style evaluator that walks document
+subtrees natively (no relational encoding, no B-trees over node
+properties).  Two storage setups mirror the paper's comparison:
+
+* **whole** — each document is one monolithic tree; every descendant
+  step scans the subtree below its context (Q5's wildcard forces a
+  full-instance scan);
+* **segmented** — documents are cut into many small segments, with
+  XMLPATTERN value indexes mapping (path pattern, value) to segment
+  ids: point queries (Q3/Q5) touch only the matching segments, while
+  value joins (Q2) degenerate to nested XSCANs — exactly the failure
+  mode the paper observes.
+"""
+
+from repro.purexml.xscan import XScan, NativeEvaluator
+from repro.purexml.segments import SegmentedStore, XMLPatternIndex
+from repro.purexml.engine import PureXMLEngine
+
+__all__ = [
+    "NativeEvaluator",
+    "PureXMLEngine",
+    "SegmentedStore",
+    "XMLPatternIndex",
+    "XScan",
+]

@@ -1,0 +1,205 @@
+"""The pureXML execution engine: whole-document vs segmented setups.
+
+``PureXMLEngine`` evaluates the workhorse fragment natively (XSCAN
+traversals).  In *segmented* mode, linear path queries first consult
+the XMLPATTERN index family: an eligible value predicate yields the
+RIDs of candidate segments and the residual traversal runs per
+segment; queries without an eligible index — and non-path queries such
+as Q2's nested loops — fall back to scanning every segment, which
+reproduces the whole-document cost (and the paper's Q2 blow-up).
+"""
+
+from __future__ import annotations
+
+from repro.purexml.segments import SegmentedStore
+from repro.purexml.xscan import NativeEvaluator
+from repro.xmltree.model import DocumentNode, XMLNode
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+
+class PureXMLEngine:
+    """A native XML processor over one or more documents."""
+
+    def __init__(
+        self,
+        documents: dict[str, DocumentNode],
+        default_doc: str | None = None,
+        segmented: bool = False,
+        cut_depth: int = 2,
+        patterns: tuple[str, ...] = (),
+    ):
+        self.documents = documents
+        self.default_doc = default_doc or next(iter(documents), None)
+        self.segmented = segmented
+        self.evaluator = NativeEvaluator(documents, self.default_doc)
+        self.store: SegmentedStore | None = None
+        if segmented:
+            self.store = SegmentedStore(cut_depth=cut_depth)
+            for uri, document in documents.items():
+                self.store.load(document, uri)
+            for pattern in patterns:
+                self.store.create_pattern_index(pattern)
+
+    # -- public API --------------------------------------------------------
+
+    def run(self, query: str) -> list[XMLNode]:
+        """Evaluate a query, returning nodes in document order."""
+        expr = parse_xquery(query)
+        if self.segmented:
+            return self._run_segmented(expr)
+        return self._ordered(self.evaluator.run(expr))
+
+    def document_order(self, node: XMLNode) -> int:
+        return self.evaluator.document_order(node)
+
+    def _ordered(self, nodes: list[XMLNode]) -> list[XMLNode]:
+        return nodes
+
+    # -- segmented evaluation ------------------------------------------------
+
+    def _run_segmented(self, expr: ast.Expr) -> list[XMLNode]:
+        assert self.store is not None
+        steps = _linearize(expr)
+        if steps is None:
+            # non-path query (FLWOR / value joins): no index applies —
+            # XSCAN does all the heavy work over every segment.
+            return self._ordered(self.evaluator.run(expr))
+        hit = self._indexed_lookup(steps)
+        if hit is None:
+            candidates = list(self.store.segments)
+        else:
+            pattern, value = hit
+            candidates = self.store.lookup_segments(pattern, value)
+        results: list[XMLNode] = []
+        seen: set[int] = set()
+        for rid, segment in enumerate(self.store.segments):
+            if segment not in candidates:
+                continue
+            spine = self.store.spines[rid]
+            rebased = _rebase_onto_segment(steps, spine, segment)
+            if rebased is None:
+                continue
+            for node in self.evaluator.evaluate(rebased, {"#seg": [segment]}):
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    results.append(node)
+        results.sort(key=self.evaluator.document_order)
+        return results
+
+    def _indexed_lookup(self, steps: list[ast.StepExpr]) -> tuple[str, str] | None:
+        """Find an (XMLPATTERN, value) pair usable for this path: the
+        first equality-to-string predicate whose pattern has an index."""
+        assert self.store is not None
+        prefix: list[str] = []
+        for step in steps:
+            tag = step.test.name or "*"
+            sep = "//" if step.double_slash else "/"
+            prefix.append(f"{sep}{'@' if step.axis == 'attribute' else ''}{tag}")
+            for predicate in step.predicates:
+                comparisons = (
+                    predicate.expr.parts
+                    if isinstance(predicate.expr, ast.AndExpr)
+                    else [predicate.expr]
+                )
+                for comparison in comparisons:
+                    if not isinstance(comparison, ast.Comparison):
+                        continue
+                    if comparison.op != "=" or not isinstance(
+                        comparison.right, ast.StringLiteral
+                    ):
+                        continue
+                    relative = _relative_pattern(comparison.left)
+                    if relative is None:
+                        continue
+                    pattern = "".join(prefix) + relative
+                    if pattern in self.store.indexes:
+                        return pattern, comparison.right.value
+        return None
+
+
+def _relative_pattern(expr: ast.Expr) -> str | None:
+    """Render a relative predicate path (``@id``, ``child/tag``) as the
+    tail of an XMLPATTERN, or None for non-path operands."""
+    steps: list[ast.StepExpr] = []
+    current = expr
+    while isinstance(current, ast.StepExpr):
+        steps.append(current)
+        current = current.input
+    from repro.xquery.parser import ContextItem
+
+    if not isinstance(current, ContextItem):
+        return None
+    parts = []
+    for step in reversed(steps):
+        marker = "@" if step.axis == "attribute" else ""
+        parts.append(f"/{marker}{step.test.name or '*'}")
+    return "".join(parts)
+
+
+def _linearize(expr: ast.Expr) -> list[ast.StepExpr] | None:
+    """A pure path query as its top-down step list; None otherwise."""
+    steps: list[ast.StepExpr] = []
+    current = expr
+    while isinstance(current, ast.StepExpr):
+        steps.append(current)
+        current = current.input
+    if isinstance(current, (ast.PathRoot, ast.DocCall)):
+        steps.reverse()
+        return steps
+    return None
+
+
+def _rebase_onto_segment(
+    steps: list[ast.StepExpr], spine: tuple[str, ...], segment
+) -> ast.Expr | None:
+    """Rewrite an absolute path to start at a segment root: leading
+    child steps walk the spine; the step matching the segment root
+    becomes ``self::tag`` on the ``#seg`` variable; the rest chains on.
+    Returns None when the path cannot reach this segment."""
+    position = 0
+    index = 0
+    for index, step in enumerate(steps):
+        if step.double_slash or step.axis == "descendant":
+            break  # may land anywhere below the spine
+        if position < len(spine):
+            if step.axis != "child" or step.predicates:
+                return None
+            if step.test.name not in (spine[position], "*"):
+                return None
+            position += 1
+            continue
+        break
+    else:
+        return None
+    remaining = steps[index:]
+    anchor = remaining[0]
+    if anchor.double_slash or anchor.axis == "descendant":
+        # ``//t`` / ``descendant::t`` from above the segment reaches any
+        # matching node in the segment subtree, the root included.
+        rebased: ast.Expr = ast.StepExpr(
+            ast.VarRef("#seg"),
+            "descendant-or-self",
+            anchor.test,
+            list(anchor.predicates),
+        )
+    else:
+        if anchor.axis != "child":
+            return None
+        if anchor.test.kind in (None, "element") and anchor.test.name not in (
+            getattr(segment, "tag", None),
+            "*",
+        ):
+            return None
+        rebased = ast.StepExpr(
+            ast.VarRef("#seg"), "self", anchor.test, list(anchor.predicates)
+        )
+    for step in remaining[1:]:
+        if step.double_slash:
+            rebased = ast.StepExpr(
+                rebased, "descendant-or-self", ast.NodeTest(kind="node")
+            )
+        rebased = ast.StepExpr(
+            rebased, step.axis, step.test, list(step.predicates)
+        )
+    return rebased

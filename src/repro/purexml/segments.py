@@ -1,0 +1,164 @@
+"""Segmented document storage with XMLPATTERN value indexes.
+
+DB2 pureXML favours designs that store many small XML segments per row
+(paper Section 4.2: the XMark instance cut into 23,000 segments of
+1–6 KB, DBLP into one publication per row).  An ``XMLPATTERN`` index
+maps the value found under a path pattern to the row ids (RIDs) of the
+segments containing it, so a value-predicate query touches only the
+matching segments and leaves XSCAN a marginal traversal.
+
+The segmenter cuts at a configurable depth: subtrees rooted at that
+depth become segments; the "spine" above is retained so absolute paths
+still navigate to each segment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.purexml.xscan import XScan, node_untyped_value
+from repro.xmltree.model import DocumentNode, ElementNode, XMLNode
+from repro.xquery import ast
+from repro.xquery.parser import parse_xquery
+
+
+@dataclass
+class XMLPatternIndex:
+    """CREATE INDEX ... GENERATE KEY USING XMLPATTERN ... AS SQL VARCHAR:
+    maps the string value reached by ``pattern`` (an absolute path with
+    child/descendant/attribute steps) to segment RIDs."""
+
+    pattern: str
+    entries: dict[str, list[int]] = field(default_factory=dict)
+
+    def add(self, value: str, rid: int) -> None:
+        self.entries.setdefault(value, []).append(rid)
+
+    def lookup(self, value: str) -> list[int]:
+        return self.entries.get(value, [])
+
+
+class SegmentedStore:
+    """Documents cut into segments + the XMLPATTERN index family."""
+
+    def __init__(self, cut_depth: int = 2):
+        self.cut_depth = cut_depth
+        self.segments: list[ElementNode] = []
+        #: path-of-tags from the root to each segment's parent
+        self.spines: list[tuple[str, ...]] = []
+        self.indexes: dict[str, XMLPatternIndex] = {}
+        self.documents: dict[str, DocumentNode] = {}
+
+    def load(self, document: DocumentNode, uri: str | None = None) -> None:
+        """Segment a document: subtrees at ``cut_depth`` become rows."""
+        self.documents[uri or document.uri] = document
+        root = document.root_element
+
+        def cut(node: ElementNode, depth: int, spine: tuple[str, ...]) -> None:
+            if depth >= self.cut_depth or not any(
+                isinstance(c, ElementNode) for c in node.children
+            ):
+                self.segments.append(node)
+                self.spines.append(spine)
+                return
+            for child in node.children:
+                if isinstance(child, ElementNode):
+                    cut(child, depth + 1, spine + (node.tag,))
+
+        cut(root, 0, ())
+
+    @property
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    # -- index DDL ---------------------------------------------------------
+
+    def create_pattern_index(self, pattern: str) -> XMLPatternIndex:
+        """Populate an XMLPATTERN index for a path like
+        ``/site/people/person/@id``: evaluated per segment, each value
+        found maps back to the segment RID."""
+        index = XMLPatternIndex(pattern)
+        steps = _pattern_steps(pattern)
+        for rid, (segment, spine) in enumerate(zip(self.segments, self.spines)):
+            for node in _match_in_segment(segment, spine, steps):
+                value = node_untyped_value(node)
+                if value is not None:
+                    index.add(value, rid)
+        self.indexes[pattern] = index
+        return index
+
+    def lookup_segments(self, pattern: str, value: str) -> list[ElementNode]:
+        """Segments whose pattern index matches the value (the RID
+        fetch that precedes the residual XSCAN)."""
+        index = self.indexes.get(pattern)
+        if index is None:
+            return list(self.segments)  # no eligible index: scan all
+        return [self.segments[rid] for rid in index.lookup(value)]
+
+
+def _pattern_steps(pattern: str) -> list[ast.StepExpr]:
+    """Parse an XMLPATTERN into its step list (reusing the XQuery
+    parser on the path expression)."""
+    expr = parse_xquery(pattern)
+    steps: list[ast.StepExpr] = []
+    while isinstance(expr, ast.StepExpr):
+        steps.append(expr)
+        expr = expr.input
+    steps.reverse()
+    return steps
+
+
+def _match_in_segment(
+    segment: ElementNode, spine: tuple[str, ...], steps: list[ast.StepExpr]
+) -> list[XMLNode]:
+    """Evaluate an absolute pattern against one segment: the leading
+    steps must walk the (virtual) spine down to the segment root, the
+    remainder runs inside the segment."""
+    contexts: list[XMLNode] = []
+    # consume spine steps: child steps matching the spine tags
+    position = 0
+    for step in steps:
+        if position < len(spine):
+            matches_spine = (
+                step.axis == "child"
+                and step.test.kind in (None, "element")
+                and step.test.name in (spine[position], "*")
+            ) or step.double_slash
+            if step.double_slash:
+                break  # descendant step: evaluate from segment root upward
+            if not matches_spine:
+                return []
+            position += 1
+            continue
+        break
+    remaining = steps[position:]
+    if not remaining:
+        return [segment]
+    # the first remaining step should match the segment root itself
+    first, *rest = remaining
+    ok_root = (
+        first.double_slash
+        or (
+            first.axis == "child"
+            and XScan.test(segment, first.test, "child")
+        )
+    )
+    if first.double_slash:
+        contexts = [
+            n
+            for n in XScan.axis(segment, "descendant-or-self")
+            if XScan.test(n, first.test, first.axis)
+        ]
+    elif ok_root:
+        contexts = [segment]
+    else:
+        return []
+    for step in rest:
+        next_contexts: list[XMLNode] = []
+        for context in contexts:
+            axis = "descendant" if step.double_slash and step.axis == "child" else step.axis
+            for node in XScan.axis(context, axis):
+                if XScan.test(node, step.test, step.axis):
+                    next_contexts.append(node)
+        contexts = next_contexts
+    return contexts

@@ -1,0 +1,26 @@
+"""Join graph isolation (paper Section 3).
+
+The rewriting engine moves the blocking operators — row rank ``%`` and
+duplicate elimination ``δ`` — into plan tail positions while pushing
+equi-joins down into the plan, until the plan separates into
+
+* a **plan tail** (serialize, one δ, one %, projections), and
+* a **join graph**: a bundle of references to the shared ``doc`` table
+  connected by conjunctive equality and range predicates, interleaved
+  only with pipelineable operators (π, σ, @).
+
+The rule set is paper Fig. 5, rules (1)–(19), driven by the plan
+properties of Tables 2–5.
+"""
+
+from repro.rewrite.engine import IsolationEngine, IsolationStats, isolate
+from repro.rewrite.joingraph import JoinGraph, extract_join_graph, is_join_graph
+
+__all__ = [
+    "IsolationEngine",
+    "IsolationStats",
+    "JoinGraph",
+    "extract_join_graph",
+    "is_join_graph",
+    "isolate",
+]

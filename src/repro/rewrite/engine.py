@@ -1,0 +1,192 @@
+"""Goal-directed driver for the join graph isolation rewrites.
+
+The paper prescribes an order on the three subgoals: house-cleaning
+whenever necessary, goal ρ (a single rank operator in the plan tail)
+before goal δ (tail duplicate elimination) and join push-down/removal.
+The driver mirrors this with three phases, each run to fixpoint:
+
+1. house-cleaning only (rules 1–8, 14, 15);
+2. + the rank rules (9–13);
+3. + δ introduction (16) and join push-down/removal (17–19).
+
+Termination is guaranteed by the rules themselves (each either removes
+an operator, restricts its arguments, or moves a join strictly
+downward / a rank strictly upward); a structural-fingerprint cycle
+check and a hard step budget guard against implementation slips.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.algebra.dagutils import (
+    all_nodes,
+    parents_map,
+    plan_fingerprint,
+    replace_node,
+    validate_plan,
+)
+from repro.algebra.ops import Operator, Serialize
+from repro.algebra.properties import infer_properties
+from repro.errors import RewriteError
+from repro.rewrite import rules as R
+from repro.rewrite.rules import RewriteContext
+
+Rule = Callable[[Operator, RewriteContext], Operator | None]
+
+#: house-cleaning: simplify or remove operators
+HOUSE_CLEANING: tuple[tuple[str, Rule], ...] = (
+    ("7b", R.rule_7b_drop_dangling_pairs),
+    ("2b", R.rule_2b_identity_project),
+    ("2", R.rule_2_merge_projects),
+    ("4", R.rule_4_attach_unreferenced),
+    ("5", R.rule_5_rank_unreferenced),
+    ("6", R.rule_6_rowid_unreferenced),
+    ("7", R.rule_7_project_restrict),
+    ("8", R.rule_8_rank_drop_const_order),
+    ("1", R.rule_1_cross_literal),
+    ("3", R.rule_3_const_join_to_cross),
+    ("3b", R.rule_3b_drop_const_conjuncts),
+    ("14", R.rule_14_distinct_redundant),
+    ("15", R.rule_15_distinct_drop_const),
+)
+
+#: goal ρ: establish a single rank operator in the plan tail
+RANK_GOAL: tuple[tuple[str, Rule], ...] = (
+    ("13", R.rule_13_rank_splice),
+    ("9", R.rule_9_rank_single_to_project),
+    ("10", R.rule_10_rank_pullup_unary),
+    ("11", R.rule_11_rank_pullup_project),
+    ("12", R.rule_12_rank_pullup_join),
+)
+
+#: goal δ + join push-down and removal
+JOIN_GOAL: tuple[tuple[str, Rule], ...] = (
+    ("16", R.rule_16_introduce_tail_distinct),
+    ("19", R.rule_19_collapse_key_selfjoin),
+    ("20", R.rule_20_provenance_selfjoin),
+    ("21", R.rule_21_rowid_join_translation),
+    ("17", R.rule_17_push_join_through_unary),
+    ("18", R.rule_18_push_join_through_join),
+)
+
+ALL_RULES: dict[str, Rule] = {
+    name: fn for name, fn in (*HOUSE_CLEANING, *RANK_GOAL, *JOIN_GOAL)
+}
+
+
+@dataclass
+class IsolationStats:
+    """How the isolation run went: per-rule application counts."""
+
+    applications: Counter = field(default_factory=Counter)
+    steps: int = 0
+    cycles_broken: int = 0
+
+    def total(self, *rule_names: str) -> int:
+        if not rule_names:
+            return sum(self.applications.values())
+        return sum(self.applications[n] for n in rule_names)
+
+
+class IsolationEngine:
+    """Applies the Fig. 5 rule set to a compiled plan.
+
+    Parameters
+    ----------
+    disabled:
+        Rule names (e.g. ``{"16", "17"}``) to leave out — used by the
+        ablation benchmarks.
+    max_steps:
+        Hard budget on rule applications (defensive; typical queries
+        need well under a thousand).
+    """
+
+    def __init__(self, disabled: set[str] | None = None, max_steps: int = 50_000):
+        self.disabled = disabled or set()
+        self.max_steps = max_steps
+
+    def isolate(self, root: Serialize) -> tuple[Serialize, IsolationStats]:
+        """Rewrite ``root`` into join-graph shape.  The input DAG is
+        mutated; the returned root is the place to continue from."""
+        stats = IsolationStats()
+        self._counter = [0]  # fresh-name counter, shared across steps
+        # Phase 3 searches the join-goal rules *before* the δ-removing
+        # house-cleaning rules (14)/(15): the key-join collapses (19)/(20)
+        # rely on candidate keys that the intermediate δs still certify;
+        # removing those δs first would strand the joins.
+        tidy = tuple(
+            (n, f) for n, f in HOUSE_CLEANING if n not in ("14", "15")
+        )
+        sweep = tuple((n, f) for n, f in HOUSE_CLEANING if n in ("14", "15"))
+        phases: list[Sequence[tuple[str, Rule]]] = [
+            HOUSE_CLEANING,
+            (*HOUSE_CLEANING, *RANK_GOAL),
+            (*tidy, *RANK_GOAL, *JOIN_GOAL, *sweep),
+        ]
+        for phase in phases:
+            active = [(n, f) for n, f in phase if n not in self.disabled]
+            root = self._run_phase(root, active, stats)
+        validate_plan(root)
+        return root, stats
+
+    def _run_phase(
+        self,
+        root: Serialize,
+        phase_rules: Sequence[tuple[str, Rule]],
+        stats: IsolationStats,
+    ) -> Serialize:
+        seen_fingerprints = {plan_fingerprint(root)}
+        while True:
+            if stats.steps > self.max_steps:
+                raise RewriteError(
+                    f"isolation exceeded {self.max_steps} rule applications"
+                )
+            applied = self._apply_one(root, phase_rules, stats)
+            if applied is None:
+                return root
+            root = applied
+            fp = plan_fingerprint(root)
+            if fp in seen_fingerprints:
+                stats.cycles_broken += 1
+                return root
+            seen_fingerprints.add(fp)
+
+    def _apply_one(
+        self,
+        root: Serialize,
+        phase_rules: Sequence[tuple[str, Rule]],
+        stats: IsolationStats,
+    ) -> Serialize | None:
+        ctx = RewriteContext(
+            root=root,
+            props=infer_properties(root),
+            parents=parents_map(root),
+            counter=self._counter,
+        )
+        nodes = all_nodes(root)
+        for name, rule in phase_rules:
+            # rule 16 introduces the tail δ: scan top-down so it lands
+            # at the topmost eligible join; everything else bottom-up.
+            scan = reversed(nodes) if name == "16" else iter(nodes)
+            for node in scan:
+                if node is root:
+                    continue
+                replacement = rule(node, ctx)
+                if replacement is not None and replacement is not node:
+                    stats.applications[name] += 1
+                    stats.steps += 1
+                    new_root = replace_node(root, node, replacement)
+                    assert isinstance(new_root, Serialize)
+                    return new_root
+        return None
+
+
+def isolate(
+    root: Serialize,
+    disabled: set[str] | None = None,
+) -> tuple[Serialize, IsolationStats]:
+    """Convenience wrapper: run join graph isolation on a compiled plan."""
+    return IsolationEngine(disabled=disabled).isolate(root)

@@ -1,0 +1,101 @@
+"""Join graph / plan tail separation of isolated plans.
+
+After isolation a plan should consist of a *tail* — the serialization
+point, at most one δ, at most one %, and projections — sitting on top
+of a *join graph*: joins, selections, projections and constant columns
+over the shared ``doc`` leaf (paper Fig. 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.algebra.dagutils import all_nodes
+from repro.algebra.ops import (
+    Attach,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+
+#: operators allowed inside the join graph (pipelineable)
+PIPELINEABLE = (Join, Cross, Select, Project, Attach, DocScan, LitTable)
+
+#: operators allowed in the plan tail
+TAIL_OPS = (Serialize, Distinct, Project, RowRank, Attach)
+
+
+@dataclass
+class JoinGraph:
+    """The split of an isolated plan into tail and graph regions."""
+
+    root: Serialize
+    tail: list[Operator]
+    graph_root: Operator
+
+    @property
+    def doc_references(self) -> int:
+        """Number of ``doc`` table references in the graph (a self-join
+        of n instances references doc from n places)."""
+        count = 0
+        doc_ids = {
+            id(n) for n in all_nodes(self.graph_root) if isinstance(n, DocScan)
+        }
+        for node in all_nodes(self.graph_root):
+            for child in node.children:
+                if id(child) in doc_ids:
+                    count += 1
+        return count
+
+    @property
+    def join_count(self) -> int:
+        return sum(
+            1 for n in all_nodes(self.graph_root) if isinstance(n, (Join, Cross))
+        )
+
+
+def extract_join_graph(root: Serialize) -> JoinGraph:
+    """Split an isolated plan into plan tail and join graph.
+
+    The tail is the maximal chain of Serialize / Distinct / Project /
+    RowRank / Attach operators from the root downwards; the node below
+    is the join graph root.
+    """
+    tail: list[Operator] = [root]
+    current: Operator = root.child
+    while isinstance(current, (Distinct, Project, RowRank, Attach)) and not isinstance(
+        current, (Join, Cross)
+    ):
+        # stop descending once the subtree is pure join-graph material —
+        # keep projections that still belong to the graph for the graph.
+        if isinstance(current, (Project, Attach)) and _is_graph_region(current):
+            break
+        tail.append(current)
+        current = current.children[0]
+    return JoinGraph(root=root, tail=tail, graph_root=current)
+
+
+def _is_graph_region(node: Operator) -> bool:
+    """True when the subplan below contains only pipelineable operators."""
+    return all(isinstance(n, PIPELINEABLE) for n in all_nodes(node))
+
+
+def is_join_graph(root: Serialize) -> bool:
+    """True when the plan separates into a clean tail + join graph:
+    no rank, row-id or duplicate elimination below the graph root, at
+    most one δ and one % in the tail."""
+    split = extract_join_graph(root)
+    if not _is_graph_region(split.graph_root):
+        return False
+    distincts = sum(1 for n in split.tail if isinstance(n, Distinct))
+    ranks = sum(1 for n in split.tail if isinstance(n, RowRank))
+    rowids = sum(1 for n in split.tail if isinstance(n, RowId))
+    return distincts <= 1 and ranks <= 1 and rowids == 0

@@ -1,0 +1,139 @@
+"""Stacked plan → SQL ``WITH`` chain (the pre-isolation baseline).
+
+Each operator of the compiled DAG becomes one common table expression;
+blocking operators surface as ``DISTINCT`` and
+``RANK() OVER (ORDER BY …)`` clauses — exactly the SQL shape the paper
+reports submitting to DB2 from the unrewritten compositional plans
+(Section 4, "the original stacked plan"), which yields the numerous
+SORT primitives of Table 9's *stacked* column.
+"""
+
+from __future__ import annotations
+
+from repro.algebra.dagutils import all_nodes
+from repro.algebra.ops import (
+    Attach,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Operator,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+)
+from repro.errors import CodegenError
+from repro.sql.codegen import SQLQuery, _render_value
+
+
+def generate_stacked_sql(root: Serialize) -> SQLQuery:
+    """Render a (typically un-isolated) plan as a CTE chain."""
+    names: dict[int, str] = {}
+    ctes: list[str] = []
+
+    def name_of(node: Operator) -> str:
+        return names[id(node)]
+
+    body_of_root = None
+    for node in all_nodes(root):  # post-order: children first
+        if isinstance(node, DocScan):
+            names[id(node)] = "doc"
+            continue
+        cte_name = f"t{len(ctes) + 1}"
+        body = _render_operator(node, name_of)
+        if isinstance(node, Serialize):
+            body_of_root = body
+            continue
+        names[id(node)] = cte_name
+        ctes.append(f"{cte_name} AS (\n{body}\n)")
+
+    if body_of_root is None:
+        raise CodegenError("plan has no serialize root")
+    text = ("WITH " + ",\n".join(ctes) + "\n" if ctes else "") + body_of_root
+    return SQLQuery(
+        text=text,
+        select_aliases=["pos", "item"],
+        item_alias="item",
+        doc_instances=0,
+        distinct=False,
+        order_by=["pos", "item"],
+    )
+
+
+def _cols_list(cols: tuple[str, ...], prefix: str = "") -> str:
+    return ", ".join(f"{prefix}{c}" for c in cols)
+
+
+def _render_operator(node: Operator, name_of) -> str:
+    if isinstance(node, LitTable):
+        if not node.rows:
+            nulls = ", ".join(f"NULL AS {c}" for c in node.names)
+            return f"  SELECT {nulls} WHERE 1 = 0"
+        selects = []
+        for row in node.rows:
+            items = ", ".join(
+                f"{_render_value(v)} AS {c}" for c, v in zip(node.names, row)
+            )
+            selects.append(f"  SELECT {items}")
+        return "\n  UNION ALL\n".join(selects)
+
+    if isinstance(node, Project):
+        child = name_of(node.child)
+        cols = ", ".join(
+            (old if new == old else f"{old} AS {new}") for new, old in node.cols
+        )
+        return f"  SELECT {cols} FROM {child}"
+
+    if isinstance(node, Select):
+        child = name_of(node.child)
+        where = node.pred.to_sql(lambda c: c)
+        return f"  SELECT {_cols_list(node.columns)} FROM {child} WHERE {where}"
+
+    if isinstance(node, (Join, Cross)):
+        left, right = name_of(node.children[0]), name_of(node.children[1])
+        left_cols = ", ".join(f"l.{c}" for c in node.children[0].columns)
+        right_cols = ", ".join(f"r.{c}" for c in node.children[1].columns)
+        lines = f"  SELECT {left_cols}, {right_cols}\n  FROM {left} AS l, {right} AS r"
+        if isinstance(node, Join):
+            side = {c: "l" for c in node.children[0].columns}
+            side.update({c: "r" for c in node.children[1].columns})
+            where = node.pred.to_sql(lambda c: f"{side[c]}.{c}")
+            lines += f"\n  WHERE {where}"
+        return lines
+
+    if isinstance(node, Distinct):
+        child = name_of(node.child)
+        return f"  SELECT DISTINCT {_cols_list(node.columns)} FROM {child}"
+
+    if isinstance(node, Attach):
+        child = name_of(node.child)
+        cols = _cols_list(node.child.columns)
+        return f"  SELECT {cols}, {_render_value(node.value)} AS {node.col} FROM {child}"
+
+    if isinstance(node, RowId):
+        child = name_of(node.child)
+        cols = _cols_list(node.child.columns)
+        return (
+            f"  SELECT {cols}, ROW_NUMBER() OVER () AS {node.col} FROM {child}"
+        )
+
+    if isinstance(node, RowRank):
+        child = name_of(node.child)
+        cols = _cols_list(node.child.columns)
+        order = ", ".join(node.order)
+        return (
+            f"  SELECT {cols}, RANK() OVER (ORDER BY {order}) AS {node.col} "
+            f"FROM {child}"
+        )
+
+    if isinstance(node, Serialize):
+        child = name_of(node.children[0])
+        return (
+            f"SELECT {node.pos} AS pos, {node.item} AS item FROM {child}\n"
+            f"ORDER BY {node.pos}, {node.item}"
+        )
+
+    raise CodegenError(f"cannot render {node.label()} as SQL")

@@ -1,0 +1,22 @@
+"""Benchmark workloads: scalable XMark- and DBLP-like document
+generators plus the paper's query set (Q1, Q2 of Sections 2.4/4 and
+Q3–Q6 of Table 8)."""
+
+from repro.workloads.xmark import XMarkConfig, generate_xmark
+from repro.workloads.dblp import DBLPConfig, generate_dblp
+from repro.workloads.queries import PAPER_QUERIES, PaperQuery
+from repro.workloads.tpox import TPOX_QUERIES, TPoXConfig, generate_tpox
+from repro.workloads.xmark_queries import XMARK_QUERIES
+
+__all__ = [
+    "DBLPConfig",
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "TPOX_QUERIES",
+    "TPoXConfig",
+    "XMARK_QUERIES",
+    "XMarkConfig",
+    "generate_dblp",
+    "generate_tpox",
+    "generate_xmark",
+]

@@ -1,0 +1,134 @@
+"""Deterministic DBLP-like bibliography document generator.
+
+Mirrors the shape of Michael Ley's DBLP XML that the paper's Table 8
+queries Q5 and Q6 run against: a flat ``dblp`` root with publication
+elements (``inproceedings``, ``article``, ``phdthesis``,
+``proceedings``) carrying ``@key`` attributes, authors/editors, titles
+and textual years.  The special ``conf/vldb2001`` proceedings entry
+that Q5 looks up is always present.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmltree.model import DocumentNode, ElementNode, TextNode
+
+_SURNAMES = (
+    "Grust Mayr Rittinger Teubner Boncz Kersten Manegold Keulen Sakr "
+    "Chamberlin Codd Gray Stonebraker Selinger Astrahan Lorie Price"
+).split()
+_TITLE_WORDS = (
+    "relational query processing xml database efficient evaluation "
+    "join optimization tree pattern algebra streams indexing adaptive "
+    "purely compositional order duplicate semantics engine"
+).split()
+_VENUES = ("VLDB", "SIGMOD", "ICDE", "EDBT", "CIDR", "TODS")
+
+
+@dataclass
+class DBLPConfig:
+    """Publication counts, expressed through one scale ``factor``.
+
+    At ``factor=1.0`` the instance approximates the ~1M-publication
+    DBLP snapshot of the paper; defaults are laptop-sized.
+    """
+
+    factor: float = 0.002
+    seed: int = 7
+
+    @property
+    def inproceedings(self) -> int:
+        return max(10, int(530_000 * self.factor))
+
+    @property
+    def articles(self) -> int:
+        return max(10, int(380_000 * self.factor))
+
+    @property
+    def theses(self) -> int:
+        return max(8, int(6_000 * self.factor))
+
+    @property
+    def proceedings(self) -> int:
+        return max(4, int(14_000 * self.factor))
+
+
+def _elem(tag: str, text: str | None = None, **attrs: str) -> ElementNode:
+    element = ElementNode(tag)
+    for name, value in attrs.items():
+        element.set_attribute(name, value)
+    if text is not None:
+        element.append(TextNode(text))
+    return element
+
+
+def _title(rng: random.Random) -> str:
+    return " ".join(rng.choice(_TITLE_WORDS) for _ in range(5)).capitalize()
+
+
+def _author(rng: random.Random) -> str:
+    return f"{rng.choice('ABCDEFGHJKLMPRST')}. {rng.choice(_SURNAMES)}"
+
+
+def generate_dblp(config: DBLPConfig | None = None, uri: str = "dblp.xml") -> DocumentNode:
+    """Build a DBLP-like bibliography tree."""
+    cfg = config or DBLPConfig()
+    rng = random.Random(cfg.seed)
+    dblp = ElementNode("dblp")
+
+    # the proceedings entry Q5 looks up, with editor and title present
+    vldb2001 = _elem("proceedings", key="conf/vldb2001")
+    vldb2001.append(_elem("editor", "P. M. G. Apers"))
+    vldb2001.append(_elem("editor", "P. Atzeni"))
+    vldb2001.append(
+        _elem("title", "VLDB 2001, Proceedings of 27th International "
+                       "Conference on Very Large Data Bases")
+    )
+    vldb2001.append(_elem("year", "2001"))
+    dblp.append(vldb2001)
+
+    for i in range(cfg.proceedings):
+        venue = rng.choice(_VENUES)
+        year = rng.randint(1975, 2009)
+        entry = _elem("proceedings", key=f"conf/{venue.lower()}{year}-{i}")
+        if rng.random() < 0.9:
+            entry.append(_elem("editor", _author(rng)))
+        entry.append(_elem("title", f"{venue} {year} Proceedings"))
+        entry.append(_elem("year", str(year)))
+        dblp.append(entry)
+
+    for i in range(cfg.inproceedings):
+        year = rng.randint(1975, 2009)
+        entry = _elem("inproceedings", key=f"conf/c{i}")
+        for _ in range(rng.randint(1, 3)):
+            entry.append(_elem("author", _author(rng)))
+        entry.append(_elem("title", _title(rng)))
+        entry.append(_elem("year", str(year)))
+        entry.append(_elem("booktitle", rng.choice(_VENUES)))
+        entry.append(_elem("pages", f"{rng.randint(1, 400)}-{rng.randint(401, 500)}"))
+        dblp.append(entry)
+
+    for i in range(cfg.articles):
+        year = rng.randint(1975, 2009)
+        entry = _elem("article", key=f"journals/j{i}")
+        for _ in range(rng.randint(1, 3)):
+            entry.append(_elem("author", _author(rng)))
+        entry.append(_elem("title", _title(rng)))
+        entry.append(_elem("year", str(year)))
+        entry.append(_elem("journal", rng.choice(("TODS", "VLDB J.", "SIGMOD Rec."))))
+        dblp.append(entry)
+
+    for i in range(cfg.theses):
+        year = rng.randint(1980, 2009)  # some strictly before 1994 (Q6)
+        entry = _elem("phdthesis", key=f"phd/t{i}")
+        entry.append(_elem("author", _author(rng)))
+        entry.append(_elem("title", _title(rng)))
+        entry.append(_elem("year", str(year)))
+        entry.append(_elem("school", "Universität Tübingen"))
+        dblp.append(entry)
+
+    document = DocumentNode(uri)
+    document.append(dblp)
+    return document

@@ -1,0 +1,177 @@
+"""TPoX-like transaction-processing workload (paper [17]).
+
+The paper reports query execution improvements "for popular XQuery
+benchmarks, e.g., XMark or the query section of TPoX".  TPoX models a
+financial brokerage: customer/account documents, orders, and security
+descriptions.  This generator produces one document per collection
+(hosted together in one store), and :data:`TPOX_QUERIES` lists the
+TPoX query-section workloads expressible in the workhorse fragment —
+point lookups by id/symbol, range scans over prices, and
+account/holding joins.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.workloads.queries import PaperQuery
+from repro.xmltree.model import DocumentNode, ElementNode, TextNode
+
+_SECTORS = ("Energy", "Finance", "Technology", "Utilities", "Healthcare")
+_NAMES = (
+    "Amber Bates Chan Dietz Evans Fox Gupta Hart Ibanez Jones Katz "
+    "Lopez Mori Nolan Ochoa Patel Quinn Ross Shaw Tran"
+).split()
+
+
+@dataclass
+class TPoXConfig:
+    """Collection sizes, expressed through one scale ``factor``.
+
+    At ``factor=1.0`` the counts approximate TPoX scale XS
+    (50k customers / 500k orders / 20k securities).
+    """
+
+    factor: float = 0.001
+    seed: int = 13
+
+    @property
+    def customers(self) -> int:
+        return max(5, int(50_000 * self.factor))
+
+    @property
+    def orders(self) -> int:
+        return max(10, int(500_000 * self.factor))
+
+    @property
+    def securities(self) -> int:
+        return max(5, int(20_000 * self.factor))
+
+
+def _elem(tag: str, text: str | None = None, **attrs: str) -> ElementNode:
+    element = ElementNode(tag)
+    for name, value in attrs.items():
+        element.set_attribute(name, value)
+    if text is not None:
+        element.append(TextNode(text))
+    return element
+
+
+def generate_tpox(
+    config: TPoXConfig | None = None,
+) -> dict[str, DocumentNode]:
+    """Build the three TPoX collections as one document each:
+    ``custacc.xml``, ``order.xml``, ``security.xml``."""
+    cfg = config or TPoXConfig()
+    rng = random.Random(cfg.seed)
+
+    # -- securities ---------------------------------------------------
+    securities = ElementNode("securities")
+    symbols = []
+    for i in range(cfg.securities):
+        symbol = f"SYM{i:04d}"
+        symbols.append(symbol)
+        security = _elem("security", id=f"sec{i}")
+        security.append(_elem("symbol", symbol))
+        security.append(_elem("name", f"{rng.choice(_NAMES)} Industries"))
+        security.append(_elem("sector", rng.choice(_SECTORS)))
+        price = _elem("price")
+        price.append(_elem("lastTrade", f"{rng.uniform(2, 900):.2f}"))
+        price.append(_elem("open", f"{rng.uniform(2, 900):.2f}"))
+        security.append(price)
+        securities.append(security)
+
+    # -- customers with accounts and holdings --------------------------
+    customers = ElementNode("customers")
+    account_ids = []
+    for i in range(cfg.customers):
+        customer = _elem("customer", id=f"cust{i}")
+        name = _elem("name")
+        name.append(_elem("first", rng.choice(_NAMES)))
+        name.append(_elem("last", rng.choice(_NAMES)))
+        customer.append(name)
+        customer.append(
+            _elem("nationality", rng.choice(("US", "DE", "NL", "JP")))
+        )
+        for j in range(rng.randint(1, 2)):
+            account_id = f"acct{i}-{j}"
+            account_ids.append(account_id)
+            account = _elem("account", id=account_id)
+            account.append(_elem("balance", f"{rng.uniform(0, 90000):.2f}"))
+            account.append(_elem("currency", "USD"))
+            for _ in range(rng.randint(0, 3)):
+                holding = _elem("holding", symbol=rng.choice(symbols))
+                holding.append(_elem("quantity", str(rng.randint(1, 500))))
+                account.append(holding)
+            customer.append(account)
+        customers.append(customer)
+
+    # -- orders ----------------------------------------------------------
+    orders = ElementNode("orders")
+    for i in range(cfg.orders):
+        order = _elem("order", id=f"ord{i}")
+        order.append(_elem("account", rng.choice(account_ids)))
+        order.append(_elem("symbol", rng.choice(symbols)))
+        order.append(_elem("type", rng.choice(("buy", "sell"))))
+        order.append(_elem("quantity", str(rng.randint(1, 1000))))
+        order.append(_elem("limit", f"{rng.uniform(1, 950):.2f}"))
+        orders.append(order)
+
+    out = {}
+    for uri, root in (
+        ("custacc.xml", customers),
+        ("order.xml", orders),
+        ("security.xml", securities),
+    ):
+        document = DocumentNode(uri)
+        document.append(root)
+        out[uri] = document
+    return out
+
+
+#: TPoX query-section workloads expressible in the workhorse fragment
+TPOX_QUERIES: dict[str, PaperQuery] = {
+    "T1": PaperQuery(
+        name="T1",
+        document="tpox",
+        text='doc("custacc.xml")//customer[@id = "cust1"]/name/last',
+        description="TPoX get_cust_profile: customer point lookup",
+    ),
+    "T2": PaperQuery(
+        name="T2",
+        document="tpox",
+        text='doc("security.xml")//security[symbol = "SYM0002"]/price/lastTrade',
+        description="TPoX get_security_price: symbol point lookup",
+    ),
+    "T3": PaperQuery(
+        name="T3",
+        document="tpox",
+        text='doc("security.xml")//security[price/lastTrade > 800]/symbol',
+        description="TPoX search_securities: price range scan",
+    ),
+    "T4": PaperQuery(
+        name="T4",
+        document="tpox",
+        text="""
+            for $o in doc("order.xml")//order,
+                $s in doc("security.xml")//security
+            where $o/symbol = $s/symbol and $s/sector = "Energy"
+            return $o/@id
+        """,
+        description="TPoX order/security join restricted to a sector",
+    ),
+    "T5": PaperQuery(
+        name="T5",
+        document="tpox",
+        text="""
+            for $c in doc("custacc.xml")//customer,
+                $h in $c/account/holding,
+                $s in doc("security.xml")//security
+            where $h/@symbol = $s/symbol and $s/price/lastTrade > 800
+            return $c/name/last
+        """,
+        description="TPoX customers holding expensive securities "
+        "(cross-document value join)",
+    ),
+}

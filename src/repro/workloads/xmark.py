@@ -1,0 +1,194 @@
+"""Deterministic XMark-like auction document generator.
+
+Follows the structure of the XMark benchmark documents [22] that the
+paper's experiments query (Q1–Q4): a ``site`` with regions/items,
+categories, people, open auctions (with 0–n bidders) and closed
+auctions whose ``itemref/@item`` and ``incategory/@category``
+attributes realize the value-based joins of Q2.
+
+At ``factor=1.0`` the entity counts match the original XMark scale-1
+instance the paper used (21750 items, 12000 open / 9750 closed
+auctions, 1000 categories, 25500 persons — a ~110 MB document).  The
+default factor is far smaller; the *ratios* (and hence all plan-shape
+and crossover behaviour) are preserved at any scale.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmltree.model import DocumentNode, ElementNode, TextNode
+
+_WORDS = (
+    "gently impressed provident officer yourselves unmatched despair "
+    "sorrow campaign preserver honour moonlight gondola grievance "
+    "assembly athenian merchant purse ducats bond flesh venice rialto "
+    "tribunal magnifico argosies quietly"
+).split()
+
+_REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+
+@dataclass
+class XMarkConfig:
+    """Entity counts, expressed through one scale ``factor``."""
+
+    factor: float = 0.01
+    seed: int = 42
+
+    @property
+    def items(self) -> int:
+        return max(6, int(21750 * self.factor))
+
+    @property
+    def categories(self) -> int:
+        return max(3, int(1000 * self.factor))
+
+    @property
+    def persons(self) -> int:
+        return max(3, int(25500 * self.factor))
+
+    @property
+    def open_auctions(self) -> int:
+        return max(4, int(12000 * self.factor))
+
+    @property
+    def closed_auctions(self) -> int:
+        return max(4, int(9750 * self.factor))
+
+
+def _text(rng: random.Random, n_words: int) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(n_words))
+
+
+def _elem(tag: str, text: str | None = None, **attrs: str) -> ElementNode:
+    element = ElementNode(tag)
+    for name, value in attrs.items():
+        element.set_attribute(name, value)
+    if text is not None:
+        element.append(TextNode(text))
+    return element
+
+
+def generate_xmark(
+    config: XMarkConfig | None = None, uri: str = "auction.xml"
+) -> DocumentNode:
+    """Build an XMark-like auction document tree."""
+    cfg = config or XMarkConfig()
+    rng = random.Random(cfg.seed)
+    site = ElementNode("site")
+
+    # -- regions / items -------------------------------------------------
+    regions = _elem("regions")
+    site.append(regions)
+    region_elems = {}
+    for region in _REGIONS:
+        region_elems[region] = _elem(region)
+        regions.append(region_elems[region])
+    for i in range(cfg.items):
+        item = _elem("item", id=f"item{i}")
+        item.append(_elem("location", _text(rng, 2)))
+        item.append(_elem("quantity", str(rng.randint(1, 5))))
+        item.append(_elem("name", _text(rng, 3)))
+        payment = _elem("payment", "Creditcard")
+        item.append(payment)
+        description = _elem("description")
+        description.append(_elem("text", _text(rng, 12)))
+        item.append(description)
+        for category in sorted(
+            rng.sample(range(cfg.categories), rng.randint(1, 2))
+        ):
+            item.append(
+                _elem("incategory", category=f"category{category}")
+            )
+        region_elems[rng.choice(_REGIONS)].append(item)
+
+    # -- categories --------------------------------------------------------
+    categories = _elem("categories")
+    site.append(categories)
+    for i in range(cfg.categories):
+        category = _elem("category", id=f"category{i}")
+        category.append(_elem("name", _text(rng, 2)))
+        description = _elem("description")
+        description.append(_elem("text", _text(rng, 8)))
+        category.append(description)
+        categories.append(category)
+
+    # -- people --------------------------------------------------------------
+    people = _elem("people")
+    site.append(people)
+    for i in range(cfg.persons):
+        person = _elem("person", id=f"person{i}")
+        person.append(_elem("name", _text(rng, 2)))
+        person.append(_elem("emailaddress", f"mailto:person{i}@example.org"))
+        if rng.random() < 0.5:
+            person.append(_elem("phone", f"+{rng.randint(1, 99)} {rng.randint(100, 999)}"))
+        if rng.random() < 0.3:
+            address = _elem("address")
+            address.append(_elem("street", _text(rng, 2)))
+            address.append(_elem("city", _text(rng, 1)))
+            address.append(_elem("country", "United States"))
+            person.append(address)
+        people.append(person)
+
+    # -- open auctions (Q1: some have bidders, some do not) -----------------
+    open_auctions = _elem("open_auctions")
+    site.append(open_auctions)
+    for i in range(cfg.open_auctions):
+        auction = _elem("open_auction", id=f"open_auction{i}")
+        auction.append(
+            _elem("initial", f"{rng.uniform(1, 300):.2f}")
+        )
+        n_bidders = rng.choice((0, 0, 1, 1, 2, 3))  # ~1/3 without bidders
+        for b in range(n_bidders):
+            bidder = _elem("bidder")
+            bidder.append(_elem("date", f"{rng.randint(1, 28):02d}/07/2000"))
+            bidder.append(_elem("time", f"{rng.randint(0, 23):02d}:{rng.randint(0, 59):02d}"))
+            bidder.append(
+                _elem("personref", person=f"person{rng.randrange(cfg.persons)}")
+            )
+            bidder.append(_elem("increase", f"{rng.uniform(1, 30):.2f}"))
+            auction.append(bidder)
+        auction.append(_elem("current", f"{rng.uniform(1, 400):.2f}"))
+        auction.append(
+            _elem("itemref", item=f"item{rng.randrange(cfg.items)}")
+        )
+        auction.append(
+            _elem("seller", person=f"person{rng.randrange(cfg.persons)}")
+        )
+        auction.append(_elem("quantity", "1"))
+        auction.append(_elem("type", "Regular"))
+        open_auctions.append(auction)
+
+    # -- closed auctions (Q2/Q4: price, itemref; ~5% of prices > 500) -------
+    closed_auctions = _elem("closed_auctions")
+    site.append(closed_auctions)
+    for i in range(cfg.closed_auctions):
+        auction = _elem("closed_auction")
+        auction.append(
+            _elem("seller", person=f"person{rng.randrange(cfg.persons)}")
+        )
+        auction.append(
+            _elem("buyer", person=f"person{rng.randrange(cfg.persons)}")
+        )
+        auction.append(
+            _elem("itemref", item=f"item{rng.randrange(cfg.items)}")
+        )
+        if rng.random() < 0.05:
+            price = rng.uniform(500.01, 4000)
+        else:
+            price = rng.uniform(1, 500)
+        auction.append(_elem("price", f"{price:.2f}"))
+        auction.append(_elem("date", f"{rng.randint(1, 28):02d}/06/2000"))
+        auction.append(_elem("quantity", "1"))
+        annotation = _elem("annotation")
+        description = _elem("description")
+        description.append(_elem("text", _text(rng, 6)))
+        annotation.append(description)
+        auction.append(annotation)
+        closed_auctions.append(auction)
+
+    document = DocumentNode(uri)
+    document.append(site)
+    return document

@@ -1,0 +1,37 @@
+"""Minimal, dependency-free XML substrate.
+
+This package provides the XML document model the paper's tabular infoset
+encoding (Fig. 2) is built on: a tree of documents, elements, attributes,
+text nodes, comments and processing instructions, together with a
+hand-written well-formedness-checking parser and a serializer.
+
+The model intentionally ignores namespaces beyond carrying prefixed QNames
+verbatim — the paper's ``doc`` encoding stores tag names as opaque strings.
+"""
+
+from repro.xmltree.model import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    NodeKind,
+    PINode,
+    TextNode,
+    XMLNode,
+)
+from repro.xmltree.parser import parse_document, parse_fragment
+from repro.xmltree.serializer import serialize
+
+__all__ = [
+    "AttributeNode",
+    "CommentNode",
+    "DocumentNode",
+    "ElementNode",
+    "NodeKind",
+    "PINode",
+    "TextNode",
+    "XMLNode",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+]

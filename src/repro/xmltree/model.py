@@ -1,0 +1,214 @@
+"""XML tree model.
+
+The node kinds mirror the ``kind`` column of the paper's tabular infoset
+encoding (Fig. 2): DOC, ELEM, ATTR, TEXT plus COMMENT and PI for
+completeness.  Attributes are first-class nodes (they occupy rows of the
+``doc`` table immediately after their owner element), hence
+:class:`AttributeNode` lives in the same hierarchy as the other nodes.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import Iterator
+
+
+class NodeKind(IntEnum):
+    """Node kind codes as stored in the ``kind`` column of table ``doc``."""
+
+    DOC = 0
+    ELEM = 1
+    ATTR = 2
+    TEXT = 3
+    COMMENT = 4
+    PI = 5
+
+
+class XMLNode:
+    """Base class of all tree nodes.
+
+    Attributes
+    ----------
+    parent:
+        Owning node, or ``None`` for a document root.
+    """
+
+    kind: NodeKind
+
+    __slots__ = ("parent",)
+
+    def __init__(self) -> None:
+        self.parent: XMLNode | None = None
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def children(self) -> list["XMLNode"]:
+        """Child nodes in document order (attributes are *not* children)."""
+        return []
+
+    def iter_subtree(self) -> Iterator["XMLNode"]:
+        """Yield this node and its entire subtree in document order.
+
+        Attributes of an element are yielded directly after the element,
+        before its children — exactly the order in which the infoset
+        shredder assigns ``pre`` ranks (Fig. 2).
+        """
+        yield self
+        if isinstance(self, ElementNode):
+            yield from self.attributes
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def string_value(self) -> str:
+        """XPath string value: concatenation of descendant text."""
+        return ""
+
+    def subtree_node_count(self) -> int:
+        """Number of nodes strictly below this node (the ``size`` column)."""
+        return sum(1 for _ in self.iter_subtree()) - 1
+
+
+class DocumentNode(XMLNode):
+    """Document root node; ``name`` carries the document URI."""
+
+    kind = NodeKind.DOC
+    __slots__ = ("uri", "_children")
+
+    def __init__(self, uri: str = ""):
+        super().__init__()
+        self.uri = uri
+        self._children: list[XMLNode] = []
+
+    @property
+    def children(self) -> list[XMLNode]:
+        return self._children
+
+    def append(self, child: XMLNode) -> None:
+        child.parent = self
+        self._children.append(child)
+
+    @property
+    def root_element(self) -> "ElementNode":
+        """The single element child of the document."""
+        for child in self._children:
+            if isinstance(child, ElementNode):
+                return child
+        raise ValueError("document has no root element")
+
+    def string_value(self) -> str:
+        return "".join(c.string_value() for c in self._children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DocumentNode(uri={self.uri!r})"
+
+
+class ElementNode(XMLNode):
+    """Element node with an ordered attribute list and child list."""
+
+    kind = NodeKind.ELEM
+    __slots__ = ("tag", "attributes", "_children")
+
+    def __init__(self, tag: str):
+        super().__init__()
+        self.tag = tag
+        self.attributes: list[AttributeNode] = []
+        self._children: list[XMLNode] = []
+
+    @property
+    def children(self) -> list[XMLNode]:
+        return self._children
+
+    def append(self, child: XMLNode) -> None:
+        child.parent = self
+        self._children.append(child)
+
+    def set_attribute(self, name: str, value: str) -> "AttributeNode":
+        attr = AttributeNode(name, value)
+        attr.parent = self
+        self.attributes.append(attr)
+        return attr
+
+    def get_attribute(self, name: str) -> str | None:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr.value
+        return None
+
+    def find_all(self, tag: str) -> list["ElementNode"]:
+        """All descendant elements with the given tag, document order."""
+        return [
+            n
+            for n in self.iter_subtree()
+            if isinstance(n, ElementNode) and n is not self and n.tag == tag
+        ]
+
+    def string_value(self) -> str:
+        return "".join(c.string_value() for c in self._children)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ElementNode(tag={self.tag!r})"
+
+
+class AttributeNode(XMLNode):
+    """Attribute node.  ``string_value`` is the attribute value."""
+
+    kind = NodeKind.ATTR
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: str):
+        super().__init__()
+        self.name = name
+        self.value = value
+
+    def string_value(self) -> str:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AttributeNode({self.name!r}={self.value!r})"
+
+
+class TextNode(XMLNode):
+    """Character data node."""
+
+    kind = NodeKind.TEXT
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = text
+
+    def string_value(self) -> str:
+        return self.text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TextNode({self.text!r})"
+
+
+class CommentNode(XMLNode):
+    """Comment node; excluded from element string values."""
+
+    kind = NodeKind.COMMENT
+    __slots__ = ("text",)
+
+    def __init__(self, text: str):
+        super().__init__()
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CommentNode({self.text!r})"
+
+
+class PINode(XMLNode):
+    """Processing-instruction node."""
+
+    kind = NodeKind.PI
+    __slots__ = ("target", "text")
+
+    def __init__(self, target: str, text: str):
+        super().__init__()
+        self.target = target
+        self.text = text
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PINode({self.target!r})"

@@ -1,0 +1,279 @@
+"""Hand-written, well-formedness-checking XML parser.
+
+Supports the XML subset needed by the paper's workloads: elements,
+attributes (single or double quoted), character data with the five
+predefined entities plus numeric character references, CDATA sections,
+comments, processing instructions, and an optional XML declaration /
+DOCTYPE which are skipped.  Namespaces are not resolved; prefixed names
+are kept verbatim (the tabular encoding stores tag names as strings).
+
+By default whitespace-only text nodes between elements are dropped —
+this matches how XML benchmark documents (XMark, DBLP) are shredded, and
+keeps node counts meaningful.  Pass ``keep_whitespace=True`` to retain
+them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XMLParseError
+from repro.xmltree.model import (
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    PINode,
+    TextNode,
+)
+
+_PREDEFINED_ENTITIES = {
+    "lt": "<",
+    "gt": ">",
+    "amp": "&",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_:")
+_NAME_CHARS = _NAME_START | set("0123456789.-")
+
+
+class _Scanner:
+    """Character-level scanner with line/column tracking for errors."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def error(self, message: str) -> XMLParseError:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return XMLParseError(message, line, column)
+
+    def at_end(self) -> bool:
+        return self.pos >= self.length
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.length else ""
+
+    def startswith(self, prefix: str) -> bool:
+        return self.text.startswith(prefix, self.pos)
+
+    def advance(self, count: int = 1) -> None:
+        self.pos += count
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.length and self.text[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def expect(self, literal: str) -> None:
+        if not self.startswith(literal):
+            raise self.error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def read_name(self) -> str:
+        start = self.pos
+        if self.pos >= self.length or self.text[self.pos] not in _NAME_START:
+            raise self.error("expected XML name")
+        self.pos += 1
+        while self.pos < self.length and self.text[self.pos] in _NAME_CHARS:
+            self.pos += 1
+        return self.text[start : self.pos]
+
+    def read_until(self, terminator: str, what: str) -> str:
+        end = self.text.find(terminator, self.pos)
+        if end < 0:
+            raise self.error(f"unterminated {what}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(terminator)
+        return chunk
+
+
+def _decode_entities(raw: str, scanner: _Scanner) -> str:
+    """Replace entity and character references in ``raw``."""
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    i = 0
+    while i < len(raw):
+        ch = raw[i]
+        if ch != "&":
+            out.append(ch)
+            i += 1
+            continue
+        end = raw.find(";", i)
+        if end < 0:
+            raise scanner.error("unterminated entity reference")
+        entity = raw[i + 1 : end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:])))
+        elif entity in _PREDEFINED_ENTITIES:
+            out.append(_PREDEFINED_ENTITIES[entity])
+        else:
+            raise scanner.error(f"unknown entity &{entity};")
+        i = end + 1
+    return "".join(out)
+
+
+def _parse_attributes(scanner: _Scanner, element: ElementNode) -> None:
+    """Parse ``name="value"`` pairs up to (but excluding) ``>`` or ``/>``."""
+    seen: set[str] = set()
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch in (">", "/") or ch == "":
+            return
+        name = scanner.read_name()
+        if name in seen:
+            raise scanner.error(f"duplicate attribute {name!r}")
+        seen.add(name)
+        scanner.skip_whitespace()
+        scanner.expect("=")
+        scanner.skip_whitespace()
+        quote = scanner.peek()
+        if quote not in ("'", '"'):
+            raise scanner.error("attribute value must be quoted")
+        scanner.advance()
+        raw = scanner.read_until(quote, "attribute value")
+        element.set_attribute(name, _decode_entities(raw, scanner))
+
+
+def _parse_content(
+    scanner: _Scanner, parent: ElementNode | DocumentNode, keep_whitespace: bool
+) -> None:
+    """Parse element content until the parent's end tag (or end of input
+    for document-level content)."""
+    is_document = isinstance(parent, DocumentNode)
+    text_parts: list[str] = []
+
+    def flush_text() -> None:
+        if not text_parts:
+            return
+        text = "".join(text_parts)
+        text_parts.clear()
+        if not keep_whitespace and not text.strip():
+            return
+        if is_document:
+            if text.strip():
+                raise scanner.error("character data outside root element")
+            return
+        parent.append(TextNode(text))
+
+    while not scanner.at_end():
+        if scanner.startswith("</"):
+            flush_text()
+            if is_document:
+                raise scanner.error("unexpected end tag at document level")
+            scanner.advance(2)
+            name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect(">")
+            if name != parent.tag:
+                raise scanner.error(
+                    f"mismatched end tag </{name}> for <{parent.tag}>"
+                )
+            return
+        if scanner.startswith("<!--"):
+            flush_text()
+            scanner.advance(4)
+            comment = scanner.read_until("-->", "comment")
+            parent.append(CommentNode(comment))
+            continue
+        if scanner.startswith("<![CDATA["):
+            scanner.advance(9)
+            text_parts.append(scanner.read_until("]]>", "CDATA section"))
+            continue
+        if scanner.startswith("<?"):
+            flush_text()
+            scanner.advance(2)
+            target = scanner.read_name()
+            body = scanner.read_until("?>", "processing instruction").lstrip()
+            if target.lower() != "xml":  # skip the XML declaration
+                parent.append(PINode(target, body))
+            continue
+        if scanner.startswith("<!DOCTYPE"):
+            flush_text()
+            _skip_doctype(scanner)
+            continue
+        if scanner.peek() == "<":
+            flush_text()
+            scanner.advance()
+            tag = scanner.read_name()
+            element = ElementNode(tag)
+            _parse_attributes(scanner, element)
+            if scanner.startswith("/>"):
+                scanner.advance(2)
+                parent.append(element)
+                continue
+            scanner.expect(">")
+            parent.append(element)
+            _parse_content(scanner, element, keep_whitespace)
+            continue
+        # character data
+        start = scanner.pos
+        next_markup = scanner.text.find("<", start)
+        if next_markup < 0:
+            next_markup = scanner.length
+        raw = scanner.text[start:next_markup]
+        scanner.pos = next_markup
+        text_parts.append(_decode_entities(raw, scanner))
+
+    flush_text()
+    if not is_document:
+        raise scanner.error(f"unterminated element <{parent.tag}>")
+
+
+def _skip_doctype(scanner: _Scanner) -> None:
+    """Skip a DOCTYPE declaration, including an internal subset."""
+    depth = 0
+    while not scanner.at_end():
+        ch = scanner.peek()
+        scanner.advance()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return
+    raise scanner.error("unterminated DOCTYPE")
+
+
+def parse_document(text: str, uri: str = "", keep_whitespace: bool = False) -> DocumentNode:
+    """Parse a complete XML document.
+
+    Parameters
+    ----------
+    text:
+        The XML document text.
+    uri:
+        Document URI recorded on the :class:`DocumentNode` (the ``name``
+        column of the DOC row in table ``doc``).
+    keep_whitespace:
+        Retain whitespace-only text nodes between elements.
+
+    Returns
+    -------
+    DocumentNode
+        The parsed document tree.
+
+    Raises
+    ------
+    XMLParseError
+        If the input is not well-formed.
+    """
+    scanner = _Scanner(text)
+    document = DocumentNode(uri)
+    _parse_content(scanner, document, keep_whitespace)
+    elements = [c for c in document.children if isinstance(c, ElementNode)]
+    if len(elements) != 1:
+        raise scanner.error(
+            f"document must have exactly one root element, found {len(elements)}"
+        )
+    return document
+
+
+def parse_fragment(text: str, keep_whitespace: bool = False) -> ElementNode:
+    """Parse a single-rooted XML fragment and return its root element."""
+    return parse_document(text, uri="", keep_whitespace=keep_whitespace).root_element

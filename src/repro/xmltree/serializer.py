@@ -1,0 +1,77 @@
+"""XML serialization: the inverse of :mod:`repro.xmltree.parser`."""
+
+from __future__ import annotations
+
+from repro.xmltree.model import (
+    AttributeNode,
+    CommentNode,
+    DocumentNode,
+    ElementNode,
+    PINode,
+    TextNode,
+    XMLNode,
+)
+
+
+def escape_text(text: str) -> str:
+    """Escape character data for element content."""
+    return text.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def escape_attribute(text: str) -> str:
+    """Escape character data for a double-quoted attribute value."""
+    return escape_text(text).replace('"', "&quot;")
+
+
+def serialize(node: XMLNode, indent: int | None = None) -> str:
+    """Serialize a node (and its subtree) back to XML text.
+
+    Parameters
+    ----------
+    node:
+        Any node of the tree model.  Serializing an
+        :class:`AttributeNode` yields ``name="value"``.
+    indent:
+        When given, pretty-print with this many spaces per nesting level.
+        ``None`` (the default) produces compact output that round-trips
+        through the parser.
+    """
+    parts: list[str] = []
+    _serialize_into(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize_into(
+    node: XMLNode, parts: list[str], indent: int | None, depth: int
+) -> None:
+    pad = "" if indent is None else "\n" + " " * (indent * depth)
+    if isinstance(node, DocumentNode):
+        for child in node.children:
+            _serialize_into(child, parts, indent, depth)
+        return
+    if isinstance(node, TextNode):
+        parts.append(escape_text(node.text))
+        return
+    if isinstance(node, AttributeNode):
+        parts.append(f'{node.name}="{escape_attribute(node.value)}"')
+        return
+    if isinstance(node, CommentNode):
+        parts.append(f"{pad}<!--{node.text}-->")
+        return
+    if isinstance(node, PINode):
+        parts.append(f"{pad}<?{node.target} {node.text}?>")
+        return
+    assert isinstance(node, ElementNode)
+    attrs = "".join(
+        f' {a.name}="{escape_attribute(a.value)}"' for a in node.attributes
+    )
+    if not node.children:
+        parts.append(f"{pad}<{node.tag}{attrs}/>")
+        return
+    only_text = all(isinstance(c, TextNode) for c in node.children)
+    parts.append(f"{pad}<{node.tag}{attrs}>")
+    child_indent = None if only_text else indent
+    for child in node.children:
+        _serialize_into(child, parts, child_indent, depth + 1)
+    closing_pad = "" if (indent is None or only_text) else "\n" + " " * (indent * depth)
+    parts.append(f"{closing_pad}</{node.tag}>")

@@ -1,0 +1,74 @@
+"""XQuery front-end for the paper's "workhorse" fragment (Fig. 1).
+
+The surface syntax accepted by :func:`parse_xquery` is the fragment of
+Fig. 1 plus the standard abbreviations XQuery users actually write —
+``//``, ``@name``, path predicates ``e[p]``, multi-variable ``for``
+clauses and FLWOR ``where`` — all of which are desugared by
+:func:`normalize` into the explicit XQuery *Core* form the loop-lifting
+compiler consumes (fs:ddo around location steps, fn:boolean around
+conditionals, one variable per ``for``).
+"""
+
+from repro.xquery.ast import (
+    Comparison,
+    DocCall,
+    EmptySequence,
+    Expr,
+    FLWOR,
+    ForClause,
+    IfExpr,
+    LetClause,
+    NumberLiteral,
+    PathRoot,
+    Predicate,
+    StepExpr,
+    StringLiteral,
+    VarRef,
+)
+from repro.xquery.core import (
+    CoreComp,
+    CoreDdo,
+    CoreDoc,
+    CoreEmpty,
+    CoreExpr,
+    CoreFor,
+    CoreIf,
+    CoreLet,
+    CoreStep,
+    CoreValComp,
+    CoreVar,
+    core_to_text,
+)
+from repro.xquery.parser import parse_xquery
+from repro.xquery.normalize import normalize
+
+__all__ = [
+    "Comparison",
+    "CoreComp",
+    "CoreDdo",
+    "CoreDoc",
+    "CoreEmpty",
+    "CoreExpr",
+    "CoreFor",
+    "CoreIf",
+    "CoreLet",
+    "CoreStep",
+    "CoreValComp",
+    "CoreVar",
+    "DocCall",
+    "EmptySequence",
+    "Expr",
+    "FLWOR",
+    "ForClause",
+    "IfExpr",
+    "LetClause",
+    "NumberLiteral",
+    "PathRoot",
+    "Predicate",
+    "StepExpr",
+    "StringLiteral",
+    "VarRef",
+    "core_to_text",
+    "normalize",
+    "parse_xquery",
+]

@@ -1,0 +1,221 @@
+"""Surface AST for the XQuery workhorse fragment (paper Fig. 1).
+
+These classes mirror what the parser produces from user-written XQuery,
+*before* XQuery Core normalization: paths may still use abbreviations
+(``//``, ``@a``), predicates are attached to steps, FLWOR expressions
+may bind several variables and carry a ``where`` clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: the six general comparison operators of rule [60]
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: all 12 axes of XQuery's full axis feature
+FORWARD_AXES = (
+    "child",
+    "descendant",
+    "descendant-or-self",
+    "self",
+    "following",
+    "following-sibling",
+    "attribute",
+)
+REVERSE_AXES = (
+    "parent",
+    "ancestor",
+    "ancestor-or-self",
+    "preceding",
+    "preceding-sibling",
+)
+ALL_AXES = FORWARD_AXES + REVERSE_AXES
+
+
+class Expr:
+    """Base class of surface expressions."""
+
+
+@dataclass
+class StringLiteral(Expr):
+    value: str
+
+    def __str__(self) -> str:
+        return f'"{self.value}"'
+
+
+@dataclass
+class NumberLiteral(Expr):
+    value: float | int
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass
+class VarRef(Expr):
+    name: str
+
+    def __str__(self) -> str:
+        return f"${self.name}"
+
+
+@dataclass
+class EmptySequence(Expr):
+    def __str__(self) -> str:
+        return "()"
+
+
+@dataclass
+class DocCall(Expr):
+    """``doc("uri")`` / ``fn:doc("uri")``."""
+
+    uri: str
+
+    def __str__(self) -> str:
+        return f'doc("{self.uri}")'
+
+
+@dataclass
+class PathRoot(Expr):
+    """A leading ``/`` — the root of the context document.
+
+    Resolved during normalization against the processor's default
+    context document (queries like ``/site/people/...`` of Table 8).
+    """
+
+    def __str__(self) -> str:
+        return "(/)"
+
+
+@dataclass
+class NodeTest:
+    """An XPath node test: kind test and/or name test.
+
+    ``kind`` is one of ``element``, ``attribute``, ``text``, ``comment``,
+    ``processing-instruction``, ``document-node``, ``node`` or ``None``
+    (meaning: principal node kind of the axis); ``name`` is a QName,
+    ``"*"`` or ``None``.
+    """
+
+    kind: str | None = None
+    name: str | None = None
+
+    def __str__(self) -> str:
+        if self.kind is None:
+            return self.name or "*"
+        if self.name and self.kind in ("element", "attribute"):
+            return f"{self.kind}({self.name})"
+        return f"{self.kind}()"
+
+
+@dataclass
+class Predicate:
+    """A path predicate ``[p]``; ``expr`` is a boolean-ish expression."""
+
+    expr: Expr
+
+    def __str__(self) -> str:
+        return f"[{self.expr}]"
+
+
+@dataclass
+class StepExpr(Expr):
+    """One location step applied to an input expression.
+
+    ``double_slash`` records that the step was written with ``//`` and
+    still needs the descendant-or-self desugaring.
+    """
+
+    input: Expr
+    axis: str
+    test: NodeTest
+    predicates: list[Predicate] = field(default_factory=list)
+    double_slash: bool = False
+
+    def __str__(self) -> str:
+        sep = "//" if self.double_slash else "/"
+        preds = "".join(str(p) for p in self.predicates)
+        return f"{self.input}{sep}{self.axis}::{self.test}{preds}"
+
+
+@dataclass
+class Comparison(Expr):
+    """General comparison ``e1 op e2`` (rule [60])."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass
+class AndExpr(Expr):
+    """Conjunction — only allowed inside predicates / where clauses,
+    where it desugars to nested conditionals."""
+
+    parts: list[Expr]
+
+    def __str__(self) -> str:
+        return " and ".join(str(p) for p in self.parts)
+
+
+@dataclass
+class ForClause:
+    var: str
+    sequence: Expr
+
+    def __str__(self) -> str:
+        return f"for ${self.var} in {self.sequence}"
+
+
+@dataclass
+class LetClause:
+    var: str
+    value: Expr
+
+    def __str__(self) -> str:
+        return f"let ${self.var} := {self.value}"
+
+
+@dataclass
+class FLWOR(Expr):
+    """A FLWOR expression: one or more for/let clauses, an optional
+    where clause, and the return expression."""
+
+    clauses: list[ForClause | LetClause]
+    where: Expr | None
+    ret: Expr
+
+    def __str__(self) -> str:
+        text = " ".join(str(c) for c in self.clauses)
+        if self.where is not None:
+            text += f" where {self.where}"
+        return f"{text} return {self.ret}"
+
+
+@dataclass
+class IfExpr(Expr):
+    """``if (cond) then e1 else e2`` — the fragment requires e2 = ()."""
+
+    cond: Expr
+    then: Expr
+    orelse: Expr
+
+    def __str__(self) -> str:
+        return f"if ({self.cond}) then {self.then} else {self.orelse}"
+
+
+@dataclass
+class SequenceExpr(Expr):
+    """Comma sequence ``(e1, e2, ...)`` — accepted by the parser so the
+    Table 8 Q6 tuple query can be expressed; each item must be a node
+    path and the sequence appears only in a return clause."""
+
+    items: list[Expr]
+
+    def __str__(self) -> str:
+        return "(" + ", ".join(str(i) for i in self.items) + ")"

@@ -1,0 +1,144 @@
+"""XQuery *Core* AST — the normalized form the compiler consumes.
+
+After normalization (``fs:ddo`` around every location step, effective
+boolean values in conditionals, one variable per ``for``, predicates
+desugared to ``for``/``if``), queries are built from exactly the
+constructs the inference rules of paper Fig. 13 handle:
+
+.. code-block:: text
+
+    e ::= for $v in e return e   | let $v := e return e | $v
+        | if (fn:boolean(e)) then e else ()
+        | fs:ddo(e/axis::test)   | doc(uri)
+        | e cmp literal          | e cmp e
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class CoreExpr:
+    """Base class of Core expressions."""
+
+
+@dataclass
+class CoreFor(CoreExpr):
+    var: str
+    sequence: CoreExpr
+    ret: CoreExpr
+
+
+@dataclass
+class CoreLet(CoreExpr):
+    var: str
+    value: CoreExpr
+    ret: CoreExpr
+
+
+@dataclass
+class CoreVar(CoreExpr):
+    name: str
+
+
+@dataclass
+class CoreIf(CoreExpr):
+    """``if (fn:boolean(cond)) then then_branch else ()``."""
+
+    cond: CoreExpr
+    then: CoreExpr
+
+
+@dataclass
+class CoreDdo(CoreExpr):
+    """``fs:distinct-doc-order(expr)``."""
+
+    expr: CoreExpr
+
+
+@dataclass
+class CoreStep(CoreExpr):
+    """One XPath location step ``input/axis::test`` (no predicates —
+    those were desugared into for/if)."""
+
+    input: CoreExpr
+    axis: str
+    kind_test: str | None  # element/attribute/text/.../node or None
+    name_test: str | None  # QName, '*' or None
+
+
+@dataclass
+class CoreDoc(CoreExpr):
+    uri: str
+
+
+@dataclass
+class CoreValComp(CoreExpr):
+    """General comparison of a node sequence against a literal
+    (rule ValComp).  ``value`` being numeric selects the typed
+    ``data`` column; a string compares the untyped ``value`` column."""
+
+    op: str
+    expr: CoreExpr
+    value: str | float | int
+
+
+@dataclass
+class CoreComp(CoreExpr):
+    """General comparison between two node sequences (rule Comp)."""
+
+    op: str
+    left: CoreExpr
+    right: CoreExpr
+
+
+@dataclass
+class CoreEmpty(CoreExpr):
+    """The empty sequence ``()``."""
+
+
+def core_to_text(expr: CoreExpr, depth: int = 0) -> str:
+    """Pretty-print a Core expression (used in tests and docs)."""
+    pad = "  " * depth
+    if isinstance(expr, CoreFor):
+        return (
+            f"{pad}for ${expr.var} in\n{core_to_text(expr.sequence, depth + 1)}\n"
+            f"{pad}return\n{core_to_text(expr.ret, depth + 1)}"
+        )
+    if isinstance(expr, CoreLet):
+        return (
+            f"{pad}let ${expr.var} :=\n{core_to_text(expr.value, depth + 1)}\n"
+            f"{pad}return\n{core_to_text(expr.ret, depth + 1)}"
+        )
+    if isinstance(expr, CoreVar):
+        return f"{pad}${expr.name}"
+    if isinstance(expr, CoreIf):
+        return (
+            f"{pad}if fn:boolean(\n{core_to_text(expr.cond, depth + 1)}\n"
+            f"{pad}) then\n{core_to_text(expr.then, depth + 1)}\n{pad}else ()"
+        )
+    if isinstance(expr, CoreDdo):
+        return f"{pad}fs:ddo(\n{core_to_text(expr.expr, depth + 1)}\n{pad})"
+    if isinstance(expr, CoreStep):
+        test = expr.name_test or ""
+        if expr.kind_test and expr.kind_test not in ("element",):
+            test = f"{expr.kind_test}({expr.name_test or ''})"
+        return (
+            f"{pad}step {expr.axis}::{test or '*'} of\n"
+            f"{core_to_text(expr.input, depth + 1)}"
+        )
+    if isinstance(expr, CoreDoc):
+        return f'{pad}doc("{expr.uri}")'
+    if isinstance(expr, CoreValComp):
+        return (
+            f"{pad}(valcomp {expr.op} {expr.value!r})\n"
+            f"{core_to_text(expr.expr, depth + 1)}"
+        )
+    if isinstance(expr, CoreComp):
+        return (
+            f"{pad}(comp {expr.op})\n{core_to_text(expr.left, depth + 1)}\n"
+            f"{core_to_text(expr.right, depth + 1)}"
+        )
+    if isinstance(expr, CoreEmpty):
+        return f"{pad}()"
+    raise TypeError(f"unknown Core node {type(expr).__name__}")

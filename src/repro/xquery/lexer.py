@@ -1,0 +1,130 @@
+"""Tokenizer for the XQuery workhorse fragment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XQuerySyntaxError
+
+# multi-character symbols first so maximal munch applies
+_SYMBOLS = (
+    "//",
+    "::",
+    ":=",
+    "!=",
+    "<=",
+    ">=",
+    "(",
+    ")",
+    "[",
+    "]",
+    "/",
+    "$",
+    "@",
+    ",",
+    "=",
+    "<",
+    ">",
+    "*",
+    ".",
+)
+
+KEYWORDS = frozenset(
+    (
+        "for",
+        "let",
+        "in",
+        "return",
+        "if",
+        "then",
+        "else",
+        "where",
+        "and",
+        "or",
+    )
+)
+
+_NAME_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_NAME_CHARS = _NAME_START | set("0123456789-.")
+
+
+@dataclass
+class Token:
+    kind: str  # 'name' | 'number' | 'string' | 'symbol' | 'keyword' | 'eof'
+    text: str
+    pos: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Token({self.kind},{self.text!r})"
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split XQuery source into tokens.
+
+    Names may contain ``-`` and ``.`` (axis names, QNames) and one
+    embedded ``:`` for prefixed names such as ``fn:doc`` — but ``::``
+    is always the axis separator.
+    """
+    tokens: list[Token] = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\r\n":
+            i += 1
+            continue
+        if source.startswith("(:", i):  # XQuery comment, may nest
+            depth = 1
+            j = i + 2
+            while j < n and depth:
+                if source.startswith("(:", j):
+                    depth += 1
+                    j += 2
+                elif source.startswith(":)", j):
+                    depth -= 1
+                    j += 2
+                else:
+                    j += 1
+            if depth:
+                raise XQuerySyntaxError("unterminated comment", i)
+            i = j
+            continue
+        if ch in "\"'":
+            j = source.find(ch, i + 1)
+            if j < 0:
+                raise XQuerySyntaxError("unterminated string literal", i)
+            tokens.append(Token("string", source[i + 1 : j], i))
+            i = j + 1
+            continue
+        if ch.isdigit():
+            j = i + 1
+            while j < n and (source[j].isdigit() or source[j] == "."):
+                j += 1
+            tokens.append(Token("number", source[i:j], i))
+            i = j
+            continue
+        if ch in _NAME_START:
+            j = i + 1
+            while j < n and source[j] in _NAME_CHARS:
+                j += 1
+            # allow one ':' for prefixed names (fn:doc) but not '::'
+            if j < n and source[j] == ":" and not source.startswith("::", j):
+                k = j + 1
+                if k < n and source[k] in _NAME_START:
+                    while k < n and source[k] in _NAME_CHARS:
+                        k += 1
+                    j = k
+            text = source[i:j]
+            kind = "keyword" if text in KEYWORDS else "name"
+            tokens.append(Token(kind, text, i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if source.startswith(symbol, i):
+                tokens.append(Token("symbol", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise XQuerySyntaxError(f"unexpected character {ch!r}", i)
+    tokens.append(Token("eof", "", n))
+    return tokens

@@ -1,0 +1,227 @@
+"""XQuery Core normalization (paper Section 2.3 / [9, §4.2.1, §3.4.3]).
+
+Turns the surface AST into the Core form the loop-lifting compiler
+expects:
+
+* every location step is wrapped in ``fs:distinct-doc-order`` (CoreDdo);
+* ``//`` desugars to ``descendant-or-self::node()/`` — with the
+  standard simplification ``//child::t`` ≡ ``descendant::t``;
+* a path predicate ``e[p]`` becomes
+  ``for $fresh in e return if (fn:boolean(p)) then $fresh else ()``,
+  with the context item inside ``p`` bound to ``$fresh``;
+* ``and`` inside predicates / where clauses becomes nested conditionals;
+* FLWOR ``where`` becomes a conditional around the return clause;
+* multi-variable ``for`` clauses become nested single-variable fors;
+* comparisons against literals become ValComp, node/node comparisons
+  become Comp.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQueryTypeError
+from repro.xquery import ast
+from repro.xquery.core import (
+    CoreComp,
+    CoreDdo,
+    CoreDoc,
+    CoreEmpty,
+    CoreExpr,
+    CoreFor,
+    CoreIf,
+    CoreLet,
+    CoreStep,
+    CoreValComp,
+    CoreVar,
+)
+from repro.xquery.parser import ContextItem
+
+
+class _Normalizer:
+    def __init__(self, default_doc: str | None):
+        self.default_doc = default_doc
+        self.counter = 0
+        self.context_stack: list[str] = []
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"#dot{self.counter}"
+
+    # -- expressions ---------------------------------------------------
+
+    def normalize(self, expr: ast.Expr) -> CoreExpr:
+        if isinstance(expr, ast.FLWOR):
+            return self._flwor(expr)
+        if isinstance(expr, ast.IfExpr):
+            if not isinstance(expr.orelse, ast.EmptySequence):
+                raise XQueryTypeError(
+                    "the workhorse fragment requires 'else ()'"
+                )
+            return self._conditional(expr.cond, expr.then)
+        if isinstance(expr, ast.StepExpr):
+            return self._step(expr)
+        if isinstance(expr, ast.Comparison):
+            return self._comparison(expr)
+        if isinstance(expr, ast.VarRef):
+            return CoreVar(expr.name)
+        if isinstance(expr, ast.DocCall):
+            return CoreDoc(expr.uri)
+        if isinstance(expr, ast.PathRoot):
+            if self.default_doc is None:
+                raise XQueryTypeError(
+                    "absolute path used but no default context document given"
+                )
+            return CoreDoc(self.default_doc)
+        if isinstance(expr, ContextItem):
+            if not self.context_stack:
+                raise XQueryTypeError(
+                    "'.' used outside a predicate context"
+                )
+            return CoreVar(self.context_stack[-1])
+        if isinstance(expr, ast.EmptySequence):
+            return CoreEmpty()
+        if isinstance(expr, ast.AndExpr):
+            raise XQueryTypeError(
+                "'and' is only supported in predicates and where clauses"
+            )
+        if isinstance(expr, (ast.StringLiteral, ast.NumberLiteral)):
+            raise XQueryTypeError(
+                "literals are only supported as comparison operands"
+            )
+        if isinstance(expr, ast.SequenceExpr):
+            raise XQueryTypeError(
+                "sequence construction is only supported as the top-level "
+                "return of a tuple query (use XQueryProcessor.compile_tuple)"
+            )
+        raise XQueryTypeError(f"unsupported expression {type(expr).__name__}")
+
+    def _flwor(self, expr: ast.FLWOR) -> CoreExpr:
+        ret: CoreExpr
+        if expr.where is not None:
+            ret = self._conditional(expr.where, expr.ret)
+        else:
+            ret = self.normalize(expr.ret)
+        for clause in reversed(expr.clauses):
+            if isinstance(clause, ast.ForClause):
+                ret = CoreFor(clause.var, self.normalize(clause.sequence), ret)
+            else:
+                ret = CoreLet(clause.var, self.normalize(clause.value), ret)
+        return ret
+
+    def _conditional(self, cond: ast.Expr, then: ast.Expr) -> CoreExpr:
+        """``if (cond) then then else ()`` with 'and' as nested ifs."""
+        body = self.normalize(then)
+        return self._guard(cond, body)
+
+    def _guard(self, cond: ast.Expr, body: CoreExpr) -> CoreExpr:
+        if isinstance(cond, ast.AndExpr):
+            for part in reversed(cond.parts):
+                body = self._guard(part, body)
+            return body
+        return CoreIf(self._boolean(cond), body)
+
+    def _boolean(self, cond: ast.Expr) -> CoreExpr:
+        """fn:boolean(cond): comparisons compile to (Val)Comp whose
+        result is nonempty exactly when true; node paths test existence."""
+        if isinstance(cond, ast.Comparison):
+            return self._comparison(cond)
+        return self.normalize(cond)
+
+    def _comparison(self, expr: ast.Comparison) -> CoreExpr:
+        left_lit = _literal_value(expr.left)
+        right_lit = _literal_value(expr.right)
+        if left_lit is not None and right_lit is not None:
+            raise XQueryTypeError("comparison of two literals is not supported")
+        if right_lit is not None:
+            return CoreValComp(expr.op, self.normalize(expr.left), right_lit)
+        if left_lit is not None:
+            from repro.algebra.expressions import MIRRORED
+
+            return CoreValComp(
+                MIRRORED[expr.op], self.normalize(expr.right), left_lit
+            )
+        return CoreComp(
+            expr.op, self.normalize(expr.left), self.normalize(expr.right)
+        )
+
+    # -- location steps --------------------------------------------------
+
+    def _step(self, expr: ast.StepExpr) -> CoreExpr:
+        axis, kind_test, name_test = _resolve_test(expr.axis, expr.test)
+
+        if expr.double_slash:
+            if axis == "child":
+                # //child::t  ==  descendant::t
+                base_input = self.normalize(expr.input)
+                core: CoreExpr = CoreDdo(
+                    CoreStep(base_input, "descendant", kind_test, name_test)
+                )
+            else:
+                dos = CoreDdo(
+                    CoreStep(
+                        self.normalize(expr.input),
+                        "descendant-or-self",
+                        "node",
+                        None,
+                    )
+                )
+                core = CoreDdo(CoreStep(dos, axis, kind_test, name_test))
+        elif axis == "self" and kind_test == "node" and name_test is None:
+            # self::node() introduced for predicates on primaries:
+            # identity — no step needed.
+            core = self.normalize(expr.input)
+        else:
+            core = CoreDdo(
+                CoreStep(self.normalize(expr.input), axis, kind_test, name_test)
+            )
+
+        for predicate in expr.predicates:
+            core = self._apply_predicate(core, predicate)
+        return core
+
+    def _apply_predicate(self, base: CoreExpr, predicate: ast.Predicate) -> CoreExpr:
+        if isinstance(predicate.expr, (ast.NumberLiteral,)):
+            raise XQueryTypeError(
+                "positional predicates are outside the supported fragment"
+            )
+        var = self.fresh()
+        self.context_stack.append(var)
+        try:
+            body = self._guard(predicate.expr, CoreVar(var))
+        finally:
+            self.context_stack.pop()
+        return CoreFor(var, base, body)
+
+
+def _literal_value(expr: ast.Expr) -> str | float | int | None:
+    if isinstance(expr, ast.StringLiteral):
+        return expr.value
+    if isinstance(expr, ast.NumberLiteral):
+        return expr.value
+    return None
+
+
+def _resolve_test(axis: str, test: ast.NodeTest) -> tuple[str, str | None, str | None]:
+    """Resolve a node test against its axis' principal node kind."""
+    kind = test.kind
+    name = test.name
+    if kind is None:
+        # NameTest: principal node kind — attribute on the attribute
+        # axis, element everywhere else.
+        kind = "attribute" if axis == "attribute" else "element"
+    if name == "*":
+        name = None
+    return axis, kind, name
+
+
+def normalize(expr: ast.Expr, default_doc: str | None = None) -> CoreExpr:
+    """Normalize a surface AST into XQuery Core.
+
+    Parameters
+    ----------
+    expr:
+        Parsed surface expression.
+    default_doc:
+        Document URI that a leading ``/`` resolves to (Table 8 style
+        absolute paths); ``None`` forbids absolute paths.
+    """
+    return _Normalizer(default_doc).normalize(expr)

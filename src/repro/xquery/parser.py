@@ -1,0 +1,319 @@
+"""Recursive-descent parser for the XQuery workhorse fragment.
+
+Grammar (cf. paper Fig. 1, plus the standard XPath abbreviations):
+
+.. code-block:: text
+
+    Expr       ::= FLWOR | IfExpr | OrExpr
+    FLWOR      ::= (ForClause | LetClause)+ ('where' OrExpr)? 'return' Expr
+    ForClause  ::= 'for' '$'Name 'in' Expr (',' '$'Name 'in' Expr)*
+    LetClause  ::= 'let' '$'Name ':=' Expr
+    IfExpr     ::= 'if' '(' OrExpr ')' 'then' Expr 'else' Expr
+    OrExpr     ::= AndExpr ('or' AndExpr)*          -- 'or' rejected later
+    AndExpr    ::= CompExpr ('and' CompExpr)*
+    CompExpr   ::= PathExpr (CompOp PathExpr)?
+    PathExpr   ::= ('/' | '//')? StepExpr (('/' | '//') StepExpr)*
+    StepExpr   ::= Primary Predicate* | AxisStep
+    AxisStep   ::= (Axis '::' | '@')? NodeTest Predicate*
+    Primary    ::= '$'Name | 'doc' '(' String ')' | Literal
+                 | '(' ')' | '(' Expr (',' Expr)* ')' | '.'
+    NodeTest   ::= QName | '*' | KindTest
+    Predicate  ::= '[' OrExpr ']'
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.ast import (
+    ALL_AXES,
+    AndExpr,
+    COMPARISON_OPS,
+    Comparison,
+    DocCall,
+    EmptySequence,
+    Expr,
+    FLWOR,
+    ForClause,
+    IfExpr,
+    LetClause,
+    NodeTest,
+    NumberLiteral,
+    PathRoot,
+    Predicate,
+    SequenceExpr,
+    StepExpr,
+    StringLiteral,
+    VarRef,
+)
+from repro.xquery.lexer import Token, tokenize
+
+_KIND_TESTS = frozenset(
+    (
+        "element",
+        "attribute",
+        "text",
+        "comment",
+        "processing-instruction",
+        "document-node",
+        "node",
+    )
+)
+
+#: "." — the context item inside a predicate; replaced during
+#: normalization by the predicate's context variable.
+class ContextItem(Expr):
+    def __str__(self) -> str:
+        return "."
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    # -- token helpers -------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.i + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.i]
+        if token.kind != "eof":
+            self.i += 1
+        return token
+
+    def error(self, message: str) -> XQuerySyntaxError:
+        return XQuerySyntaxError(message, self.peek().pos)
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.accept(kind, text)
+        if token is None:
+            want = text or kind
+            raise self.error(f"expected {want!r}, found {self.peek().text!r}")
+        return token
+
+    # -- grammar -------------------------------------------------------
+
+    def parse(self) -> Expr:
+        expr = self.expr()
+        if self.peek().kind != "eof":
+            raise self.error(f"unexpected trailing input {self.peek().text!r}")
+        return expr
+
+    def expr(self) -> Expr:
+        token = self.peek()
+        if token.kind == "keyword" and token.text in ("for", "let"):
+            return self.flwor()
+        if token.kind == "keyword" and token.text == "if":
+            return self.if_expr()
+        return self.or_expr()
+
+    def flwor(self) -> FLWOR:
+        clauses: list[ForClause | LetClause] = []
+        while True:
+            token = self.peek()
+            if token.kind == "keyword" and token.text == "for":
+                self.advance()
+                while True:
+                    var = self.var_name()
+                    self.expect("keyword", "in")
+                    clauses.append(ForClause(var, self.expr_single()))
+                    if not self.accept("symbol", ","):
+                        break
+            elif token.kind == "keyword" and token.text == "let":
+                self.advance()
+                while True:
+                    var = self.var_name()
+                    self.expect("symbol", ":=")
+                    clauses.append(LetClause(var, self.expr_single()))
+                    if not self.accept("symbol", ","):
+                        break
+            else:
+                break
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.or_expr()
+        self.expect("keyword", "return")
+        return FLWOR(clauses, where, self.expr())
+
+    def expr_single(self) -> Expr:
+        """An expression that must stop before 'return'/'where'/','."""
+        token = self.peek()
+        if token.kind == "keyword" and token.text in ("for", "let"):
+            return self.flwor()
+        if token.kind == "keyword" and token.text == "if":
+            return self.if_expr()
+        return self.or_expr()
+
+    def if_expr(self) -> IfExpr:
+        self.expect("keyword", "if")
+        self.expect("symbol", "(")
+        cond = self.or_expr()
+        self.expect("symbol", ")")
+        self.expect("keyword", "then")
+        then = self.expr_single()
+        self.expect("keyword", "else")
+        orelse = self.expr_single()
+        return IfExpr(cond, then, orelse)
+
+    def var_name(self) -> str:
+        self.expect("symbol", "$")
+        return self.expect("name").text
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        if self.peek().kind == "keyword" and self.peek().text == "or":
+            raise self.error("'or' is outside the supported fragment")
+        return left
+
+    def and_expr(self) -> Expr:
+        parts = [self.comparison()]
+        while self.accept("keyword", "and"):
+            parts.append(self.comparison())
+        if len(parts) == 1:
+            return parts[0]
+        return AndExpr(parts)
+
+    def comparison(self) -> Expr:
+        left = self.path_expr()
+        token = self.peek()
+        if token.kind == "symbol" and token.text in COMPARISON_OPS:
+            self.advance()
+            right = self.path_expr()
+            return Comparison(token.text, left, right)
+        return left
+
+    def path_expr(self) -> Expr:
+        token = self.peek()
+        if token.kind == "symbol" and token.text in ("/", "//"):
+            double = token.text == "//"
+            self.advance()
+            expr: Expr = PathRoot()
+            expr = self.axis_step(expr, double)
+        else:
+            expr = self.step_primary()
+        while True:
+            if self.accept("symbol", "/"):
+                expr = self.axis_step(expr, double_slash=False)
+            elif self.accept("symbol", "//"):
+                expr = self.axis_step(expr, double_slash=True)
+            else:
+                return expr
+
+    def step_primary(self) -> Expr:
+        """Either a primary expression or a leading (relative) axis step."""
+        token = self.peek()
+        if token.kind == "symbol" and token.text == "$":
+            self.advance()
+            expr: Expr = VarRef(self.expect("name").text)
+            return self.with_predicates(expr)
+        if token.kind == "string":
+            self.advance()
+            return StringLiteral(token.text)
+        if token.kind == "number":
+            self.advance()
+            text = token.text
+            value = float(text) if "." in text else int(text)
+            return NumberLiteral(value)
+        if token.kind == "symbol" and token.text == "(":
+            self.advance()
+            if self.accept("symbol", ")"):
+                return EmptySequence()
+            items = [self.expr()]
+            while self.accept("symbol", ","):
+                items.append(self.expr())
+            self.expect("symbol", ")")
+            if len(items) == 1:
+                return self.with_predicates(items[0])
+            return SequenceExpr(items)
+        if token.kind == "symbol" and token.text == ".":
+            self.advance()
+            return self.with_predicates(ContextItem())
+        if (
+            token.kind == "name"
+            and token.text in ("doc", "fn:doc")
+            and self.peek(1).kind == "symbol"
+            and self.peek(1).text == "("
+        ):
+            self.advance()
+            self.advance()
+            uri = self.expect("string").text
+            self.expect("symbol", ")")
+            return self.with_predicates(DocCall(uri))
+        # a relative axis step: child::a, @id, descendant::x, name, ...
+        return self.axis_step(ContextItem(), double_slash=False, relative=True)
+
+    def with_predicates(self, expr: Expr) -> Expr:
+        """Attach ``[p]`` predicates written directly after a primary."""
+        while self.peek().kind == "symbol" and self.peek().text == "[":
+            expr = self.wrap_predicate(expr)
+        return expr
+
+    def wrap_predicate(self, expr: Expr) -> Expr:
+        """A predicate on a non-step expression becomes a self::node()
+        step carrying the predicate."""
+        step = StepExpr(expr, "self", NodeTest(kind="node"))
+        self.predicates(step)
+        return step
+
+    def axis_step(self, input_expr: Expr, double_slash: bool, relative: bool = False) -> StepExpr:
+        axis, test = self.axis_and_test()
+        step = StepExpr(input_expr, axis, test, double_slash=double_slash)
+        self.predicates(step)
+        return step
+
+    def axis_and_test(self) -> tuple[str, NodeTest]:
+        if self.accept("symbol", "@"):
+            name = "*" if self.accept("symbol", "*") else self.expect("name").text
+            return "attribute", NodeTest(kind="attribute", name=name)
+        token = self.peek()
+        axis = "child"
+        if (
+            token.kind == "name"
+            and token.text in ALL_AXES
+            and self.peek(1).kind == "symbol"
+            and self.peek(1).text == "::"
+        ):
+            axis = token.text
+            self.advance()
+            self.advance()
+        return axis, self.node_test(axis)
+
+    def node_test(self, axis: str) -> NodeTest:
+        if self.accept("symbol", "*"):
+            return NodeTest(name="*")
+        name = self.expect("name").text
+        if name in _KIND_TESTS and self.accept("symbol", "("):
+            inner: str | None = None
+            if not self.accept("symbol", ")"):
+                if self.accept("symbol", "*"):
+                    inner = "*"
+                else:
+                    inner = self.expect("name").text
+                self.expect("symbol", ")")
+            if name in ("element", "attribute"):
+                return NodeTest(kind=name, name=inner)
+            return NodeTest(kind=name)
+        return NodeTest(name=name)
+
+    def predicates(self, step: StepExpr) -> None:
+        while self.accept("symbol", "["):
+            step.predicates.append(Predicate(self.or_expr()))
+            self.expect("symbol", "]")
+
+
+def parse_xquery(source: str) -> Expr:
+    """Parse XQuery source text into the surface AST.
+
+    Raises
+    ------
+    XQuerySyntaxError
+        On lexical or grammatical errors, with the source offset.
+    """
+    return _Parser(tokenize(source)).parse()

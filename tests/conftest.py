@@ -1,0 +1,50 @@
+"""Shared fixtures: the paper's running example document and small
+pre-built workload stores."""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.infoset import DocumentStore
+from repro.workloads import (
+    DBLPConfig,
+    XMarkConfig,
+    generate_dblp,
+    generate_xmark,
+)
+
+sys.setrecursionlimit(100_000)
+
+#: the document of paper Fig. 2
+AUCTION_XML = """\
+<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>
+"""
+
+
+@pytest.fixture()
+def fig2_store() -> DocumentStore:
+    store = DocumentStore()
+    store.load(AUCTION_XML, "auction.xml")
+    return store
+
+
+@pytest.fixture(scope="session")
+def xmark_store() -> DocumentStore:
+    store = DocumentStore()
+    store.load_tree(generate_xmark(XMarkConfig(factor=0.002)))
+    return store
+
+
+@pytest.fixture(scope="session")
+def dblp_store() -> DocumentStore:
+    store = DocumentStore()
+    store.load_tree(generate_dblp(DBLPConfig(factor=0.0005)))
+    return store

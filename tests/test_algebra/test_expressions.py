@@ -1,0 +1,113 @@
+"""Expression tree unit tests: evaluation, renaming, substitution,
+SQL rendering, structural equality."""
+
+import pytest
+
+from repro.algebra.expressions import (
+    And,
+    ColRef,
+    Comparison,
+    Const,
+    MIRRORED,
+    Or,
+    Plus,
+    col,
+    conjoin,
+    conjuncts,
+    lit,
+)
+
+
+def test_evaluate_arithmetic_and_comparison():
+    expr = Comparison("<=", col("a"), Plus(col("b"), lit(2)))
+    assert expr.evaluate({"a": 5, "b": 3}) is True
+    assert expr.evaluate({"a": 6, "b": 3}) is False
+
+
+def test_null_semantics():
+    assert Comparison("=", col("a"), lit(1)).evaluate({"a": None}) is False
+    assert Comparison("!=", col("a"), lit(1)).evaluate({"a": None}) is False
+    assert Plus(col("a"), lit(1)).evaluate({"a": None}) is None
+
+
+def test_and_or_flatten():
+    a, b, c = (Comparison("=", col(x), lit(1)) for x in "abc")
+    nested = And([a, And([b, c])])
+    assert len(nested.parts) == 3
+    nested_or = Or([a, Or([b, c])])
+    assert len(nested_or.parts) == 3
+
+
+def test_structural_equality_and_hash():
+    e1 = Comparison("<", col("a"), Plus(col("b"), lit(1)))
+    e2 = Comparison("<", col("a"), Plus(col("b"), lit(1)))
+    e3 = Comparison("<", col("a"), Plus(col("b"), lit(2)))
+    assert e1 == e2 and hash(e1) == hash(e2)
+    assert e1 != e3
+    assert len({e1, e2, e3}) == 2
+
+
+def test_rename():
+    expr = And([Comparison("=", col("a"), col("b")), Comparison(">", col("a"), lit(0))])
+    renamed = expr.rename({"a": "x"})
+    assert renamed.cols() == {"x", "b"}
+    assert expr.cols() == {"a", "b"}  # original untouched
+
+
+def test_substitute_replaces_with_expressions():
+    expr = Comparison("=", col("a"), col("b"))
+    out = expr.substitute({"a": Plus(col("p"), lit(1)), "b": Const(7)})
+    assert out.evaluate({"p": 6}) is True
+    assert out.cols() == {"p"}
+
+
+def test_mirrored():
+    expr = Comparison("<", col("a"), col("b"))
+    mirrored = expr.mirrored()
+    assert mirrored.op == ">"
+    assert mirrored.left == col("b")
+    for op, dual in MIRRORED.items():
+        assert MIRRORED[dual] == op
+
+
+def test_to_sql_rendering():
+    expr = And(
+        [
+            Comparison("=", col("name"), lit("o'hara")),
+            Or([Comparison("!=", col("kind"), lit(2)), Comparison("=", col("pre"), col("q"))]),
+        ]
+    )
+    sql = expr.to_sql(lambda c: f"t.{c}")
+    assert "t.name = 'o''hara'" in sql  # quote escaping
+    assert "(t.kind <> 2 OR t.pre = t.q)" in sql
+
+
+def test_null_renders_as_null():
+    assert Const(None).to_sql(lambda c: c) == "NULL"
+
+
+def test_conjuncts_and_conjoin():
+    a = Comparison("=", col("a"), lit(1))
+    b = Comparison("=", col("b"), lit(2))
+    assert conjuncts(a) == (a,)
+    both = conjoin([a, b])
+    assert isinstance(both, And) and conjuncts(both) == (a, b)
+    assert conjoin([a]) is a
+
+
+def test_is_col_eq_col():
+    assert Comparison("=", col("a"), col("b")).is_col_eq_col() == ("a", "b")
+    assert Comparison("=", col("a"), lit(1)).is_col_eq_col() is None
+    assert Comparison("<", col("a"), col("b")).is_col_eq_col() is None
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(ValueError):
+        Comparison("===", col("a"), col("b"))
+
+
+def test_empty_and_rejected():
+    with pytest.raises(ValueError):
+        And([])
+    with pytest.raises(ValueError):
+        Or([])

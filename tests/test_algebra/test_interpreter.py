@@ -1,0 +1,161 @@
+"""Unit tests for the table algebra reference interpreter."""
+
+import pytest
+
+from repro.algebra import (
+    And,
+    Attach,
+    Comparison,
+    Cross,
+    Distinct,
+    DocScan,
+    Join,
+    LitTable,
+    Or,
+    Plus,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+    col,
+    evaluate,
+    lit,
+    run_plan,
+)
+from repro.errors import RewriteError
+from repro.infoset import DocumentStore
+
+
+def table(cols, rows):
+    return LitTable(cols, rows)
+
+
+def test_project_renames_and_duplicates_columns():
+    t = table(("a", "b"), [(1, 2), (3, 4)])
+    p = Project(t, [("x", "a"), ("y", "a"), ("b", "b")])
+    result = evaluate(p)
+    assert result.columns == ("x", "y", "b")
+    assert result.rows == [(1, 1, 2), (3, 3, 4)]
+
+
+def test_select_null_comparisons_are_false():
+    t = table(("a",), [(1,), (None,), (3,)])
+    s = Select(t, Comparison("<", col("a"), lit(2)))
+    assert evaluate(s).rows == [(1,)]
+    s2 = Select(t, Comparison("!=", col("a"), lit(1)))
+    assert evaluate(s2).rows == [(3,)]  # NULL != 1 is not true
+
+
+def test_join_preserves_duplicates():
+    left = table(("a",), [(1,), (1,)])
+    right = table(("b",), [(1,), (1,)])
+    j = Join(left, right, Comparison("=", col("a"), col("b")))
+    assert len(evaluate(j).rows) == 4  # tables, not relations
+
+
+def test_join_schema_overlap_rejected():
+    left = table(("a",), [(1,)])
+    with pytest.raises(RewriteError):
+        Join(left, table(("a",), [(1,)]), Comparison("=", col("a"), col("a")))
+
+
+def test_theta_join_with_range_predicate():
+    left = table(("lo", "hi"), [(1, 3), (5, 6)])
+    right = table(("v",), [(0,), (2,), (3,), (5,), (7,)])
+    pred = And(
+        [
+            Comparison("<", col("lo"), col("v")),
+            Comparison("<=", col("v"), col("hi")),
+        ]
+    )
+    j = Join(left, right, pred)
+    assert sorted(evaluate(j).rows) == [(1, 3, 2), (1, 3, 3)]
+
+
+def test_band_join_with_arithmetic_bound():
+    # mirrors the axis predicate shape: c < v <= c + w
+    left = table(("v",), [(i,) for i in range(10)])
+    right = table(("c", "w"), [(2, 3)])
+    pred = And(
+        [
+            Comparison("<", col("c"), col("v")),
+            Comparison("<=", col("v"), Plus(col("c"), col("w"))),
+        ]
+    )
+    rows = evaluate(Join(left, right, pred)).rows
+    assert sorted(r[0] for r in rows) == [3, 4, 5]
+
+
+def test_join_with_or_predicate_falls_back():
+    left = table(("a",), [(1,), (2,)])
+    right = table(("b",), [(1,), (9,)])
+    pred = Or(
+        [Comparison("=", col("a"), col("b")), Comparison("=", col("b"), lit(9))]
+    )
+    rows = evaluate(Join(left, right, pred)).rows
+    assert sorted(rows) == [(1, 1), (1, 9), (2, 9)]
+
+
+def test_distinct_keeps_first_occurrence_order():
+    t = table(("a",), [(2,), (1,), (2,), (1,)])
+    assert evaluate(Distinct(t)).rows == [(2,), (1,)]
+
+
+def test_attach_and_rowid():
+    t = table(("a",), [(7,), (8,)])
+    a = Attach(t, "c", "x")
+    assert evaluate(a).rows == [(7, "x"), (8, "x")]
+    r = RowId(a, "i")
+    assert evaluate(r).rows == [(7, "x", 1), (8, "x", 2)]
+
+
+def test_rank_with_ties_and_gaps():
+    t = table(("a",), [(10,), (20,), (10,), (30,)])
+    r = RowRank(t, "rk", ("a",))
+    result = evaluate(r)
+    ranks = {row[0]: row[1] for row in result.rows}
+    assert ranks[10] == 1 and ranks[20] == 3 and ranks[30] == 4  # RANK()
+
+
+def test_rank_multi_column_lexicographic():
+    t = table(("a", "b"), [(1, 2), (1, 1), (0, 9)])
+    r = RowRank(t, "rk", ("a", "b"))
+    by_row = {row[:2]: row[2] for row in evaluate(r).rows}
+    assert by_row[(0, 9)] == 1
+    assert by_row[(1, 1)] == 2
+    assert by_row[(1, 2)] == 3
+
+
+def test_rank_nulls_first():
+    t = table(("a",), [(5,), (None,)])
+    r = RowRank(t, "rk", ("a",))
+    by_row = {row[0]: row[1] for row in evaluate(r).rows}
+    assert by_row[None] == 1 and by_row[5] == 2
+
+
+def test_serialize_orders_by_pos_then_item():
+    t = table(("pos", "item"), [(2, 9), (1, 5), (2, 3)])
+    assert run_plan(Serialize(t)) == [5, 3, 9]
+
+
+def test_cross_product():
+    c = Cross(table(("a",), [(1,), (2,)]), table(("b",), [(3,)]))
+    assert evaluate(c).rows == [(1, 3), (2, 3)]
+
+
+def test_docscan_returns_encoding(fig2_store: DocumentStore):
+    result = evaluate(DocScan(fig2_store))
+    assert result.columns == ("pre", "size", "level", "kind", "name", "value", "data")
+    assert len(result.rows) == 10
+
+
+def test_dag_sharing_evaluated_once(fig2_store: DocumentStore):
+    doc = DocScan(fig2_store)
+    s1 = Select(doc, Comparison("=", col("kind"), lit(1)))
+    p1 = Project(s1, [("a", "pre")])
+    p2 = Project(s1, [("b", "pre")])
+    j = Join(p1, p2, Comparison("=", col("a"), col("b")))
+    cache: dict = {}
+    evaluate(j, cache)
+    assert id(s1) in cache  # shared node memoized

@@ -1,0 +1,93 @@
+"""CLI tests (driving ``repro.cli.main`` in-process)."""
+
+import pytest
+
+from repro.cli import main
+
+AUCTION = (
+    '<open_auction id="1"><initial>15</initial>'
+    "<bidder><time>18:43</time><increase>4.20</increase></bidder>"
+    "</open_auction>"
+)
+
+
+@pytest.fixture()
+def doc(tmp_path):
+    path = tmp_path / "auction.xml"
+    path.write_text(AUCTION)
+    return str(path)
+
+
+def run(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+def test_query_serializes_result(doc, capsys):
+    out = run(capsys, 'doc("auction.xml")//time', "--doc", doc)
+    assert out.strip() == "<time>18:43</time>"
+
+
+def test_items_flag(doc, capsys):
+    out = run(capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--items")
+    assert out.strip() == "5"
+
+
+def test_sql_flag(doc, capsys):
+    out = run(capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--sql")
+    assert out.startswith("SELECT DISTINCT")
+    assert "FROM doc AS d1" in out
+
+
+def test_stacked_sql_flag(doc, capsys):
+    out = run(capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--stacked-sql")
+    assert out.startswith("WITH ")
+
+
+def test_explain_flag(doc, capsys):
+    out = run(capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--explain")
+    assert "IXSCAN" in out and "continuations" in out
+
+
+def test_plan_flag(doc, capsys):
+    out = run(capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--plan")
+    assert "SERIALIZE" in out and "DOC" in out
+
+
+def test_engine_choices(doc, capsys):
+    for engine in ("interpreter", "stacked-sql", "planner"):
+        out = run(
+            capsys,
+            'doc("auction.xml")//bidder',
+            "--doc",
+            doc,
+            "--items",
+            "--engine",
+            engine,
+        )
+        assert out.strip() == "5", engine
+
+
+def test_custom_uri(doc, capsys):
+    out = run(capsys, 'doc("a")//time', "--doc", f"{doc}=a", "--items")
+    assert out.strip() == "6"
+
+
+def test_generate_xmark(capsys):
+    out = run(capsys, "--generate", "xmark", "--factor", "0.001")
+    assert out.startswith("<site>")
+
+
+def test_generate_dblp(capsys):
+    out = run(capsys, "--generate", "dblp", "--factor", "0.0005")
+    assert "<dblp>" in out
+
+
+def test_error_exit_code(doc, capsys):
+    assert main(["for $x in", "--doc", doc]) == 1
+    assert "error:" in capsys.readouterr().err
+
+
+def test_missing_doc_is_an_error(capsys):
+    with pytest.raises(SystemExit):
+        main(["//a"])

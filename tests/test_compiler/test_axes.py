@@ -1,0 +1,106 @@
+"""Unit tests for the Fig. 3 axis / node-test predicate builders."""
+
+import pytest
+
+from repro.algebra.expressions import And, Comparison, Or
+from repro.compiler.axes import (
+    PAIRWISE_AXES,
+    SIBLING_AXES,
+    axis_predicate,
+    node_test_predicate,
+)
+from repro.errors import CompileError
+from repro.xmltree.model import NodeKind
+
+
+def render(expr):
+    return repr(expr)
+
+
+def test_node_test_element_with_name():
+    pred = node_test_predicate("element", "bidder")
+    text = render(pred)
+    assert f"kind = {int(NodeKind.ELEM)}" in text
+    assert "name = 'bidder'" in text
+
+
+def test_node_test_kind_only():
+    pred = node_test_predicate("text", None)
+    assert render(pred) == f"kind = {int(NodeKind.TEXT)}"
+
+
+def test_node_test_vacuous():
+    assert node_test_predicate("node", None) is None
+    assert node_test_predicate(None, "*") is None
+
+
+def test_node_test_wildcard_name_ignored():
+    pred = node_test_predicate("element", "*")
+    assert "name" not in render(pred)
+
+
+def test_unknown_kind_test_rejected():
+    with pytest.raises(CompileError):
+        node_test_predicate("banana", None)
+
+
+def test_descendant_predicate_is_range():
+    pred = axis_predicate("descendant", "1", kind_pinned=True)
+    text = render(pred)
+    assert "pre1 < pre" in text
+    assert "pre <= pre1 + size1" in text
+    assert "kind" not in text  # pinned: no ATTR guard
+
+
+def test_attr_guard_added_when_unpinned():
+    pred = axis_predicate("descendant", "1", kind_pinned=False)
+    assert f"kind <> {int(NodeKind.ATTR)}" in render(pred)
+
+
+def test_child_predicate_has_level_adjacency():
+    pred = axis_predicate("child", "2", kind_pinned=True)
+    assert "level2 + 1 = level" in render(pred)
+
+
+def test_parent_predicate_is_the_child_dual():
+    """pre/size duality (paper Fig. 3): parent swaps the roles."""
+    pred = axis_predicate("parent", "3", kind_pinned=True)
+    text = render(pred)
+    assert "pre < pre3" in text
+    assert "pre3 <= pre + size" in text
+    assert "level + 1 = level3" in text
+
+
+def test_following_and_preceding():
+    assert "pre1 + size1 < pre" in render(
+        axis_predicate("following", "1", kind_pinned=True)
+    )
+    assert "pre + size < pre1" in render(
+        axis_predicate("preceding", "1", kind_pinned=True)
+    )
+
+
+def test_attribute_axis_pins_kind_when_test_does_not():
+    pred = axis_predicate("attribute", "1", kind_pinned=False)
+    assert f"kind = {int(NodeKind.ATTR)}" in render(pred)
+    pred_pinned = axis_predicate("attribute", "1", kind_pinned=True)
+    assert "kind" not in render(pred_pinned)
+
+
+def test_descendant_or_self_has_attr_disjunct():
+    pred = axis_predicate("descendant-or-self", "1", kind_pinned=False)
+    assert isinstance(pred, And)
+    assert any(isinstance(p, Or) for p in pred.parts)
+
+
+def test_self_is_pre_equality():
+    pred = axis_predicate("self", "9", kind_pinned=False)
+    assert isinstance(pred, Comparison)
+    assert render(pred) == "pre = pre9"
+
+
+def test_sibling_axes_have_no_pairwise_predicate():
+    for axis in SIBLING_AXES:
+        with pytest.raises(CompileError):
+            axis_predicate(axis, "1", kind_pinned=True)
+    assert not (SIBLING_AXES & PAIRWISE_AXES)

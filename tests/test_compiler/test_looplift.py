@@ -1,0 +1,149 @@
+"""Loop-lifting compiler tests (paper Fig. 13 + Section 2.2)."""
+
+import pytest
+
+from repro.algebra import count_ops, run_plan
+from repro.compiler import compile_core
+from repro.errors import CompileError
+from repro.infoset import DocumentStore
+from repro.xquery import normalize, parse_xquery
+
+
+def compiled(store, text):
+    return compile_core(normalize(parse_xquery(text)), store)
+
+
+def run(store, text):
+    return run_plan(compiled(store, text))
+
+
+def test_section_2_2_worked_example(fig2_store):
+    """Q0 = doc(...)/descendant::bidder/child::*/child::text() yields
+    the text nodes with pre ranks 7 and 9 (paper Section 2.2)."""
+    q0 = 'doc("auction.xml")/descendant::bidder/child::*/child::text()'
+    assert run(fig2_store, q0) == [7, 9]
+
+
+def test_doc_rule(fig2_store):
+    assert run(fig2_store, 'doc("auction.xml")') == [0]
+
+
+def test_unknown_document_yields_empty(fig2_store):
+    assert run(fig2_store, 'doc("nope.xml")/child::*') == []
+
+
+@pytest.mark.parametrize(
+    ("query", "expected"),
+    [
+        ('doc("auction.xml")/child::open_auction', [1]),
+        ('doc("auction.xml")/descendant::text()', [4, 7, 9]),
+        ('doc("auction.xml")//bidder/child::node()', [6, 8]),
+        ('doc("auction.xml")//time/self::time', [6]),
+        ('doc("auction.xml")//time/self::bidder', []),
+        ('doc("auction.xml")//increase/parent::node()', [5]),
+        ('doc("auction.xml")//time/ancestor::*', [1, 5]),
+        ('doc("auction.xml")//time/ancestor-or-self::node()', [0, 1, 5, 6]),
+        ('doc("auction.xml")//initial/following::text()', [7, 9]),
+        ('doc("auction.xml")//increase/preceding::*', [3, 6]),
+        ('doc("auction.xml")//initial/following-sibling::*', [5]),
+        ('doc("auction.xml")//bidder/preceding-sibling::node()', [3]),
+        ('doc("auction.xml")//open_auction/attribute::id', [2]),
+        ('doc("auction.xml")//open_auction/@*', [2]),
+        ('doc("auction.xml")/descendant-or-self::node()/child::time', [6]),
+    ],
+)
+def test_all_axes_compile_and_evaluate(fig2_store, query, expected):
+    assert run(fig2_store, query) == expected
+
+
+def test_for_loop_order_preserved(fig2_store):
+    """Sequence order: outer binding order dominates inner order."""
+    q = (
+        'for $x in doc("auction.xml")//bidder/child::* '
+        "return $x/child::text()"
+    )
+    assert run(fig2_store, q) == [7, 9]
+
+
+def test_nested_for_over_same_sequence(fig2_store):
+    q = (
+        'for $x in doc("auction.xml")//time '
+        'for $y in doc("auction.xml")//increase '
+        "return $y"
+    )
+    assert run(fig2_store, q) == [8]
+
+
+def test_duplicates_across_iterations_retained(fig2_store):
+    """Two bidder children each select their parent: the parent node
+    appears twice (duplicates retained across for iterations)."""
+    q = 'for $x in doc("auction.xml")//bidder/* return $x/parent::node()'
+    assert run(fig2_store, q) == [5, 5]
+
+
+def test_ddo_removes_in_step_duplicates(fig2_store):
+    """Within one step, fs:ddo removes duplicate nodes: two children
+    stepping to the same parent inside a path yield it once."""
+    q = 'doc("auction.xml")//bidder/*/parent::node()'
+    assert run(fig2_store, q) == [5]
+
+
+def test_if_existence_condition(fig2_store):
+    q = (
+        'for $x in doc("auction.xml")//open_auction '
+        "return if ($x/bidder) then $x else ()"
+    )
+    assert run(fig2_store, q) == [1]
+    q2 = (
+        'for $x in doc("auction.xml")//open_auction '
+        "return if ($x/nonexistent) then $x else ()"
+    )
+    assert run(fig2_store, q2) == []
+
+
+def test_valcomp_numeric_uses_typed_data(fig2_store):
+    assert run(fig2_store, 'doc("auction.xml")//open_auction[initial > 10]') == [1]
+    assert run(fig2_store, 'doc("auction.xml")//open_auction[initial > 20]') == []
+
+
+def test_valcomp_string_uses_untyped_value(fig2_store):
+    assert run(fig2_store, 'doc("auction.xml")//bidder[time = "18:43"]') == [5]
+    assert run(fig2_store, 'doc("auction.xml")//bidder[time = "19:00"]') == []
+
+
+def test_general_comp_two_node_sequences(fig2_store):
+    # @id = "1" and initial = "15": both present on pre 1
+    q = 'doc("auction.xml")//open_auction[@id = "1"]'
+    assert run(fig2_store, q) == [1]
+
+
+def test_comp_node_vs_node(fig2_store):
+    store = DocumentStore()
+    store.load('<r><a k="x"/><b k="x"/><b k="y"/></r>', "c.xml")
+    # doc: 0, r: 1, a: 2 (@k=x: 3), b: 4 (@k=x: 5), b: 6 (@k=y: 7)
+    q = 'for $a in doc("c.xml")//a for $b in doc("c.xml")//b where $a/@k = $b/@k return $b'
+    assert run(store, q) == [4]
+
+
+def test_let_binding_shared(fig2_store):
+    q = (
+        'let $d := doc("auction.xml") '
+        "for $x in $d//bidder return $x/child::increase"
+    )
+    assert run(fig2_store, q) == [8]
+
+
+def test_unbound_variable_raises(fig2_store):
+    with pytest.raises(CompileError):
+        compiled(fig2_store, "$nope/child::a")
+
+
+def test_plan_is_dag_with_single_doc_leaf(fig2_store):
+    plan = compiled(
+        fig2_store, 'doc("auction.xml")//bidder[time]/increase'
+    )
+    assert count_ops(plan)["DocScan"] == 1
+
+
+def test_empty_sequence_in_for(fig2_store):
+    assert run(fig2_store, "for $x in () return $x") == []

@@ -1,0 +1,62 @@
+"""Reproduction of paper Fig. 2: the encoding of auction.xml.
+
+The paper's running example document is shredded and the resulting
+``doc`` table is compared row by row against the figure.
+"""
+
+from repro.infoset import shred
+from repro.xmltree.model import NodeKind
+
+AUCTION_XML = """\
+<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>
+"""
+
+DOC = int(NodeKind.DOC)
+ELEM = int(NodeKind.ELEM)
+ATTR = int(NodeKind.ATTR)
+TEXT = int(NodeKind.TEXT)
+
+# pre, size, level, kind, name, value, data  (Fig. 2)
+FIG2_ROWS = [
+    (0, 9, 0, DOC, "auction.xml", None, None),
+    (1, 8, 1, ELEM, "open_auction", None, None),
+    (2, 0, 2, ATTR, "id", "1", 1.0),
+    (3, 1, 2, ELEM, "initial", "15", 15.0),
+    (4, 0, 3, TEXT, None, "15", 15.0),
+    (5, 4, 2, ELEM, "bidder", None, None),
+    (6, 1, 3, ELEM, "time", "18:43", None),
+    (7, 0, 4, TEXT, None, "18:43", None),
+    (8, 1, 3, ELEM, "increase", "4.20", 4.2),
+    (9, 0, 4, TEXT, None, "4.20", 4.2),
+]
+
+
+def test_fig2_encoding_matches_paper():
+    table = shred(AUCTION_XML, uri="auction.xml")
+    assert len(table) == 10
+    for expected in FIG2_ROWS:
+        row = table.row(expected[0])
+        assert tuple(row) == expected, f"row {expected[0]} mismatch: {row}"
+
+
+def test_doc_registry():
+    table = shred(AUCTION_XML, uri="auction.xml")
+    assert table.doc_uris == ["auction.xml"]
+    assert table.root_of("auction.xml") == 0
+    assert table.document_of(7) == 0
+
+
+def test_string_value_of_large_subtree_is_computed():
+    table = shred(AUCTION_XML, uri="auction.xml")
+    # bidder (pre=5) has size 4 > 1: value column is None, string value
+    # is the concatenation of descendant text.
+    assert table.value[5] is None
+    assert table.string_value(5) == "18:434.20"
+    assert table.string_value(2) == "1"
+    assert table.string_value(3) == "15"

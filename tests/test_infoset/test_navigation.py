@@ -1,0 +1,123 @@
+"""Axis navigation tests: every axis against hand-computed results on
+the Fig. 2 document, plus cross-checks of the axis dualities."""
+
+import pytest
+
+from repro.infoset import shred
+from repro.infoset.navigation import (
+    AXES,
+    DUAL_AXIS,
+    axis_nodes,
+    kind_name_test,
+    parent_of,
+)
+
+AUCTION = """\
+<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>
+"""
+# pre: 0 doc, 1 open_auction, 2 @id, 3 initial, 4 "15",
+#      5 bidder, 6 time, 7 "18:43", 8 increase, 9 "4.20"
+
+
+@pytest.fixture(scope="module")
+def table():
+    return shred(AUCTION, uri="auction.xml")
+
+
+def test_child_excludes_attributes(table):
+    assert axis_nodes(table, 1, "child") == [3, 5]
+
+
+def test_attribute_axis(table):
+    assert axis_nodes(table, 1, "attribute") == [2]
+    assert axis_nodes(table, 5, "attribute") == []
+
+
+def test_descendant(table):
+    assert axis_nodes(table, 5, "descendant") == [6, 7, 8, 9]
+    assert axis_nodes(table, 1, "descendant") == [3, 4, 5, 6, 7, 8, 9]
+
+
+def test_descendant_or_self(table):
+    assert axis_nodes(table, 5, "descendant-or-self") == [5, 6, 7, 8, 9]
+
+
+def test_parent(table):
+    assert axis_nodes(table, 6, "parent") == [5]
+    assert axis_nodes(table, 2, "parent") == [1]  # attribute owner
+    assert axis_nodes(table, 0, "parent") == []
+
+
+def test_ancestor_and_or_self(table):
+    assert axis_nodes(table, 7, "ancestor") == [0, 1, 5, 6]
+    assert axis_nodes(table, 7, "ancestor-or-self") == [0, 1, 5, 6, 7]
+
+
+def test_following_and_preceding(table):
+    assert axis_nodes(table, 3, "following") == [5, 6, 7, 8, 9]
+    assert axis_nodes(table, 8, "preceding") == [3, 4, 6, 7]
+    # preceding excludes ancestors
+    assert 5 not in axis_nodes(table, 8, "preceding")
+
+
+def test_siblings(table):
+    assert axis_nodes(table, 3, "following-sibling") == [5]
+    assert axis_nodes(table, 5, "preceding-sibling") == [3]
+    assert axis_nodes(table, 6, "following-sibling") == [8]
+
+
+def test_self(table):
+    assert axis_nodes(table, 4, "self") == [4]
+
+
+def test_parent_of_everything(table):
+    assert parent_of(table, 0) is None
+    assert parent_of(table, 1) == 0
+    assert parent_of(table, 9) == 8
+
+
+def test_all_axes_enumerable(table):
+    for axis in AXES:
+        axis_nodes(table, 5, axis)  # must not raise
+
+
+def test_axis_duality_roundtrip(table):
+    """v in axis(c) iff c in dual(axis)(v) — the pre/size duality the
+    optimizer exploits for axis reversal (paper Section 4.1)."""
+    verifiable = (
+        "child",
+        "descendant",
+        "following",
+        "preceding",
+        "ancestor",
+        "parent",
+        "following-sibling",
+        "preceding-sibling",
+    )
+    attr = 2  # attributes are excluded from the non-attribute axes,
+    # so the duality is stated over non-attribute nodes only
+    for axis in verifiable:
+        dual = DUAL_AXIS[axis]
+        for context in range(len(table)):
+            if table.kind[context] == attr:
+                continue
+            for hit in axis_nodes(table, context, axis):
+                assert context in axis_nodes(table, hit, dual), (
+                    f"{axis}/{dual} duality broken at {context}->{hit}"
+                )
+
+
+def test_kind_name_tests(table):
+    assert kind_name_test(table, 1, "element", "open_auction")
+    assert not kind_name_test(table, 1, "element", "bidder")
+    assert kind_name_test(table, 2, "attribute", "id")
+    assert kind_name_test(table, 4, "text", None)
+    assert kind_name_test(table, 4, None, None)  # node()
+    assert kind_name_test(table, 0, "document-node", None)
+    assert not kind_name_test(table, 4, "element", None)

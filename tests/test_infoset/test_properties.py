@@ -1,0 +1,117 @@
+"""Property-based invariants of the tabular infoset encoding."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infoset import DocumentStore, shred
+from repro.infoset.navigation import axis_nodes, parent_of
+from repro.infoset.serialize import serialize_nodes
+from repro.xmltree import parse_fragment, serialize
+from repro.xmltree.model import NodeKind
+
+
+def random_xml(rng: random.Random, max_nodes: int = 30) -> str:
+    budget = [rng.randint(3, max_nodes)]
+
+    def element(depth: int) -> str:
+        budget[0] -= 1
+        tag = rng.choice("abcd")
+        attrs = (
+            f' k="{rng.randint(0, 9)}"' if rng.random() < 0.3 else ""
+        )
+        children = []
+        while budget[0] > 0 and rng.random() < (0.65 if depth < 5 else 0.1):
+            if rng.random() < 0.4:
+                budget[0] -= 1
+                children.append(str(rng.randint(0, 99)))
+            else:
+                children.append(element(depth + 1))
+        return f"<{tag}{attrs}>{''.join(children)}</{tag}>"
+
+    return element(0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_encoding_invariants(seed):
+    """pre/size/level structural invariants hold for every document:
+
+    * the DOC row spans the whole tree;
+    * every subtree range nests properly (no partial overlap);
+    * level equals the number of ancestors;
+    * size equals the subtree row count.
+    """
+    table = shred(random_xml(random.Random(seed)), uri="t.xml")
+    n = len(table)
+    assert table.size[0] == n - 1 and table.level[0] == 0
+
+    for pre in range(n):
+        end = pre + table.size[pre]
+        assert end < n
+        # containment is proper nesting
+        for other in range(pre + 1, end + 1):
+            assert other + table.size[other] <= end
+        # level = number of ancestors
+        ancestors = axis_nodes(table, pre, "ancestor")
+        assert table.level[pre] == len(ancestors)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_parent_child_inverse(seed):
+    table = shred(random_xml(random.Random(seed)), uri="t.xml")
+    attr = int(NodeKind.ATTR)
+    for pre in range(1, len(table)):
+        parent = parent_of(table, pre)
+        assert parent is not None
+        if table.kind[pre] == attr:
+            assert pre in axis_nodes(table, parent, "attribute")
+        else:
+            assert pre in axis_nodes(table, parent, "child")
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_shred_serialize_roundtrip(seed):
+    source = random_xml(random.Random(seed))
+    canonical = serialize(parse_fragment(source))
+    table = shred(source, uri="t.xml")
+    assert serialize(parse_fragment(serialize_nodes(table, 1))) == canonical
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_following_preceding_partition(seed):
+    """For a non-attribute context, {self+descendants, ancestors,
+    following, preceding} partitions the non-attribute rows."""
+    table = shred(random_xml(random.Random(seed)), uri="t.xml")
+    attr = int(NodeKind.ATTR)
+    rng = random.Random(seed + 1)
+    candidates = [p for p in range(len(table)) if table.kind[p] != attr]
+    context = rng.choice(candidates)
+    groups = (
+        set(axis_nodes(table, context, "descendant-or-self")),
+        set(axis_nodes(table, context, "ancestor")),
+        set(axis_nodes(table, context, "following")),
+        set(axis_nodes(table, context, "preceding")),
+    )
+    union = set().union(*groups)
+    assert union == set(candidates)
+    total = sum(len(g) for g in groups)
+    assert total == len(union)  # pairwise disjoint
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_multi_document_ranges_disjoint(seed):
+    rng = random.Random(seed)
+    store = DocumentStore()
+    store.load(random_xml(rng), "a.xml")
+    store.load(random_xml(rng), "b.xml")
+    table = store.table
+    root_b = table.root_of("b.xml")
+    assert table.root_of("a.xml") == 0
+    assert table.size[0] + 1 == root_b  # b starts right after a's tree
+    assert table.document_of(root_b + 1) == root_b

@@ -1,0 +1,55 @@
+"""Round-trip: XML text -> doc table -> serialized XML."""
+
+from repro.infoset import shred
+from repro.infoset.serialize import serialize_nodes, serialize_sequence
+from repro.xmltree import parse_fragment, serialize
+
+
+def canon(text: str) -> str:
+    return serialize(parse_fragment(text))
+
+
+def test_serialize_element_subtree():
+    table = shred('<a x="1"><b>t</b><c/></a>')
+    assert canon(serialize_nodes(table, 1)) == canon('<a x="1"><b>t</b><c/></a>')
+
+
+def test_serialize_inner_node():
+    table = shred("<a><b><c>deep</c></b></a>")
+    assert serialize_nodes(table, 2) == "<b><c>deep</c></b>"
+
+
+def test_serialize_text_and_attribute_rows():
+    table = shred('<a x="v&quot;q">t&amp;u</a>')
+    # pre 0 doc, 1 a, 2 @x, 3 text
+    assert serialize_nodes(table, 2) == 'x="v&quot;q"'
+    assert serialize_nodes(table, 3) == "t&amp;u"
+
+
+def test_serialize_document_row_yields_whole_document():
+    table = shred("<a><b/></a>", uri="d.xml")
+    assert serialize_nodes(table, 0) == "<a><b/></a>"
+
+
+def test_serialize_sequence_concatenates():
+    table = shred("<a><b>1</b><b>2</b></a>")
+    bs = [p for p in range(len(table)) if table.name[p] == "b"]
+    assert serialize_sequence(table, bs) == "<b>1</b><b>2</b>"
+
+
+def test_empty_elements_and_attribute_only_elements():
+    table = shred('<a><e/><f k="1"/><g k="2">x</g></a>')
+    root = serialize_nodes(table, 1)
+    assert canon(root) == canon('<a><e/><f k="1"/><g k="2">x</g></a>')
+
+
+def test_roundtrip_with_comments_and_pis():
+    source = "<a><!--c--><?pi body?><b>t</b></a>"
+    table = shred(source)
+    assert canon(serialize_nodes(table, 1)) == canon(source)
+
+
+def test_roundtrip_deep_nesting():
+    source = "<a>" + "<x>" * 30 + "leaf" + "</x>" * 30 + "</a>"
+    table = shred(source)
+    assert serialize_nodes(table, 1) == source

@@ -1,0 +1,106 @@
+"""Loop-lifted staircase join tests: pruning and scans agree with the
+naive per-context union on random documents and context sets."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infoset import shred
+from repro.infoset.staircase import (
+    STAIRCASE_AXES,
+    naive_union,
+    prune_contexts,
+    staircase_join,
+)
+
+XML = "<a><b><c/><c/></b><b><c><d/></c></b><e/></a>"
+# 0 doc, 1 a, 2 b, 3 c, 4 c, 5 b, 6 c, 7 d, 8 e
+
+
+@pytest.fixture(scope="module")
+def table():
+    return shred(XML)
+
+
+def test_descendant_pruning_drops_nested_contexts(table):
+    # context 2 (b) contains 3 (c): 3 contributes nothing new
+    assert prune_contexts(table, [2, 3], "descendant") == [2]
+    # disjoint subtrees both kept
+    assert prune_contexts(table, [2, 5], "descendant") == [2, 5]
+
+
+def test_following_pruning_keeps_earliest_subtree_end(table):
+    # following is dominated by the context whose subtree ends first
+    assert prune_contexts(table, [2, 5], "following") == [2]
+
+
+def test_preceding_pruning_keeps_latest_pre(table):
+    assert prune_contexts(table, [3, 6], "preceding") == [6]
+
+
+@pytest.mark.parametrize("axis", STAIRCASE_AXES)
+def test_staircase_matches_naive_union(table, axis):
+    contexts = {1: [2, 3, 5], 2: [6], 3: [], 4: [8, 1]}
+    assert staircase_join(table, contexts, axis) == naive_union(
+        table, contexts, axis
+    )
+
+
+def test_ancestor_chains_shared(table):
+    result = staircase_join(table, {1: [4, 7]}, "ancestor")
+    # ancestors of c(4): b(2), a(1), doc(0); of d(7): c(6), b(5), a, doc
+    assert result[1] == [0, 1, 2, 5, 6]
+
+
+def test_unsupported_axis_rejected(table):
+    with pytest.raises(ValueError):
+        staircase_join(table, {1: [1]}, "child")
+
+
+def random_xml(rng: random.Random) -> str:
+    budget = [rng.randint(4, 50)]
+
+    def node(depth: int) -> str:
+        budget[0] -= 1
+        tag = rng.choice("xyz")
+        children = []
+        while budget[0] > 0 and rng.random() < (0.7 if depth < 5 else 0.15):
+            children.append(node(depth + 1))
+        return f"<{tag}>{''.join(children)}</{tag}>"
+
+    return node(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_staircase_random_documents(seed):
+    rng = random.Random(seed)
+    table = shred(random_xml(rng), uri="t.xml")
+    n = len(table)
+    contexts = {
+        i: [rng.randrange(n) for _ in range(rng.randint(0, 6))]
+        for i in range(1, 4)
+    }
+    for axis in STAIRCASE_AXES:
+        per_iter = {
+            i: [c for c in cs if table.kind[c] != 2] for i, cs in contexts.items()
+        }
+        assert staircase_join(table, per_iter, axis) == naive_union(
+            table, per_iter, axis
+        ), (axis, per_iter)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_pruning_preserves_the_union(seed):
+    rng = random.Random(seed)
+    table = shred(random_xml(rng), uri="t.xml")
+    contexts = [rng.randrange(len(table)) for _ in range(5)]
+    for axis in STAIRCASE_AXES:
+        pruned = prune_contexts(table, contexts, axis)
+        assert set(pruned) <= set(contexts)
+        full = naive_union(table, {0: contexts}, axis)[0]
+        reduced = naive_union(table, {0: pruned}, axis)[0]
+        assert full == reduced, axis

@@ -1,0 +1,84 @@
+"""Encoding validator tests."""
+
+import random
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.infoset import DocumentStore, shred
+from repro.infoset.validate import validate_encoding
+from repro.workloads import XMarkConfig, generate_xmark
+
+
+def test_shredded_documents_validate():
+    validate_encoding(shred("<a><b>1</b><c x='2'><d/></c></a>"))
+
+
+def test_multi_document_store_validates():
+    store = DocumentStore()
+    store.load("<a><b/></a>", "a.xml")
+    store.load("<c/>", "c.xml")
+    validate_encoding(store.table)
+
+
+def test_generated_workload_validates():
+    store = DocumentStore()
+    store.load_tree(generate_xmark(XMarkConfig(factor=0.001)))
+    validate_encoding(store.table)
+
+
+def test_detects_level_break():
+    table = shred("<a><b/></a>")
+    table.level[2] = 5  # b should be level 2
+    with pytest.raises(DocumentError):
+        validate_encoding(table)
+
+
+def test_detects_leaking_subtree():
+    table = shred("<a><b/><c/></a>")
+    table.size[2] = 3  # b's subtree now leaks past a's end
+    with pytest.raises(DocumentError):
+        validate_encoding(table)
+
+
+def test_detects_misplaced_doc_row():
+    table = shred("<a><b/></a>")
+    table.kind[2] = 0  # an interior DOC row
+    with pytest.raises(DocumentError):
+        validate_encoding(table)
+
+
+def test_detects_attr_with_subtree():
+    table = shred("<a x='1'><b/></a>")
+    table.size[2] = 1  # the attribute swallows b
+    with pytest.raises(DocumentError):
+        validate_encoding(table)
+
+
+def test_detects_value_on_wide_subtree():
+    table = shred("<a><b/><c/></a>")
+    table.value[1] = "nope"  # a has size 2
+    with pytest.raises(DocumentError):
+        validate_encoding(table)
+
+
+def test_random_documents_validate():
+    rng = random.Random(7)
+    for _ in range(20):
+        tags = "xyz"
+        budget = [rng.randint(3, 40)]
+
+        def node(depth):
+            budget[0] -= 1
+            tag = rng.choice(tags)
+            attrs = f' k="{rng.randint(0, 9)}"' if rng.random() < 0.3 else ""
+            children = []
+            while budget[0] > 0 and rng.random() < (0.6 if depth < 5 else 0.1):
+                if rng.random() < 0.3:
+                    budget[0] -= 1
+                    children.append("t")
+                else:
+                    children.append(node(depth + 1))
+            return f"<{tag}{attrs}>{''.join(children)}</{tag}>"
+
+        validate_encoding(shred(node(0)))

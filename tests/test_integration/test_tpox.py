@@ -1,0 +1,57 @@
+"""TPoX workload integration: all engines agree on the query-section
+workloads expressible in the fragment (paper [17])."""
+
+import pytest
+
+from repro.infoset import DocumentStore
+from repro.pipeline import XQueryProcessor
+from repro.workloads.tpox import TPOX_QUERIES, TPoXConfig, generate_tpox
+
+
+@pytest.fixture(scope="module")
+def processor():
+    store = DocumentStore()
+    for uri, document in generate_tpox(TPoXConfig(factor=0.0006)).items():
+        store.load_tree(document)
+    return XQueryProcessor(store, default_doc="custacc.xml")
+
+
+@pytest.mark.parametrize("name", sorted(TPOX_QUERIES))
+def test_engines_agree(processor, name):
+    query = TPOX_QUERIES[name]
+    compiled = processor.compile(query.text)
+    reference = processor.execute(compiled, engine="interpreter")
+    assert processor.execute(compiled, engine="joingraph-sql") == reference
+    assert processor.execute(compiled, engine="stacked-sql") == reference
+
+
+@pytest.mark.parametrize("name", sorted(TPOX_QUERIES))
+def test_planner_agrees(processor, name):
+    from repro.planner import JoinGraphPlanner
+    from repro.sql import flatten_query
+
+    query = TPOX_QUERIES[name]
+    compiled = processor.compile(query.text)
+    reference = processor.execute(compiled, engine="interpreter")
+    planner = JoinGraphPlanner(processor.store.table)
+    assert planner.plan(flatten_query(compiled.isolated_plan)).execute() == reference
+
+
+def test_point_lookups_hit(processor):
+    assert len(processor.execute(TPOX_QUERIES["T1"].text)) == 1
+    assert len(processor.execute(TPOX_QUERIES["T2"].text)) == 1
+
+
+def test_range_scan_nonempty(processor):
+    assert processor.execute(TPOX_QUERIES["T3"].text)
+
+
+def test_cross_document_joins_nonempty(processor):
+    assert processor.execute(TPOX_QUERIES["T4"].text)
+    assert processor.execute(TPOX_QUERIES["T5"].text)
+
+
+def test_three_collections_hosted_together(processor):
+    table = processor.store.table
+    uris = set(table.doc_uris)
+    assert uris == {"custacc.xml", "order.xml", "security.xml"}

@@ -1,0 +1,113 @@
+"""Property-based B-tree tests: every scan agrees with a brute-force
+filter over the table."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.infoset import shred
+from repro.planner.indexes import BTreeIndex
+
+
+def random_doc(rng: random.Random) -> str:
+    budget = [rng.randint(5, 40)]
+
+    def element(depth: int) -> str:
+        budget[0] -= 1
+        tag = rng.choice("abc")
+        children = []
+        while budget[0] > 0 and rng.random() < (0.6 if depth < 4 else 0.1):
+            if rng.random() < 0.4:
+                budget[0] -= 1
+                children.append(str(rng.randint(0, 20)))
+            else:
+                children.append(element(depth + 1))
+        return f"<{tag}>{''.join(children)}</{tag}>"
+
+    return element(0)
+
+
+COLUMNS = {
+    "pre": lambda t, p: p,
+    "size": lambda t, p: t.size[p],
+    "level": lambda t, p: t.level[p],
+    "kind": lambda t, p: t.kind[p],
+    "name": lambda t, p: t.name[p],
+    "value": lambda t, p: t.value[p],
+}
+
+KEYS = [
+    ("name", "kind", "size", "pre", "level"),
+    ("name", "level", "kind", "pre"),
+    ("value", "name", "level", "kind", "pre"),
+    ("pre",),
+]
+
+
+@settings(max_examples=60, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_scan_equals_bruteforce(seed):
+    rng = random.Random(seed)
+    table = shred(random_doc(rng), uri="t.xml")
+    key = rng.choice(KEYS)
+    index = BTreeIndex("ix", key, table)
+
+    # random equality prefix
+    prefix_len = rng.randint(0, len(key) - 1)
+    sample_pre = rng.randrange(len(table))
+    equals = {c: COLUMNS[c](table, sample_pre) for c in key[:prefix_len]}
+
+    # random range on a column behind the prefix
+    use_range = rng.random() < 0.7 and prefix_len < len(key)
+    range_col = None
+    low = high = None
+    low_inc = high_inc = True
+    if use_range:
+        range_col = rng.choice(key[prefix_len:])
+        # draw integer bounds (these keys' tail columns are numeric,
+        # except value: use string bounds there)
+        if range_col == "value":
+            low, high = "1", "9"
+        else:
+            low = rng.randint(0, 10)
+            high = low + rng.randint(0, 10)
+        low_inc = rng.random() < 0.5
+        high_inc = rng.random() < 0.5
+
+    got = sorted(
+        index.scan(equals, range_col, low, high, low_inc, high_inc)
+    )
+
+    def keep(p: int) -> bool:
+        for c, v in equals.items():
+            if COLUMNS[c](table, p) != v:
+                return False
+        if range_col is not None:
+            x = COLUMNS[range_col](table, p)
+            if x is None:
+                return False
+            if type(x) is not type(low) and not (
+                isinstance(x, (int, float)) and isinstance(low, (int, float))
+            ):
+                return False
+            if low is not None and (x < low or (not low_inc and x == low)):
+                return False
+            if high is not None and (x > high or (not high_inc and x == high)):
+                return False
+        return True
+
+    expected = sorted(p for p in range(len(table)) if keep(p))
+    assert got == expected, (key, equals, range_col, low, high, low_inc, high_inc)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 100_000))
+def test_estimated_entries_exact(seed):
+    rng = random.Random(seed)
+    table = shred(random_doc(rng), uri="t.xml")
+    index = BTreeIndex("nk", ("name", "kind"), table)
+    sample = rng.randrange(len(table))
+    name = table.name[sample]
+    expected = sum(1 for p in range(len(table)) if table.name[p] == name)
+    assert index.estimated_entries({"name": name}) == expected

@@ -1,0 +1,103 @@
+"""Composite B-tree index unit tests."""
+
+import pytest
+
+from repro.infoset import shred
+from repro.planner.indexes import BTreeIndex, IndexCatalog
+from repro.sql.backend import TABLE6_INDEXES
+
+XML = "<a><b>1</b><b>2</b><c><b>3</b><d/></c></a>"
+# pre: 0 doc, 1 a, 2 b, 3 '1', 4 b, 5 '2', 6 c, 7 b, 8 '3', 9 d
+
+
+@pytest.fixture(scope="module")
+def table():
+    return shred(XML)
+
+
+@pytest.fixture(scope="module")
+def nkspl(table):
+    return BTreeIndex("nkspl", ("name", "kind", "size", "pre", "level"), table)
+
+
+def test_equality_prefix_scan(table, nkspl):
+    assert sorted(nkspl.scan({"name": "b", "kind": 1})) == [2, 4, 7]
+    assert nkspl.scan({"name": "zzz", "kind": 1}) == []
+
+
+def test_range_after_prefix(table, nkspl):
+    hits = nkspl.scan({"name": "b", "kind": 1}, range_col="size", low=1, high=1)
+    assert sorted(hits) == [2, 4, 7]
+
+
+def test_pre_range_scan(table):
+    p = BTreeIndex("p", ("pre",), table)
+    assert p.scan({}, range_col="pre", low=2, high=6, low_inclusive=False) == [
+        3,
+        4,
+        5,
+        6,
+    ]
+    assert p.scan({}, range_col="pre", low=2, high=6) == [2, 3, 4, 5, 6]
+    assert p.scan({}, range_col="pre", low=2, high=6, high_inclusive=False) == [
+        2,
+        3,
+        4,
+        5,
+    ]
+
+
+def test_exact_range_point(table):
+    p = BTreeIndex("p", ("pre",), table)
+    assert p.scan({}, range_col="pre", low=4, high=4) == [4]
+
+
+def test_full_scan(table, nkspl):
+    assert len(nkspl.scan({})) == len(table)
+
+
+def test_none_values_sort_first_and_band_excluded(table):
+    v = BTreeIndex("v", ("value", "pre"), table)
+    # text nodes have values '1','2','3'; elements b also (size 1)
+    hits = v.scan({}, range_col="value", high="2")
+    values = {table.value[p] for p in hits}
+    assert None not in values  # NULL band excluded from the range
+    assert values <= {"", "1", "2"}  # '' (empty element d) <= '2' holds
+
+
+def test_prefix_must_match_key_order(table, nkspl):
+    with pytest.raises(ValueError):
+        nkspl.scan({"kind": 1})  # kind is not the first key column
+    with pytest.raises(ValueError):
+        nkspl.scan({"name": "b"}, range_col="value")  # value not in key
+
+
+def test_non_adjacent_range_filters_in_index(table, nkspl):
+    """nkspl = (name, kind, size, pre, level): with only a name prefix,
+    a pre range is applied as an in-group filter — the partitioned
+    tag-stream access of the paper's Section 4."""
+    hits = nkspl.scan({"name": "b"}, range_col="pre", low=3, high=8)
+    assert sorted(hits) == [4, 7]
+
+
+def test_estimated_entries(table, nkspl):
+    assert nkspl.estimated_entries({"name": "b", "kind": 1}) == 3
+    assert nkspl.estimated_entries({"name": "d"}) == 1
+
+
+def test_catalog_best_for(table):
+    catalog = IndexCatalog(table, TABLE6_INDEXES)
+    assert catalog.best_for({"name", "kind"}, "data").name == "idx_nkdlp"
+    assert catalog.best_for({"name", "kind"}, "size").name in (
+        "idx_nkspl",
+        "idx_nksp",
+    )
+    assert catalog.best_for({"value"}, None) is not None
+    assert catalog.best_for(set(), "pre").name == "idx_p_nvkls"
+
+
+def test_prefix_coverage(table, nkspl):
+    assert nkspl.prefix_coverage({"name", "kind"}, "size") == 3
+    assert nkspl.prefix_coverage({"name"}, None) == 1
+    assert nkspl.prefix_coverage(set(), "size") is None
+    assert nkspl.prefix_coverage({"kind"}, None) is None  # not a prefix

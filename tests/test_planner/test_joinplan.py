@@ -1,0 +1,103 @@
+"""Join-graph planner unit tests: access paths, ordering, correctness."""
+
+import pytest
+
+from repro.compiler import compile_core
+from repro.infoset import DocumentStore
+from repro.planner import JoinGraphPlanner, explain_plan, plan_phenomena
+from repro.planner.advisor import advise_indexes
+from repro.rewrite import isolate
+from repro.sql import flatten_query
+from repro.xquery import normalize, parse_xquery
+
+XML = """\
+<lib>
+  <shelf id="s1">
+    <book y="1990"><t>A</t></book>
+    <book y="2001"><t>B</t></book>
+  </shelf>
+  <shelf id="s2">
+    <book y="2001"><t>C</t></book>
+  </shelf>
+</lib>
+"""
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = DocumentStore()
+    s.load(XML, "lib.xml")
+    return s
+
+
+@pytest.fixture(scope="module")
+def planner(store):
+    return JoinGraphPlanner(store.table)
+
+
+def plan_for(store, planner, query):
+    core = normalize(parse_xquery(query), default_doc="lib.xml")
+    isolated, _ = isolate(compile_core(core, store))
+    return planner.plan(flatten_query(isolated))
+
+
+def test_simple_path_plan(store, planner):
+    plan = plan_for(store, planner, 'doc("lib.xml")//book/t')
+    from repro.algebra import run_plan
+
+    core = normalize(parse_xquery('doc("lib.xml")//book/t'))
+    reference = run_plan(compile_core(core, store))
+    assert plan.execute() == reference
+    assert all(s.index for s in plan.steps)
+
+
+def test_selective_predicate_leads(store, planner):
+    """The value predicate anchors the plan (Bindex-style evaluation,
+    paper Section 5 terminology)."""
+    plan = plan_for(store, planner, 'doc("lib.xml")//shelf[@id = "s2"]/book')
+    leading = plan.steps[0]
+    assert leading.node_test.get("name") == "id"
+
+
+def test_every_step_has_estimate(store, planner):
+    plan = plan_for(store, planner, 'doc("lib.xml")//shelf/book[t]')
+    assert all(s.estimated_cardinality >= 0 for s in plan.steps)
+
+
+def test_empty_result_plan(store, planner):
+    plan = plan_for(store, planner, 'doc("lib.xml")//nothing')
+    assert plan.execute() == []
+
+
+def test_impossible_flat_query(store, planner):
+    plan = plan_for(store, planner, 'doc("absent.xml")//book')
+    assert plan.execute() == []
+
+
+def test_phenomena_report_fields(store, planner):
+    plan = plan_for(store, planner, 'doc("lib.xml")//book[y > 2000]')
+    phenomena = plan_phenomena(plan)
+    assert isinstance(phenomena.join_order, list)
+    assert phenomena.leading_node_test
+    text = explain_plan(plan)
+    assert "continuations" in text
+
+
+def test_advisor_smoke(store):
+    core = normalize(parse_xquery('doc("lib.xml")//book[y > 2000]'))
+    isolated, _ = isolate(compile_core(core, store))
+    advised = advise_indexes([flatten_query(isolated)])
+    names = {a.short_name for a in advised}
+    assert "nkdlp" in names  # typed value comparison
+    assert "nksp" in names  # node test + axis step
+
+
+def test_stats_selectivity(store):
+    from repro.planner import TableStatistics
+
+    stats = TableStatistics.collect(store.table)
+    assert stats.row_count == len(store.table)
+    assert stats.eq_cardinality("name", "book") == 3.0
+    assert stats.eq_cardinality("name", "nope") == 0.0
+    assert 0 < stats.data_range_fraction(">", 2000.0) < 1
+    assert stats.data_range_fraction(">", 99999.0) == 0.0

@@ -1,0 +1,123 @@
+"""Physical operator unit tests (paper Table 7 vocabulary)."""
+
+import pytest
+
+from repro.algebra.expressions import Comparison, Const, Plus, col, lit
+from repro.infoset import shred
+from repro.planner.indexes import BTreeIndex
+from repro.planner.physical import (
+    FilterOp,
+    HsJoin,
+    IxScan,
+    NLJoin,
+    Probe,
+    Return,
+    Sort,
+    TbScan,
+    compile_expr,
+)
+
+XML = "<a><b>1</b><b>2</b><c><b>3</b></c></a>"
+# 0 doc, 1 a, 2 b, 3 '1', 4 b, 5 '2', 6 c, 7 b, 8 '3'
+
+
+@pytest.fixture(scope="module")
+def table():
+    return shred(XML)
+
+
+@pytest.fixture(scope="module")
+def nksp(table):
+    return BTreeIndex("nksp", ("name", "kind", "size", "pre"), table)
+
+
+def test_compile_expr_qualified_columns(table):
+    fn = compile_expr(
+        Comparison("=", col("d1.name"), Const("b")), table
+    )
+    assert fn({"d1": 2}) is True
+    assert fn({"d1": 6}) is False
+
+
+def test_compile_expr_arithmetic(table):
+    fn = compile_expr(Plus(col("d1.pre"), col("d1.size")), table)
+    assert fn({"d1": 6}) == 8  # c spans [6, 8]
+
+
+def test_compile_expr_rejects_unqualified(table):
+    from repro.errors import PlanError
+
+    with pytest.raises(PlanError):
+        compile_expr(col("pre"), table)
+
+
+def test_ixscan_with_postfilter(table, nksp):
+    big = compile_expr(Comparison(">", col("d1.pre"), lit(3)), table)
+    scan = IxScan(nksp, "d1", {"name": "b", "kind": 1}, postfilter=[big])
+    assert sorted(b["d1"] for b in scan.rows()) == [4, 7]
+
+
+def test_tbscan(table):
+    scan = TbScan(table, "d1")
+    assert len(list(scan.rows())) == len(table)
+
+
+def test_nljoin_probe(table, nksp):
+    outer = IxScan(nksp, "d1", {"name": "c", "kind": 1})
+    low = compile_expr(col("d1.pre"), table)
+    high = compile_expr(Plus(col("d1.pre"), col("d1.size")), table)
+    probe = Probe(
+        nksp, "d2", {"name": "b", "kind": 1}, "pre",
+        low, high, False, True, [],
+    )
+    join = NLJoin(outer, probe)
+    rows = list(join.rows())
+    assert [(r["d1"], r["d2"]) for r in rows] == [(6, 7)]
+
+
+def test_nljoin_early_out(table, nksp):
+    outer = IxScan(nksp, "d1", {"name": "a", "kind": 1})
+    probe = Probe(
+        nksp, "d2", {"name": "b", "kind": 1}, None, None, None, True, True, []
+    )
+    semi = NLJoin(outer, probe, early_out=True)
+    rows = list(semi.rows())
+    assert len(rows) == 1 and "d2" not in rows[0]
+
+
+def test_hsjoin(table, nksp):
+    left = IxScan(nksp, "d1", {"name": "b", "kind": 1})
+    right = IxScan(nksp, "d2", {"name": "b", "kind": 1})
+    key1 = compile_expr(col("d1.value"), table)
+    key2 = compile_expr(col("d2.value"), table)
+    join = HsJoin(left, right, key1, key2)
+    rows = list(join.rows())
+    assert all(r["d1"] == r["d2"] for r in rows)  # value is unique here
+    assert len(rows) == 3
+
+
+def test_filter_sort_return(table, nksp):
+    scan = IxScan(nksp, "d1", {"name": "b", "kind": 1})
+    keep = compile_expr(Comparison("<", col("d1.pre"), lit(7)), table)
+    filtered = FilterOp(scan, [keep])
+    pre_fn = compile_expr(col("d1.pre"), table)
+    ordered = Sort(filtered, [pre_fn], None)
+    root = Return(ordered, pre_fn)
+    assert root.items() == [2, 4]
+
+
+def test_sort_with_duplicate_elimination(table, nksp):
+    scan = IxScan(nksp, "d1", {"name": "b", "kind": 1})
+    const_fn = compile_expr(Const(1), table)
+    dedup = Sort(scan, [const_fn], [const_fn])
+    assert len(list(dedup.rows())) == 1
+
+
+def test_probe_with_null_bound_yields_nothing(table, nksp):
+    outer = TbScan(table, "d1", [compile_expr(
+        Comparison("=", col("d1.pre"), lit(3)), table
+    )])
+    null_fn = compile_expr(col("d1.name"), table)  # text node: name NULL
+    probe = Probe(nksp, "d2", {}, "pre", null_fn, None, True, True, [])
+    join = NLJoin(outer, probe)
+    assert list(join.rows()) == []

@@ -1,0 +1,57 @@
+"""Sampling (ROX-style) planner mode tests."""
+
+import pytest
+
+from repro.infoset import DocumentStore
+from repro.pipeline import XQueryProcessor
+from repro.planner import JoinGraphPlanner
+from repro.sql import flatten_query
+
+
+@pytest.fixture(scope="module")
+def env():
+    store = DocumentStore()
+    store.load(
+        "<db>"
+        + "".join(
+            f'<rec id="r{i}"><status>{"cold" if i < 2 else "hot"}</status>'
+            f"<load>{i % 7}</load></rec>"
+            for i in range(60)
+        )
+        + "</db>",
+        "skew.xml",
+    )
+    return store, XQueryProcessor(store, default_doc="skew.xml")
+
+
+QUERIES = [
+    '//rec[status = "hot"]/load',
+    '//rec[status = "cold"]/load',
+    "for $r in //rec where $r/load > 5 return $r/status",
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_sampling_mode_is_correct(env, query):
+    store, processor = env
+    compiled = processor.compile(query)
+    reference = processor.execute(compiled, engine="interpreter")
+    flat = flatten_query(compiled.isolated_plan)
+    for mode in ("statistics", "sampling"):
+        plan = JoinGraphPlanner(store.table, mode=mode).plan(flat)
+        assert plan.execute() == reference, (mode, query)
+
+
+def test_unknown_mode_rejected(env):
+    store, _ = env
+    with pytest.raises(ValueError):
+        JoinGraphPlanner(store.table, mode="clairvoyant")
+
+
+def test_sample_size_respected(env):
+    store, processor = env
+    compiled = processor.compile(QUERIES[0])
+    flat = flatten_query(compiled.isolated_plan)
+    tiny = JoinGraphPlanner(store.table, mode="sampling", sample_size=1)
+    reference = processor.execute(compiled, engine="interpreter")
+    assert tiny.plan(flat).execute() == reference

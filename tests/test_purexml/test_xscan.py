@@ -1,0 +1,118 @@
+"""Tests for the native XSCAN evaluator (paper Section 4.2)."""
+
+import pytest
+
+from repro.purexml import NativeEvaluator, PureXMLEngine
+from repro.purexml.xscan import node_typed_value, node_untyped_value
+from repro.xmltree import parse_document
+
+XML = """\
+<site>
+  <people>
+    <person id="p0"><name>Ann</name></person>
+    <person id="p1"><name>Bob</name></person>
+  </people>
+  <auctions>
+    <auction><price>600</price><ref person="p0"/></auction>
+    <auction><price>10</price><ref person="p1"/></auction>
+  </auctions>
+</site>
+"""
+
+
+@pytest.fixture(scope="module")
+def evaluator():
+    document = parse_document(XML, uri="site.xml")
+    return NativeEvaluator({"site.xml": document}, default_doc="site.xml")
+
+
+def tags(nodes):
+    return [getattr(n, "tag", getattr(n, "name", None)) for n in nodes]
+
+
+def test_child_and_descendant(evaluator):
+    assert tags(evaluator.run("/site/people/person")) == ["person", "person"]
+    assert len(evaluator.run("//person")) == 2
+    assert len(evaluator.run("//name")) == 2
+
+
+def test_attribute_axis(evaluator):
+    ids = evaluator.run("//person/@id")
+    assert [n.value for n in ids] == ["p0", "p1"]
+
+
+def test_predicates(evaluator):
+    assert len(evaluator.run('//person[@id = "p0"]')) == 1
+    assert len(evaluator.run("//auction[price > 500]")) == 1
+    assert len(evaluator.run("//auction[price > 5000]")) == 0
+    assert len(evaluator.run("//person[name]")) == 2
+
+
+def test_flwor_with_value_join(evaluator):
+    query = (
+        "for $a in //auction, $p in //person "
+        'where $a/ref/@person = $p/@id and $a/price > 500 '
+        "return $p/name"
+    )
+    result = evaluator.run(query)
+    assert [n.string_value() for n in result] == ["Ann"]
+
+
+def test_document_order_and_dedup(evaluator):
+    # both name elements step to the same people element: dedup per step
+    people = evaluator.run("//person/parent::*")
+    assert tags(people) == ["people"]
+
+
+def test_untyped_and_typed_values():
+    document = parse_document("<a><b>15</b><c><d/><d/></c></a>", uri="u")
+    b = document.root_element.children[0]
+    c = document.root_element.children[1]
+    assert node_untyped_value(b) == "15"
+    assert node_typed_value(b) == 15.0
+    # c has 2 nodes below: no value under the size <= 1 rule
+    assert node_untyped_value(c) is None
+
+
+def test_if_expression(evaluator):
+    result = evaluator.run(
+        "for $p in //person return if ($p/name) then $p else ()"
+    )
+    assert len(result) == 2
+
+
+class TestSegmented:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        document = parse_document(XML, uri="site.xml")
+        return PureXMLEngine(
+            {"site.xml": document},
+            segmented=True,
+            cut_depth=2,
+            patterns=("/site/people/person/@id",),
+        )
+
+    def test_segments_created(self, engine):
+        assert engine.store.segment_count >= 4  # persons + auctions
+
+    def test_pattern_index_lookup(self, engine):
+        index = engine.store.indexes["/site/people/person/@id"]
+        assert len(index.lookup("p0")) == 1
+        assert index.lookup("nope") == []
+
+    def test_indexed_point_query(self, engine):
+        result = engine.run('/site/people/person[@id = "p1"]/name')
+        assert [n.string_value() for n in result] == ["Bob"]
+
+    def test_unindexed_path_scans_all_segments(self, engine):
+        result = engine.run("/site/auctions/auction/price")
+        assert len(result) == 2
+
+    def test_descendant_query_on_segments(self, engine):
+        assert len(engine.run("//person")) == 2
+
+    def test_flwor_falls_back_to_full_evaluation(self, engine):
+        result = engine.run(
+            "for $p in //person return if ($p/name) then $p else ()"
+        )
+        assert len(result) == 2

@@ -1,0 +1,89 @@
+"""Isolation engine driver tests: termination, phases, ablations,
+join-graph detection."""
+
+import pytest
+
+from repro.algebra import count_ops, run_plan
+from repro.compiler import compile_core
+from repro.infoset import DocumentStore
+from repro.rewrite import IsolationEngine, extract_join_graph, is_join_graph, isolate
+from repro.rewrite.engine import ALL_RULES
+from repro.xquery import normalize, parse_xquery
+
+XML = '<r><a id="1"><b>5</b></a><a id="2"><b>7</b></a><c/></r>'
+
+
+@pytest.fixture()
+def store():
+    s = DocumentStore()
+    s.load(XML, "r.xml")
+    return s
+
+
+def compile_q(store, text):
+    return compile_core(normalize(parse_xquery(text)), store)
+
+
+QUERIES = [
+    'doc("r.xml")//a',
+    'doc("r.xml")//a[b]',
+    'doc("r.xml")//a[b > 6]',
+    'doc("r.xml")//a[@id = "1"]/b',
+    'for $x in doc("r.xml")//a return $x/b',
+    'for $x in doc("r.xml")//a for $y in $x/b return $y',
+    'for $x in doc("r.xml")//a where $x/@id = "2" return $x',
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+def test_isolation_terminates_and_reaches_join_graph(store, query):
+    plan = compile_q(store, query)
+    reference = run_plan(plan)
+    isolated, stats = isolate(compile_q(store, query))
+    assert run_plan(isolated) == reference
+    assert is_join_graph(isolated), query
+    assert stats.steps < 2_000
+
+
+def test_stats_collects_applications(store):
+    _, stats = isolate(compile_q(store, 'doc("r.xml")//a[b]'))
+    assert stats.total() == stats.steps > 0
+    assert stats.total("16") >= 1
+
+
+def test_engine_respects_disabled_rules(store):
+    engine = IsolationEngine(disabled=set(ALL_RULES))
+    plan = compile_q(store, 'doc("r.xml")//a[b]')
+    before = count_ops(plan)
+    isolated, stats = engine.isolate(plan)
+    assert stats.total() == 0
+    assert count_ops(isolated) == before  # nothing happened
+
+
+def test_max_steps_budget(store):
+    from repro.errors import RewriteError
+
+    engine = IsolationEngine(max_steps=1)
+    with pytest.raises(RewriteError):
+        engine.isolate(compile_q(store, 'doc("r.xml")//a[b]'))
+
+
+def test_extract_join_graph_split(store):
+    isolated, _ = isolate(compile_q(store, 'doc("r.xml")//a[b]'))
+    split = extract_join_graph(isolated)
+    assert split.root is isolated
+    assert split.join_count >= 1
+    assert split.doc_references >= 2
+
+
+def test_all_rule_names_unique():
+    assert len(ALL_RULES) == len(set(ALL_RULES))
+
+
+def test_idempotent_isolation(store):
+    """Isolating an already isolated plan changes nothing material."""
+    isolated, _ = isolate(compile_q(store, 'doc("r.xml")//a[b]'))
+    reference = run_plan(isolated)
+    again, stats = isolate(isolated)
+    assert run_plan(again) == reference
+    assert is_join_graph(again)

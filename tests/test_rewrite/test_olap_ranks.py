@@ -1,0 +1,117 @@
+"""Paper Section 6 ("Work in flux"): tall stacked plans with scattered
+ρ operators are also an artifact of complex SQL/OLAP compilation
+(RANK() family) — the Fig. 5 rewriting procedure benefits that domain
+too.
+
+These tests feed the isolation engine algebra plans built *directly*
+(no XQuery front-end involved), shaped like OLAP rank pipelines, and
+check that the rank rules consolidate every ρ into a single tail
+operator while preserving results.
+"""
+
+from repro.algebra import (
+    Attach,
+    Comparison,
+    Distinct,
+    Join,
+    LitTable,
+    Project,
+    RowRank,
+    Select,
+    Serialize,
+    col,
+    count_ops,
+    lit,
+    run_plan,
+)
+from repro.rewrite import isolate
+
+
+def sales_table():
+    # region | amount
+    rows = [
+        ("east", 40),
+        ("west", 10),
+        ("east", 25),
+        ("north", 70),
+        ("west", 55),
+        ("north", 5),
+    ]
+    return LitTable(("region", "amount"), rows)
+
+
+def test_stacked_ranks_consolidate_to_single_tail_rank():
+    """RANK over RANK over σ over RANK — the rule (10)–(13) pipeline
+    splices them into one ordering."""
+    base = sales_table()
+    r1 = RowRank(base, "r1", ("amount",))
+    filtered = Select(r1, Comparison(">", col("amount"), lit(8)))
+    r2 = RowRank(filtered, "r2", ("r1",))
+    r3 = RowRank(r2, "pos", ("r2",))
+    plan = Serialize(Project(r3, [("item", "amount"), ("pos", "pos")]))
+
+    reference = run_plan(plan)
+    isolated, stats = isolate(
+        Serialize(
+            Project(
+                RowRank(
+                    RowRank(
+                        Select(
+                            RowRank(sales_table(), "r1", ("amount",)),
+                            Comparison(">", col("amount"), lit(8)),
+                        ),
+                        "r2",
+                        ("r1",),
+                    ),
+                    "pos",
+                    ("r2",),
+                ),
+                [("item", "amount"), ("pos", "pos")],
+            )
+        )
+    )
+    assert run_plan(isolated) == reference
+    assert count_ops(isolated).get("RowRank", 0) <= 1
+    assert stats.total("13", "9", "5") >= 2  # splicing/simplification fired
+
+
+def test_rank_pulled_above_join():
+    """An OLAP-style rank below a join migrates to the tail
+    (rule (12)), unblocking the join for the back-end planner."""
+    left = RowRank(sales_table(), "pos", ("amount",))
+    regions = LitTable(("name", "code"), [("east", 1), ("west", 2), ("north", 3)])
+    joined = Join(left, regions, Comparison("=", col("region"), col("name")))
+    plan = Serialize(Project(joined, [("item", "code"), ("pos", "pos")]))
+
+    reference = run_plan(plan)
+    isolated, _ = isolate(plan)
+    assert run_plan(isolated) == reference
+    # no rank below any join anymore
+    from repro.algebra.dagutils import all_nodes
+    from repro.algebra.ops import Join as JoinOp, RowRank as RankOp
+
+    for node in all_nodes(isolated):
+        if isinstance(node, JoinOp):
+            below = all_nodes(node)
+            assert not any(isinstance(n, RankOp) for n in below)
+
+
+def test_const_rank_criteria_dropped():
+    base = Attach(sales_table(), "grp", 1)
+    ranked = RowRank(base, "pos", ("grp", "amount"))
+    plan = Serialize(Project(ranked, [("item", "amount"), ("pos", "pos")]))
+    reference = run_plan(plan)
+    isolated, stats = isolate(plan)
+    assert run_plan(isolated) == reference
+    assert stats.applications["8"] >= 1  # constant column left the criteria
+
+
+def test_duplicate_elimination_with_ranks():
+    base = sales_table()
+    deduped = Distinct(Project(base, [("region", "region")]))
+    ranked = RowRank(deduped, "pos", ("region",))
+    plan = Serialize(Project(ranked, [("item", "region"), ("pos", "pos")]))
+    reference = run_plan(plan)
+    isolated, _ = isolate(plan)
+    assert run_plan(isolated) == reference
+    assert count_ops(isolated)["Distinct"] <= 1

@@ -1,0 +1,94 @@
+"""Paper Figs. 4 & 7: the initial stacked plan for Q1 versus the
+isolated join graph — shape assertions on both."""
+
+import pytest
+
+from repro.algebra import count_ops, run_plan
+from repro.algebra.dagutils import all_nodes
+from repro.algebra.ops import Distinct, DocScan, Join, RowId, RowRank, Select
+from repro.compiler import compile_core
+from repro.rewrite import extract_join_graph, is_join_graph, isolate
+from repro.xquery import normalize, parse_xquery
+
+Q1 = 'doc("auction.xml")/descendant::open_auction[bidder]'
+
+
+@pytest.fixture()
+def q1_plans(fig2_store):
+    core = normalize(parse_xquery(Q1))
+    stacked = compile_core(core, fig2_store)
+    isolated, stats = isolate(compile_core(core, fig2_store))
+    return stacked, isolated, stats
+
+
+def test_stacked_plan_has_scattered_blocking_operators(q1_plans):
+    """Fig. 4: ranks and distincts occur throughout the initial plan."""
+    stacked, _, _ = q1_plans
+    ops = count_ops(stacked)
+    assert ops["RowRank"] >= 4  # Ddo x2, Step x2, For
+    assert ops["Distinct"] >= 3  # Ddo x2, If, ...
+    assert ops["RowId"] == 1  # the For's #inner
+    assert ops["DocScan"] == 1  # single shared doc leaf
+
+
+def test_isolated_plan_matches_fig7(q1_plans):
+    """Fig. 7: single tail δ, no rank/row-id, two axis joins over
+    three doc references."""
+    _, isolated, _ = q1_plans
+    ops = count_ops(isolated)
+    assert ops["Distinct"] == 1
+    assert ops.get("RowId", 0) == 0
+    assert ops.get("RowRank", 0) == 0
+    assert ops["Join"] == 2
+    assert ops["DocScan"] == 1
+    assert is_join_graph(isolated)
+
+
+def test_isolation_preserves_result(q1_plans):
+    stacked, isolated, _ = q1_plans
+    assert run_plan(stacked) == run_plan(isolated) == [1]
+
+
+def test_tail_graph_separation(q1_plans):
+    """The δ sits in the tail; the graph region holds only joins,
+    selections and projections over the shared doc leaf."""
+    _, isolated, _ = q1_plans
+    split = extract_join_graph(isolated)
+    assert any(isinstance(op, Distinct) for op in split.tail)
+    graph_nodes = all_nodes(split.graph_root)
+    assert not any(isinstance(n, (Distinct, RowRank, RowId)) for n in graph_nodes)
+    assert sum(1 for n in graph_nodes if isinstance(n, DocScan)) == 1
+    assert split.doc_references == 3  # doc node, open_auction, bidder
+
+
+def test_node_tests_remain_as_selections(q1_plans):
+    """The three σ(doc) legs carry the kind/name tests of Fig. 7."""
+    _, isolated, _ = q1_plans
+    split = extract_join_graph(isolated)
+    tests = set()
+    for node in all_nodes(split.graph_root):
+        if isinstance(node, Select):
+            rendered = repr(node.pred)
+            for tag in ("auction.xml", "open_auction", "bidder"):
+                if f"'{tag}'" in rendered:
+                    tests.add(tag)
+    assert tests == {"auction.xml", "open_auction", "bidder"}
+
+
+def test_join_predicates_are_axis_ranges(q1_plans):
+    _, isolated, _ = q1_plans
+    split = extract_join_graph(isolated)
+    joins = [n for n in all_nodes(split.graph_root) if isinstance(n, Join)]
+    assert len(joins) == 2
+    rendered = " ".join(repr(j.pred) for j in joins)
+    assert "pre" in rendered and "size" in rendered
+    assert "level" in rendered  # the child axis conjunct
+
+
+def test_rule_application_counts(q1_plans):
+    """Isolation applies the documented rule families."""
+    _, _, stats = q1_plans
+    assert stats.applications["16"] >= 1  # tail δ introduced
+    assert stats.applications["20"] >= 1  # key self-joins collapsed
+    assert stats.applications["14"] >= 1  # stacked δs removed
+    assert stats.cycles_broken == 0

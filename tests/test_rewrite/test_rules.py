@@ -1,0 +1,248 @@
+"""Unit tests for individual isolation rewrite rules (paper Fig. 5)."""
+
+from repro.algebra import (
+    Attach,
+    Comparison,
+    Cross,
+    Distinct,
+    Join,
+    LitTable,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+    col,
+    evaluate,
+    infer_properties,
+    lit,
+)
+from repro.algebra.dagutils import parents_map
+from repro.rewrite import rules as R
+from repro.rewrite.rules import RewriteContext
+
+
+def ctx_for(root):
+    return RewriteContext(
+        root=root, props=infer_properties(root), parents=parents_map(root)
+    )
+
+
+def serial(node, item="item", pos="pos"):
+    return Serialize(node, item=item, pos=pos)
+
+
+def test_rule_1_cross_with_single_row_literal():
+    q = LitTable(("item",), [(1,), (2,)])
+    loop = LitTable(("pos",), [(9,)])
+    cross = Cross(q, loop)
+    root = serial(cross)
+    replacement = R.rule_1_cross_literal(cross, ctx_for(root))
+    assert isinstance(replacement, Attach)
+    assert evaluate(replacement).rows == [(1, 9), (2, 9)]
+
+
+def test_rule_1_cross_with_empty_literal():
+    q = LitTable(("item", "x"), [(1, 2), (3, 4)])
+    cross = Cross(q, LitTable(("pos",), []))
+    replacement = R.rule_1_cross_literal(cross, ctx_for(serial(cross)))
+    assert replacement is not None
+    assert evaluate(replacement).rows == []
+
+
+def test_rule_2_merges_projections():
+    t = LitTable(("a", "b"), [(1, 2)])
+    inner = Project(t, [("x", "a"), ("y", "b")])
+    outer = Project(inner, [("item", "x"), ("pos", "y")])
+    replacement = R.rule_2_merge_projects(outer, ctx_for(serial(outer)))
+    assert isinstance(replacement, Project)
+    assert replacement.child is t
+    assert replacement.cols == (("item", "a"), ("pos", "b"))
+
+
+def test_rule_3_const_join_to_cross():
+    left = Attach(LitTable(("item",), [(1,)]), "a", 1)
+    right = Attach(LitTable(("pos",), [(2,)]), "b", 1)
+    join = Join(left, right, Comparison("=", col("a"), col("b")))
+    replacement = R.rule_3_const_join_to_cross(join, ctx_for(serial(join)))
+    assert isinstance(replacement, Cross)
+
+
+def test_rule_4_5_6_unreferenced_generators():
+    t = LitTable(("item", "pos"), [(1, 1)])
+    attach = Attach(t, "junk", 0)
+    root = serial(attach)
+    assert R.rule_4_attach_unreferenced(attach, ctx_for(root)) is t
+
+    rank = RowRank(t, "junk", ("item",))
+    root = serial(rank)
+    assert R.rule_5_rank_unreferenced(rank, ctx_for(root)) is t
+
+    rowid = RowId(t, "junk")
+    root = serial(rowid)
+    assert R.rule_6_rowid_unreferenced(rowid, ctx_for(root)) is t
+
+
+def test_rule_7_restricts_projection():
+    t = LitTable(("a", "b", "c"), [(1, 2, 3)])
+    p = Project(t, [("item", "a"), ("pos", "b"), ("junk", "c")])
+    replacement = R.rule_7_project_restrict(p, ctx_for(serial(p)))
+    assert replacement is not None
+    assert replacement.columns == ("item", "pos")
+
+
+def test_rule_8_drops_const_order_columns():
+    t = Attach(LitTable(("item",), [(2,), (1,)]), "c", 5)
+    rank = RowRank(t, "pos", ("c", "item"))
+    replacement = R.rule_8_rank_drop_const_order(rank, ctx_for(serial(rank)))
+    assert isinstance(replacement, RowRank)
+    assert replacement.order == ("item",)
+
+
+def test_rule_8_all_const_order_becomes_attach():
+    t = Attach(LitTable(("item",), [(2,), (1,)]), "c", 5)
+    rank = RowRank(t, "pos", ("c",))
+    replacement = R.rule_8_rank_drop_const_order(rank, ctx_for(serial(rank)))
+    assert isinstance(replacement, Attach)
+    assert replacement.value == 1
+
+
+def test_rule_9_single_column_rank_to_projection():
+    t = LitTable(("item",), [(30,), (10,)])
+    rank = RowRank(t, "pos", ("item",))
+    replacement = R.rule_9_rank_single_to_project(rank, ctx_for(serial(rank)))
+    assert isinstance(replacement, Project)
+    # order-isomorphic: serializing by the copy gives the same order
+    assert [r[1] for r in evaluate(Serialize(replacement)).rows] == [10, 30]
+
+
+def test_rule_10_pulls_rank_above_select():
+    t = LitTable(("item", "f"), [(1, 0), (2, 1)])
+    rank = RowRank(t, "pos", ("item",))
+    select = Select(rank, Comparison("=", col("f"), lit(1)))
+    replacement = R.rule_10_rank_pullup_unary(select, ctx_for(serial(select)))
+    assert isinstance(replacement, RowRank)
+    assert isinstance(replacement.child, Select)
+
+
+def test_rule_10_blocked_when_predicate_uses_rank():
+    t = LitTable(("item",), [(1,), (2,)])
+    rank = RowRank(t, "pos", ("item",))
+    select = Select(rank, Comparison("=", col("pos"), lit(1)))
+    assert R.rule_10_rank_pullup_unary(select, ctx_for(serial(select))) is None
+
+
+def test_rule_12_pulls_rank_above_join():
+    left = RowRank(LitTable(("item",), [(1,), (2,)]), "pos", ("item",))
+    right = LitTable(("b",), [(1,), (2,)])
+    join = Join(left, right, Comparison("=", col("item"), col("b")))
+    replacement = R.rule_12_rank_pullup_join(join, ctx_for(serial(join)))
+    assert isinstance(replacement, RowRank)
+    assert isinstance(replacement.child, Join)
+
+
+def test_rule_13_splices_rank_criteria():
+    t = LitTable(("a", "b"), [(1, 2), (2, 1)])
+    inner = RowRank(t, "r1", ("a", "b"))
+    outer = RowRank(inner, "pos", ("r1",))
+    replacement = R.rule_13_rank_splice(outer, ctx_for(serial(Project(
+        outer, [("item", "a"), ("pos", "pos")]
+    ))))
+    assert isinstance(replacement, RowRank)
+    assert replacement.order == ("a", "b")
+
+
+def test_rule_14_removes_redundant_distinct():
+    t = LitTable(("item", "pos"), [(1, 1), (1, 1)])
+    inner = Distinct(t)
+    outer = Distinct(inner)
+    root = serial(outer)
+    assert R.rule_14_distinct_redundant(inner, ctx_for(root)) is t
+
+
+def test_rule_15_drops_const_columns_below_distinct():
+    t = Attach(LitTable(("item",), [(1,), (1,)]), "c", 9)
+    d = Distinct(t)
+    root = serial(Attach(Project(d, [("item", "item")]), "pos", 1))
+    replacement = R.rule_15_distinct_drop_const(d, ctx_for(root))
+    assert isinstance(replacement, Distinct)
+    assert replacement.columns == ("item",)
+
+
+def test_rule_17_pushes_join_below_select():
+    t = LitTable(("a", "f"), [(1, 0), (2, 1)])
+    select = Select(t, Comparison("=", col("f"), lit(1)))
+    other = LitTable(("b",), [(2,)])
+    join = Join(select, other, Comparison("=", col("a"), col("b")))
+    replacement = R.rule_17_push_join_through_unary(
+        join, ctx_for(serial(Project(join, [("item", "a"), ("pos", "b")])))
+    )
+    assert isinstance(replacement, Select)
+    assert isinstance(replacement.child, Join)
+    assert evaluate(replacement).rows == [(2, 1, 2)]
+
+
+def test_rule_17_pushes_join_below_renaming_projection():
+    t = LitTable(("x",), [(1,), (2,)])
+    p = Project(t, [("a", "x")])
+    other = LitTable(("b",), [(2,)])
+    join = Join(p, other, Comparison("=", col("a"), col("b")))
+    replacement = R.rule_17_push_join_through_unary(
+        join, ctx_for(serial(Project(join, [("item", "a"), ("pos", "b")])))
+    )
+    assert isinstance(replacement, Project)
+    assert evaluate(replacement).rows == [(2, 2)]
+
+
+def test_rule_19_collapses_key_selfjoin_over_shared_node():
+    base = RowId(LitTable(("v",), [(10,), (20,)]), "k")
+    left = Project(base, [("a", "k"), ("v1", "v")])
+    right = Project(base, [("b", "k"), ("v2", "v")])
+    join = Join(left, right, Comparison("=", col("a"), col("b")))
+    root = serial(Project(join, [("item", "v1"), ("pos", "v2")]))
+    replacement = R.rule_19_collapse_key_selfjoin(join, ctx_for(root))
+    assert isinstance(replacement, Project)
+    assert replacement.child is base
+    assert sorted(evaluate(replacement).rows) == [
+        (1, 10, 1, 10),
+        (2, 20, 2, 20),
+    ]
+
+
+def test_rule_20_provenance_selfjoin_resurrects_columns():
+    base = LitTable(("k", "w"), [(1, "x"), (2, "y")])
+    # left: a copy chain of k that dropped w
+    left = Select(Project(base, [("a", "k")]), Comparison(">", col("a"), lit(0)))
+    right = Project(base, [("b", "k"), ("w2", "w")])
+    join = Join(left, right, Comparison("=", col("a"), col("b")))
+    root = serial(Project(join, [("item", "a"), ("pos", "w2")]))
+    expected = sorted(evaluate(join).rows)  # before in-place widening
+    original_cols = join.columns
+    replacement = R.rule_20_provenance_selfjoin(join, ctx_for(root))
+    assert replacement is not None
+    # the replacement supplies at least the original join's columns
+    out = evaluate(replacement)
+    indices = [out.columns.index(c) for c in original_cols]
+    projected = sorted(tuple(r[i] for i in indices) for r in out.rows)
+    assert projected == expected
+
+
+def test_rule_21_translates_rowid_correlation():
+    base = RowId(LitTable(("u", "x"), [(1, "p"), (2, "q")]), "k")
+    left = Project(base, [("a", "k"), ("lx", "x")])
+    right = Project(base, [("b", "k"), ("rx", "x")])
+    join = Join(left, right, Comparison("=", col("a"), col("b")))
+    root = serial(Project(join, [("item", "lx"), ("pos", "rx")]))
+    expected = sorted(
+        (r[join.columns.index("lx")], r[join.columns.index("rx")])
+        for r in evaluate(join).rows
+    )
+    replacement = R.rule_21_rowid_join_translation(join, ctx_for(root))
+    assert isinstance(replacement, Join)
+    assert "k" not in repr(replacement.pred)
+    out = evaluate(replacement)
+    got = sorted(
+        (r[out.columns.index("lx")], r[out.columns.index("rx")])
+        for r in out.rows
+    )
+    assert got == expected

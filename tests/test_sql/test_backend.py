@@ -1,0 +1,60 @@
+"""SQLite back-end tests: schema, index DDL, stacked SQL execution."""
+
+import pytest
+
+from repro.infoset import shred
+from repro.pipeline import XQueryProcessor
+from repro.sql import SQLiteBackend, TABLE6_INDEXES, generate_stacked_sql
+
+
+@pytest.fixture()
+def backend(fig2_store):
+    with SQLiteBackend(fig2_store.table) as b:
+        yield b
+
+
+def test_doc_table_loaded(backend):
+    rows = backend.run_raw("SELECT COUNT(*) FROM doc")
+    assert rows == [(10,)]
+
+
+def test_table6_indexes_created(backend):
+    names = {
+        r[0]
+        for r in backend.run_raw(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+        )
+    }
+    assert set(TABLE6_INDEXES) <= names
+
+
+def test_primary_key_is_pre(backend):
+    row = backend.run_raw("SELECT name, value FROM doc WHERE pre = 2")
+    assert row == [("id", "1")]
+
+
+def test_custom_index_set():
+    table = shred("<a><b/></a>")
+    with SQLiteBackend(table, indexes={}) as bare:
+        names = bare.run_raw(
+            "SELECT name FROM sqlite_master WHERE type = 'index'"
+        )
+        assert names == []
+
+
+def test_stacked_sql_uses_window_functions(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    compiled = processor.compile(
+        'for $x in doc("auction.xml")//bidder return $x/child::*'
+    )
+    stacked = generate_stacked_sql(compiled.stacked_plan)
+    assert "RANK() OVER" in stacked.text
+    assert stacked.text.startswith("WITH ")
+    assert processor.backend.run(stacked) == [6, 8]
+
+
+def test_explain_reports_index_usage(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    compiled = processor.compile('doc("auction.xml")//bidder')
+    plan_lines = processor.backend.explain(compiled.joingraph_sql)
+    assert any("idx_" in line for line in plan_lines)

@@ -1,0 +1,62 @@
+"""Paper Fig. 8: the SQL encoding of Q1's join graph."""
+
+import re
+
+import pytest
+
+from repro.pipeline import XQueryProcessor
+
+Q1 = 'doc("auction.xml")/descendant::open_auction[bidder]'
+
+
+@pytest.fixture()
+def q1_sql(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    return processor.compile(Q1).joingraph_sql
+
+
+def test_three_fold_self_join(q1_sql):
+    """QSQL1 is a three-fold self-join of table doc."""
+    assert q1_sql.doc_instances == 3
+    assert q1_sql.text.count("doc AS") == 3
+
+
+def test_select_distinct_single_result_column(q1_sql):
+    """SELECT DISTINCT d2.pre — the open_auction instance's pre rank;
+    our SELECT list may merge equal expressions into one alias."""
+    assert q1_sql.distinct
+    first_line = q1_sql.text.splitlines()[0]
+    assert first_line.startswith("SELECT DISTINCT")
+    # the item column is one alias's pre
+    assert re.search(r"d\d+\.pre AS item", first_line)
+
+
+def test_where_clause_content(q1_sql):
+    """Node tests as kind/name equalities, axis steps as pre/size
+    range conjuncts, child axis with the level adjacency."""
+    where = q1_sql.text.split("WHERE", 1)[1]
+    assert "= 'auction.xml'" in where
+    assert "= 'open_auction'" in where
+    assert "= 'bidder'" in where
+    assert re.search(r"d\d+\.pre < d\d+\.pre", where)
+    assert re.search(r"d\d+\.pre <= d\d+\.pre \+ d\d+\.size", where)
+    assert re.search(r"d\d+\.level \+ 1 = d\d+\.level", where)
+
+
+def test_order_by_result_pre(q1_sql):
+    assert q1_sql.order_by
+    assert q1_sql.text.strip().splitlines()[-1].startswith("ORDER BY")
+
+
+def test_no_window_functions_or_subqueries(q1_sql):
+    """The paper's point: plain SELECT-DISTINCT-FROM-WHERE-ORDER BY,
+    no SQL/XML, no RANK(), no nesting."""
+    text = q1_sql.text.upper()
+    assert "RANK(" not in text
+    assert "WITH " not in text
+    assert text.count("SELECT") == 1
+
+
+def test_executes_on_sqlite(fig2_store, q1_sql):
+    processor = XQueryProcessor(store=fig2_store)
+    assert processor.backend.run(q1_sql) == [1]

@@ -1,0 +1,67 @@
+"""Paper Fig. 9: the SQL encoding of Q2 — plan tail focus: the ORDER BY
+and DISTINCT clauses reflect XQuery sequence order and duplicate
+semantics."""
+
+import re
+
+import pytest
+
+from repro.pipeline import XQueryProcessor
+from repro.workloads import PAPER_QUERIES
+
+
+@pytest.fixture(scope="module")
+def q2_compiled(xmark_store):
+    processor = XQueryProcessor(store=xmark_store, default_doc="auction.xml")
+    return processor.compile(PAPER_QUERIES["Q2"].text)
+
+
+def test_self_join_chain_size(q2_compiled):
+    """The paper reports a 12-fold self-join; our compiler emits a few
+    more instances (no step-knowledge-based order pruning), but the
+    chain stays flat and compact."""
+    sql = q2_compiled.joingraph_sql
+    assert 12 <= sql.doc_instances <= 24
+
+
+def test_order_by_loop_nesting(q2_compiled):
+    """Fig. 9: ORDER BY lists the three for-loop binding keys before
+    the result node order — nesting determines sequence order."""
+    sql = q2_compiled.joingraph_sql
+    assert len(sql.order_by) >= 3
+    # order criteria are pre ranks of distinct aliases
+    aliases = {term.split(".")[0].lstrip("+") for term in sql.order_by}
+    assert len(aliases) >= 3
+
+
+def test_distinct_retains_loop_keys(q2_compiled):
+    """Duplicates are removed per location step but retained across
+    for iterations: the loop keys appear in the DISTINCT clause."""
+    sql = q2_compiled.joingraph_sql
+    assert sql.distinct
+    select_line = sql.text.splitlines()[0]
+    pre_columns = set(re.findall(r"(d\d+\.pre)", select_line))
+    assert len(pre_columns) >= 4  # item + three loop keys
+
+
+def test_where_contains_value_join_and_price_predicate(q2_compiled):
+    where = q2_compiled.joingraph_sql.text.split("WHERE", 1)[1]
+    assert re.search(r"d\d+\.value = d\d+\.value", where)
+    assert re.search(r"d\d+\.data > 500", where)
+    assert "'closed_auction'" in where
+    assert "'itemref'" in where
+    assert "'incategory'" in where
+
+
+def test_no_rowids_survive_isolation(q2_compiled):
+    """Rule (21) grounds iteration identity in pre values: no
+    ROW_NUMBER / surrogate machinery reaches the SQL."""
+    text = q2_compiled.joingraph_sql.text.upper()
+    assert "ROW_NUMBER" not in text
+    assert "RANK(" not in text
+
+
+def test_q2_runs_and_matches_reference(xmark_store, q2_compiled):
+    processor = XQueryProcessor(store=xmark_store, default_doc="auction.xml")
+    reference = processor.execute(q2_compiled, engine="interpreter")
+    assert processor.execute(q2_compiled, engine="joingraph-sql") == reference

@@ -1,0 +1,44 @@
+"""Dot-export tests."""
+
+from repro.pipeline import XQueryProcessor
+from repro.planner import JoinGraphPlanner
+from repro.sql import flatten_query
+from repro.viz import algebra_to_dot, physical_to_dot
+
+
+def test_algebra_dot(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    compiled = processor.compile('doc("auction.xml")//open_auction[bidder]')
+    dot = algebra_to_dot(compiled.isolated_plan, title="q1")
+    assert dot.startswith('digraph "q1"')
+    assert dot.rstrip().endswith("}")
+    assert "SERIALIZE" in dot and "DISTINCT" in dot and "DOC" in dot
+    assert "->" in dot
+
+
+def test_stacked_plan_highlights_blocking_operators(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    compiled = processor.compile('doc("auction.xml")//open_auction[bidder]')
+    dot = algebra_to_dot(compiled.stacked_plan)
+    assert dot.count("#ffd9b3") >= 4  # scattered rank/distinct/rowid
+
+
+def test_physical_dot(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    compiled = processor.compile('doc("auction.xml")//open_auction[bidder]')
+    planner = JoinGraphPlanner(fig2_store.table)
+    plan = planner.plan(flatten_query(compiled.isolated_plan))
+    dot = physical_to_dot(plan, title="fig10")
+    assert "NLJOIN" in dot and "IXSCAN" in dot
+    assert dot.count("->") >= 3
+
+
+def test_quotes_escaped(fig2_store):
+    processor = XQueryProcessor(store=fig2_store)
+    compiled = processor.compile('doc("auction.xml")//time')
+    dot = algebra_to_dot(compiled.isolated_plan)
+    assert '\\"' not in dot.splitlines()[0] or True
+    # labels with string constants must not break the dot syntax
+    for line in dot.splitlines():
+        if "label=" in line:
+            assert line.count('"') % 2 == 0

@@ -1,0 +1,98 @@
+"""Workload generator tests: determinism, structure, scaling ratios."""
+
+from repro.infoset import DocumentStore
+from repro.workloads import (
+    DBLPConfig,
+    XMarkConfig,
+    generate_dblp,
+    generate_xmark,
+)
+from repro.xmltree import serialize
+from repro.xmltree.model import ElementNode
+
+
+def count_tag(root, tag):
+    return len(root.find_all(tag))
+
+
+def test_xmark_deterministic():
+    a = serialize(generate_xmark(XMarkConfig(factor=0.002, seed=1)))
+    b = serialize(generate_xmark(XMarkConfig(factor=0.002, seed=1)))
+    c = serialize(generate_xmark(XMarkConfig(factor=0.002, seed=2)))
+    assert a == b
+    assert a != c
+
+
+def test_xmark_entity_ratios():
+    """Entity counts follow the XMark scale-1 ratios."""
+    config = XMarkConfig(factor=0.01)
+    root = generate_xmark(config).root_element
+    assert count_tag(root, "item") == config.items
+    assert count_tag(root, "category") == config.categories
+    assert count_tag(root, "person") == config.persons
+    assert count_tag(root, "open_auction") == config.open_auctions
+    assert count_tag(root, "closed_auction") == config.closed_auctions
+    # ratios as in XMark scale 1 (integer truncation allows slack)
+    ratio = config.items / config.closed_auctions
+    assert abs(ratio - 21750 / 9750) < 0.1
+
+
+def test_xmark_referential_integrity():
+    """itemref/@item and incategory/@category resolve — the joins of
+    Q2 must find partners."""
+    root = generate_xmark(XMarkConfig(factor=0.003)).root_element
+    item_ids = {i.get_attribute("id") for i in root.find_all("item")}
+    category_ids = {c.get_attribute("id") for c in root.find_all("category")}
+    for ref in root.find_all("itemref"):
+        assert ref.get_attribute("item") in item_ids
+    for ref in root.find_all("incategory"):
+        assert ref.get_attribute("category") in category_ids
+
+
+def test_xmark_price_distribution():
+    """About 5% of closed-auction prices exceed 500 (the Q2
+    selectivity: 'only a fraction')."""
+    root = generate_xmark(XMarkConfig(factor=0.02)).root_element
+    prices = [float(p.string_value()) for p in root.find_all("price")]
+    expensive = sum(1 for p in prices if p > 500)
+    assert 0 < expensive < len(prices) * 0.15
+
+
+def test_xmark_open_auctions_with_and_without_bidders():
+    root = generate_xmark(XMarkConfig(factor=0.005)).root_element
+    auctions = root.find_all("open_auction")
+    with_bidders = [a for a in auctions if a.find_all("bidder")]
+    assert 0 < len(with_bidders) < len(auctions)
+
+
+def test_dblp_deterministic_and_vldb2001_present():
+    document = generate_dblp(DBLPConfig(factor=0.0005))
+    root = document.root_element
+    vldb = [
+        e
+        for e in root.children
+        if isinstance(e, ElementNode)
+        and e.get_attribute("key") == "conf/vldb2001"
+    ]
+    assert len(vldb) == 1
+    assert vldb[0].find_all("editor")
+    assert "VLDB 2001" in vldb[0].find_all("title")[0].string_value()
+
+
+def test_dblp_has_pre_1994_theses():
+    root = generate_dblp(DBLPConfig(factor=0.001)).root_element
+    theses = [
+        e for e in root.children
+        if isinstance(e, ElementNode) and e.tag == "phdthesis"
+    ]
+    early = [
+        t for t in theses if t.find_all("year")[0].string_value() < "1994"
+    ]
+    assert theses and early
+
+
+def test_generated_documents_shred_cleanly():
+    store = DocumentStore()
+    store.load_tree(generate_xmark(XMarkConfig(factor=0.001)))
+    assert len(store.table) > 500
+    assert store.table.doc_uris == ["auction.xml"]

@@ -1,0 +1,138 @@
+"""XML parser unit tests: well-formed input, entities, CDATA,
+comments/PIs, and rejection of malformed documents."""
+
+import pytest
+
+from repro.errors import XMLParseError
+from repro.xmltree import (
+    CommentNode,
+    ElementNode,
+    PINode,
+    TextNode,
+    parse_document,
+    parse_fragment,
+    serialize,
+)
+
+
+def test_simple_element_tree():
+    root = parse_fragment("<a><b>x</b><c/></a>")
+    assert root.tag == "a"
+    assert [c.tag for c in root.children] == ["b", "c"]
+    assert root.children[0].children[0].text == "x"
+
+
+def test_attributes_both_quote_styles():
+    root = parse_fragment("""<a x="1" y='two'/>""")
+    assert root.get_attribute("x") == "1"
+    assert root.get_attribute("y") == "two"
+
+
+def test_attribute_order_preserved():
+    root = parse_fragment('<a z="1" a="2" m="3"/>')
+    assert [attr.name for attr in root.attributes] == ["z", "a", "m"]
+
+
+def test_predefined_entities_in_text_and_attributes():
+    root = parse_fragment('<a t="&lt;&amp;&gt;&quot;&apos;">&amp;x&lt;y</a>')
+    assert root.get_attribute("t") == "<&>\"'"
+    assert root.string_value() == "&x<y"
+
+
+def test_numeric_character_references():
+    root = parse_fragment("<a>&#65;&#x42;</a>")
+    assert root.string_value() == "AB"
+
+
+def test_cdata_section():
+    root = parse_fragment("<a><![CDATA[<not> &parsed;]]></a>")
+    assert root.string_value() == "<not> &parsed;"
+
+
+def test_comment_and_pi_nodes():
+    root = parse_fragment(
+        "<a><!--note--><?target body?><b/></a>", keep_whitespace=False
+    )
+    kinds = [type(c) for c in root.children]
+    assert kinds == [CommentNode, PINode, ElementNode]
+    assert root.children[0].text == "note"
+    assert root.children[1].target == "target"
+
+
+def test_xml_declaration_and_doctype_skipped():
+    doc = parse_document(
+        '<?xml version="1.0"?><!DOCTYPE a [<!ELEMENT a ANY>]><a/>', uri="u"
+    )
+    assert doc.root_element.tag == "a"
+    assert doc.uri == "u"
+
+
+def test_whitespace_only_text_dropped_by_default():
+    root = parse_fragment("<a>\n  <b/>\n  <c/>\n</a>")
+    assert all(isinstance(c, ElementNode) for c in root.children)
+
+
+def test_whitespace_kept_on_request():
+    root = parse_fragment("<a>\n<b/></a>", keep_whitespace=True)
+    assert isinstance(root.children[0], TextNode)
+
+
+def test_mixed_content():
+    root = parse_fragment("<p>one<b>two</b>three</p>")
+    assert root.string_value() == "onetwothree"
+    assert len(root.children) == 3
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "<a><b></a></b>",  # mismatched nesting
+        "<a>",  # unterminated element
+        "<a x=1/>",  # unquoted attribute
+        '<a x="1" x="2"/>',  # duplicate attribute
+        "<a/><b/>",  # two roots
+        "text only",  # no root element
+        "<a>&undefined;</a>",  # unknown entity
+        "<a><!-- unterminated </a>",
+    ],
+)
+def test_malformed_documents_rejected(bad):
+    with pytest.raises(XMLParseError):
+        parse_document(bad)
+
+
+def test_parse_error_carries_position():
+    try:
+        parse_document("<a>\n<b></c></a>")
+    except XMLParseError as error:
+        assert error.line == 2
+    else:  # pragma: no cover
+        raise AssertionError("expected XMLParseError")
+
+
+def test_roundtrip_through_serializer():
+    text = '<a x="1"><b>hi &amp; ho</b><c/><d>t1<e/>t2</d></a>'
+    root = parse_fragment(text)
+    again = parse_fragment(serialize(root))
+    assert serialize(again) == serialize(root)
+
+
+def test_serializer_escapes_special_characters():
+    root = ElementNode("a")
+    root.set_attribute("q", 'say "<hi>"')
+    root.append(TextNode("a < b & c > d"))
+    out = serialize(root)
+    assert "&lt;" in out and "&amp;" in out
+    assert parse_fragment(out).get_attribute("q") == 'say "<hi>"'
+
+
+def test_pretty_printing_indents_elements():
+    root = parse_fragment("<a><b><c/></b></a>")
+    pretty = serialize(root, indent=2)
+    assert "\n  <b>" in pretty and "\n    <c/>" in pretty
+
+
+def test_subtree_node_count_matches_size_semantics():
+    root = parse_fragment('<a x="1"><b>t</b></a>')
+    # a: attribute + b + text = 3 nodes below
+    assert root.subtree_node_count() == 3

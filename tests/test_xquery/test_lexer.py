@@ -1,0 +1,76 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.text) for t in tokenize(source)[:-1]]  # drop eof
+
+
+def test_symbols_maximal_munch():
+    assert kinds("// / :: = != <= >=")[0] == ("symbol", "//")
+    out = [t for _, t in kinds("a//b")]
+    assert out == ["a", "//", "b"]
+    out = [t for _, t in kinds("$x!=1")]
+    assert "!=" in out
+
+
+def test_axis_separator_vs_prefixed_name():
+    # ':: ' is the axis separator; a single ':' joins a QName prefix
+    out = kinds("child::a")
+    assert out == [("name", "child"), ("symbol", "::"), ("name", "a")]
+    out = kinds("fn:doc")
+    assert out == [("name", "fn:doc")]
+
+
+def test_keywords_detected():
+    out = dict(
+        (t, k) for k, t in kinds("for let in return if then else where and or")
+    )
+    assert all(v == "keyword" for v in out.values())
+
+
+def test_names_with_dash_and_dot():
+    out = kinds("descendant-or-self::node()")
+    assert out[0] == ("name", "descendant-or-self")
+
+
+def test_numbers():
+    assert kinds("42")[0] == ("number", "42")
+    assert kinds("4.25")[0] == ("number", "4.25")
+
+
+def test_strings_both_quotes():
+    assert kinds('"a b"')[0] == ("string", "a b")
+    assert kinds("'x'")[0] == ("string", "x")
+
+
+def test_nested_comments():
+    out = kinds("a (: outer (: inner :) still :) b")
+    assert [t for _, t in out] == ["a", "b"]
+
+
+def test_unterminated_comment_and_string():
+    with pytest.raises(XQuerySyntaxError):
+        tokenize("(: never closed")
+    with pytest.raises(XQuerySyntaxError):
+        tokenize('"never closed')
+
+
+def test_unexpected_character():
+    with pytest.raises(XQuerySyntaxError):
+        tokenize("a ; b")
+
+
+def test_positions_recorded():
+    tokens = tokenize("for $x")
+    assert tokens[0].pos == 0
+    assert tokens[1].text == "$" and tokens[1].pos == 4
+
+
+def test_eof_token_terminates():
+    tokens = tokenize("")
+    assert len(tokens) == 1 and tokens[0].kind == "eof"

@@ -1,0 +1,159 @@
+"""XQuery Core normalization tests (paper Section 2.3 / [9])."""
+
+import pytest
+
+from repro.errors import XQueryTypeError
+from repro.xquery import normalize, parse_xquery
+from repro.xquery.core import (
+    CoreComp,
+    CoreDdo,
+    CoreDoc,
+    CoreFor,
+    CoreIf,
+    CoreLet,
+    CoreStep,
+    CoreValComp,
+    CoreVar,
+    core_to_text,
+)
+
+
+def norm(text: str, default_doc: str | None = None):
+    return normalize(parse_xquery(text), default_doc=default_doc)
+
+
+def test_steps_wrapped_in_ddo():
+    core = norm('doc("a.xml")/descendant::b/child::c')
+    assert isinstance(core, CoreDdo)
+    step = core.expr
+    assert isinstance(step, CoreStep) and step.axis == "child"
+    assert isinstance(step.input, CoreDdo)
+
+
+def test_q1_normalization_matches_paper():
+    """Section 2.4: Q1 normalizes to
+    for $x in fs:ddo(doc(...)/descendant::open_auction)
+    return if (fn:boolean(fs:ddo($x/child::bidder))) then $x else ()"""
+    core = norm('doc("auction.xml")/descendant::open_auction[bidder]')
+    assert isinstance(core, CoreFor)
+    assert isinstance(core.sequence, CoreDdo)
+    assert isinstance(core.sequence.expr, CoreStep)
+    assert core.sequence.expr.axis == "descendant"
+    body = core.ret
+    assert isinstance(body, CoreIf)
+    assert isinstance(body.cond, CoreDdo)
+    cond_step = body.cond.expr
+    assert cond_step.axis == "child" and cond_step.name_test == "bidder"
+    assert isinstance(cond_step.input, CoreVar)
+    assert isinstance(body.then, CoreVar)
+    assert body.then.name == core.var
+
+
+def test_double_slash_name_becomes_descendant():
+    core = norm('doc("a.xml")//b')
+    assert core.expr.axis == "descendant"
+
+
+def test_double_slash_attribute_keeps_dos_step():
+    core = norm('doc("a.xml")//@id')
+    step = core.expr
+    assert step.axis == "attribute"
+    inner = step.input
+    assert inner.expr.axis == "descendant-or-self"
+    assert inner.expr.kind_test == "node"
+
+
+def test_where_becomes_conditional():
+    core = norm("for $x in $y//a where $x/b return $x")
+    # unbound $y is a compile-time (not normalize-time) concern
+    assert isinstance(core, CoreFor)
+    assert isinstance(core.ret, CoreIf)
+
+
+def test_and_becomes_nested_ifs():
+    core = norm("for $x in $y//a where $x/b and $x/c return $x")
+    outer = core.ret
+    assert isinstance(outer, CoreIf)
+    assert isinstance(outer.then, CoreIf)
+    assert isinstance(outer.then.then, CoreVar)
+
+
+def test_multi_for_nests():
+    core = norm("for $a in $d//x, $b in $d//y return $b")
+    assert isinstance(core, CoreFor)
+    assert isinstance(core.ret, CoreFor)
+
+
+def test_let_preserved():
+    core = norm('let $a := doc("d.xml") return $a/child::b')
+    assert isinstance(core, CoreLet)
+
+
+def test_comparison_with_literal_is_valcomp():
+    core = norm("for $x in $d//a where $x/b > 5 return $x")
+    cond = core.ret.cond
+    assert isinstance(cond, CoreValComp)
+    assert cond.op == ">" and cond.value == 5
+
+
+def test_literal_on_left_mirrors_operator():
+    core = norm("for $x in $d//a where 5 < $x/b return $x")
+    cond = core.ret.cond
+    assert isinstance(cond, CoreValComp)
+    assert cond.op == ">"  # 5 < e  ==  e > 5
+
+
+def test_node_node_comparison_is_comp():
+    core = norm("for $x in $d//a where $x/@i = $x/@j return $x")
+    cond = core.ret.cond
+    assert isinstance(cond, CoreComp)
+
+
+def test_predicate_desugars_to_for_if():
+    core = norm("$d//a[b]")
+    assert isinstance(core, CoreFor)
+    assert core.var.startswith("#")
+    assert isinstance(core.ret, CoreIf)
+
+
+def test_stacked_predicates_nest():
+    core = norm("$d//a[b][c]")
+    assert isinstance(core, CoreFor)
+    assert isinstance(core.sequence, CoreFor)
+
+
+def test_absolute_path_uses_default_doc():
+    core = norm("/site/regions", default_doc="auction.xml")
+    doc = core.expr.input.expr.input
+    assert isinstance(doc, CoreDoc) and doc.uri == "auction.xml"
+
+
+def test_absolute_path_without_default_doc_rejected():
+    with pytest.raises(XQueryTypeError):
+        norm("/site/regions")
+
+
+def test_else_must_be_empty():
+    with pytest.raises(XQueryTypeError):
+        norm("if ($x/a) then $x else $x")
+
+
+def test_positional_predicate_rejected():
+    with pytest.raises(XQueryTypeError):
+        norm("$d//a[1]")
+
+
+def test_two_literal_comparison_rejected():
+    with pytest.raises(XQueryTypeError):
+        norm("for $x in $d//a where 1 = 2 return $x")
+
+
+def test_context_item_outside_predicate_rejected():
+    with pytest.raises(XQueryTypeError):
+        norm("./a")
+
+
+def test_core_to_text_smoke():
+    core = norm('doc("a.xml")//b[c > 1]')
+    text = core_to_text(core)
+    assert "fs:ddo" in text and "valcomp" in text

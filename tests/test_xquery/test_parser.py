@@ -1,0 +1,145 @@
+"""Parser tests for the workhorse fragment's surface syntax."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery import parse_xquery
+from repro.xquery import ast
+
+
+def test_simple_path():
+    expr = parse_xquery('doc("a.xml")/descendant::open_auction')
+    assert isinstance(expr, ast.StepExpr)
+    assert expr.axis == "descendant"
+    assert expr.test.name == "open_auction"
+    assert isinstance(expr.input, ast.DocCall)
+    assert expr.input.uri == "a.xml"
+
+
+def test_default_axis_is_child():
+    expr = parse_xquery('doc("a.xml")/b')
+    assert expr.axis == "child"
+
+
+def test_double_slash_flag():
+    expr = parse_xquery('doc("a.xml")//b')
+    assert expr.double_slash
+
+
+def test_attribute_abbreviation():
+    expr = parse_xquery('doc("a.xml")/a/@id')
+    assert expr.axis == "attribute"
+    assert expr.test.kind == "attribute"
+    assert expr.test.name == "id"
+
+
+def test_kind_tests():
+    for text, kind in [
+        ("text()", "text"),
+        ("node()", "node"),
+        ("comment()", "comment"),
+        ("element()", "element"),
+        ("element(b)", "element"),
+        ("processing-instruction()", "processing-instruction"),
+    ]:
+        expr = parse_xquery(f'doc("a.xml")/child::{text}')
+        assert expr.test.kind == kind
+
+
+def test_wildcard():
+    expr = parse_xquery('doc("a.xml")/*')
+    assert expr.test.name == "*"
+
+
+def test_predicates_attach_to_step():
+    expr = parse_xquery('doc("a.xml")//a[b][c = "1"]')
+    assert len(expr.predicates) == 2
+    assert isinstance(expr.predicates[1].expr, ast.Comparison)
+
+
+def test_all_twelve_axes_parse():
+    from repro.xquery.ast import ALL_AXES
+
+    for axis in ALL_AXES:
+        expr = parse_xquery(f'doc("a.xml")/{axis}::node()')
+        assert expr.axis == axis
+
+
+def test_flwor_multi_for_where():
+    expr = parse_xquery(
+        'let $a := doc("x.xml") '
+        "for $b in $a//b, $c in $a//c "
+        "where $b/@i = $c/@j return $c/name"
+    )
+    assert isinstance(expr, ast.FLWOR)
+    assert len(expr.clauses) == 3
+    assert isinstance(expr.clauses[0], ast.LetClause)
+    assert expr.where is not None
+
+
+def test_if_then_else():
+    expr = parse_xquery('if ($x/b) then $x else ()')
+    assert isinstance(expr, ast.IfExpr)
+    assert isinstance(expr.orelse, ast.EmptySequence)
+
+
+def test_comparison_operators():
+    for op in ("=", "!=", "<", "<=", ">", ">="):
+        expr = parse_xquery(f"$x/a {op} 5")
+        assert isinstance(expr, ast.Comparison)
+        assert expr.op == op
+
+
+def test_and_in_predicate():
+    expr = parse_xquery('/dblp/*[@key = "k" and editor and title]/title')
+    inner = expr.input
+    assert isinstance(inner.predicates[0].expr, ast.AndExpr)
+
+
+def test_absolute_path_root():
+    expr = parse_xquery("/site/people")
+    step = expr
+    while isinstance(step, ast.StepExpr):
+        step = step.input
+    assert isinstance(step, ast.PathRoot)
+
+
+def test_sequence_return():
+    expr = parse_xquery("for $t in /a/b return ($t/x, $t/y)")
+    assert isinstance(expr.ret, ast.SequenceExpr)
+    assert len(expr.ret.items) == 2
+
+
+def test_comments_are_skipped():
+    expr = parse_xquery('doc("a.xml") (: a (: nested :) comment :) /b')
+    assert isinstance(expr, ast.StepExpr)
+
+
+def test_parenthesized_expression():
+    expr = parse_xquery('(doc("a.xml")/a)/b')
+    assert expr.axis == "b" or expr.test.name == "b"
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "for $x in return $x",
+        'doc("a.xml")/',
+        "if ($x) then $y",  # missing else
+        "$x[",
+        'doc(unquoted)',
+        "let $x = 3 return $x",  # := not =
+    ],
+)
+def test_syntax_errors(bad):
+    with pytest.raises(XQuerySyntaxError):
+        parse_xquery(bad)
+
+
+def test_error_reports_offset():
+    try:
+        parse_xquery("for $x in $y return @@")
+    except XQuerySyntaxError as error:
+        assert error.position is not None
+    else:  # pragma: no cover
+        raise AssertionError("expected XQuerySyntaxError")
