@@ -139,7 +139,16 @@ def _infer_const(node: Operator, props: PlanProperties) -> dict[str, Value]:
         out = dict(props._const[id(node.children[0])])
         out.update(props._const[id(node.children[1])])
         return out
-    # Serialize, Select, Distinct, RowId, RowRank: pass through
+    if isinstance(node, Serialize):
+        # Serialize narrows the schema to (pos, item): constants on the
+        # dropped iter column must not leak past it.
+        schema = frozenset(node.columns)
+        return {
+            name: value
+            for name, value in props._const[id(node.child)].items()
+            if name in schema
+        }
+    # Select, Distinct, RowId, RowRank: pass through
     return dict(props._const[id(node.children[0])])
 
 
@@ -172,8 +181,15 @@ def _infer_keys(node: Operator, props: PlanProperties) -> Keys:
             ]
             out.update(_products(choices))
         return frozenset(out)
-    if isinstance(node, (Select, Serialize)):
-        return props._keys[id(node.children[0])]
+    if isinstance(node, Select):
+        return props._keys[id(node.child)]
+    if isinstance(node, Serialize):
+        # Serialize narrows the schema to (pos, item): only keys fully
+        # contained in it survive.
+        schema = frozenset(node.columns)
+        return frozenset(
+            k for k in props._keys[id(node.child)] if k <= schema
+        )
     if isinstance(node, Distinct):
         child = node.child
         return props._keys[id(child)] | {frozenset(child.columns)}

@@ -1,0 +1,58 @@
+"""Static analysis over algebra plan DAGs and generated SQL.
+
+The subsystem turns latent miscompilations into loud, coded errors
+(diagnostic codes ``JGI001``… — see :mod:`repro.analysis.diagnostics`
+and ``docs/analysis.md``):
+
+* :func:`check_plan` — deep plan checker: structural operator
+  contracts, an independent re-derivation of the Tables 2–5 property
+  inference, and optional data-backed verification with the reference
+  interpreter;
+* :class:`PlanSanitizer` — per-rewrite-step validation wired into the
+  isolation engine (``checked=True`` on the pipeline), naming the
+  offending Fig. 5 rule on failure;
+* :func:`lint_sql` — scope/clause linter for the generated single
+  SELECT-DISTINCT-FROM-WHERE-ORDER BY block;
+* :func:`lint_query` / :func:`lint_workloads` — the ``repro-xq lint``
+  sweep over arbitrary queries or the whole built-in workload corpus.
+"""
+
+from repro.analysis.diagnostics import (
+    CODES,
+    Diagnostic,
+    DiagnosticReport,
+    errors,
+)
+from repro.analysis.invariants import (
+    check_plan,
+    data_diagnostics,
+    property_diagnostics,
+    structural_diagnostics,
+)
+from repro.analysis.lint import (
+    LintResult,
+    lint_compiled,
+    lint_query,
+    lint_workloads,
+)
+from repro.analysis.rulecheck import PlanSanitizer
+from repro.analysis.sqllint import lint_sql
+from repro.errors import SanitizerError
+
+__all__ = [
+    "CODES",
+    "Diagnostic",
+    "DiagnosticReport",
+    "LintResult",
+    "PlanSanitizer",
+    "SanitizerError",
+    "check_plan",
+    "data_diagnostics",
+    "errors",
+    "lint_compiled",
+    "lint_query",
+    "lint_sql",
+    "lint_workloads",
+    "property_diagnostics",
+    "structural_diagnostics",
+]

@@ -1,0 +1,224 @@
+"""Whole-pipeline lint driver: sweep queries through compile →
+isolate (sanitized) → codegen → execute, collecting diagnostics.
+
+This is what ``repro-xq lint`` and the workload-suite sweep run: for
+each query it
+
+1. compiles with the per-step :class:`PlanSanitizer` active
+   (``checked=True``),
+2. deep-checks the stacked and the isolated plan (optionally against
+   interpreted data),
+3. verifies the isolated plan reached join-graph shape,
+4. lints the generated single-block SQL, and
+5. optionally executes every engine and compares results
+   (``JGI050``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, errors
+from repro.analysis.invariants import check_plan
+from repro.analysis.sqllint import lint_sql
+from repro.errors import ReproError, SanitizerError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pipeline import CompiledQuery, XQueryProcessor
+
+
+@dataclass
+class LintResult:
+    """Diagnostics for one analyzed query."""
+
+    name: str
+    query: str
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not errors(self.diagnostics)
+
+
+def lint_compiled(
+    compiled: "CompiledQuery", *, data: bool = False
+) -> list[Diagnostic]:
+    """Deep-check both plans of a compiled query and lint its SQL."""
+    from repro.errors import CodegenError
+    from repro.rewrite.joingraph import is_join_graph
+
+    diagnostics = check_plan(compiled.stacked_plan, data=data)
+    diagnostics += check_plan(compiled.isolated_plan, data=data)
+    if not is_join_graph(compiled.isolated_plan):
+        diagnostics.append(
+            Diagnostic(
+                code="JGI053",
+                message="isolated plan still contains blocking operators "
+                "below the tail",
+                severity="warning",
+                where="isolated plan",
+            )
+        )
+    if errors(diagnostics):
+        # codegen assumes plan invariants hold; on a broken plan it
+        # would crash arbitrarily rather than raise CodegenError
+        return diagnostics
+    try:
+        sql = compiled.joingraph_sql
+    except CodegenError as error:
+        diagnostics.append(
+            Diagnostic(
+                code="JGI051",
+                message=str(error),
+                where="joingraph-sql",
+            )
+        )
+    else:
+        diagnostics += lint_sql(sql)
+    return diagnostics
+
+
+def lint_query(
+    processor: "XQueryProcessor",
+    query: str,
+    *,
+    name: str = "query",
+    is_tuple: bool = False,
+    data: bool = False,
+    execute: bool = True,
+) -> LintResult:
+    """Compile, check, and (optionally) differentially execute one
+    query; never raises — every failure becomes a diagnostic."""
+    result = LintResult(name=name, query=query)
+    try:
+        if is_tuple:
+            compiled_list = processor.compile_tuple(query)
+        else:
+            compiled_list = [processor.compile(query)]
+    except SanitizerError as error:
+        result.diagnostics += error.diagnostics or [
+            Diagnostic(code=error.code, message=str(error), where=error.rule)
+        ]
+        return result
+    except ReproError as error:
+        result.diagnostics.append(
+            Diagnostic(
+                code="JGI052",
+                message=f"{type(error).__name__}: {error}",
+                where=name,
+            )
+        )
+        return result
+
+    for i, compiled in enumerate(compiled_list):
+        tag = f"{name}[{i}]" if len(compiled_list) > 1 else name
+        diagnostics = lint_compiled(compiled, data=data)
+        if execute and not errors(diagnostics):
+            diagnostics += _execution_diagnostics(processor, compiled, tag)
+        result.diagnostics += diagnostics
+    return result
+
+
+def _execution_diagnostics(
+    processor: "XQueryProcessor", compiled: "CompiledQuery", tag: str
+) -> list[Diagnostic]:
+    """Run all four engines and compare against the reference
+    interpreter on the stacked plan."""
+    reference = processor.execute(compiled, engine="interpreter")
+    out: list[Diagnostic] = []
+    for engine in ("isolated-interpreter", "stacked-sql", "joingraph-sql"):
+        try:
+            observed = processor.execute(compiled, engine=engine)
+        except ReproError as error:
+            out.append(
+                Diagnostic(
+                    code="JGI050",
+                    message=f"engine {engine} failed: {error}",
+                    where=tag,
+                )
+            )
+            continue
+        if observed != reference:
+            out.append(
+                Diagnostic(
+                    code="JGI050",
+                    message=f"engine {engine} returned {len(observed)} item(s), "
+                    f"reference has {len(reference)} "
+                    f"(first divergence at index "
+                    f"{_first_divergence(reference, observed)})",
+                    where=tag,
+                )
+            )
+    return out
+
+
+def _first_divergence(a: list, b: list) -> int:
+    for i, (x, y) in enumerate(zip(a, b)):
+        if x != y:
+            return i
+    return min(len(a), len(b))
+
+
+def lint_workloads(
+    *,
+    xmark_factor: float = 0.002,
+    dblp_factor: float = 0.0005,
+    interpret: bool = False,
+    data: bool = False,
+    execute: bool = True,
+) -> DiagnosticReport:
+    """Sweep the complete built-in query corpus — the paper's Q1–Q6,
+    the XMark catalog, and the TPoX catalog — over freshly generated
+    workload documents, with the per-step sanitizer active."""
+    from repro.infoset import DocumentStore
+    from repro.pipeline import XQueryProcessor
+    from repro.workloads import (
+        DBLPConfig,
+        PAPER_QUERIES,
+        TPOX_QUERIES,
+        TPoXConfig,
+        XMARK_QUERIES,
+        XMarkConfig,
+        generate_dblp,
+        generate_tpox,
+        generate_xmark,
+    )
+
+    xmark_store = DocumentStore()
+    xmark_store.load_tree(generate_xmark(XMarkConfig(factor=xmark_factor)))
+    dblp_store = DocumentStore()
+    dblp_store.load_tree(generate_dblp(DBLPConfig(factor=dblp_factor)))
+    tpox_store = DocumentStore()
+    for document in generate_tpox(TPoXConfig()).values():
+        tpox_store.load_tree(document)
+
+    processors = {
+        "xmark": XQueryProcessor(
+            xmark_store, default_doc="auction.xml", checked=True,
+            check_interpret=interpret,
+        ),
+        "dblp": XQueryProcessor(
+            dblp_store, default_doc="dblp.xml", checked=True,
+            check_interpret=interpret,
+        ),
+        "tpox": XQueryProcessor(
+            tpox_store, default_doc="custacc.xml", checked=True,
+            check_interpret=interpret,
+        ),
+    }
+
+    report = DiagnosticReport()
+    for catalog in (PAPER_QUERIES, XMARK_QUERIES, TPOX_QUERIES):
+        for name, query in sorted(catalog.items()):
+            processor = processors[query.document]
+            result = lint_query(
+                processor,
+                query.text,
+                name=name,
+                is_tuple=query.is_tuple,
+                data=data,
+                execute=execute,
+            )
+            report.add(name, result.diagnostics)
+    return report

@@ -1,0 +1,165 @@
+"""Per-step rewrite sanitizer for the isolation engine.
+
+The 19 peephole rules of paper Fig. 5 are only as trustworthy as their
+property premises; one unsound application silently miscompiles every
+downstream query.  :class:`PlanSanitizer` hooks into
+:class:`repro.rewrite.engine.IsolationEngine` and, after **every**
+individual rule application,
+
+* runs the deep invariant checker (:func:`repro.analysis.check_plan`)
+  on the rewritten plan, and
+* optionally re-interprets the plan on the (small) fixture documents
+  and compares the item sequence against the pre-isolation reference —
+  per-step differential testing.
+
+On failure it raises :class:`repro.errors.SanitizerError` carrying the
+diagnostic code, the *name of the offending rule*, and a unified diff
+of the plan before/after the application.
+"""
+
+from __future__ import annotations
+
+import difflib
+
+from repro.algebra.dagutils import all_nodes, clone_plan, plan_to_text
+from repro.algebra.ops import DocScan, LitTable, Operator
+from repro.analysis.diagnostics import Diagnostic, errors
+from repro.analysis.invariants import check_plan, prune_dead_refs
+from repro.errors import SanitizerError
+
+
+class PlanSanitizer:
+    """Validates every individual rewrite step of an isolation run.
+
+    Parameters
+    ----------
+    interpret:
+        Also check *semantic* equivalence by running the reference
+        interpreter after each step and comparing the item sequence
+        with the pre-isolation reference.  Rank/pos values are only
+        order-isomorphic across rules (9)–(13), so the comparison is on
+        the serialized item sequence, which is exactly the observable
+        result.
+    data:
+        Verify const/key property claims against interpreted tables at
+        every step (implies evaluating the plan; dominated by
+        ``interpret`` cost-wise).
+    max_base_rows:
+        Interpretation budget: skip the semantic check when the plan's
+        base tables (doc store + literals) exceed this many rows.
+    """
+
+    def __init__(
+        self,
+        *,
+        interpret: bool = False,
+        data: bool = False,
+        max_base_rows: int = 600,
+    ):
+        self.interpret = interpret
+        self.data = data
+        self.max_base_rows = max_base_rows
+        self.steps_checked = 0
+        self._reference: list | None = None
+
+    # -- engine hooks -----------------------------------------------------
+
+    def check_initial(self, root: Operator) -> None:
+        """Validate the compiler's output before any rule runs, and
+        capture the reference item sequence for the semantic check."""
+        self._reference = None
+        self._fail_on_errors("<initial plan>", check_plan(root, data=self.data), None)
+        if self.interpret and self._within_budget(root):
+            from repro.algebra.interpreter import run_plan
+
+            self._reference = run_plan(root)
+
+    def snapshot(self, root: Operator) -> Operator:
+        """A structure-preserving copy of ``root`` taken before a rule
+        application, used for the failure plan-diff."""
+        return clone_plan(root)
+
+    def after_step(self, rule: str, before: Operator, after: Operator) -> None:
+        """Validate the plan right after one application of ``rule``.
+
+        Intermediate plans may carry icols-dead dangling projection
+        entries (``allow_dead_refs``; the engine's final
+        ``validate_plan`` is strict) — the semantic check interprets a
+        pruned copy, since the reference interpreter is strict."""
+        self.steps_checked += 1
+        diagnostics = check_plan(after, data=self.data, allow_dead_refs=True)
+        self._fail_on_errors(rule, diagnostics, before, after)
+        if (
+            self.interpret
+            and self._reference is not None
+            and self._within_budget(after)
+        ):
+            from repro.algebra.interpreter import run_plan
+
+            result = run_plan(prune_dead_refs(after))
+            if result != self._reference:
+                diagnostic = Diagnostic(
+                    code="JGI031",
+                    message=(
+                        f"rule ({rule}) changed the result: expected "
+                        f"{self._reference[:20]!r}, got {result[:20]!r}"
+                    ),
+                    where=f"rule {rule}",
+                )
+                raise SanitizerError(
+                    f"{diagnostic.render()}\n{_plan_diff(before, after)}",
+                    code="JGI031",
+                    rule=rule,
+                    diagnostics=[diagnostic],
+                )
+
+    # -- internals --------------------------------------------------------
+
+    def _fail_on_errors(
+        self,
+        rule: str,
+        diagnostics: list[Diagnostic],
+        before: Operator | None,
+        after: Operator | None = None,
+    ) -> None:
+        broken = errors(diagnostics)
+        if not broken:
+            return
+        details = "\n".join(d.render() for d in broken)
+        # a cyclic plan cannot be rendered (the printer would recurse
+        # forever), so the diff is omitted for JGI001
+        diffable = (
+            before is not None
+            and after is not None
+            and all(d.code != "JGI001" for d in broken)
+        )
+        diff = f"\n{_plan_diff(before, after)}" if diffable else ""
+        raise SanitizerError(
+            f"JGI030 rule ({rule}) produced an invalid plan:\n{details}{diff}",
+            code="JGI030",
+            rule=rule,
+            diagnostics=broken,
+        )
+
+    def _within_budget(self, root: Operator) -> bool:
+        rows = 0
+        seen_stores: set[int] = set()
+        for node in all_nodes(root):
+            if isinstance(node, DocScan) and id(node.store) not in seen_stores:
+                seen_stores.add(id(node.store))
+                rows += len(node.store.table)
+            elif isinstance(node, LitTable):
+                rows += len(node.rows)
+        return rows <= self.max_base_rows
+
+
+def _plan_diff(before: Operator, after: Operator) -> str:
+    """Unified diff of the textual plan renderings."""
+    diff = difflib.unified_diff(
+        plan_to_text(before).splitlines(),
+        plan_to_text(after).splitlines(),
+        fromfile="plan before rule",
+        tofile="plan after rule",
+        lineterm="",
+    )
+    return "\n".join(diff)

@@ -18,6 +18,12 @@ Explain the physical plan our optimizer would choose::
 Generate a built-in benchmark document::
 
     python -m repro --generate xmark --factor 0.01 > auction.xml
+
+Statically analyze a query (or the whole built-in workload corpus)
+with the plan sanitizer, deep invariant checker and SQL linter::
+
+    python -m repro lint '//closed_auction[price > 500]' --doc auction.xml
+    python -m repro lint --workloads
 """
 
 from __future__ import annotations
@@ -99,6 +105,98 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static analysis: compile with the per-step rewrite "
+        "sanitizer, deep-check plan invariants, lint the generated SQL, "
+        "and differentially execute all engines.  Reports JGI diagnostic "
+        "codes (see docs/analysis.md); exit status 1 on any error.",
+    )
+    parser.add_argument("query", nargs="?", help="XQuery expression to lint")
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="FILE[=URI]",
+        help="XML document to load; URI defaults to the file name. "
+        "May be given several times.",
+    )
+    parser.add_argument(
+        "--workloads",
+        action="store_true",
+        help="sweep the complete built-in query corpus (paper Q1-Q6, "
+        "XMark, TPoX) over freshly generated documents",
+    )
+    parser.add_argument(
+        "--interpret",
+        action="store_true",
+        help="also re-interpret the plan after every rewrite step and "
+        "compare against the pre-isolation reference (slow)",
+    )
+    parser.add_argument(
+        "--data",
+        action="store_true",
+        help="verify inferred const/key/set properties against actual "
+        "interpreted rows at every operator (slow)",
+    )
+    parser.add_argument(
+        "--no-execute",
+        action="store_true",
+        help="skip the differential execution across engines",
+    )
+    parser.add_argument(
+        "--factor", type=float, default=0.002,
+        help="XMark scale factor for --workloads (default: 0.002)",
+    )
+    return parser
+
+
+def lint_main(argv: list[str]) -> int:
+    parser = build_lint_parser()
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    from repro.analysis import lint_query, lint_workloads
+    from repro.analysis.diagnostics import DiagnosticReport
+
+    if args.workloads:
+        if args.query or args.doc:
+            parser.error("--workloads does not take a query or --doc")
+        report = lint_workloads(
+            xmark_factor=args.factor,
+            interpret=args.interpret,
+            data=args.data,
+            execute=not args.no_execute,
+        )
+    else:
+        if not args.query:
+            parser.error("a query is required (or use --workloads)")
+        if not args.doc:
+            parser.error("at least one --doc FILE is required")
+        processor = XQueryProcessor(
+            checked=True, check_interpret=args.interpret
+        )
+        try:
+            for spec in args.doc:
+                path, _, uri = spec.partition("=")
+                processor.load(Path(path).read_text(), uri or Path(path).name)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        result = lint_query(
+            processor,
+            args.query,
+            data=args.data,
+            execute=not args.no_execute,
+        )
+        report = DiagnosticReport()
+        report.add(result.name, result.diagnostics)
+
+    print(report.render())
+    return 1 if report.error_count else 0
+
+
 def _generate(kind: str, factor: float, seed: int) -> str:
     from repro.workloads import (
         DBLPConfig,
@@ -114,6 +212,10 @@ def _generate(kind: str, factor: float, seed: int) -> str:
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     sys.setrecursionlimit(100_000)

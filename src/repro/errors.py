@@ -50,6 +50,23 @@ class RewriteError(ReproError):
     """Raised when join graph isolation encounters an inconsistent plan."""
 
 
+class SanitizerError(RewriteError):
+    """Raised by the plan sanitizer (:mod:`repro.analysis.rulecheck`)
+    when a rewrite-rule application breaks a plan invariant or changes
+    plan semantics.
+
+    Carries the stable diagnostic ``code`` (``JGI…``), the offending
+    ``rule`` name, and the full :class:`repro.analysis.Diagnostic`
+    list.
+    """
+
+    def __init__(self, message: str, code: str, rule: str, diagnostics=()):
+        super().__init__(message)
+        self.code = code
+        self.rule = rule
+        self.diagnostics = list(diagnostics)
+
+
 class CodegenError(ReproError):
     """Raised when an isolated plan cannot be rendered as a single
     SELECT-DISTINCT-FROM-WHERE-ORDER BY block."""

@@ -83,6 +83,17 @@ class XQueryProcessor:
         contains every node needed to serialize the answer subtrees.
     disabled_rules:
         Isolation rules to switch off (ablation experiments).
+    checked:
+        Run the :class:`repro.analysis.PlanSanitizer` during
+        isolation: the deep plan invariant checker validates the plan
+        after every individual rewrite-rule application, and an
+        unsound step raises :class:`repro.errors.SanitizerError`
+        naming the offending rule.
+    check_interpret:
+        With ``checked``, additionally re-interpret the plan after
+        each step on small documents and compare the item sequence
+        against the pre-isolation reference (per-step differential
+        testing; skipped automatically on large stores).
     """
 
     def __init__(
@@ -91,11 +102,21 @@ class XQueryProcessor:
         default_doc: str | None = None,
         serialize_step: bool = False,
         disabled_rules: set[str] | None = None,
+        checked: bool = False,
+        check_interpret: bool = False,
     ):
         self.store = store if store is not None else DocumentStore()
         self.default_doc = default_doc
         self.serialize_step = serialize_step
-        self._engine = IsolationEngine(disabled=disabled_rules)
+        self.checked = checked
+        sanitizer = None
+        if checked:
+            from repro.analysis import PlanSanitizer
+
+            sanitizer = PlanSanitizer(interpret=check_interpret)
+        self._engine = IsolationEngine(
+            disabled=disabled_rules, sanitizer=sanitizer
+        )
         self._backend: SQLiteBackend | None = None
         self._backend_rows = -1
 

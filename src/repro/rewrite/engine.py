@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.algebra.dagutils import (
     all_nodes,
@@ -28,6 +28,9 @@ from repro.algebra.dagutils import (
     replace_node,
     validate_plan,
 )
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.rulecheck import PlanSanitizer
 from repro.algebra.ops import Operator, Serialize
 from repro.algebra.properties import infer_properties
 from repro.errors import RewriteError
@@ -102,17 +105,30 @@ class IsolationEngine:
     max_steps:
         Hard budget on rule applications (defensive; typical queries
         need well under a thousand).
+    sanitizer:
+        A :class:`repro.analysis.PlanSanitizer` validating the plan
+        after *every* individual rule application (and the compiler
+        output before the first); raises
+        :class:`repro.errors.SanitizerError` naming the offending rule.
     """
 
-    def __init__(self, disabled: set[str] | None = None, max_steps: int = 50_000):
+    def __init__(
+        self,
+        disabled: set[str] | None = None,
+        max_steps: int = 50_000,
+        sanitizer: "PlanSanitizer | None" = None,
+    ):
         self.disabled = disabled or set()
         self.max_steps = max_steps
+        self.sanitizer = sanitizer
 
     def isolate(self, root: Serialize) -> tuple[Serialize, IsolationStats]:
         """Rewrite ``root`` into join-graph shape.  The input DAG is
         mutated; the returned root is the place to continue from."""
         stats = IsolationStats()
         self._counter = [0]  # fresh-name counter, shared across steps
+        if self.sanitizer is not None:
+            self.sanitizer.check_initial(root)
         # Phase 3 searches the join-goal rules *before* the δ-removing
         # house-cleaning rules (14)/(15): the key-join collapses (19)/(20)
         # rely on candidate keys that the intermediate δs still certify;
@@ -166,6 +182,12 @@ class IsolationEngine:
             parents=parents_map(root),
             counter=self._counter,
         )
+        # rules may mutate the DAG in place during the *attempt* (not
+        # only via the returned replacement), so the sanitizer snapshot
+        # has to be taken before any rule runs.
+        before = (
+            self.sanitizer.snapshot(root) if self.sanitizer is not None else None
+        )
         nodes = all_nodes(root)
         for name, rule in phase_rules:
             # rule 16 introduces the tail δ: scan top-down so it lands
@@ -180,6 +202,8 @@ class IsolationEngine:
                     stats.steps += 1
                     new_root = replace_node(root, node, replacement)
                     assert isinstance(new_root, Serialize)
+                    if self.sanitizer is not None:
+                        self.sanitizer.after_step(name, before, new_root)
                     return new_root
         return None
 
@@ -187,6 +211,7 @@ class IsolationEngine:
 def isolate(
     root: Serialize,
     disabled: set[str] | None = None,
+    sanitizer: "PlanSanitizer | None" = None,
 ) -> tuple[Serialize, IsolationStats]:
     """Convenience wrapper: run join graph isolation on a compiled plan."""
-    return IsolationEngine(disabled=disabled).isolate(root)
+    return IsolationEngine(disabled=disabled, sanitizer=sanitizer).isolate(root)

@@ -1,0 +1,203 @@
+"""Property-based fuzzing of the checker and the property inference.
+
+Two directions:
+
+* **soundness** — on randomly generated (valid) plans, the full
+  checker stack must stay silent: structure is clean, the independent
+  icols/const/set re-derivation agrees with the Tables 2–5 inference,
+  and every claimed constant/key holds on the interpreted tables;
+* **sensitivity** — a random single-node corruption of a valid plan
+  must always produce at least one error diagnostic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import (
+    Attach,
+    Comparison,
+    Cross,
+    Distinct,
+    Join,
+    LitTable,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+    col,
+    lit,
+)
+from repro.algebra.dagutils import all_nodes
+from repro.algebra.ops import Operator
+from repro.analysis import check_plan, errors
+
+# -- random plan generation ---------------------------------------------------
+
+
+def random_plan(rng: random.Random) -> Serialize:
+    """A random valid plan over small literal tables: every operator
+    class appears, schemas stay disjoint for ⋈/×, and the tail always
+    renames to the Serialize item/pos contract."""
+    counter = [0]
+
+    def fresh(base: str) -> str:
+        counter[0] += 1
+        return f"{base}{counter[0]}"
+
+    def littable() -> Operator:
+        names = tuple(fresh("c") for _ in range(rng.randint(1, 3)))
+        rows = [
+            tuple(rng.randint(0, 4) for _ in names)
+            for _ in range(rng.randint(0, 5))
+        ]
+        return LitTable(names, rows)
+
+    def subplan(depth: int) -> Operator:
+        if depth <= 0 or rng.random() < 0.25:
+            return littable()
+        choice = rng.randrange(8)
+        if choice in (0, 1):  # binary: keep schemas disjoint by freshness
+            left, right = subplan(depth - 1), subplan(depth - 1)
+            if set(left.columns) & set(right.columns):
+                return littable()
+            if choice == 0 and left.columns and right.columns:
+                return Join(
+                    left,
+                    right,
+                    Comparison(
+                        rng.choice(("=", "<", ">=")),
+                        col(rng.choice(left.columns)),
+                        col(rng.choice(right.columns)),
+                    ),
+                )
+            return Cross(left, right)
+        child = subplan(depth - 1)
+        cols = child.columns
+        if choice == 2:
+            picked = [c for c in cols if rng.random() < 0.7] or [cols[0]]
+            return Project(
+                child, [(fresh("p"), old) for old in picked]
+            )
+        if choice == 3:
+            return Select(
+                child,
+                Comparison(
+                    rng.choice(("=", "!=", "<=")),
+                    col(rng.choice(cols)),
+                    lit(rng.randint(0, 4)),
+                ),
+            )
+        if choice == 4:
+            return Distinct(child)
+        if choice == 5:
+            return Attach(child, fresh("a"), rng.randint(0, 9))
+        if choice == 6:
+            return RowId(child, fresh("i"))
+        order = tuple(c for c in cols if rng.random() < 0.6) or cols[:1]
+        return RowRank(child, fresh("r"), order)
+
+    body = subplan(rng.randint(1, 4))
+    pools = list(body.columns)
+    item = rng.choice(pools)
+    pos = rng.choice(pools)
+    return Serialize(Project(body, [("item", item), ("pos", pos)]))
+
+
+# -- soundness: valid plans keep every layer silent ---------------------------
+
+
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_checker_silent_on_random_valid_plans(seed: int):
+    plan = random_plan(random.Random(seed))
+    diagnostics = check_plan(plan, data=True)
+    assert diagnostics == [], [d.render() for d in diagnostics]
+
+
+# -- sensitivity: any single corruption is detected ---------------------------
+
+
+def corrupt(rng: random.Random, root: Serialize) -> str | None:
+    """Apply one random guaranteed-invalid mutation; returns a label
+    (or None if the drawn node does not support the drawn mutation)."""
+    node = rng.choice(all_nodes(root))
+    kind = rng.randrange(6)
+    if kind == 0 and isinstance(node, Project):
+        new, old = node.cols[0]
+        node.cols = node.cols + ((new, old),)  # duplicate output
+        return "project-duplicate"
+    if kind == 1 and isinstance(node, Project):
+        node.cols = ((node.cols[0][0], "__ghost__"),) + node.cols[1:]
+        return "dangling-live-ref" if node.cols[0][0] in ("item", "pos") else None
+    if kind == 2 and isinstance(node, (Select, Join)):
+        node.pred = Comparison("=", col("__ghost__"), lit(1))
+        return "pred-ghost-column"
+    if kind == 3 and isinstance(node, RowRank):
+        node.order = ("__ghost__",)
+        return "rank-ghost-order"
+    if kind == 4 and isinstance(node, LitTable) and node.rows:
+        node.rows = list(node.rows) + [node.rows[0] + (99,)]
+        return "littable-arity"
+    if kind == 5 and isinstance(node, (Attach, RowId, RowRank)):
+        node.col = node.child.columns[0]  # collide with the input
+        return "generated-collision"
+    return None
+
+
+@settings(
+    max_examples=150,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_checker_flags_any_single_corruption(seed: int):
+    rng = random.Random(seed)
+    plan = random_plan(rng)
+    label = corrupt(rng, plan)
+    if label is None:
+        return  # mutation did not apply to the drawn node
+    diagnostics = check_plan(plan)
+    assert errors(diagnostics), f"undetected corruption: {label}"
+
+
+# -- the inference itself, via the checker's re-derivation --------------------
+
+
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(min_value=0, max_value=100_000))
+def test_property_inference_agrees_with_rederivation(seed: int):
+    """Pin the Tables 2–5 inference against the independent
+    edge-function re-derivation on plans with heavy DAG sharing (a
+    self-join over a shared subplan — where stale-property and
+    id-keying bugs would hide)."""
+    rng = random.Random(seed)
+    width = rng.randint(1, 2)
+    base = RowId(
+        LitTable(
+            tuple(f"c{i}" for i in range(width)),
+            [
+                tuple(rng.randint(0, 3) for _ in range(width))
+                for _ in range(rng.randint(1, 4))
+            ],
+        ),
+        "k",
+    )
+    left = Project(base, [("a", "k"), ("l0", "c0")])
+    right = Project(base, [("b", "k")])
+    join = Join(left, right, Comparison("=", col("a"), col("b")))
+    root = Serialize(Project(join, [("item", "l0"), ("pos", "b")]))
+    diagnostics = check_plan(root, data=True)
+    assert diagnostics == [], [d.render() for d in diagnostics]

@@ -1,0 +1,101 @@
+"""The lint driver and the ``repro-xq lint`` CLI subcommand."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_compiled, lint_query
+from repro.cli import main
+from repro.pipeline import XQueryProcessor
+from repro.workloads import PAPER_QUERIES
+
+XML = "<site><a id=\"1\"><b>1</b></a><a id=\"2\"><b>2</b></a></site>"
+
+
+def checked_processor(store, default_doc):
+    return XQueryProcessor(
+        store, default_doc=default_doc, checked=True, check_interpret=True
+    )
+
+
+def test_lint_query_clean_on_fig2(fig2_store):
+    processor = checked_processor(fig2_store, "auction.xml")
+    result = lint_query(
+        processor,
+        "//bidder[increase > 4]/time",
+        name="fig2",
+        data=True,
+    )
+    assert result.ok and result.diagnostics == []
+
+
+def test_lint_query_reports_compile_failure(fig2_store):
+    processor = checked_processor(fig2_store, "auction.xml")
+    result = lint_query(processor, "for $x in //a return", name="broken")
+    assert not result.ok
+    assert [d.code for d in result.diagnostics] == ["JGI052"]
+    assert "XQuerySyntaxError" in result.diagnostics[0].message
+
+
+def test_lint_compiled_flags_broken_plan(fig2_store):
+    processor = XQueryProcessor(fig2_store, default_doc="auction.xml")
+    compiled = processor.compile("//bidder/time")
+    compiled.isolated_plan.child.cols = (
+        compiled.isolated_plan.child.cols[:1]
+    )
+    diagnostics = lint_compiled(compiled)
+    assert any(d.code == "JGI008" for d in diagnostics)
+
+
+def test_paper_queries_lint_clean(xmark_store, dblp_store):
+    """Table 8's Q1–Q6 sweep with zero diagnostics — the in-tree slice
+    of the `repro-xq lint --workloads` acceptance run."""
+    processors = {
+        "xmark": checked_processor(xmark_store, "auction.xml"),
+        "dblp": checked_processor(dblp_store, "dblp.xml"),
+    }
+    for name, query in sorted(PAPER_QUERIES.items()):
+        result = lint_query(
+            processors[query.document],
+            query.text,
+            name=name,
+            is_tuple=query.is_tuple,
+        )
+        assert result.ok, (name, [d.render() for d in result.diagnostics])
+        assert result.diagnostics == [], name
+
+
+# -- the CLI ------------------------------------------------------------------
+
+
+@pytest.fixture()
+def doc_file(tmp_path):
+    path = tmp_path / "t.xml"
+    path.write_text(XML)
+    return str(path)
+
+
+def test_cli_lint_single_query_ok(capsys, doc_file):
+    exit_code = main(["lint", "//a[b > 1]", "--doc", doc_file])
+    out = capsys.readouterr().out
+    assert exit_code == 0
+    assert "query: ok" in out
+    assert "0 error(s)" in out
+
+
+def test_cli_lint_reports_errors_with_nonzero_exit(capsys, doc_file):
+    exit_code = main(["lint", "for $x in //a return", "--doc", doc_file])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    assert "JGI052" in out
+
+
+def test_cli_lint_requires_query_or_workloads(doc_file):
+    with pytest.raises(SystemExit):
+        main(["lint", "--doc", doc_file])
+
+
+def test_cli_normal_path_still_works(capsys, doc_file):
+    exit_code = main(["//a/b", "--doc", f"{doc_file}=t.xml", "--items"])
+    assert exit_code == 0
+    assert capsys.readouterr().out.strip()

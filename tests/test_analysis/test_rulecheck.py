@@ -1,0 +1,267 @@
+"""Per-step rewrite sanitizer.
+
+Two kinds of evidence that the sanitizer earns its keep:
+
+* **negative** — intentionally broken rules (patched into the engine
+  for the duration of one test, never committed) are caught on their
+  first application, with a ``SanitizerError`` naming the rule;
+* **positive** — every rank rule (9)–(13) and δ/join rule (16)–(19) is
+  individually applied to a plan shaped to trigger it, and the result
+  passes the full checker *and* preserves the serialized result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import (
+    Attach,
+    Comparison,
+    Cross,
+    Join,
+    LitTable,
+    Project,
+    RowId,
+    RowRank,
+    Select,
+    Serialize,
+    col,
+    lit,
+    run_plan,
+)
+from repro.algebra.dagutils import parents_map, replace_node
+from repro.algebra.ops import Operator
+from repro.algebra.properties import infer_properties
+from repro.analysis import PlanSanitizer, SanitizerError, check_plan, errors
+from repro.analysis.invariants import prune_dead_refs
+from repro.compiler import compile_core
+from repro.infoset import DocumentStore
+from repro.rewrite import engine as engine_mod
+from repro.rewrite import isolate
+from repro.rewrite import rules as R
+from repro.rewrite.rules import RewriteContext
+from repro.xquery import normalize, parse_xquery
+
+XML = """\
+<site>
+  <a id="1"><b>1</b><c>2</c></a>
+  <a id="2"><b>3</b><c>1</c></a>
+  <a id="3"><b>2</b></a>
+</site>
+"""
+
+
+@pytest.fixture()
+def store() -> DocumentStore:
+    s = DocumentStore()
+    s.load(XML, "t.xml")
+    return s
+
+
+def compiled(store: DocumentStore, query: str):
+    return compile_core(normalize(parse_xquery(query)), store)
+
+
+# -- intentionally broken rules (the acceptance scenario) ---------------------
+
+
+def _broken_select_scope(node: Operator, ctx: RewriteContext):
+    """Rewrites any σ to reference a column its input does not have —
+    a structural violation the checker must pin on this 'rule'."""
+    if not isinstance(node, Select):
+        return None
+    bad = Select(node.child, node.pred)
+    bad.pred = Comparison("=", col("no_such_column"), lit(1))
+    return bad
+
+
+def _broken_drop_filter(node: Operator, ctx: RewriteContext):
+    """Rewrites σ(q) to q: structurally pristine, semantically wrong —
+    only the per-step differential interpretation can catch it."""
+    if not isinstance(node, Select):
+        return None
+    return node.child
+
+
+def _patch_rule(monkeypatch, name: str, fn) -> None:
+    """Replace engine rule ``name`` in every phase table for one test."""
+    for table_name in ("HOUSE_CLEANING", "RANK_GOAL", "JOIN_GOAL"):
+        table = getattr(engine_mod, table_name)
+        patched = tuple((n, fn if n == name else f) for n, f in table)
+        monkeypatch.setattr(engine_mod, table_name, patched)
+
+
+def test_structurally_broken_rule_is_caught_and_named(monkeypatch, store):
+    _patch_rule(monkeypatch, "3b", _broken_select_scope)
+    plan = compiled(store, 'doc("t.xml")//a[b > 1]')
+    with pytest.raises(SanitizerError) as excinfo:
+        isolate(plan, sanitizer=PlanSanitizer())
+    assert excinfo.value.code == "JGI030"
+    assert excinfo.value.rule == "3b"
+    assert any(d.code == "JGI004" for d in excinfo.value.diagnostics)
+    assert "3b" in str(excinfo.value)
+
+
+def test_semantically_broken_rule_is_caught_and_named(monkeypatch, store):
+    _patch_rule(monkeypatch, "3b", _broken_drop_filter)
+    plan = compiled(store, 'doc("t.xml")//a[b > 1]')
+    with pytest.raises(SanitizerError) as excinfo:
+        isolate(plan, sanitizer=PlanSanitizer(interpret=True))
+    assert excinfo.value.code == "JGI031"
+    assert excinfo.value.rule == "3b"
+    assert "changed the result" in str(excinfo.value)
+
+
+def test_unsanitized_engine_misses_the_semantic_break(monkeypatch, store):
+    """The control experiment: without the sanitizer the same broken
+    rule sails through isolation and silently miscompiles."""
+    _patch_rule(monkeypatch, "3b", _broken_drop_filter)
+    reference = run_plan(compiled(store, 'doc("t.xml")//a[b > 1]'))
+    isolated, _ = isolate(compiled(store, 'doc("t.xml")//a[b > 1]'))
+    assert run_plan(isolated) != reference
+
+
+def test_broken_compiler_output_is_caught_before_any_rule(store):
+    plan = compiled(store, 'doc("t.xml")//a')
+    plan.child.col = "mangled"  # the rank no longer delivers 'pos'
+    with pytest.raises(SanitizerError) as excinfo:
+        isolate(plan, sanitizer=PlanSanitizer())
+    assert excinfo.value.rule == "<initial plan>"
+
+
+def test_snapshot_is_isolated_from_in_place_rule_mutation(store):
+    sanitizer = PlanSanitizer()
+    plan = compiled(store, 'doc("t.xml")//a[b]/c')
+    snap = sanitizer.snapshot(plan)
+    fingerprint = run_plan(snap)
+    isolate(plan, sanitizer=sanitizer)  # mutates `plan` in place
+    assert run_plan(snap) == fingerprint
+    assert sanitizer.steps_checked > 0
+
+
+# -- per-rule soundness: rank rules (9)-(13), δ/join rules (16)-(19) ----------
+
+
+def assert_rule_sound(rule_fn, node: Operator, root: Serialize) -> None:
+    """Apply one rule directly and verify the two sanitizer contracts:
+    the rewritten plan passes the deep checker, and the serialized
+    result is unchanged (rank columns are only order-isomorphic, so the
+    comparison is on the item sequence — exactly what Serialize
+    observes)."""
+    reference = run_plan(root)
+    ctx = RewriteContext(
+        root=root, props=infer_properties(root), parents=parents_map(root)
+    )
+    replacement = rule_fn(node, ctx)
+    assert replacement is not None and replacement is not node, (
+        "plan shape does not trigger the rule"
+    )
+    new_root = replace_node(root, node, replacement)
+    diagnostics = check_plan(new_root, data=True, allow_dead_refs=True)
+    assert not errors(diagnostics), [d.render() for d in diagnostics]
+    assert run_plan(prune_dead_refs(new_root)) == reference
+
+
+def test_rule_9_sound():
+    t = LitTable(("item",), [(30,), (10,), (20,)])
+    rank = RowRank(t, "pos", ("item",))
+    assert_rule_sound(R.rule_9_rank_single_to_project, rank, Serialize(rank))
+
+
+def test_rule_10_sound():
+    t = LitTable(("item", "f"), [(3, 0), (1, 1), (2, 1)])
+    rank = RowRank(t, "pos", ("item",))
+    select = Select(rank, Comparison("=", col("f"), lit(1)))
+    assert_rule_sound(
+        R.rule_10_rank_pullup_unary, select, Serialize(select)
+    )
+
+
+def test_rule_11_sound():
+    t = LitTable(("a", "b"), [(2, 9), (1, 8)])
+    rank = RowRank(t, "r", ("a",))
+    project = Project(rank, [("item", "b"), ("pos", "r")])
+    assert_rule_sound(
+        R.rule_11_rank_pullup_project, project, Serialize(project)
+    )
+
+
+def test_rule_12_sound():
+    left = RowRank(LitTable(("item",), [(2,), (1,)]), "pos", ("item",))
+    right = LitTable(("b",), [(1,), (2,)])
+    join = Join(left, right, Comparison("=", col("item"), col("b")))
+    root = Serialize(Project(join, [("item", "item"), ("pos", "pos")]))
+    assert_rule_sound(R.rule_12_rank_pullup_join, join, root)
+
+
+def test_rule_13_sound():
+    t = LitTable(("a", "b"), [(1, 2), (2, 1), (1, 1)])
+    inner = RowRank(t, "r1", ("a", "b"))
+    outer = RowRank(inner, "pos", ("r1",))
+    root = Serialize(Project(outer, [("item", "a"), ("pos", "pos")]))
+    assert_rule_sound(R.rule_13_rank_splice, outer, root)
+
+
+def test_rule_16_sound():
+    left = LitTable(("item",), [(1,), (2,)])
+    right = LitTable(("pos",), [(1,), (2,)])
+    join = Join(left, right, Comparison("=", col("item"), col("pos")))
+    assert_rule_sound(
+        R.rule_16_introduce_tail_distinct, join, Serialize(join)
+    )
+
+
+def test_rule_17_sound():
+    t = LitTable(("a", "f"), [(1, 0), (2, 1)])
+    select = Select(t, Comparison("=", col("f"), lit(1)))
+    other = LitTable(("b",), [(2,), (1,)])
+    join = Join(select, other, Comparison("=", col("a"), col("b")))
+    root = Serialize(Project(join, [("item", "a"), ("pos", "b")]))
+    assert_rule_sound(R.rule_17_push_join_through_unary, join, root)
+
+
+def test_rule_18_sound():
+    q1 = LitTable(("u",), [(7,), (8,)])
+    q2 = LitTable(("a",), [(5,), (6,)])
+    q3 = LitTable(("b",), [(5,)])
+    lower = Cross(q1, q2)
+    join = Join(lower, q3, Comparison("=", col("a"), col("b")))
+    root = Serialize(Project(join, [("item", "u"), ("pos", "b")]))
+    assert_rule_sound(R.rule_18_push_join_through_join, join, root)
+
+
+def test_rule_19_sound():
+    base = RowId(LitTable(("v",), [(10,), (20,)]), "k")
+    left = Project(base, [("a", "k"), ("v1", "v")])
+    right = Project(base, [("b", "k"), ("v2", "v")])
+    join = Join(left, right, Comparison("=", col("a"), col("b")))
+    root = Serialize(Project(join, [("item", "v1"), ("pos", "v2")]))
+    assert_rule_sound(R.rule_19_collapse_key_selfjoin, join, root)
+
+
+# -- whole-engine coverage of the same rules on real queries ------------------
+
+RULE_TRIGGERS = [
+    ("9", 'doc("t.xml")//a/b'),
+    ("11", 'for $x in doc("t.xml")//a return $x/b'),
+    ("12", 'for $x in doc("t.xml")//a for $y in $x/b return $y/parent::a'),
+    ("13", 'for $x in doc("t.xml")//a for $y in $x/b return $y/parent::a'),
+    ("16", 'for $x in doc("t.xml")//a return $x/b'),
+    ("19", 'for $x in doc("t.xml")//a for $y in $x/b return $y'),
+    ("20", 'doc("t.xml")//a/b'),
+    ("21", 'for $x in doc("t.xml")//a where $x/b = $x/c return $x'),
+]
+
+
+@pytest.mark.parametrize("rule_name,query", RULE_TRIGGERS)
+def test_rule_fires_under_full_sanitization(store, rule_name, query):
+    """The rule applies at least once while the per-step checker *and*
+    the per-step differential interpretation are active."""
+    sanitizer = PlanSanitizer(interpret=True, data=True)
+    isolated, stats = isolate(compiled(store, query), sanitizer=sanitizer)
+    assert stats.applications[rule_name] > 0
+    assert sanitizer.steps_checked == stats.steps
+    reference = run_plan(compile_core(
+        normalize(parse_xquery(query)), store
+    ))
+    assert run_plan(isolated) == reference

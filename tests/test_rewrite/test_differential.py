@@ -5,6 +5,11 @@ isolation and both SQL paths must agree on randomly generated queries
 over randomly generated documents — the strongest invariant in this
 repository (isolation preserves result sequence, order and duplicate
 semantics).
+
+Isolation runs with the :class:`~repro.analysis.PlanSanitizer` active
+(per-step invariant checking *and* per-step re-interpretation), so a
+failure names the individual Fig. 5 rule that broke the plan instead
+of merely reporting a wrong final result.
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import PlanSanitizer
 from repro.compiler import compile_core
 from repro.algebra import run_plan
 from repro.infoset import DocumentStore
@@ -119,7 +125,9 @@ def test_isolation_and_sql_preserve_semantics(seed: int):
     stacked = compile_core(core, store)
     reference = run_plan(stacked)
 
-    isolated, _ = isolate(compile_core(core, store))
+    isolated, _ = isolate(
+        compile_core(core, store), sanitizer=PlanSanitizer(interpret=True)
+    )
     assert run_plan(isolated) == reference, query
 
     backend = SQLiteBackend(store.table)
@@ -171,7 +179,9 @@ def test_fixed_query_corpus(query: str):
     core = normalize(parse_xquery(query))
     stacked = compile_core(core, store)
     reference = run_plan(stacked)
-    isolated, _ = isolate(compile_core(core, store))
+    isolated, _ = isolate(
+        compile_core(core, store), sanitizer=PlanSanitizer(interpret=True)
+    )
     assert run_plan(isolated) == reference
     with SQLiteBackend(store.table) as backend:
         assert backend.run(generate_join_graph_sql(isolated)) == reference
