@@ -23,6 +23,7 @@ from repro.analysis.diagnostics import Diagnostic, DiagnosticReport, errors
 from repro.analysis.invariants import check_plan
 from repro.analysis.sqllint import lint_sql
 from repro.errors import ReproError, SanitizerError
+from repro.obs import record_diagnostics
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pipeline import CompiledQuery, XQueryProcessor
@@ -109,6 +110,7 @@ def lint_query(
                 where=name,
             )
         )
+        record_diagnostics(result.diagnostics)
         return result
 
     for i, compiled in enumerate(compiled_list):
@@ -116,6 +118,9 @@ def lint_query(
         diagnostics = lint_compiled(compiled, data=data)
         if execute and not errors(diagnostics):
             diagnostics += _execution_diagnostics(processor, compiled, tag)
+        # sanitizer findings were already counted at raise time (in
+        # rulecheck); everything surfacing here is counted now
+        record_diagnostics(diagnostics)
         result.diagnostics += diagnostics
     return result
 

@@ -26,6 +26,7 @@ from repro.algebra.ops import DocScan, LitTable, Operator
 from repro.analysis.diagnostics import Diagnostic, errors
 from repro.analysis.invariants import check_plan, prune_dead_refs
 from repro.errors import SanitizerError
+from repro.obs import record_diagnostics
 
 
 class PlanSanitizer:
@@ -106,6 +107,7 @@ class PlanSanitizer:
                     ),
                     where=f"rule {rule}",
                 )
+                record_diagnostics([diagnostic])
                 raise SanitizerError(
                     f"{diagnostic.render()}\n{_plan_diff(before, after)}",
                     code="JGI031",
@@ -134,6 +136,7 @@ class PlanSanitizer:
             and all(d.code != "JGI001" for d in broken)
         )
         diff = f"\n{_plan_diff(before, after)}" if diffable else ""
+        record_diagnostics(broken)
         raise SanitizerError(
             f"JGI030 rule ({rule}) produced an invalid plan:\n{details}{diff}",
             code="JGI030",

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.infoset.encoding import DocumentStore, node_pre_map
+from repro.obs import Tracer, get_tracer, phase_profile, set_tracer
 from repro.pipeline import XQueryProcessor
 from repro.planner import JoinGraphPlanner
 from repro.purexml import PureXMLEngine
@@ -66,6 +67,21 @@ class EngineRun:
     seconds: float
     result_size: int
     correct: bool
+    #: inclusive seconds per span name (``compile``, ``isolate``,
+    #: ``execute``, ``sql.run`` …) captured by the tracer during the
+    #: timed run; compile-side phases appear on the first (cache-cold)
+    #: run of each query
+    phases: dict[str, float] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "query": self.query,
+            "engine": self.engine,
+            "seconds": self.seconds,
+            "result_size": self.result_size,
+            "correct": self.correct,
+            "phases": self.phases,
+        }
 
 
 class BenchHarness:
@@ -186,17 +202,30 @@ class BenchHarness:
         raise ValueError(f"unknown engine {engine!r}")
 
     def run(self, query_name: str, engine: str) -> EngineRun:
-        """Timed, verified execution."""
-        reference = self.reference(self.query(query_name))
-        start = time.perf_counter()
-        result = self.execute(query_name, engine)
-        elapsed = time.perf_counter() - start
+        """Timed, verified execution.  The run happens under a private
+        tracer, so the returned :class:`EngineRun` carries the
+        per-phase time breakdown alongside the total wall-clock."""
+        query = self.query(query_name)
+        previous = get_tracer()
+        tracer = set_tracer(Tracer())
+        try:
+            # warm the compile cache inside the trace but outside the
+            # timed window: `seconds` stays pure execution time, while
+            # `phases` gains the compile-side spans on cache-cold runs
+            self.compiled(query)
+            start = time.perf_counter()
+            result = self.execute(query_name, engine)
+            elapsed = time.perf_counter() - start
+        finally:
+            set_tracer(previous)
+        reference = self.reference(query)
         return EngineRun(
             query=query_name,
             engine=engine,
             seconds=elapsed,
             result_size=sum(result.values()),
             correct=result == reference,
+            phases=phase_profile(tracer),
         )
 
     def table9(
@@ -211,6 +240,17 @@ class BenchHarness:
     ) -> list[EngineRun]:
         """The full Table 9 grid."""
         return [self.run(q, e) for q in queries for e in engines]
+
+
+def table9_json(runs: list[EngineRun], **metadata) -> dict:
+    """The Table 9 grid as a JSON-ready document (what ``BENCH_*.json``
+    files store): every run with its phase profile, plus free-form
+    metadata (node counts, scale factors, host notes)."""
+    return {
+        "schema": "repro.bench.table9/v2",
+        "metadata": dict(metadata),
+        "runs": [run.to_json() for run in runs],
+    }
 
 
 def format_table9(runs: list[EngineRun]) -> str:

@@ -24,16 +24,43 @@ with the plan sanitizer, deep invariant checker and SQL linter::
 
     python -m repro lint '//closed_auction[price > 500]' --doc auction.xml
     python -m repro lint --workloads
+
+Observability (see ``docs/observability.md``): ``--trace FILE`` writes
+a Chrome trace-event JSON file (load in ``about://tracing`` or
+Perfetto) with nested spans for every pipeline phase — parse,
+normalize, loop-lift, isolation (with one instant event per
+rewrite-rule application), codegen, and SQL execution.  ``--metrics
+[FILE]`` dumps the metrics registry (rule-fire counters, SQL statement
+stats, per-operator planner q-error) as JSON to FILE, or to stdout
+when no FILE is given.  The ``obs`` subcommand runs a query under full
+instrumentation and prints the composed summary — span tree, hot
+rewrite rules, SQL stats, the planner estimate-vs-actual q-error
+table, and analysis health::
+
+    python -m repro '//person[name]' --doc auction.xml \\
+        --trace trace.json --metrics metrics.json
+    python -m repro obs '//person[name]' --doc auction.xml --checked
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from pathlib import Path
 
 from repro.errors import ReproError
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    get_metrics,
+    get_tracer,
+    metrics_json,
+    set_metrics,
+    set_tracer,
+    write_chrome_trace,
+)
 from repro.pipeline import XQueryProcessor
 
 
@@ -84,6 +111,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--time", action="store_true", help="report execution wall-clock"
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="write a Chrome trace-event JSON file of the whole run "
+        "(open in about://tracing or ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="dump the metrics registry (rule fires, SQL stats, planner "
+        "q-error) as JSON to FILE, or to stdout when FILE is omitted",
     )
     parser.add_argument(
         "--serialize-step",
@@ -197,6 +238,96 @@ def lint_main(argv: list[str]) -> int:
     return 1 if report.error_count else 0
 
 
+def build_obs_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro obs",
+        description="Run one query under full instrumentation and print "
+        "the observability summary: span tree (per-phase time), rewrite-"
+        "rule fire counts, SQL back-end stats, the planner estimate-vs-"
+        "actual q-error table, and analysis health.  See "
+        "docs/observability.md.",
+    )
+    parser.add_argument("query", help="XQuery expression")
+    parser.add_argument(
+        "--doc",
+        action="append",
+        default=[],
+        metavar="FILE[=URI]",
+        help="XML document to load; URI defaults to the file name. "
+        "May be given several times.",
+    )
+    parser.add_argument(
+        "--engine",
+        default="joingraph-sql",
+        choices=["joingraph-sql", "stacked-sql", "interpreter",
+                 "isolated-interpreter"],
+        help="execution engine to run (the planner is always audited)",
+    )
+    parser.add_argument(
+        "--checked",
+        action="store_true",
+        help="also run the static-analysis suite (per-step sanitizer, "
+        "plan checker, SQL linter) and fold its findings into the "
+        "analysis-health section",
+    )
+    parser.add_argument(
+        "--trace", metavar="FILE", help="also write the Chrome trace JSON"
+    )
+    parser.add_argument(
+        "--metrics", metavar="FILE", help="also write the metrics JSON"
+    )
+    return parser
+
+
+def obs_main(argv: list[str]) -> int:
+    parser = build_obs_parser()
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    from repro.obs import audit_plan, record_diagnostics, summary_report
+    from repro.planner import JoinGraphPlanner
+    from repro.sql import flatten_query
+
+    if not args.doc:
+        parser.error("at least one --doc FILE is required")
+
+    processor = XQueryProcessor(checked=args.checked)
+    previous_tracer, previous_metrics = get_tracer(), get_metrics()
+    tracer = set_tracer(Tracer())
+    metrics = set_metrics(MetricsRegistry())
+    try:
+        for spec in args.doc:
+            path, _, uri = spec.partition("=")
+            processor.load(Path(path).read_text(), uri or Path(path).name)
+
+        compiled = processor.compile(args.query)
+        items = processor.execute(compiled, engine=args.engine)
+        processor.serialize(items)
+        planner = JoinGraphPlanner(processor.store.table)
+        plan = planner.plan(flatten_query(compiled.isolated_plan))
+        _, audits = audit_plan(plan)
+        if args.checked:
+            from repro.analysis import lint_compiled
+
+            record_diagnostics(lint_compiled(compiled))
+
+        if args.trace:
+            write_chrome_trace(tracer, args.trace)
+        if args.metrics:
+            Path(args.metrics).write_text(
+                json.dumps(metrics_json(metrics), indent=1) + "\n"
+            )
+        print(f"-- {len(items)} item(s) [{args.engine}]\n")
+        print(summary_report(tracer, metrics, audits))
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        set_tracer(previous_tracer)
+        set_metrics(previous_metrics)
+
+
 def _generate(kind: str, factor: float, seed: int) -> str:
     from repro.workloads import (
         DBLPConfig,
@@ -216,6 +347,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "obs":
+        return obs_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     sys.setrecursionlimit(100_000)
@@ -230,6 +363,11 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("at least one --doc FILE is required")
 
     processor = XQueryProcessor(serialize_step=args.serialize_step)
+    observing = bool(args.trace or args.metrics is not None)
+    previous_tracer, previous_metrics = get_tracer(), get_metrics()
+    if observing:
+        tracer = set_tracer(Tracer())
+        metrics = set_metrics(MetricsRegistry())
     try:
         for spec in args.doc:
             path, _, uri = spec.partition("=")
@@ -279,10 +417,38 @@ def main(argv: list[str] | None = None) -> int:
                 f"[{args.engine}]",
                 file=sys.stderr,
             )
+        if observing:
+            if args.metrics is not None:
+                _audit_planner(processor, compiled)
+            if args.trace:
+                write_chrome_trace(tracer, args.trace)
+            if args.metrics is not None:
+                dump = json.dumps(metrics_json(metrics), indent=1)
+                if args.metrics == "-":
+                    print(dump)
+                else:
+                    Path(args.metrics).write_text(dump + "\n")
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    finally:
+        if observing:
+            set_tracer(previous_tracer)
+            set_metrics(previous_metrics)
+
+
+def _audit_planner(processor: XQueryProcessor, compiled) -> None:
+    """Run the estimate-vs-actual cardinality audit on our own
+    cost-based planner (the estimate-quality half of the metrics dump:
+    ``planner.qerror.*``)."""
+    from repro.obs import audit_plan
+    from repro.planner import JoinGraphPlanner
+    from repro.sql import flatten_query
+
+    planner = JoinGraphPlanner(processor.store.table)
+    plan = planner.plan(flatten_query(compiled.isolated_plan))
+    audit_plan(plan)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,77 @@
+"""Zero-dependency pipeline observability: tracing, metrics, audits.
+
+The paper's whole evaluation is observational — it watches what the
+relational back-end does with isolated join graphs.  This package
+gives the reproduction the same eyes on itself:
+
+* :mod:`repro.obs.tracer` — nested spans over the pipeline phases
+  (parse → normalize → loop-lift → isolate → codegen → execute), with
+  a shared-singleton no-op path when disabled;
+* :mod:`repro.obs.metrics` — process-global counters / gauges /
+  histograms (rewrite-rule fires, SQL statement stats, analysis
+  findings);
+* :mod:`repro.obs.audit` — the planner estimate-vs-actual cardinality
+  audit (q-error per operator);
+* :mod:`repro.obs.export` — Chrome trace-event JSON, flat metrics
+  JSON, and a terminal span tree;
+* :mod:`repro.obs.report` — the composed ``repro obs`` summary.
+
+See ``docs/observability.md`` for the span taxonomy, metric name
+catalog, exporter formats, and the q-error definition.
+"""
+
+from repro.obs.audit import OperatorAudit, audit_plan, qerror
+from repro.obs.export import (
+    chrome_trace,
+    metrics_json,
+    tree_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    metrics_scope,
+    record_diagnostics,
+    set_metrics,
+)
+from repro.obs.report import phase_profile, qerror_table, summary_report
+from repro.obs.tracer import (
+    NULL_SPAN,
+    Event,
+    NullSpan,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "Event",
+    "Histogram",
+    "MetricsRegistry",
+    "NullSpan",
+    "OperatorAudit",
+    "Span",
+    "Tracer",
+    "audit_plan",
+    "chrome_trace",
+    "get_metrics",
+    "get_tracer",
+    "metrics_json",
+    "metrics_scope",
+    "phase_profile",
+    "qerror",
+    "qerror_table",
+    "record_diagnostics",
+    "set_metrics",
+    "set_tracer",
+    "summary_report",
+    "tracing",
+    "tree_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

@@ -1,0 +1,150 @@
+"""Planner estimate-vs-actual cardinality audit (q-error).
+
+The cost-based planner commits to a join order using classical
+selectivity estimates (:meth:`_PlanState.base_cardinality` and
+friends).  This module measures how wrong those estimates were: it
+instruments every operator along the plan's left-deep spine with a row
+counter, executes the plan once, and reports the **q-error** per
+planning step:
+
+    q(est, act) = max(est, act) / min(est, act)      (both floored)
+
+q = 1 means a perfect estimate; the literature on estimate quality
+(PostBOUND et al.) treats q as the canonical scale-free error measure
+because it penalizes under- and over-estimation symmetrically — an
+under-estimate is what makes a nested-loop plan blow up, an
+over-estimate what makes the planner refuse one.
+
+Results land in three places: the returned :class:`OperatorAudit`
+list, ``planner.qerror.*`` metrics in the global registry, and
+``actual_rows`` annotations on the physical operators themselves (so a
+subsequent :func:`repro.planner.explain_plan` shows actuals inline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from repro.obs.metrics import get_metrics
+from repro.obs.tracer import get_tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.planner.joinplan import PhysicalQuery
+    from repro.planner.physical import PhysicalOp
+
+__all__ = ["OperatorAudit", "audit_plan", "qerror"]
+
+#: cardinality floor — keeps q-error finite for empty results
+_FLOOR = 0.5
+
+
+def qerror(estimated: float, actual: float) -> float:
+    """Symmetric relative estimation error, floored at :data:`_FLOOR`
+    rows on both sides so empty intermediates stay finite."""
+    est = max(estimated, _FLOOR)
+    act = max(actual, _FLOOR)
+    return max(est / act, act / est)
+
+
+@dataclass
+class OperatorAudit:
+    """Estimate vs. reality for one planning step."""
+
+    position: int
+    alias: str
+    kind: str  # 'leaf' | 'nljoin' | 'hsjoin' | 'cross'
+    operator: str  # physical operator description
+    estimated: float
+    actual: int
+
+    @property
+    def q(self) -> float:
+        return qerror(self.estimated, self.actual)
+
+    @property
+    def underestimated(self) -> bool:
+        return self.actual > max(self.estimated, _FLOOR)
+
+
+def _spine(root: "PhysicalOp") -> list["PhysicalOp"]:
+    """The left-deep operator chain from the plan root down to the
+    leading leaf, root first."""
+    chain: list[PhysicalOp] = []
+    op: PhysicalOp | None = root
+    while op is not None:
+        chain.append(op)
+        op = op.children[0] if op.children else None
+    return chain
+
+
+def _count_rows(op: "PhysicalOp") -> dict[str, int]:
+    """Wrap ``op.rows`` (per instance) so executions count output
+    bindings; returns the live counter cell."""
+    inner = op.rows
+    cell = {"rows": 0}
+
+    def counted():
+        for binding in inner():
+            cell["rows"] += 1
+            yield binding
+
+    op.rows = counted  # type: ignore[method-assign]
+    return cell
+
+
+def audit_plan(plan: "PhysicalQuery") -> tuple[list[Any], list[OperatorAudit]]:
+    """Execute ``plan`` with per-operator row counting and compare each
+    step's estimated cardinality with the rows it actually produced.
+
+    Returns ``(items, audits)`` — the query result (identical to
+    ``plan.execute()``) plus one :class:`OperatorAudit` per planning
+    step, leading leaf first.  Also records ``planner.qerror`` metrics
+    and attaches a ``planner.audit`` span (with the per-alias q-errors)
+    to the active trace.
+    """
+    from repro.planner.physical import FilterOp, Return, Sort
+
+    tracer = get_tracer()
+    metrics = get_metrics()
+    with tracer.span("planner.audit", steps=len(plan.steps)) as span:
+        # bottom-up: ops introducing aliases, in planning order —
+        # the spine minus the Return/Sort/Filter tail.
+        step_ops = [
+            op
+            for op in reversed(_spine(plan.root))
+            if not isinstance(op, (Return, Sort, FilterOp))
+        ]
+        cells = [_count_rows(op) for op in step_ops]
+        with tracer.span("planner.execute"):
+            items = plan.root.items()
+
+        audits: list[OperatorAudit] = []
+        for i, step in enumerate(plan.steps):
+            if i >= len(step_ops):  # impossible/degenerate plans
+                break
+            actual = cells[i]["rows"]
+            op = step_ops[i]
+            op.actual_rows = actual
+            audit = OperatorAudit(
+                position=i,
+                alias=step.alias,
+                kind=step.kind,
+                operator=op.describe(),
+                estimated=step.estimated_cardinality,
+                actual=actual,
+            )
+            audits.append(audit)
+            metrics.observe("planner.qerror", audit.q)
+            metrics.gauge(f"planner.qerror.{step.alias}", audit.q)
+            metrics.gauge(f"planner.estimated_rows.{step.alias}", audit.estimated)
+            metrics.gauge(f"planner.actual_rows.{step.alias}", actual)
+        if audits:
+            worst = max(audits, key=lambda a: a.q)
+            metrics.observe("planner.qerror_max", worst.q)
+            span.set(
+                worst_alias=worst.alias,
+                worst_q=round(worst.q, 3),
+                rows_out=len(items),
+            )
+    return items, audits

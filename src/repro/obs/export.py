@@ -1,0 +1,206 @@
+"""Trace and metrics exporters.
+
+Three formats, all derivable from one :class:`~repro.obs.Tracer` +
+:class:`~repro.obs.MetricsRegistry` pair:
+
+* :func:`chrome_trace` — the Chrome trace-event JSON object format
+  (load the file in ``about://tracing`` or https://ui.perfetto.dev to
+  browse the span waterfall);
+* :func:`metrics_json` — a flat, JSON-ready metrics dump;
+* :func:`tree_report` — an indented, human-readable span tree for
+  terminals.
+
+:func:`validate_chrome_trace` re-checks an emitted trace object
+against the subset of the trace-event schema we produce; the CI smoke
+job and the golden-schema tests both go through it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "metrics_json",
+    "tree_report",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]
+
+#: event categories by span-name prefix (first dotted component)
+_CATEGORIES = {
+    "compile": "compile",
+    "parse": "compile",
+    "normalize": "compile",
+    "looplift": "compile",
+    "isolate": "rewrite",
+    "codegen": "codegen",
+    "sql": "sql",
+    "execute": "execute",
+    "serialize": "execute",
+    "planner": "planner",
+}
+
+
+def _category(name: str) -> str:
+    head = name.split(".", 1)[0].split(":", 1)[0]
+    return _CATEGORIES.get(head, "pipeline")
+
+
+def _json_safe(attributes: dict[str, Any]) -> dict[str, Any]:
+    out: dict[str, Any] = {}
+    for key, value in attributes.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            out[key] = value
+        elif isinstance(value, (list, tuple)):
+            out[key] = [str(v) for v in value]
+        else:
+            out[key] = str(value)
+    return out
+
+
+def chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict[str, Any]:
+    """Render the tracer's span forest as a Chrome trace-event JSON
+    object (``ph: "X"`` complete events for spans, ``ph: "i"`` instant
+    events for in-span markers; timestamps in microseconds)."""
+    events: list[dict[str, Any]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": 1,
+            "args": {"name": process_name},
+        }
+    ]
+
+    def emit(span: Span) -> None:
+        events.append(
+            {
+                "name": span.name,
+                "cat": _category(span.name),
+                "ph": "X",
+                "ts": span.start_ns / 1000.0,
+                "dur": (span.end_ns or span.start_ns) / 1000.0
+                - span.start_ns / 1000.0,
+                "pid": 1,
+                "tid": 1,
+                "args": _json_safe(span.attributes),
+            }
+        )
+        for event in span.events:
+            events.append(
+                {
+                    "name": event.name,
+                    "cat": _category(span.name),
+                    "ph": "i",
+                    "ts": event.ts_ns / 1000.0,
+                    "pid": 1,
+                    "tid": 1,
+                    "s": "t",
+                    "args": _json_safe(event.attributes),
+                }
+            )
+        for child in span.children:
+            emit(child)
+
+    for root in tracer.roots:
+        emit(root)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(tracer: Tracer, path: str, **kwargs: Any) -> None:
+    """Serialize :func:`chrome_trace` to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(tracer, **kwargs), handle, indent=1)
+
+
+#: required keys (and value types) per event phase we emit
+_PHASE_SCHEMA: dict[str, dict[str, type | tuple[type, ...]]] = {
+    "X": {
+        "name": str,
+        "cat": str,
+        "ts": (int, float),
+        "dur": (int, float),
+        "pid": int,
+        "tid": int,
+        "args": dict,
+    },
+    "i": {"name": str, "ts": (int, float), "pid": int, "tid": int, "s": str},
+    "M": {"name": str, "pid": int, "args": dict},
+}
+
+
+def validate_chrome_trace(trace: Any) -> list[str]:
+    """Schema-check a trace object; returns a list of problems (empty
+    when the object is a valid trace of the subset we emit)."""
+    problems: list[str] = []
+    if not isinstance(trace, dict):
+        return [f"trace must be a JSON object, got {type(trace).__name__}"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {i}: not an object")
+            continue
+        phase = event.get("ph")
+        schema = _PHASE_SCHEMA.get(phase)  # type: ignore[arg-type]
+        if schema is None:
+            problems.append(f"event {i}: unknown phase {phase!r}")
+            continue
+        for key, types in schema.items():
+            if key not in event:
+                problems.append(f"event {i} ({event.get('name')}): missing {key!r}")
+            elif not isinstance(event[key], types):
+                problems.append(
+                    f"event {i} ({event.get('name')}): {key!r} has type "
+                    f"{type(event[key]).__name__}"
+                )
+        if phase == "X" and isinstance(event.get("dur"), (int, float)):
+            if event["dur"] < 0:
+                problems.append(f"event {i}: negative duration")
+    return problems
+
+
+def metrics_json(metrics: MetricsRegistry) -> dict[str, Any]:
+    """A flat, JSON-serializable dump of every metric."""
+    return metrics.snapshot()
+
+
+def tree_report(tracer: Tracer, min_ms: float = 0.0) -> str:
+    """Indented span tree with durations, self-times and attributes —
+    the terminal-friendly view ``repro obs`` prints."""
+    lines: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        if span.duration_ms < min_ms:
+            return
+        child_ns = sum(c.duration_ns for c in span.children)
+        self_ms = (span.duration_ns - child_ns) / 1e6
+        attrs = ", ".join(
+            f"{k}={_short(v)}" for k, v in span.attributes.items()
+        )
+        note = f"  [{attrs}]" if attrs else ""
+        extra = f" (self {self_ms:.3f})" if span.children else ""
+        events = f"  +{len(span.events)} event(s)" if span.events else ""
+        lines.append(
+            f"{'  ' * depth}{span.name:<{max(28 - 2 * depth, 8)}}"
+            f"{span.duration_ms:>10.3f} ms{extra}{note}{events}"
+        )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in tracer.roots:
+        visit(root, 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def _short(value: Any, limit: int = 48) -> str:
+    text = str(value)
+    return text if len(text) <= limit else text[: limit - 1] + "…"

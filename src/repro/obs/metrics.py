@@ -1,0 +1,184 @@
+"""Process-global metrics: counters, gauges, histograms.
+
+Metric names are dotted paths; dynamic dimensions (rule name,
+diagnostic code, join-graph alias) are appended as the last path
+component, e.g. ``rewrite.rule_fired.17`` or
+``analysis.diagnostics.JGI031``.  The full name catalog lives in
+``docs/observability.md``.
+
+Unlike the tracer, the registry has no disabled mode: recording a
+metric is one dict operation, cheap enough for every call site that
+wants it.  Hot loops (the rewrite engine's rule search) accumulate
+locally and flush once per run instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterable
+
+__all__ = [
+    "Histogram",
+    "MetricsRegistry",
+    "get_metrics",
+    "metrics_scope",
+    "record_diagnostics",
+    "set_metrics",
+]
+
+
+class Histogram:
+    """Streaming summary of an observed distribution (count / total /
+    min / max; mean derived).  No buckets — the consumers here want
+    per-phase totals and worst cases, not quantiles."""
+
+    __slots__ = ("count", "maximum", "minimum", "total")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    def merge(self, other: "Histogram") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> dict[str, float]:
+        if not self.count:
+            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+        }
+
+
+class MetricsRegistry:
+    """A bag of named counters, gauges, and histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    # -- recording ------------------------------------------------------
+
+    def count(self, name: str, n: float = 1) -> None:
+        """Increment counter ``name`` by ``n``."""
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to its latest ``value``."""
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.observe(value)
+
+    # -- aggregation ----------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry: counters add, gauges take
+        the other side's latest value, histograms merge."""
+        for name, value in other.counters.items():
+            self.count(name, value)
+        self.gauges.update(other.gauges)
+        for name, histogram in other.histograms.items():
+            mine = self.histograms.get(name)
+            if mine is None:
+                mine = self.histograms[name] = Histogram()
+            mine.merge(histogram)
+
+    def snapshot(self) -> dict[str, Any]:
+        """A plain-dict, JSON-ready view of every metric."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "histograms": {
+                name: histogram.summary()
+                for name, histogram in sorted(self.histograms.items())
+            },
+        }
+
+    def prefixed(self, prefix: str) -> dict[str, float]:
+        """Counters under ``prefix.`` keyed by their last component
+        (e.g. ``prefixed("rewrite.rule_fired")`` -> rule -> fires)."""
+        cut = len(prefix) + 1
+        return {
+            name[cut:]: value
+            for name, value in self.counters.items()
+            if name.startswith(prefix + ".")
+        }
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.histograms.clear()
+
+
+# -- process-global registry ---------------------------------------------
+
+_state = threading.local()
+_DEFAULT_METRICS = MetricsRegistry()
+
+
+def get_metrics() -> MetricsRegistry:
+    """The process-global registry instrumented code records into."""
+    return getattr(_state, "metrics", _DEFAULT_METRICS)
+
+
+def set_metrics(registry: MetricsRegistry | None) -> MetricsRegistry:
+    """Install ``registry`` globally (``None`` restores the process
+    default); returns the now-active registry."""
+    if registry is None:
+        registry = _DEFAULT_METRICS
+    _state.metrics = registry
+    return registry
+
+
+class metrics_scope:
+    """Context manager: route recordings into a fresh registry for the
+    duration (the previous registry is restored, unmodified)::
+
+        with metrics_scope() as metrics:
+            processor.execute(query)
+        print(metrics.snapshot())
+    """
+
+    def __enter__(self) -> MetricsRegistry:
+        self._previous = get_metrics()
+        return set_metrics(MetricsRegistry())
+
+    def __exit__(self, *exc: object) -> None:
+        set_metrics(self._previous)
+
+
+def record_diagnostics(diagnostics: Iterable[Any]) -> None:
+    """Count analysis findings (``repro.analysis`` diagnostics) into
+    the registry, one counter per JGI code plus per-severity totals —
+    the bridge that lets ``repro obs`` report analysis health next to
+    performance numbers."""
+    metrics = get_metrics()
+    for diagnostic in diagnostics:
+        metrics.count(f"analysis.diagnostics.{diagnostic.code}")
+        metrics.count(f"analysis.{diagnostic.severity}s")

@@ -1,0 +1,274 @@
+"""Nested-span tracing with a near-zero-overhead disabled path.
+
+A :class:`Span` is one timed region of the pipeline (``compile``,
+``isolate.phase:rank``, ``sql.run`` …) with attributes, point-in-time
+events, and child spans; a :class:`Tracer` maintains the active span
+stack and the list of finished root spans.  Timestamps come from
+:func:`time.perf_counter_ns`, so durations are monotonic and immune
+to wall-clock adjustments.
+
+The tracer is designed to be left in place permanently: when
+``enabled`` is ``False`` (the default for the process-global tracer),
+:meth:`Tracer.span` returns a shared singleton null span and
+:meth:`Tracer.event` returns immediately, so instrumented code pays
+one attribute load and one branch per call site.
+
+The span taxonomy used by the pipeline instrumentation is documented
+in ``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter_ns
+from typing import Any, Iterator
+
+__all__ = [
+    "Event",
+    "NullSpan",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "set_tracer",
+    "tracing",
+]
+
+
+class Event:
+    """A point-in-time marker inside a span (e.g. one rewrite-rule
+    application)."""
+
+    __slots__ = ("attributes", "name", "ts_ns")
+
+    def __init__(self, name: str, ts_ns: int, attributes: dict[str, Any]):
+        self.name = name
+        self.ts_ns = ts_ns
+        self.attributes = attributes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Event({self.name!r}, ts={self.ts_ns})"
+
+
+class Span:
+    """One timed, attributed region; a node in the trace tree."""
+
+    __slots__ = (
+        "attributes",
+        "children",
+        "end_ns",
+        "events",
+        "name",
+        "start_ns",
+        "_tracer",
+    )
+
+    def __init__(self, tracer: "Tracer", name: str, attributes: dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.attributes = attributes
+        self.start_ns = 0
+        self.end_ns: int | None = None
+        self.children: list[Span] = []
+        self.events: list[Event] = []
+
+    # -- context manager ------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._tracer._push(self)
+        self.start_ns = self._tracer.clock()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.end_ns = self._tracer.clock()
+        self._tracer._pop(self)
+
+    # -- recording ------------------------------------------------------
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes on the open span."""
+        self.attributes.update(attributes)
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record an instant event inside this span."""
+        self.events.append(Event(name, self._tracer.clock(), attributes))
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def duration_ns(self) -> int:
+        """Span duration (0 while still open)."""
+        if self.end_ns is None:
+            return 0
+        return self.end_ns - self.start_ns
+
+    @property
+    def duration_ms(self) -> float:
+        return self.duration_ns / 1e6
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search for the first descendant named ``name``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, pre-order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Span({self.name!r}, {self.duration_ms:.3f}ms)"
+
+
+class NullSpan:
+    """The do-nothing span handed out by a disabled tracer.  A single
+    shared instance; every method is a constant-time no-op."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "NullSpan":
+        return self
+
+    def event(self, name: str, **attributes: Any) -> None:
+        return None
+
+
+NULL_SPAN = NullSpan()
+
+
+class Tracer:
+    """Collects a forest of spans for one traced workload.
+
+    Parameters
+    ----------
+    enabled:
+        When ``False``, :meth:`span` returns the shared
+        :data:`NULL_SPAN` and nothing is recorded.
+    clock:
+        Nanosecond monotonic clock (injectable for deterministic
+        tests).
+    """
+
+    def __init__(self, enabled: bool = True, clock=perf_counter_ns):
+        self.enabled = enabled
+        self.clock = clock
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    # -- span lifecycle -------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> Span | NullSpan:
+        """Open a new span as a context manager::
+
+            with tracer.span("compile", query=q) as span:
+                ...
+                span.set(ops=42)
+        """
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(self, name, attributes)
+
+    def event(self, name: str, **attributes: Any) -> None:
+        """Record an instant event on the innermost open span (or as a
+        zero-length root span when none is open)."""
+        if not self.enabled:
+            return
+        if self._stack:
+            self._stack[-1].event(name, **attributes)
+        else:
+            span = Span(self, name, attributes)
+            span.start_ns = span.end_ns = self.clock()
+            self.roots.append(span)
+
+    def _push(self, span: Span) -> None:
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        # tolerate mismatched exits (a span closed out of order drops
+        # everything above it on the stack rather than corrupting state)
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+
+    # -- inspection -----------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> Span | None:
+        """First span named ``name`` anywhere in the recorded forest."""
+        for root in self.roots:
+            if root.name == name:
+                return root
+            found = root.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def walk(self) -> Iterator[Span]:
+        for root in self.roots:
+            yield from root.walk()
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans are abandoned)."""
+        self.roots = []
+        self._stack = []
+
+
+# -- process-global tracer ----------------------------------------------
+
+_state = threading.local()
+_DEFAULT_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-global tracer (disabled unless installed via
+    :func:`set_tracer` / :func:`tracing`); instrumented library code
+    should always go through this accessor."""
+    return getattr(_state, "tracer", _DEFAULT_TRACER)
+
+
+def set_tracer(tracer: Tracer | None) -> Tracer:
+    """Install ``tracer`` as the global tracer (``None`` restores the
+    disabled default); returns the now-active tracer."""
+    if tracer is None:
+        tracer = _DEFAULT_TRACER
+    _state.tracer = tracer
+    return tracer
+
+
+@contextmanager
+def tracing(enabled: bool = True) -> Iterator[Tracer]:
+    """Context manager: install a fresh tracer for the duration::
+
+        with tracing() as tracer:
+            processor.compile(query)
+        print(tree_report(tracer))
+    """
+    previous = get_tracer()
+    tracer = Tracer(enabled=enabled)
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)

@@ -28,6 +28,7 @@ from repro.compiler.looplift import LoopLiftingCompiler
 from repro.errors import XQueryTypeError
 from repro.infoset.encoding import DocumentStore
 from repro.infoset.serialize import serialize_sequence
+from repro.obs import get_metrics, get_tracer
 from repro.rewrite.engine import IsolationEngine, IsolationStats
 from repro.sql.backend import SQLiteBackend
 from repro.sql.codegen import SQLQuery, generate_join_graph_sql
@@ -57,13 +58,20 @@ class CompiledQuery:
     @property
     def stacked_sql(self) -> SQLQuery:
         if self._stacked_sql is None:
-            self._stacked_sql = generate_stacked_sql(self.stacked_plan)
+            with get_tracer().span("codegen.stacked") as span:
+                self._stacked_sql = generate_stacked_sql(self.stacked_plan)
+                span.set(chars=len(self._stacked_sql.text))
         return self._stacked_sql
 
     @property
     def joingraph_sql(self) -> SQLQuery:
         if self._joingraph_sql is None:
-            self._joingraph_sql = generate_join_graph_sql(self.isolated_plan)
+            with get_tracer().span("codegen.joingraph") as span:
+                self._joingraph_sql = generate_join_graph_sql(self.isolated_plan)
+                span.set(
+                    chars=len(self._joingraph_sql.text),
+                    doc_instances=self._joingraph_sql.doc_instances,
+                )
         return self._joingraph_sql
 
 
@@ -142,15 +150,23 @@ class XQueryProcessor:
 
     def compile(self, query: str) -> CompiledQuery:
         """Run the full front-end and isolation on ``query``."""
-        surface = parse_xquery(query)
-        core = normalize(surface, default_doc=self.default_doc)
-        if self.serialize_step:
-            core = _with_serialize_step(core)
-        compiler = LoopLiftingCompiler(self.store)
-        stacked = compiler.compile(core)
-        # isolation mutates the DAG: compile a second, independent copy
-        isolated_input = LoopLiftingCompiler(self.store).compile(core)
-        isolated, stats = self._engine.isolate(isolated_input)
+        tracer = get_tracer()
+        with tracer.span("compile", query=query) as span:
+            with tracer.span("parse"):
+                surface = parse_xquery(query)
+            with tracer.span("normalize"):
+                core = normalize(surface, default_doc=self.default_doc)
+                if self.serialize_step:
+                    core = _with_serialize_step(core)
+            with tracer.span("looplift"):
+                compiler = LoopLiftingCompiler(self.store)
+                stacked = compiler.compile(core)
+                # isolation mutates the DAG: compile a second,
+                # independent copy
+                isolated_input = LoopLiftingCompiler(self.store).compile(core)
+            isolated, stats = self._engine.isolate(isolated_input)
+            span.set(rule_applications=stats.steps)
+        get_metrics().count("pipeline.compiles")
         return CompiledQuery(
             source=query,
             core=core,
@@ -170,16 +186,19 @@ class XQueryProcessor:
             raise XQueryTypeError(
                 "compile_tuple expects a FLWOR returning (e1, e2, ...)"
             )
+        tracer = get_tracer()
         compiled = []
-        for item in surface.ret.items:
+        for i, item in enumerate(surface.ret.items):
             component = ast.FLWOR(surface.clauses, surface.where, item)
-            core = normalize(component, default_doc=self.default_doc)
-            if self.serialize_step:
-                core = _with_serialize_step(core)
-            stacked = LoopLiftingCompiler(self.store).compile(core)
-            isolated, stats = self._engine.isolate(
-                LoopLiftingCompiler(self.store).compile(core)
-            )
+            with tracer.span("compile", query=query, component=i):
+                with tracer.span("normalize"):
+                    core = normalize(component, default_doc=self.default_doc)
+                    if self.serialize_step:
+                        core = _with_serialize_step(core)
+                with tracer.span("looplift"):
+                    stacked = LoopLiftingCompiler(self.store).compile(core)
+                    isolated_input = LoopLiftingCompiler(self.store).compile(core)
+                isolated, stats = self._engine.isolate(isolated_input)
             compiled.append(
                 CompiledQuery(
                     source=str(component),
@@ -197,19 +216,27 @@ class XQueryProcessor:
         """Evaluate a query; returns the item sequence (pre ranks for
         node results, ``1`` markers for boolean results)."""
         compiled = query if isinstance(query, CompiledQuery) else self.compile(query)
-        if engine == "interpreter":
-            return run_plan(compiled.stacked_plan)
-        if engine == "isolated-interpreter":
-            return run_plan(compiled.isolated_plan)
-        if engine == "stacked-sql":
-            return self.backend.run(compiled.stacked_sql)
-        if engine == "joingraph-sql":
-            return self.backend.run(compiled.joingraph_sql)
-        raise ValueError(f"unknown engine {engine!r}")
+        with get_tracer().span("execute", engine=engine) as span:
+            if engine == "interpreter":
+                items = run_plan(compiled.stacked_plan)
+            elif engine == "isolated-interpreter":
+                items = run_plan(compiled.isolated_plan)
+            elif engine == "stacked-sql":
+                items = self.backend.run(compiled.stacked_sql)
+            elif engine == "joingraph-sql":
+                items = self.backend.run(compiled.joingraph_sql)
+            else:
+                raise ValueError(f"unknown engine {engine!r}")
+            span.set(items=len(items))
+        metrics = get_metrics()
+        metrics.count("pipeline.executions")
+        metrics.count(f"pipeline.executions.{engine}")
+        return items
 
     def serialize(self, items) -> str:
         """Serialize a node-sequence result back to XML text."""
-        return serialize_sequence(self.store.table, items)
+        with get_tracer().span("serialize", items=len(items)):
+            return serialize_sequence(self.store.table, items)
 
     def run(self, query: str, engine: Engine = "joingraph-sql") -> str:
         """Execute and serialize in one step."""

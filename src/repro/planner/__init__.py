@@ -21,7 +21,7 @@ from repro.planner.indexes import BTreeIndex, IndexCatalog
 from repro.planner.stats import TableStatistics
 from repro.planner.advisor import AdvisedIndex, advise_indexes
 from repro.planner.joinplan import JoinGraphPlanner, PhysicalQuery
-from repro.planner.explain import explain_plan, plan_phenomena
+from repro.planner.explain import audit_explain, explain_plan, plan_phenomena
 
 __all__ = [
     "AdvisedIndex",
@@ -31,6 +31,7 @@ __all__ = [
     "PhysicalQuery",
     "TableStatistics",
     "advise_indexes",
+    "audit_explain",
     "explain_plan",
     "plan_phenomena",
 ]

@@ -69,12 +69,17 @@ def _edge_direction(step: StepInfo) -> str | None:
 
 
 def explain_plan(plan: PhysicalQuery) -> str:
-    """Render the physical operator tree with continuation notes."""
+    """Render the physical operator tree with continuation notes.
+    After an audited execution (:func:`repro.obs.audit_plan`), each
+    operator line additionally shows the actual row count observed."""
     lines: list[str] = []
 
     def visit(op: PhysicalOp, depth: int) -> None:
         pad = "  " * depth
-        lines.append(f"{pad}{op.describe()}")
+        actual = (
+            f"  [rows={op.actual_rows}]" if op.actual_rows is not None else ""
+        )
+        lines.append(f"{pad}{op.describe()}{actual}")
         if isinstance(op, NLJoin):
             visit(op.children[0], depth + 1)
             lines.append(f"{'  ' * (depth + 1)}{op.probe.describe()}")
@@ -118,6 +123,17 @@ class Phenomena:
     @property
     def path_branching(self) -> bool:
         return bool(self.branching_points)
+
+
+def audit_explain(plan: PhysicalQuery) -> str:
+    """Execute ``plan`` under the estimate-vs-actual cardinality audit
+    and render the annotated operator tree plus the q-error table —
+    the planner half of the paper's estimate-quality question (how far
+    do the classical selectivity estimates drift from observed rows)."""
+    from repro.obs import audit_plan, qerror_table
+
+    _, audits = audit_plan(plan)
+    return f"{explain_plan(plan)}\n\nestimate audit:\n{qerror_table(audits)}"
 
 
 def plan_phenomena(plan: PhysicalQuery) -> Phenomena:

@@ -106,6 +106,10 @@ class PhysicalOp:
     def __init__(self, children: Iterable["PhysicalOp"] = ()):
         self.children = list(children)
         self.annotation = ""
+        #: rows this operator produced during an audited execution
+        #: (set by :func:`repro.obs.audit.audit_plan`; ``None`` until
+        #: the plan has been executed under the cardinality audit)
+        self.actual_rows: int | None = None
 
     def rows(self) -> Iterator[Binding]:
         raise NotImplementedError

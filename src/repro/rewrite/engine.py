@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
+from time import perf_counter_ns
 from typing import TYPE_CHECKING, Callable, Sequence
 
 from repro.algebra.dagutils import (
@@ -34,6 +35,8 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.algebra.ops import Operator, Serialize
 from repro.algebra.properties import infer_properties
 from repro.errors import RewriteError
+from repro.obs import get_metrics, get_tracer
+from repro.obs.tracer import Tracer
 from repro.rewrite import rules as R
 from repro.rewrite.rules import RewriteContext
 
@@ -80,18 +83,40 @@ ALL_RULES: dict[str, Rule] = {
 }
 
 
+#: display order of the driver's three phases
+PHASE_NAMES = ("house-cleaning", "rank", "join")
+
+
 @dataclass
 class IsolationStats:
-    """How the isolation run went: per-rule application counts."""
+    """How the isolation run went: per-rule application counts, DAG
+    size shrink, and per-phase timing."""
 
     applications: Counter = field(default_factory=Counter)
     steps: int = 0
     cycles_broken: int = 0
+    #: operator count of the compiled plan before / after isolation
+    nodes_before: int = 0
+    nodes_after: int = 0
+    #: wall-clock nanoseconds spent in each driver phase
+    phase_ns: dict[str, int] = field(default_factory=dict)
+    #: rule applications per driver phase
+    phase_applications: Counter = field(default_factory=Counter)
 
     def total(self, *rule_names: str) -> int:
         if not rule_names:
             return sum(self.applications.values())
         return sum(self.applications[n] for n in rule_names)
+
+    @property
+    def nodes_removed(self) -> int:
+        """How many operators isolation eliminated (the size-shrink
+        that turns the stacked plan into a join graph)."""
+        return self.nodes_before - self.nodes_after
+
+    @property
+    def total_ns(self) -> int:
+        return sum(self.phase_ns.values())
 
 
 class IsolationEngine:
@@ -126,9 +151,11 @@ class IsolationEngine:
         """Rewrite ``root`` into join-graph shape.  The input DAG is
         mutated; the returned root is the place to continue from."""
         stats = IsolationStats()
+        tracer = get_tracer()
         self._counter = [0]  # fresh-name counter, shared across steps
         if self.sanitizer is not None:
             self.sanitizer.check_initial(root)
+        stats.nodes_before = len(all_nodes(root))
         # Phase 3 searches the join-goal rules *before* the δ-removing
         # house-cleaning rules (14)/(15): the key-join collapses (19)/(20)
         # rely on candidate keys that the intermediate δs still certify;
@@ -142,17 +169,55 @@ class IsolationEngine:
             (*HOUSE_CLEANING, *RANK_GOAL),
             (*tidy, *RANK_GOAL, *JOIN_GOAL, *sweep),
         ]
-        for phase in phases:
-            active = [(n, f) for n, f in phase if n not in self.disabled]
-            root = self._run_phase(root, active, stats)
-        validate_plan(root)
+        with tracer.span("isolate", nodes_before=stats.nodes_before) as span:
+            for phase_name, phase in zip(PHASE_NAMES, phases):
+                active = [(n, f) for n, f in phase if n not in self.disabled]
+                steps_before = stats.steps
+                start = perf_counter_ns()
+                with tracer.span(
+                    f"isolate.phase:{phase_name}", rules=len(active)
+                ) as phase_span:
+                    root = self._run_phase(root, active, stats, tracer)
+                    stats.phase_applications[phase_name] = (
+                        stats.steps - steps_before
+                    )
+                    phase_span.set(
+                        applications=stats.phase_applications[phase_name]
+                    )
+                stats.phase_ns[phase_name] = perf_counter_ns() - start
+            validate_plan(root)
+            stats.nodes_after = len(all_nodes(root))
+            span.set(
+                nodes_after=stats.nodes_after,
+                steps=stats.steps,
+                cycles_broken=stats.cycles_broken,
+            )
+        self._flush_metrics(stats)
         return root, stats
+
+    def _flush_metrics(self, stats: IsolationStats) -> None:
+        """Fold one run's stats into the process-global registry (one
+        flush per run; the rule-search loop itself stays metrics-free)."""
+        metrics = get_metrics()
+        metrics.count("rewrite.runs")
+        metrics.count("rewrite.steps", stats.steps)
+        if stats.cycles_broken:
+            metrics.count("rewrite.cycles_broken", stats.cycles_broken)
+        for rule, fires in stats.applications.items():
+            metrics.count(f"rewrite.rule_fired.{rule}", fires)
+        for phase, elapsed in stats.phase_ns.items():
+            metrics.observe(f"rewrite.phase_ns.{phase}", elapsed)
+        metrics.observe("rewrite.isolate_ns", stats.total_ns)
+        metrics.gauge("rewrite.nodes_before", stats.nodes_before)
+        metrics.gauge("rewrite.nodes_after", stats.nodes_after)
+        metrics.gauge("rewrite.nodes_removed", stats.nodes_removed)
 
     def _run_phase(
         self,
         root: Serialize,
         phase_rules: Sequence[tuple[str, Rule]],
         stats: IsolationStats,
+        tracer: Tracer,
     ) -> Serialize:
         seen_fingerprints = {plan_fingerprint(root)}
         while True:
@@ -160,7 +225,7 @@ class IsolationEngine:
                 raise RewriteError(
                     f"isolation exceeded {self.max_steps} rule applications"
                 )
-            applied = self._apply_one(root, phase_rules, stats)
+            applied = self._apply_one(root, phase_rules, stats, tracer)
             if applied is None:
                 return root
             root = applied
@@ -175,6 +240,7 @@ class IsolationEngine:
         root: Serialize,
         phase_rules: Sequence[tuple[str, Rule]],
         stats: IsolationStats,
+        tracer: Tracer,
     ) -> Serialize | None:
         ctx = RewriteContext(
             root=root,
@@ -200,6 +266,13 @@ class IsolationEngine:
                 if replacement is not None and replacement is not node:
                     stats.applications[name] += 1
                     stats.steps += 1
+                    if tracer.enabled:
+                        tracer.event(
+                            f"rule({name})",
+                            rule=name,
+                            node=type(node).__name__,
+                            step=stats.steps,
+                        )
                     new_root = replace_node(root, node, replacement)
                     assert isinstance(new_root, Serialize)
                     if self.sanitizer is not None:

@@ -14,6 +14,7 @@ from typing import Sequence
 
 from repro.algebra.expressions import Value
 from repro.infoset.encoding import DocTable
+from repro.obs import get_metrics, get_tracer
 from repro.sql.codegen import SQLQuery
 
 #: Table 6 of the paper: composite B-tree keys proposed by db2advis,
@@ -55,6 +56,12 @@ class SQLiteBackend:
         self._load(table)
 
     def _load(self, table: DocTable) -> None:
+        with get_tracer().span(
+            "sql.load", rows=len(table), indexes=len(self.indexes)
+        ):
+            self._load_inner(table)
+
+    def _load_inner(self, table: DocTable) -> None:
         cur = self.connection.cursor()
         cur.execute(
             """
@@ -81,25 +88,51 @@ class SQLiteBackend:
 
     # -- execution -----------------------------------------------------
 
+    def _execute_timed(
+        self, label: str, sql: str, params: Sequence = ()
+    ) -> list[tuple]:
+        """The one timing funnel every statement goes through: opens a
+        span, fetches, and records statement/row metrics.  When a trace
+        is being captured, the ``EXPLAIN QUERY PLAN`` output for the
+        statement is attached to the span as well."""
+        tracer = get_tracer()
+        with tracer.span(label, statement=_statement_head(sql)) as span:
+            if tracer.enabled:
+                span.set(query_plan=self._explain_text(sql, params))
+            cursor = self.connection.execute(sql, params)
+            rows = cursor.fetchall()
+            span.set(rows=len(rows))
+        metrics = get_metrics()
+        metrics.count("sql.statements")
+        metrics.count("sql.rows", len(rows))
+        if tracer.enabled:
+            # span timing is only recorded when tracing; mirror it into
+            # the statement-latency histogram (ns)
+            metrics.observe("sql.run_ns", span.duration_ns)  # type: ignore[union-attr]
+        return rows
+
+    def _explain_text(self, sql: str, params: Sequence = ()) -> list[str]:
+        rows = self.connection.execute(
+            "EXPLAIN QUERY PLAN " + sql, params
+        ).fetchall()
+        return [row[-1] for row in rows]
+
     def run(self, query: SQLQuery) -> list[Value]:
         """Execute a generated query; returns the item sequence (the
         ``item`` output column, in result order)."""
-        cur = self.connection.execute(query.text)
-        names = [d[0] for d in cur.description]
-        item_index = names.index(query.item_alias)
-        return [row[item_index] for row in cur.fetchall()]
+        item_index = query.select_aliases.index(query.item_alias)
+        rows = self._execute_timed("sql.run", query.text)
+        return [row[item_index] for row in rows]
 
     def run_raw(self, sql: str, params: Sequence = ()) -> list[tuple]:
-        """Execute arbitrary SQL (used by tests and the benchmarks)."""
-        return self.connection.execute(sql, params).fetchall()
+        """Execute arbitrary SQL (used by tests and the benchmarks);
+        shares the timing/metrics funnel with :meth:`run`."""
+        return self._execute_timed("sql.run_raw", sql, params)
 
     def explain(self, query: SQLQuery) -> list[str]:
         """SQLite's EXPLAIN QUERY PLAN rows for a generated query —
         shows which of the Table 6 indexes the optimizer picked."""
-        rows = self.connection.execute(
-            "EXPLAIN QUERY PLAN " + query.text
-        ).fetchall()
-        return [row[-1] for row in rows]
+        return self._explain_text(query.text)
 
     def close(self) -> None:
         self.connection.close()
@@ -109,3 +142,9 @@ class SQLiteBackend:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+def _statement_head(sql: str, limit: int = 80) -> str:
+    """First line of a statement, truncated — the span label."""
+    head = sql.lstrip().splitlines()[0] if sql.strip() else sql
+    return head if len(head) <= limit else head[: limit - 1] + "…"

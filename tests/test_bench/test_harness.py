@@ -3,7 +3,7 @@
 import pytest
 
 from repro.bench import BenchHarness
-from repro.bench.harness import ENGINES, format_table9
+from repro.bench.harness import ENGINES, format_table9, table9_json
 
 
 @pytest.fixture(scope="module")
@@ -51,3 +51,35 @@ def test_format_table9(harness):
 def test_unknown_engine_rejected(harness):
     with pytest.raises(ValueError):
         harness.execute("Q1", "quantum")
+
+
+def test_run_carries_phase_breakdown(harness):
+    run = harness.run("Q2", "joingraph-sql")
+    assert run.phases, "expected a per-phase span profile"
+    # the execution side is always traced; compile-side spans appear
+    # only on cache-cold runs
+    assert "execute" in run.phases
+    assert all(seconds >= 0 for seconds in run.phases.values())
+
+
+def test_run_leaves_global_tracer_untouched(harness):
+    from repro.obs import get_tracer
+
+    before = get_tracer()
+    harness.run("Q1", "interpreter")
+    assert get_tracer() is before
+
+
+def test_table9_json_schema(harness):
+    import json
+
+    runs = [harness.run("Q1", "joingraph-sql")]
+    doc = table9_json(runs, xmark_factor=0.002)
+    assert doc["schema"] == "repro.bench.table9/v2"
+    assert doc["metadata"] == {"xmark_factor": 0.002}
+    [entry] = doc["runs"]
+    assert entry["query"] == "Q1"
+    assert entry["engine"] == "joingraph-sql"
+    assert entry["correct"] is True
+    assert isinstance(entry["phases"], dict)
+    json.dumps(doc)  # JSON-ready end to end

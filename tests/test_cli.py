@@ -1,5 +1,7 @@
 """CLI tests (driving ``repro.cli.main`` in-process)."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -81,6 +83,96 @@ def test_generate_xmark(capsys):
 def test_generate_dblp(capsys):
     out = run(capsys, "--generate", "dblp", "--factor", "0.0005")
     assert "<dblp>" in out
+
+
+def test_trace_flag_writes_valid_chrome_trace(doc, capsys, tmp_path):
+    from repro.obs import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    out = run(
+        capsys,
+        'doc("auction.xml")//bidder',
+        "--doc",
+        doc,
+        "--items",
+        "--trace",
+        str(trace_path),
+    )
+    assert out.strip() == "5"
+    trace = json.loads(trace_path.read_text())
+    assert validate_chrome_trace(trace) == []
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"compile", "parse", "normalize", "looplift", "isolate",
+            "execute", "sql.run"} <= names
+    assert any(n.startswith("isolate.phase:") for n in names)
+
+
+def test_metrics_flag_dumps_to_stdout(doc, capsys):
+    out = run(
+        capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--items",
+        "--metrics",
+    )
+    lines = out.strip().splitlines()
+    assert lines[0] == "5"
+    metrics = json.loads("\n".join(lines[1:]))
+    assert metrics["counters"]["pipeline.compiles"] == 1
+    assert any(
+        k.startswith("rewrite.rule_fired.") for k in metrics["counters"]
+    )
+    assert any(k.startswith("planner.qerror.") for k in metrics["gauges"])
+
+
+def test_metrics_flag_writes_file(doc, capsys, tmp_path):
+    metrics_path = tmp_path / "metrics.json"
+    run(
+        capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--items",
+        "--metrics", str(metrics_path),
+    )
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["sql.statements"] >= 1
+
+
+def test_observation_does_not_leak_global_state(doc, capsys):
+    from repro.obs import get_metrics, get_tracer
+
+    before_tracer, before_metrics = get_tracer(), get_metrics()
+    run(capsys, 'doc("auction.xml")//bidder', "--doc", doc, "--items",
+        "--metrics")
+    assert get_tracer() is before_tracer
+    assert get_metrics() is before_metrics
+
+
+def test_obs_subcommand_prints_summary(doc, capsys, tmp_path):
+    from repro.obs import validate_chrome_trace
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    out = run(
+        capsys,
+        "obs",
+        'doc("auction.xml")//bidder',
+        "--doc",
+        doc,
+        "--checked",
+        "--trace",
+        str(trace_path),
+        "--metrics",
+        str(metrics_path),
+    )
+    assert "-- 1 item(s) [joingraph-sql]" in out
+    assert "== spans (where the time went) ==" in out
+    assert "== rewrite rules (fires per rule) ==" in out
+    assert "== sql back-end ==" in out
+    assert "== planner estimate audit (q-error) ==" in out
+    assert "== analysis health" in out
+    assert validate_chrome_trace(json.loads(trace_path.read_text())) == []
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"]["pipeline.compiles"] >= 1
+
+
+def test_obs_subcommand_requires_doc(capsys):
+    with pytest.raises(SystemExit):
+        main(["obs", "//a"])
 
 
 def test_error_exit_code(doc, capsys):

@@ -1,0 +1,141 @@
+"""Planner estimate-vs-actual audit tests (q-error)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler import compile_core
+from repro.infoset import DocumentStore
+from repro.obs import (
+    OperatorAudit,
+    audit_plan,
+    metrics_scope,
+    qerror,
+    qerror_table,
+    tracing,
+)
+from repro.planner import JoinGraphPlanner, explain_plan
+from repro.planner.explain import audit_explain
+from repro.rewrite import isolate
+from repro.sql import flatten_query
+from repro.xquery import normalize, parse_xquery
+
+XML = """\
+<lib>
+  <shelf id="s1">
+    <book y="1990"><t>A</t></book>
+    <book y="2001"><t>B</t></book>
+  </shelf>
+  <shelf id="s2">
+    <book y="2001"><t>C</t></book>
+  </shelf>
+</lib>
+"""
+
+
+@pytest.fixture(scope="module")
+def store():
+    s = DocumentStore()
+    s.load(XML, "lib.xml")
+    return s
+
+
+def plan_for(store, query):
+    core = normalize(parse_xquery(query), default_doc="lib.xml")
+    isolated, _ = isolate(compile_core(core, store))
+    return JoinGraphPlanner(store.table).plan(flatten_query(isolated))
+
+
+def test_qerror_symmetric_and_floored():
+    assert qerror(10, 10) == 1.0
+    assert qerror(10, 100) == qerror(100, 10) == 10.0
+    # empty intermediates stay finite thanks to the 0.5-row floor
+    assert qerror(0, 0) == 1.0
+    assert qerror(4, 0) == 8.0
+
+
+def test_operator_audit_properties():
+    audit = OperatorAudit(
+        position=0,
+        alias="d1",
+        kind="leaf",
+        operator="IndexScan",
+        estimated=2.0,
+        actual=6,
+    )
+    assert audit.q == 3.0
+    assert audit.underestimated
+    over = OperatorAudit(
+        position=1,
+        alias="d2",
+        kind="nljoin",
+        operator="NLJoin",
+        estimated=9.0,
+        actual=3,
+    )
+    assert over.q == 3.0
+    assert not over.underestimated
+
+
+def test_audit_plan_counts_actual_rows(store):
+    plan = plan_for(store, 'doc("lib.xml")//book/t')
+    expected = plan_for(store, 'doc("lib.xml")//book/t').execute()
+    items, audits = audit_plan(plan)
+    assert items == expected
+    assert len(audits) == len(plan.steps)
+    for audit, step in zip(audits, plan.steps):
+        assert audit.alias == step.alias
+        assert audit.estimated == step.estimated_cardinality
+        assert audit.actual >= 0
+        assert audit.q >= 1.0
+    # the final step must have produced at least the result rows
+    assert audits[-1].actual >= len(items)
+
+
+def test_audit_plan_annotates_operators_and_explain(store):
+    plan = plan_for(store, 'doc("lib.xml")//shelf/book')
+    assert "[rows=" not in explain_plan(plan)
+    audit_plan(plan)
+    assert "[rows=" in explain_plan(plan)
+
+
+def test_audit_explain_composes_plan_and_table(store):
+    plan = plan_for(store, 'doc("lib.xml")//shelf/book')
+    text = audit_explain(plan)
+    assert "estimate audit:" in text
+    assert "q-error" in text
+    assert "worst q-error" in text
+
+
+def test_audit_plan_records_metrics_and_span(store):
+    plan = plan_for(store, 'doc("lib.xml")//book[t]')
+    with tracing() as tracer, metrics_scope() as metrics:
+        audit_plan(plan)
+    assert metrics.histograms["planner.qerror"].count == len(plan.steps)
+    assert metrics.histograms["planner.qerror_max"].count == 1
+    aliases = {step.alias for step in plan.steps}
+    for alias in aliases:
+        assert f"planner.qerror.{alias}" in metrics.gauges
+        assert f"planner.actual_rows.{alias}" in metrics.gauges
+    span = tracer.find("planner.audit")
+    assert span is not None
+    assert span.attributes["steps"] == len(plan.steps)
+    assert "worst_alias" in span.attributes
+    assert tracer.find("planner.execute") is not None
+
+
+def test_audit_empty_result_plan(store):
+    plan = plan_for(store, 'doc("lib.xml")//nothing')
+    items, audits = audit_plan(plan)
+    assert items == []
+    for audit in audits:
+        assert audit.q >= 1.0  # floored, never inf/nan
+
+
+def test_qerror_table_rendering(store):
+    plan = plan_for(store, 'doc("lib.xml")//shelf/book')
+    _, audits = audit_plan(plan)
+    table = qerror_table(audits)
+    assert "alias" in table.splitlines()[0]
+    assert "worst q-error" in table.splitlines()[-1]
+    assert qerror_table([]) == "(no planner steps audited)"

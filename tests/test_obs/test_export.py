@@ -1,0 +1,138 @@
+"""Exporter tests: golden-schema Chrome trace, metrics JSON, and the
+human-readable tree report."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    chrome_trace,
+    metrics_json,
+    tree_report,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def __call__(self) -> int:
+        self.now += 1_000_000  # 1 ms per reading
+        return self.now
+
+
+def _traced() -> Tracer:
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("compile", query="//a"):
+        with tracer.span("parse"):
+            pass
+        with tracer.span("isolate") as span:
+            span.event("rule(17)", rule="17")
+    with tracer.span("execute", engine="joingraph-sql"):
+        pass
+    return tracer
+
+
+def test_chrome_trace_golden_schema():
+    """The emitted trace is exactly the event shapes we claim to
+    produce: one metadata record, one complete (``X``) event per span,
+    one instant (``i``) event per span event."""
+    trace = chrome_trace(_traced())
+    assert validate_chrome_trace(trace) == []
+    assert trace["displayTimeUnit"] == "ms"
+    events = trace["traceEvents"]
+
+    meta = [e for e in events if e["ph"] == "M"]
+    assert len(meta) == 1
+    assert meta[0]["name"] == "process_name"
+    assert meta[0]["args"] == {"name": "repro"}
+
+    complete = {e["name"]: e for e in events if e["ph"] == "X"}
+    assert set(complete) == {"compile", "parse", "isolate", "execute"}
+    instant = [e for e in events if e["ph"] == "i"]
+    assert [e["name"] for e in instant] == ["rule(17)"]
+    assert instant[0]["s"] == "t"
+    assert instant[0]["args"] == {"rule": "17"}
+
+    # ts/dur are microseconds derived from the ns clock
+    compile_evt = complete["compile"]
+    assert compile_evt["ts"] == 1000.0  # first clock tick, 1 ms
+    assert compile_evt["dur"] > 0
+    assert compile_evt["args"] == {"query": "//a"}
+    assert compile_evt["cat"] == "compile"
+    assert complete["isolate"]["cat"] == "rewrite"
+    assert complete["execute"]["cat"] == "execute"
+
+    # child events nest inside the parent on the timeline
+    parse = complete["parse"]
+    assert compile_evt["ts"] < parse["ts"]
+    assert parse["ts"] + parse["dur"] <= compile_evt["ts"] + compile_evt["dur"]
+
+
+def test_chrome_trace_is_json_serializable_with_rich_attributes():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("sql.run", query_plan=["SCAN doc", "USE INDEX"], obj=object()):
+        pass
+    trace = chrome_trace(tracer)
+    text = json.dumps(trace)
+    assert "SCAN doc" in text
+    assert validate_chrome_trace(json.loads(text)) == []
+
+
+def test_validate_rejects_malformed_traces():
+    assert validate_chrome_trace([]) != []
+    assert validate_chrome_trace({}) == ["traceEvents missing or not a list"]
+    assert validate_chrome_trace({"traceEvents": [{"ph": "Z"}]}) != []
+    missing_dur = {"traceEvents": [{"ph": "X", "name": "a"}]}
+    assert any("missing" in p for p in validate_chrome_trace(missing_dur))
+    negative = {
+        "traceEvents": [
+            {
+                "name": "a",
+                "cat": "c",
+                "ph": "X",
+                "ts": 0,
+                "dur": -1,
+                "pid": 1,
+                "tid": 1,
+                "args": {},
+            }
+        ]
+    }
+    assert "event 0: negative duration" in validate_chrome_trace(negative)
+
+
+def test_write_chrome_trace_round_trip(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(_traced(), str(path))
+    loaded = json.loads(path.read_text())
+    assert validate_chrome_trace(loaded) == []
+    assert any(e["name"] == "compile" for e in loaded["traceEvents"])
+
+
+def test_metrics_json_matches_snapshot():
+    metrics = MetricsRegistry()
+    metrics.count("pipeline.compiles")
+    metrics.observe("sql.run_ns", 1500)
+    dump = metrics_json(metrics)
+    assert dump == metrics.snapshot()
+    json.dumps(dump)  # JSON-ready
+
+
+def test_tree_report_shows_hierarchy_and_events():
+    report = tree_report(_traced())
+    lines = report.splitlines()
+    assert lines[0].startswith("compile")
+    assert any(line.startswith("  parse") for line in lines)
+    assert any("+1 event(s)" in line for line in lines)
+    assert "ms" in lines[0]
+    # min_ms filter drops everything when set absurdly high
+    assert tree_report(_traced(), min_ms=1e9) == "(no spans recorded)"
+
+
+def test_tree_report_empty_tracer():
+    assert tree_report(Tracer()) == "(no spans recorded)"

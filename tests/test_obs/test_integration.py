@@ -1,0 +1,149 @@
+"""End-to-end observability: a full compile + execute run under
+tracing emits the expected phase and rule spans, and the metrics
+registry agrees with the engine's own :class:`IsolationStats`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import chrome_trace, metrics_scope, tracing, validate_chrome_trace
+from repro.pipeline import XQueryProcessor
+from repro.rewrite.engine import PHASE_NAMES
+
+QUERY = (
+    'for $b in doc("auction.xml")//bidder '
+    "where $b/increase > 2 return $b/time"
+)
+
+
+@pytest.fixture()
+def processor(fig2_store):
+    return XQueryProcessor(store=fig2_store, default_doc="auction.xml")
+
+
+def test_compile_emits_phase_spans(processor):
+    with tracing() as tracer:
+        compiled = processor.compile(QUERY)
+    compile_span = tracer.find("compile")
+    assert compile_span is not None
+    assert compile_span.attributes["query"] == QUERY
+    # every front-end phase appears, nested under compile
+    for phase in ("parse", "normalize", "looplift", "isolate"):
+        child = compile_span.find(phase)
+        assert child is not None, f"missing {phase} span"
+    # isolation exposes one sub-span per driver phase
+    isolate_span = compile_span.find("isolate")
+    for phase_name in PHASE_NAMES:
+        phase_span = isolate_span.find(f"isolate.phase:{phase_name}")
+        assert phase_span is not None
+        assert phase_span.attributes["rules"] > 0
+        assert "applications" in phase_span.attributes
+    assert isolate_span.attributes["nodes_before"] > 0
+    assert (
+        isolate_span.attributes["nodes_after"]
+        <= isolate_span.attributes["nodes_before"]
+    )
+    assert compile_span.attributes["rule_applications"] == (
+        compiled.isolation_stats.steps
+    )
+
+
+def test_rule_events_match_isolation_stats(processor):
+    with tracing() as tracer:
+        compiled = processor.compile(QUERY)
+    stats = compiled.isolation_stats
+    assert stats.steps > 0
+    rule_events = [
+        event
+        for span in tracer.walk()
+        if span.name.startswith("isolate.phase:")
+        for event in span.events
+    ]
+    # one instant event per successful rule application, in step order
+    assert len(rule_events) == stats.steps
+    assert [e.attributes["step"] for e in rule_events] == list(
+        range(1, stats.steps + 1)
+    )
+    fired = {e.attributes["rule"] for e in rule_events}
+    assert fired == {rule for rule, n in stats.applications.items() if n}
+
+
+def test_metrics_agree_with_isolation_stats(processor):
+    with metrics_scope() as metrics:
+        compiled = processor.compile(QUERY)
+    stats = compiled.isolation_stats
+    assert metrics.counters["pipeline.compiles"] == 1
+    assert metrics.counters["rewrite.runs"] == 1
+    assert metrics.counters["rewrite.steps"] == stats.steps
+    fired = metrics.prefixed("rewrite.rule_fired")
+    assert fired == {r: n for r, n in stats.applications.items() if n}
+    assert metrics.gauges["rewrite.nodes_before"] == stats.nodes_before
+    assert metrics.gauges["rewrite.nodes_after"] == stats.nodes_after
+    assert metrics.gauges["rewrite.nodes_removed"] == stats.nodes_removed
+    for phase_name in PHASE_NAMES:
+        assert metrics.histograms[f"rewrite.phase_ns.{phase_name}"].count == 1
+
+
+def test_isolation_stats_timing_and_shrink(processor):
+    compiled = processor.compile(QUERY)
+    stats = compiled.isolation_stats
+    assert set(stats.phase_ns) == set(PHASE_NAMES)
+    assert all(ns >= 0 for ns in stats.phase_ns.values())
+    assert stats.total_ns == sum(stats.phase_ns.values())
+    assert stats.nodes_before > stats.nodes_after > 0
+    assert stats.nodes_removed > 0
+    assert sum(stats.phase_applications.values()) == stats.steps
+
+
+def test_execute_emits_sql_spans_and_metrics(processor):
+    compiled = processor.compile(QUERY)
+    with tracing() as tracer, metrics_scope() as metrics:
+        items = processor.execute(compiled, engine="joingraph-sql")
+    execute_span = tracer.find("execute")
+    assert execute_span is not None
+    assert execute_span.attributes == {
+        "engine": "joingraph-sql",
+        "items": len(items),
+    }
+    assert tracer.find("codegen.joingraph") is not None
+    run_span = tracer.find("sql.run")
+    assert run_span is not None
+    assert run_span.attributes["rows"] == len(items)
+    # tracing was on, so the EXPLAIN QUERY PLAN text rides on the span
+    assert run_span.attributes["query_plan"]
+    assert metrics.counters["pipeline.executions.joingraph-sql"] == 1
+    assert metrics.counters["sql.statements"] >= 1
+    assert metrics.histograms["sql.run_ns"].count >= 1
+
+
+def test_full_run_trace_is_schema_valid(processor):
+    with tracing() as tracer:
+        compiled = processor.compile(QUERY)
+        processor.execute(compiled, engine="joingraph-sql")
+        processor.execute(compiled, engine="interpreter")
+    trace = chrome_trace(tracer)
+    assert validate_chrome_trace(trace) == []
+    names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+    assert {"compile", "parse", "isolate", "execute", "sql.run"} <= names
+    assert any(n.startswith("isolate.phase:") for n in names)
+    # rule applications show up as instant events
+    assert any(e["ph"] == "i" for e in trace["traceEvents"])
+
+
+def test_disabled_tracer_changes_nothing(processor):
+    """With the default (disabled) tracer the pipeline produces the
+    same results and records no spans."""
+    reference = processor.execute(processor.compile(QUERY), engine="interpreter")
+    with tracing() as tracer:
+        traced = processor.execute(processor.compile(QUERY), engine="interpreter")
+    assert traced == reference
+    assert tracer.find("compile") is not None
+
+
+def test_checked_run_with_no_findings_keeps_analysis_clean(fig2_store):
+    processor = XQueryProcessor(
+        store=fig2_store, default_doc="auction.xml", checked=True
+    )
+    with metrics_scope() as metrics:
+        processor.compile(QUERY)
+    assert metrics.prefixed("analysis.diagnostics") == {}

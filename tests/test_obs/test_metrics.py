@@ -1,0 +1,145 @@
+"""MetricsRegistry unit tests: counters, gauges, histograms, merge,
+the thread-local scope, and diagnostic recording."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    get_metrics,
+    metrics_scope,
+    record_diagnostics,
+    set_metrics,
+)
+
+
+def test_counters_accumulate():
+    metrics = MetricsRegistry()
+    metrics.count("a")
+    metrics.count("a", 4)
+    metrics.count("b")
+    assert metrics.counters == {"a": 5, "b": 1}
+
+
+def test_gauges_overwrite():
+    metrics = MetricsRegistry()
+    metrics.gauge("depth", 3)
+    metrics.gauge("depth", 7.5)
+    assert metrics.gauges == {"depth": 7.5}
+
+
+def test_histogram_observe_and_summary():
+    hist = Histogram()
+    for value in (10, 20, 30):
+        hist.observe(value)
+    assert hist.count == 3
+    assert hist.total == 60
+    assert hist.minimum == 10
+    assert hist.maximum == 30
+    assert hist.mean == 20
+    summary = hist.summary()
+    assert summary["count"] == 3
+    assert summary["mean"] == 20
+
+
+def test_histogram_empty_mean():
+    assert Histogram().mean == 0.0
+
+
+def test_registry_observe_creates_histograms():
+    metrics = MetricsRegistry()
+    metrics.observe("lat", 5)
+    metrics.observe("lat", 15)
+    assert metrics.histograms["lat"].count == 2
+
+
+def test_merge_combines_all_kinds():
+    a = MetricsRegistry()
+    a.count("hits", 2)
+    a.gauge("size", 10)
+    a.observe("lat", 1)
+    b = MetricsRegistry()
+    b.count("hits", 3)
+    b.count("misses")
+    b.gauge("size", 20)
+    b.observe("lat", 9)
+    b.observe("other", 4)
+    a.merge(b)
+    assert a.counters == {"hits": 5, "misses": 1}
+    assert a.gauges == {"size": 20}  # incoming gauge wins
+    assert a.histograms["lat"].count == 2
+    assert a.histograms["lat"].total == 10
+    assert a.histograms["other"].count == 1
+
+
+def test_snapshot_round_trips_to_plain_data():
+    metrics = MetricsRegistry()
+    metrics.count("c", 2)
+    metrics.gauge("g", 1.5)
+    metrics.observe("h", 4)
+    snap = metrics.snapshot()
+    assert snap["counters"] == {"c": 2}
+    assert snap["gauges"] == {"g": 1.5}
+    assert snap["histograms"]["h"]["count"] == 1
+
+
+def test_prefixed_filters_by_dotted_prefix():
+    metrics = MetricsRegistry()
+    metrics.count("rewrite.rule_fired.R1", 2)
+    metrics.count("rewrite.rule_fired.R2")
+    metrics.count("sql.statements")
+    fired = metrics.prefixed("rewrite.rule_fired")
+    assert fired == {"R1": 2, "R2": 1}
+
+
+def test_reset_clears_everything():
+    metrics = MetricsRegistry()
+    metrics.count("c")
+    metrics.gauge("g", 1)
+    metrics.observe("h", 1)
+    metrics.reset()
+    assert metrics.counters == {}
+    assert metrics.gauges == {}
+    assert metrics.histograms == {}
+
+
+def test_global_registry_set_and_restore():
+    default = get_metrics()
+    replacement = MetricsRegistry()
+    assert set_metrics(replacement) is replacement
+    assert get_metrics() is replacement
+    set_metrics(None)
+    assert get_metrics() is default
+
+
+def test_metrics_scope_installs_and_restores():
+    before = get_metrics()
+    with metrics_scope() as metrics:
+        assert get_metrics() is metrics
+        get_metrics().count("inside")
+    assert get_metrics() is before
+    assert metrics.counters == {"inside": 1}
+    assert "inside" not in before.counters
+
+
+@dataclass
+class _Diag:
+    code: str
+    severity: str
+
+
+def test_record_diagnostics_counts_by_code_and_severity():
+    with metrics_scope() as metrics:
+        record_diagnostics(
+            [
+                _Diag("JGI030", "error"),
+                _Diag("JGI030", "error"),
+                _Diag("JGI050", "warning"),
+            ]
+        )
+    assert metrics.counters["analysis.diagnostics.JGI030"] == 2
+    assert metrics.counters["analysis.diagnostics.JGI050"] == 1
+    assert metrics.counters["analysis.errors"] == 2
+    assert metrics.counters["analysis.warnings"] == 1

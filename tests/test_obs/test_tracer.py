@@ -1,0 +1,151 @@
+"""Tracer unit tests: nesting, ordering, the disabled no-op path."""
+
+from __future__ import annotations
+
+import time
+
+from repro.obs import (
+    NULL_SPAN,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    tracing,
+)
+from repro.obs.tracer import NullSpan
+
+
+class FakeClock:
+    """Deterministic ns clock advancing 1000 ns per reading."""
+
+    def __init__(self) -> None:
+        self.now = 0
+
+    def __call__(self) -> int:
+        self.now += 1000
+        return self.now
+
+
+def test_span_nesting_and_ordering():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("outer"):
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            with tracer.span("inner"):
+                pass
+    assert [r.name for r in tracer.roots] == ["outer"]
+    outer = tracer.roots[0]
+    assert [c.name for c in outer.children] == ["first", "second"]
+    assert [c.name for c in outer.children[1].children] == ["inner"]
+    # children are strictly inside the parent and ordered in time
+    first, second = outer.children
+    assert outer.start_ns < first.start_ns
+    assert first.end_ns is not None and first.end_ns <= second.start_ns
+    assert second.end_ns is not None and second.end_ns <= outer.end_ns
+
+
+def test_span_durations_monotonic_clock():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("a") as span:
+        pass
+    assert span.duration_ns == 1000
+    assert span.duration_ms == 0.001
+
+
+def test_attributes_and_events():
+    tracer = Tracer(clock=FakeClock())
+    with tracer.span("work", phase=1) as span:
+        span.set(extra="yes")
+        span.event("milestone", step=7)
+    assert span.attributes == {"phase": 1, "extra": "yes"}
+    [event] = span.events
+    assert event.name == "milestone"
+    assert event.attributes == {"step": 7}
+    assert span.start_ns < event.ts_ns < span.end_ns
+
+
+def test_tracer_event_outside_any_span_becomes_root():
+    tracer = Tracer(clock=FakeClock())
+    tracer.event("lonely", k=1)
+    [root] = tracer.roots
+    assert root.name == "lonely"
+    assert root.duration_ns == 0
+
+
+def test_current_and_find_and_walk():
+    tracer = Tracer()
+    assert tracer.current is None
+    with tracer.span("a"):
+        with tracer.span("b") as b:
+            assert tracer.current is b
+    assert tracer.current is None
+    assert tracer.find("b") is b
+    assert tracer.find("nope") is None
+    assert [s.name for s in tracer.walk()] == ["a", "b"]
+
+
+def test_disabled_tracer_records_nothing_and_shares_null_span():
+    tracer = Tracer(enabled=False)
+    span = tracer.span("anything", attr=1)
+    assert span is NULL_SPAN
+    assert isinstance(span, NullSpan)
+    with span as inner:
+        inner.set(x=1)
+        inner.event("no-op")
+    tracer.event("ignored")
+    assert tracer.roots == []
+    assert tracer.current is None
+
+
+def test_disabled_span_is_cheap():
+    """The no-op path must be within an order of magnitude of a bare
+    function call — the <2% overhead budget on bench_isolation rests
+    on this."""
+    tracer = Tracer(enabled=False)
+    n = 20_000
+    start = time.perf_counter()
+    for _ in range(n):
+        with tracer.span("x"):
+            pass
+    elapsed = time.perf_counter() - start
+    assert elapsed / n < 5e-6  # < 5µs per disabled span (CI-safe bound)
+
+
+def test_mismatched_exit_recovers():
+    tracer = Tracer()
+    outer = tracer.span("outer")
+    inner = tracer.span("inner")
+    outer.__enter__()
+    inner.__enter__()
+    # closing the outer span abandons the still-open inner one
+    outer.__exit__(None, None, None)
+    assert tracer.current is None
+
+
+def test_reset_drops_spans():
+    tracer = Tracer()
+    with tracer.span("a"):
+        pass
+    tracer.reset()
+    assert tracer.roots == []
+
+
+def test_global_tracer_default_disabled_and_restorable():
+    default = get_tracer()
+    assert default.enabled is False
+    replacement = Tracer()
+    assert set_tracer(replacement) is replacement
+    assert get_tracer() is replacement
+    set_tracer(None)
+    assert get_tracer() is default
+
+
+def test_tracing_context_manager_installs_and_restores():
+    before = get_tracer()
+    with tracing() as tracer:
+        assert get_tracer() is tracer
+        assert tracer.enabled
+        with tracer.span("inside"):
+            pass
+    assert get_tracer() is before
+    assert tracer.find("inside") is not None
