@@ -1,0 +1,86 @@
+"""Service-layer throughput benchmark — emits ``BENCH_service.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py [--quick] \\
+        [--factor 0.01] [--repeat 40] [--workers 1,2,4,8] \\
+        [--out BENCH_service.json] [--check]
+
+Measures repeated-query throughput of the cached
+:class:`repro.service.QueryService` against the uncached
+single-connection baseline, plus the multi-worker scaling curve (see
+``docs/performance.md``).  ``--check`` exits non-zero unless cached
+throughput is strictly above the uncached baseline (the CI bench-smoke
+gate; the full acceptance bar is >= 5x).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.service.bench import (
+    DEFAULT_QUERY_SET,
+    format_service_bench,
+    run_service_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--factor", type=float, default=0.01)
+    parser.add_argument("--repeat", type=int, default=40)
+    parser.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated thread-pool widths for the scaling curve",
+    )
+    parser.add_argument(
+        "--queries",
+        default=",".join(DEFAULT_QUERY_SET),
+        help="comma-separated XMark catalog query names",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke size: tiny document, few repeats",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_service.json",
+        metavar="FILE",
+        help="where to write the JSON document",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless cached throughput beats the uncached baseline",
+    )
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    report = run_service_bench(
+        factor=args.factor,
+        repeat=args.repeat,
+        workers=tuple(int(w) for w in args.workers.split(",")),
+        queries=tuple(args.queries.split(",")),
+        quick=args.quick,
+    )
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    print(format_service_bench(report))
+    print(f"-- wrote {args.out}")
+
+    if args.check and report["speedup"] <= 1.0:
+        print(
+            f"FAIL: cached throughput not above baseline "
+            f"(speedup {report['speedup']:.2f}x)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

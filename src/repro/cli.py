@@ -40,6 +40,13 @@ table, and analysis health::
     python -m repro '//person[name]' --doc auction.xml \\
         --trace trace.json --metrics metrics.json
     python -m repro obs '//person[name]' --doc auction.xml --checked
+
+Benchmark the query service layer (compiled-plan cache + concurrent
+shared-cache SQLite pool, see ``docs/performance.md``)::
+
+    python -m repro serve-bench --quick
+    python -m repro serve-bench --factor 0.01 --workers 1,2,4,8 \\
+        --out BENCH_service.json
 """
 
 from __future__ import annotations
@@ -291,19 +298,25 @@ def obs_main(argv: list[str]) -> int:
     if not args.doc:
         parser.error("at least one --doc FILE is required")
 
-    processor = XQueryProcessor(checked=args.checked)
+    from repro.service import QueryService
+
+    service = QueryService(checked=args.checked, workers=2)
     previous_tracer, previous_metrics = get_tracer(), get_metrics()
     tracer = set_tracer(Tracer())
     metrics = set_metrics(MetricsRegistry())
     try:
         for spec in args.doc:
             path, _, uri = spec.partition("=")
-            processor.load(Path(path).read_text(), uri or Path(path).name)
+            service.load(Path(path).read_text(), uri or Path(path).name)
 
-        compiled = processor.compile(args.query)
-        items = processor.execute(compiled, engine=args.engine)
-        processor.serialize(items)
-        planner = JoinGraphPlanner(processor.store.table)
+        # serve the query twice through the service layer: the first
+        # call compiles (cache miss), the second hits the compiled-plan
+        # cache — both show up in the service-layer section
+        items = service.execute(args.query, engine=args.engine)
+        service.execute(args.query, engine=args.engine)
+        compiled = service.compile(args.query)
+        service.serialize(items)
+        planner = JoinGraphPlanner(service.store.table)
         plan = planner.plan(flatten_query(compiled.isolated_plan))
         _, audits = audit_plan(plan)
         if args.checked:
@@ -324,8 +337,67 @@ def obs_main(argv: list[str]) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 1
     finally:
+        service.close()
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
+
+
+def build_serve_bench_parser() -> argparse.ArgumentParser:
+    from repro.service.bench import DEFAULT_QUERY_SET
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve-bench",
+        description="Benchmark the query service layer: repeated-query "
+        "throughput of the compiled-plan cache vs the uncached single-"
+        "connection baseline, plus a worker-scaling curve over the "
+        "shared-cache SQLite pool.  Writes BENCH_service.json (see "
+        "docs/performance.md).",
+    )
+    parser.add_argument("--factor", type=float, default=0.01,
+                        help="XMark scale factor (default: 0.01)")
+    parser.add_argument("--repeat", type=int, default=40,
+                        help="repetitions of the query mix per mode")
+    parser.add_argument(
+        "--workers",
+        default="1,2,4,8",
+        help="comma-separated thread-pool widths (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--queries",
+        default=",".join(DEFAULT_QUERY_SET),
+        help="comma-separated XMark catalog query names",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smoke-test size: tiny document, few repeats",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also write the JSON benchmark document to FILE",
+    )
+    return parser
+
+
+def serve_bench_main(argv: list[str]) -> int:
+    parser = build_serve_bench_parser()
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    from repro.service.bench import format_service_bench, run_service_bench
+
+    report = run_service_bench(
+        factor=args.factor,
+        repeat=args.repeat,
+        workers=tuple(int(w) for w in args.workers.split(",")),
+        queries=tuple(args.queries.split(",")),
+        quick=args.quick,
+    )
+    print(format_service_bench(report))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+        print(f"-- wrote {args.out}")
+    return 0
 
 
 def _generate(kind: str, factor: float, seed: int) -> str:
@@ -349,6 +421,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "obs":
         return obs_main(argv[1:])
+    if argv and argv[0] == "serve-bench":
+        return serve_bench_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     sys.setrecursionlimit(100_000)

@@ -56,6 +56,11 @@ class DocTable:
         self.name: list[str | None] = []
         self.value: list[str | None] = []
         self.data: list[float | None] = []
+        #: monotonic content version, bumped on every mutation.  Row
+        #: count is not a safe staleness key (replacing content can
+        #: keep it identical); backends and compiled-query caches key
+        #: their artifacts on this counter instead.
+        self.version: int = 0
         self._doc_roots: dict[str, int] = {}
         self._frozen: _FrozenColumns | None = None
 
@@ -78,6 +83,7 @@ class DocTable:
         self._shred(document)
         self._doc_roots[uri] = root_pre
         self._frozen = None
+        self.version += 1
         return root_pre
 
     def add_document(self, text: str, uri: str) -> int:
@@ -258,6 +264,12 @@ class DocumentStore:
 
     def __init__(self) -> None:
         self.table = DocTable()
+
+    @property
+    def version(self) -> int:
+        """The table's monotonic content version (staleness key for
+        backends and compiled-query caches)."""
+        return self.table.version
 
     def load(self, text: str, uri: str) -> int:
         """Parse and add a document; returns the DOC row's pre rank."""

@@ -115,6 +115,27 @@ def summary_report(
                 f"max {run_ns.maximum / 1e6:.3f} ms over {run_ns.count} stmt(s)"
             )
 
+    service_stats = {
+        name: value
+        for name, value in metrics.counters.items()
+        if name.startswith("service.")
+    }
+    if service_stats:
+        sections.append("")
+        sections.extend(
+            _counter_section(
+                "== service layer (compiled-plan cache + pool) ==",
+                service_stats,
+            )
+        )
+        query_ns = metrics.histograms.get("service.query_ns")
+        if query_ns is not None and query_ns.count:
+            sections.append(
+                f"  query latency: mean {query_ns.mean / 1e6:.3f} ms, "
+                f"max {query_ns.maximum / 1e6:.3f} ms over "
+                f"{query_ns.count} query(ies)"
+            )
+
     if audits:
         sections.append("")
         sections.append("== planner estimate audit (q-error) ==")

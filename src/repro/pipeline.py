@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Literal
 
+from repro.algebra.dagutils import clone_plan
 from repro.algebra.interpreter import run_plan
 from repro.algebra.ops import Serialize
 from repro.compiler.looplift import LoopLiftingCompiler
@@ -126,7 +127,7 @@ class XQueryProcessor:
             disabled=disabled_rules, sanitizer=sanitizer
         )
         self._backend: SQLiteBackend | None = None
-        self._backend_rows = -1
+        self._backend_token: tuple[int, int] | None = None
 
     # -- documents -------------------------------------------------------
 
@@ -137,13 +138,26 @@ class XQueryProcessor:
             self.default_doc = uri
 
     @property
+    def disabled_rules(self) -> frozenset[str]:
+        """The isolation rules switched off for this processor (part of
+        the compiled-query cache key)."""
+        return frozenset(self._engine.disabled)
+
+    @property
     def backend(self) -> SQLiteBackend:
-        """The SQLite back-end, (re)loaded lazily when documents change."""
-        if self._backend is None or self._backend_rows != len(self.store.table):
+        """The SQLite back-end, (re)loaded lazily when documents change.
+
+        Staleness is keyed on (table identity, monotonic content
+        version) — not the row count, which can stay identical across a
+        content change (e.g. swapping in a different store) and would
+        then serve stale data.
+        """
+        token = (id(self.store.table), self.store.version)
+        if self._backend is None or self._backend_token != token:
             if self._backend is not None:
                 self._backend.close()
             self._backend = SQLiteBackend(self.store.table)
-            self._backend_rows = len(self.store.table)
+            self._backend_token = token
         return self._backend
 
     # -- compilation -------------------------------------------------------
@@ -159,11 +173,10 @@ class XQueryProcessor:
                 if self.serialize_step:
                     core = _with_serialize_step(core)
             with tracer.span("looplift"):
-                compiler = LoopLiftingCompiler(self.store)
-                stacked = compiler.compile(core)
-                # isolation mutates the DAG: compile a second,
-                # independent copy
-                isolated_input = LoopLiftingCompiler(self.store).compile(core)
+                stacked = LoopLiftingCompiler(self.store).compile(core)
+                # isolation mutates the DAG: hand it an independent
+                # clone so the stacked plan survives as an artifact
+                isolated_input = clone_plan(stacked)
             isolated, stats = self._engine.isolate(isolated_input)
             span.set(rule_applications=stats.steps)
         get_metrics().count("pipeline.compiles")
@@ -197,7 +210,7 @@ class XQueryProcessor:
                         core = _with_serialize_step(core)
                 with tracer.span("looplift"):
                     stacked = LoopLiftingCompiler(self.store).compile(core)
-                    isolated_input = LoopLiftingCompiler(self.store).compile(core)
+                    isolated_input = clone_plan(stacked)
                 isolated, stats = self._engine.isolate(isolated_input)
             compiled.append(
                 CompiledQuery(

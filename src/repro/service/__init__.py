@@ -1,0 +1,20 @@
+"""The query service layer: compile-once, execute-many, N workers.
+
+The paper isolates the join graph so that one compiled SQL block can
+let the RDBMS do the heavy lifting; this package adds the serving
+economics on top — a compiled-plan LRU (:class:`CompiledQueryCache`),
+a thread-safe shared-cache SQLite connection pool
+(:class:`BackendPool`), and the :class:`QueryService` facade with
+batch/concurrent execution.  See ``docs/performance.md``.
+"""
+
+from repro.service.cache import CacheKey, CompiledQueryCache
+from repro.service.pool import BackendPool
+from repro.service.service import QueryService
+
+__all__ = [
+    "BackendPool",
+    "CacheKey",
+    "CompiledQueryCache",
+    "QueryService",
+]

@@ -1,0 +1,211 @@
+"""The service-layer throughput benchmark (``BENCH_service.json``).
+
+Measures the two serving-economics claims of the query service on the
+XMark workload:
+
+1. **Compiled-plan reuse**: repeated-query throughput of the cached
+   service vs the *uncached single-connection baseline* (a bare
+   :class:`XQueryProcessor` recompiling from scratch on every call —
+   the pre-service behaviour of this repository).  The acceptance bar
+   is >= 5x.
+2. **Concurrent execution**: a worker-scaling curve — the same
+   repeated workload pushed through :meth:`QueryService.run_many` at
+   several thread-pool widths over the shared-cache backend pool.
+
+Every mode's results are verified against the baseline's before any
+number is reported.  ``benchmarks/bench_service.py`` and the
+``repro serve-bench`` CLI subcommand are thin wrappers over
+:func:`run_service_bench`; ``docs/performance.md`` explains how to
+read the emitted JSON.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Sequence
+
+from repro.infoset.encoding import DocumentStore
+from repro.obs import metrics_scope
+from repro.pipeline import XQueryProcessor
+from repro.service.service import QueryService
+from repro.workloads import XMARK_QUERIES, XMarkConfig, generate_xmark
+
+__all__ = ["DEFAULT_QUERY_SET", "run_service_bench", "format_service_bench"]
+
+#: XMark catalog queries used as the serving mix: point lookup, value
+#: join, path scans — the repeated-query traffic a service would see
+DEFAULT_QUERY_SET: tuple[str, ...] = ("X1", "X5", "X8", "X13", "X17", "X19")
+
+SCHEMA = "repro.service.bench/v1"
+
+
+def _baseline_throughput(
+    store: DocumentStore, queries: Sequence[str], repeat: int
+) -> tuple[float, dict[str, list[Any]]]:
+    """The uncached single-connection baseline: one bare processor,
+    full recompile per call.  Returns (seconds, reference results)."""
+    processor = XQueryProcessor(store=store, default_doc="auction.xml")
+    results: dict[str, list[Any]] = {}
+    # populate the backend outside the timed window: both sides pay
+    # the bulk load once, the comparison is about serving
+    processor.backend
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for query in queries:
+            results[query] = processor.execute(query, engine="joingraph-sql")
+    return time.perf_counter() - start, results
+
+
+def _cached_throughput(
+    service: QueryService, queries: Sequence[str], repeat: int
+) -> tuple[float, dict[str, list[Any]]]:
+    """Single-thread repeated execution through the compiled-plan
+    cache (warmed outside the timed window)."""
+    results: dict[str, list[Any]] = {}
+    for query in queries:
+        results[query] = service.execute(query)
+    start = time.perf_counter()
+    for _ in range(repeat):
+        for query in queries:
+            service.execute(query)
+    return time.perf_counter() - start, results
+
+
+def _worker_throughput(
+    store: DocumentStore, queries: Sequence[str], repeat: int, workers: int
+) -> tuple[float, dict[str, list[Any]]]:
+    """The full repeated batch through ``run_many`` at one pool width."""
+    with QueryService(
+        store=store, default_doc="auction.xml", workers=workers
+    ) as service:
+        # warm the compile cache and the per-thread connections
+        warm = service.run_many(queries)
+        results = dict(zip(queries, warm))
+        batch = [query for _ in range(repeat) for query in queries]
+        start = time.perf_counter()
+        service.run_many(batch)
+        elapsed = time.perf_counter() - start
+    return elapsed, results
+
+
+def run_service_bench(
+    factor: float = 0.01,
+    repeat: int = 40,
+    workers: Sequence[int] = (1, 2, 4, 8),
+    queries: Sequence[str] = DEFAULT_QUERY_SET,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Run the whole grid; returns the ``BENCH_service.json`` document.
+
+    ``quick`` shrinks the document and the repeat count to CI-smoke
+    size (seconds, not minutes) while keeping every verification.
+    """
+    if quick:
+        factor = min(factor, 0.004)
+        repeat = min(repeat, 8)
+        workers = tuple(w for w in workers if w <= 4) or (1, 4)
+    texts = [XMARK_QUERIES[name].text for name in queries]
+    store = DocumentStore()
+    store.load_tree(generate_xmark(XMarkConfig(factor=factor)))
+    calls = repeat * len(texts)
+
+    with metrics_scope():
+        baseline_s, reference = _baseline_throughput(store, texts, repeat)
+
+    with metrics_scope() as metrics:
+        service = QueryService(
+            store=store, default_doc="auction.xml", workers=max(workers)
+        )
+        with service:
+            cached_s, cached_results = _cached_throughput(
+                service, texts, repeat
+            )
+            cache_stats = service.cache.stats()
+        counters = metrics.snapshot()["counters"]
+    _verify(reference, cached_results, "cached")
+
+    scaling = []
+    for width in workers:
+        with metrics_scope():
+            worker_s, worker_results = _worker_throughput(
+                store, texts, repeat, width
+            )
+        _verify(reference, worker_results, f"workers={width}")
+        scaling.append(
+            {
+                "workers": width,
+                "seconds": worker_s,
+                "queries_per_second": calls / worker_s if worker_s else 0.0,
+            }
+        )
+
+    return {
+        "schema": SCHEMA,
+        "metadata": {
+            "workload": "xmark",
+            "factor": factor,
+            "nodes": len(store.table),
+            "queries": list(queries),
+            "repeat": repeat,
+            "calls_per_mode": calls,
+            "quick": quick,
+        },
+        "uncached_baseline": {
+            "seconds": baseline_s,
+            "queries_per_second": calls / baseline_s if baseline_s else 0.0,
+        },
+        "cached": {
+            "seconds": cached_s,
+            "queries_per_second": calls / cached_s if cached_s else 0.0,
+            "cache": cache_stats,
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith("service.")
+            },
+        },
+        "speedup": (baseline_s / cached_s) if cached_s else float("inf"),
+        "scaling": scaling,
+    }
+
+
+def _verify(
+    reference: dict[str, list[Any]],
+    observed: dict[str, list[Any]],
+    mode: str,
+) -> None:
+    for query, expected in reference.items():
+        if observed[query] != expected:
+            raise AssertionError(
+                f"{mode} results diverge from the uncached baseline "
+                f"for query {query!r}"
+            )
+
+
+def format_service_bench(report: dict[str, Any]) -> str:
+    """Human-readable rendering of the benchmark document."""
+    meta = report["metadata"]
+    base = report["uncached_baseline"]
+    cached = report["cached"]
+    lines = [
+        f"service bench — xmark factor {meta['factor']} "
+        f"({meta['nodes']} nodes), {meta['calls_per_mode']} calls/mode",
+        f"  uncached baseline : {base['queries_per_second']:8.1f} q/s"
+        f"  ({base['seconds']:.3f}s)",
+        f"  cached (1 thread) : {cached['queries_per_second']:8.1f} q/s"
+        f"  ({cached['seconds']:.3f}s)",
+        f"  speedup           : {report['speedup']:8.1f}x"
+        "  (compiled-plan cache + prepared statements)",
+        "  scaling (run_many over the shared-cache pool):",
+    ]
+    for point in report["scaling"]:
+        lines.append(
+            f"    {point['workers']:2d} worker(s)    : "
+            f"{point['queries_per_second']:8.1f} q/s"
+        )
+    stats = cached["cache"]
+    lines.append(
+        f"  cache             : {stats['hits']} hits / "
+        f"{stats['misses']} misses / {stats['evictions']} evictions"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,140 @@
+"""The compiled-plan cache: an LRU over :class:`CompiledQuery` artifacts.
+
+The paper's economics are compile-once, execute-many: the isolated
+join graph is a *stable* artifact of the query text and the store
+schema, so recompiling it per call throws away exactly the work the
+rewrite engine spent making SQL the workhorse.  This cache keys the
+full pipeline artifact — core expression, stacked plan, isolated plan,
+and the generated SQL texts — on everything that can change its
+content:
+
+``query``            the surface text (byte-exact);
+``default_doc``      absolute paths resolve differently per default;
+``serialize_step``   changes the compiled shape (Section 4 wrapper);
+``disabled_rules``   ablations produce different isolated plans;
+``store_version``    the document table's monotonic content version —
+                     a load bumps it, so stale plans can never be
+                     served (their key no longer matches).
+
+Hit/miss/eviction counts flow into the process metrics registry
+(``service.cache.*``, see ``docs/observability.md``) and are kept as
+plain attributes for direct inspection.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING, NamedTuple
+
+from repro.obs import get_metrics
+
+if TYPE_CHECKING:  # import cycle: pipeline imports nothing from here,
+    from repro.pipeline import CompiledQuery  # but keep runtime clean
+
+__all__ = ["CacheKey", "CompiledQueryCache"]
+
+
+class CacheKey(NamedTuple):
+    """Everything a compiled artifact's content depends on."""
+
+    query: str
+    default_doc: str | None
+    serialize_step: bool
+    disabled_rules: frozenset[str]
+    store_version: int
+
+
+class CompiledQueryCache:
+    """A thread-safe LRU of compiled queries.
+
+    Entries are treated as immutable once inserted: the service
+    pre-materializes the lazy SQL artifacts before :meth:`put`, so a
+    cached :class:`CompiledQuery` can be executed from any number of
+    threads without synchronization.
+    """
+
+    def __init__(self, capacity: int = 256):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: OrderedDict[CacheKey, CompiledQuery] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: CacheKey) -> CompiledQuery | None:
+        """The cached artifact for ``key``, refreshed to most-recently
+        used — or ``None`` (counted as a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                get_metrics().count("service.cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            get_metrics().count("service.cache.hits")
+            return entry
+
+    def peek(self, key: CacheKey) -> CompiledQuery | None:
+        """Uncounted lookup without an LRU refresh — for single-flight
+        re-checks after a racing thread may have filled the entry (the
+        original :meth:`get` already counted this caller's miss)."""
+        with self._lock:
+            return self._entries.get(key)
+
+    def put(self, key: CacheKey, compiled: CompiledQuery) -> None:
+        """Insert (or refresh) ``key``, evicting least-recently-used
+        entries beyond capacity."""
+        metrics = get_metrics()
+        with self._lock:
+            self._entries[key] = compiled
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                metrics.count("service.cache.evictions")
+            metrics.gauge("service.cache.size", len(self._entries))
+
+    def invalidate(self, store_version: int | None = None) -> int:
+        """Drop entries; returns how many were removed.
+
+        With a ``store_version``, only entries compiled against *other*
+        versions are dropped (what :meth:`QueryService.load` calls:
+        current-version entries stay hot).  Without one, the cache is
+        cleared entirely.
+        """
+        with self._lock:
+            if store_version is None:
+                dropped = len(self._entries)
+                self._entries.clear()
+            else:
+                stale = [
+                    key
+                    for key in self._entries
+                    if key.store_version != store_version
+                ]
+                for key in stale:
+                    del self._entries[key]
+                dropped = len(stale)
+            metrics = get_metrics()
+            metrics.count("service.cache.invalidated", dropped)
+            metrics.gauge("service.cache.size", len(self._entries))
+            return dropped
+
+    def stats(self) -> dict[str, int]:
+        """A point-in-time view of the counters (JSON-ready)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -1,0 +1,164 @@
+"""A thread-safe pool of SQLite connections over one shared database.
+
+One in-memory SQLite instance cannot be driven from N threads through
+a single connection — sqlite3 serializes access per connection, so the
+"SQL workhorse" idles while Python queues up behind it.  The pool
+instead opens the database in *shared-cache* mode
+(``file:<name>?mode=memory&cache=shared``):
+
+- a **primary** connection creates the database, bulk-loads the ``doc``
+  encoding once (single transaction + load pragmas, see
+  :meth:`SQLiteBackend._load_inner`) and keeps the instance alive for
+  the pool's lifetime;
+- every worker thread gets its **own** connection to the same instance
+  via :meth:`backend` — sqlite3 releases the GIL inside
+  ``sqlite3_step``, so join-graph scans genuinely overlap;
+- worker connections run with ``PRAGMA read_uncommitted`` so the
+  read-only serving workload never waits on shared-cache table locks,
+  and an enlarged ``cached_statements`` budget so repeated queries
+  reuse their prepared statements instead of re-parsing the SQL.
+
+Pools are immutable snapshots of one store version.  Reloading a
+document retires the pool (:meth:`retire`): in-flight queries finish
+against the old snapshot (lease counting), and the last lease closes
+every connection.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+
+from repro.infoset.encoding import DocTable
+from repro.obs import get_metrics
+from repro.sql.backend import SQLiteBackend
+
+__all__ = ["BackendPool"]
+
+#: distinct shared-cache database names per pool instance, so two pools
+#: in one process never see each other's data
+_POOL_IDS = itertools.count()
+
+
+class BackendPool:
+    """Per-thread :class:`SQLiteBackend` connections over one
+    shared-cache in-memory database, loaded once.
+
+    Parameters
+    ----------
+    table:
+        The document table to bulk-load into the shared instance.
+    indexes:
+        Index set for the load (defaults to the paper's Table 6 set).
+    cached_statements:
+        Per-connection prepared-statement cache size (the serving
+        workload repeats a small set of statements, so a generous
+        budget keeps every hot statement prepared).
+    """
+
+    def __init__(
+        self,
+        table: DocTable,
+        indexes: dict[str, tuple[str, ...]] | None = None,
+        *,
+        cached_statements: int = 512,
+    ):
+        self.name = f"repro-pool-{next(_POOL_IDS)}"
+        self._uri = f"file:{self.name}?mode=memory&cache=shared"
+        self._indexes = indexes
+        self._cached_statements = cached_statements
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._retired = False
+        self._closed = False
+        self._leases = 0
+        self._primary = SQLiteBackend(
+            table,
+            indexes,
+            database=self._uri,
+            uri=True,
+            cached_statements=cached_statements,
+        )
+        self._connections: list[SQLiteBackend] = [self._primary]
+        get_metrics().gauge("service.pool.connections", 1)
+
+    @property
+    def connection_count(self) -> int:
+        with self._lock:
+            return len(self._connections)
+
+    # -- per-thread connections ----------------------------------------
+
+    def backend(self) -> SQLiteBackend:
+        """This thread's connection to the shared database (opened on
+        first use)."""
+        backend: SQLiteBackend | None = getattr(self._local, "backend", None)
+        if backend is None:
+            with self._lock:
+                if self._closed:
+                    raise RuntimeError(f"backend pool {self.name} is closed")
+                backend = SQLiteBackend(
+                    None,
+                    self._indexes,
+                    database=self._uri,
+                    uri=True,
+                    load=False,
+                    cached_statements=self._cached_statements,
+                )
+                # shared-cache readers take table-level read locks;
+                # read-uncommitted skips them — safe here because the
+                # snapshot is never written after the bulk load
+                backend.connection.execute("PRAGMA read_uncommitted=ON")
+                self._connections.append(backend)
+                get_metrics().gauge(
+                    "service.pool.connections", len(self._connections)
+                )
+            self._local.backend = backend
+        return backend
+
+    # -- lifecycle ------------------------------------------------------
+
+    def lease(self) -> "BackendPool":
+        """Mark one in-flight query on this snapshot; pair with
+        :meth:`release`.  A retired pool stays alive (connections open)
+        until its last lease is released."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"backend pool {self.name} is closed")
+            self._leases += 1
+        return self
+
+    def release(self) -> None:
+        with self._lock:
+            self._leases -= 1
+            close_now = self._retired and self._leases <= 0
+        if close_now:
+            self.close()
+
+    def retire(self) -> None:
+        """Graceful invalidation: no new leases will be taken by the
+        owning service; the pool closes itself once in-flight queries
+        drain (immediately when idle)."""
+        with self._lock:
+            self._retired = True
+            close_now = self._leases <= 0 and not self._closed
+        if close_now:
+            self.close()
+
+    def close(self) -> None:
+        """Close every connection (the shared in-memory instance is
+        freed when the last connection drops)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            connections, self._connections = self._connections, []
+        for backend in connections:
+            backend.close()
+        get_metrics().gauge("service.pool.connections", 0)
+
+    def __enter__(self) -> "BackendPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

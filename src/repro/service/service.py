@@ -1,0 +1,289 @@
+"""The query service: compile-once, execute-many, N workers.
+
+:class:`QueryService` is the production-oriented front door over
+:class:`repro.pipeline.XQueryProcessor`.  It composes three pieces:
+
+- the :class:`CompiledQueryCache` (``cache.py``) so repeated query
+  texts skip the whole front end — parse, normalize, loop-lift,
+  isolate, codegen — and go straight to the stored join-graph SQL;
+- the :class:`BackendPool` (``pool.py``) so concurrent queries execute
+  against per-thread connections of one shared in-memory SQLite
+  instance instead of queueing behind a single connection;
+- a :class:`~concurrent.futures.ThreadPoolExecutor` behind
+  :meth:`submit` / :meth:`run_many` for callers that want the service
+  to own the concurrency.
+
+Metrics (``service.*``, catalog in ``docs/observability.md``): query
+counters per engine, a per-query latency histogram
+(``service.query_ns``), cache hit/miss/eviction counters and pool
+connection gauges.  Worker threads record into private registries that
+are merged into the submitting thread's registry when each task
+finishes, so ``metrics_scope`` works transparently across the pool.
+
+Invalidation: :meth:`load` bumps the store's content version, drops
+cache entries compiled against older versions and retires the current
+backend pool — in-flight queries drain against the old snapshot, new
+queries see the new one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Any, Iterable, Sequence
+
+from repro.algebra.interpreter import run_plan
+from repro.infoset.encoding import DocumentStore
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.pipeline import CompiledQuery, Engine, XQueryProcessor
+from repro.service.cache import CacheKey, CompiledQueryCache
+from repro.service.pool import BackendPool
+
+__all__ = ["QueryService"]
+
+
+class QueryService:
+    """A thread-safe serving layer over one document store.
+
+    Parameters
+    ----------
+    store, default_doc, serialize_step, disabled_rules:
+        Forwarded to the underlying :class:`XQueryProcessor`.
+    workers:
+        Thread-pool width for :meth:`submit` / :meth:`run_many`.
+        Direct :meth:`execute` calls run on the caller's thread (and
+        are themselves safe to issue from many threads).
+    cache_capacity:
+        Compiled-plan LRU size.
+    cached_statements:
+        Per-connection prepared-statement cache size for the backend
+        pool.
+    indexes:
+        Index set for the SQL backend (``None`` = the paper's Table 6).
+    checked:
+        Run the plan sanitizer during (cold) compiles, as on
+        :class:`XQueryProcessor`.
+    """
+
+    def __init__(
+        self,
+        store: DocumentStore | None = None,
+        default_doc: str | None = None,
+        serialize_step: bool = False,
+        disabled_rules: set[str] | None = None,
+        *,
+        workers: int = 4,
+        cache_capacity: int = 256,
+        cached_statements: int = 512,
+        indexes: dict[str, tuple[str, ...]] | None = None,
+        checked: bool = False,
+    ):
+        if workers <= 0:
+            raise ValueError("workers must be positive")
+        self.processor = XQueryProcessor(
+            store=store,
+            default_doc=default_doc,
+            serialize_step=serialize_step,
+            disabled_rules=disabled_rules,
+            checked=checked,
+        )
+        self.workers = workers
+        self.cache = CompiledQueryCache(cache_capacity)
+        self._indexes = indexes
+        self._cached_statements = cached_statements
+        self._pool: BackendPool | None = None
+        self._pool_version = -1
+        self._pool_lock = threading.Lock()
+        # the front end shares mutable rewrite-engine state (the
+        # fresh-name counter), so cold compiles are single-flight
+        self._compile_lock = threading.Lock()
+        self._executor: ThreadPoolExecutor | None = None
+        self._executor_lock = threading.Lock()
+        self._merge_lock = threading.Lock()
+        self._closed = False
+
+    # -- documents -----------------------------------------------------
+
+    @property
+    def store(self) -> DocumentStore:
+        return self.processor.store
+
+    def load(self, xml_text: str, uri: str) -> None:
+        """Load a document and invalidate: stale cache entries are
+        dropped and the backend pool is retired (in-flight queries
+        drain against the old snapshot)."""
+        self.processor.load(xml_text, uri)
+        self.cache.invalidate(store_version=self.store.version)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            self._pool_version = -1
+        if pool is not None:
+            pool.retire()
+
+    # -- compilation ---------------------------------------------------
+
+    def _cache_key(self, query: str) -> CacheKey:
+        return CacheKey(
+            query=query,
+            default_doc=self.processor.default_doc,
+            serialize_step=self.processor.serialize_step,
+            disabled_rules=self.processor.disabled_rules,
+            store_version=self.store.version,
+        )
+
+    def compile(self, query: str) -> CompiledQuery:
+        """The compiled artifact for ``query`` — from cache when
+        possible, compiled (and cached) otherwise."""
+        key = self._cache_key(query)
+        compiled = self.cache.get(key)
+        if compiled is not None:
+            return compiled
+        with self._compile_lock:
+            # single-flight: a racing thread may have compiled the same
+            # key while this one waited for the lock
+            compiled = self.cache.peek(key)
+            if compiled is not None:
+                return compiled
+            compiled = self.processor.compile(query)
+            # materialize the lazy SQL artifacts now: cached entries
+            # must be immutable so any thread can execute them
+            _ = (compiled.stacked_sql, compiled.joingraph_sql)
+            self.cache.put(key, compiled)
+        return compiled
+
+    # -- execution -----------------------------------------------------
+
+    def _lease_pool(self) -> BackendPool:
+        with self._pool_lock:
+            if self._closed:
+                raise RuntimeError("query service is closed")
+            if self._pool is None or self._pool_version != self.store.version:
+                if self._pool is not None:
+                    self._pool.retire()
+                self._pool = BackendPool(
+                    self.store.table,
+                    self._indexes,
+                    cached_statements=self._cached_statements,
+                )
+                self._pool_version = self.store.version
+            return self._pool.lease()
+
+    def execute(
+        self, query: str | CompiledQuery, engine: Engine = "joingraph-sql"
+    ) -> list[Any]:
+        """Evaluate a query on the caller's thread; returns the item
+        sequence (same contract as :meth:`XQueryProcessor.execute`)."""
+        start = time.perf_counter_ns()
+        compiled = (
+            query if isinstance(query, CompiledQuery) else self.compile(query)
+        )
+        if engine == "interpreter":
+            items = run_plan(compiled.stacked_plan)
+        elif engine == "isolated-interpreter":
+            items = run_plan(compiled.isolated_plan)
+        elif engine in ("stacked-sql", "joingraph-sql"):
+            sql = (
+                compiled.stacked_sql
+                if engine == "stacked-sql"
+                else compiled.joingraph_sql
+            )
+            pool = self._lease_pool()
+            try:
+                items = pool.backend().run(sql)
+            finally:
+                pool.release()
+        else:
+            raise ValueError(f"unknown engine {engine!r}")
+        metrics = get_metrics()
+        metrics.count("service.queries")
+        metrics.count(f"service.queries.{engine}")
+        metrics.observe("service.query_ns", time.perf_counter_ns() - start)
+        return items
+
+    def serialize(self, items: Sequence[Any]) -> str:
+        """Serialize a node-sequence result back to XML text."""
+        return self.processor.serialize(items)
+
+    def run(self, query: str | CompiledQuery, engine: Engine = "joingraph-sql") -> str:
+        """Execute and serialize in one step."""
+        return self.serialize(self.execute(query, engine=engine))
+
+    # -- concurrent serving --------------------------------------------
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._executor_lock:
+            if self._closed:
+                raise RuntimeError("query service is closed")
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-query",
+                )
+            return self._executor
+
+    def _task(
+        self,
+        registry: MetricsRegistry,
+        query: str | CompiledQuery,
+        engine: Engine,
+    ) -> list[Any]:
+        # record into a private registry, then merge into the
+        # submitting thread's registry under a lock: counters stay
+        # exact even under contention, and metrics_scope on the caller
+        # side sees everything its submissions caused
+        local = MetricsRegistry()
+        previous = set_metrics(local)
+        try:
+            return self.execute(query, engine=engine)
+        finally:
+            set_metrics(previous)
+            with self._merge_lock:
+                registry.merge(local)
+
+    def submit(
+        self, query: str | CompiledQuery, engine: Engine = "joingraph-sql"
+    ) -> "Future[list[Any]]":
+        """Schedule one query on the worker pool; returns its future."""
+        executor = self._ensure_executor()
+        return executor.submit(self._task, get_metrics(), query, engine)
+
+    def run_many(
+        self,
+        queries: Iterable[str | CompiledQuery],
+        engine: Engine = "joingraph-sql",
+    ) -> list[list[Any]]:
+        """Execute a batch concurrently; results in submission order."""
+        futures = [self.submit(query, engine=engine) for query in queries]
+        return [future.result() for future in futures]
+
+    # -- lifecycle -----------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of the service's moving parts."""
+        with self._pool_lock:
+            pool = self._pool
+        return {
+            "workers": self.workers,
+            "store_version": self.store.version,
+            "cache": self.cache.stats(),
+            "pool_connections": pool.connection_count if pool else 0,
+        }
+
+    def close(self) -> None:
+        """Drain the worker pool and close every backend connection."""
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=True)
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.retire()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

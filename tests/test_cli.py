@@ -183,3 +183,31 @@ def test_error_exit_code(doc, capsys):
 def test_missing_doc_is_an_error(capsys):
     with pytest.raises(SystemExit):
         main(["//a"])
+
+
+def test_obs_subcommand_shows_service_section(doc, capsys):
+    out = run(capsys, "obs", 'doc("auction.xml")//bidder', "--doc", doc)
+    assert "== service layer (compiled-plan cache + pool) ==" in out
+    assert "service.cache.hits" in out
+    assert "service.cache.misses" in out
+    assert "query latency" in out
+
+
+def test_serve_bench_subcommand(capsys, tmp_path):
+    out_path = tmp_path / "BENCH_service.json"
+    out = run(
+        capsys,
+        "serve-bench",
+        "--quick",
+        "--factor", "0.001",
+        "--repeat", "2",
+        "--workers", "1,2",
+        "--out", str(out_path),
+    )
+    assert "uncached baseline" in out
+    assert "speedup" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro.service.bench/v1"
+    assert report["uncached_baseline"]["queries_per_second"] > 0
+    assert report["cached"]["cache"]["hits"] > 0
+    assert [p["workers"] for p in report["scaling"]] == [1, 2]

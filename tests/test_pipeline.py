@@ -97,3 +97,41 @@ def test_explain_convenience(processor):
         'doc("auction.xml")//open_auction[bidder]', mode="sampling"
     )
     assert "IXSCAN" in sampled
+
+
+def test_compile_loop_lifts_once(processor):
+    """The front end clones the stacked DAG for isolation instead of
+    compiling it twice (the PR-3 double-compile fix)."""
+    from repro.obs import Tracer, get_tracer, set_tracer
+
+    previous = get_tracer()
+    tracer = set_tracer(Tracer())
+    try:
+        processor.compile('doc("auction.xml")//bidder')
+    finally:
+        set_tracer(previous)
+    looplifts = [s for s in tracer.walk() if s.name == "looplift"]
+    assert len(looplifts) == 1
+
+
+def test_backend_not_stale_after_store_swap():
+    """Swapping in a different store with the *same row count* must
+    reload the backend (regression: staleness was keyed on len())."""
+    first = DocumentStore()
+    first.load("<a><b>old</b></a>", "swap.xml")
+    second = DocumentStore()
+    second.load("<a><b>new</b></a>", "swap.xml")
+    assert len(first.table) == len(second.table)
+
+    processor = XQueryProcessor(store=first, default_doc="swap.xml")
+    assert processor.run("/a/b") == "<b>old</b>"
+    processor.store = second
+    assert processor.run("/a/b") == "<b>new</b>"
+
+
+def test_store_version_counts_loads():
+    store = DocumentStore()
+    assert store.version == 0
+    store.load("<a/>", "one.xml")
+    store.load("<b/>", "two.xml")
+    assert store.version == 2

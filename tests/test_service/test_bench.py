@@ -1,0 +1,28 @@
+"""The service benchmark runner itself (tiny configuration)."""
+
+from __future__ import annotations
+
+from repro.service.bench import format_service_bench, run_service_bench
+
+
+def test_run_service_bench_verifies_and_reports():
+    report = run_service_bench(
+        factor=0.001, repeat=2, workers=(1, 2), queries=("X1", "X13")
+    )
+    assert report["schema"] == "repro.service.bench/v1"
+    assert report["metadata"]["calls_per_mode"] == 4
+    assert report["uncached_baseline"]["seconds"] > 0
+    assert report["cached"]["seconds"] > 0
+    assert report["speedup"] > 1.0  # the acceptance gate, in miniature
+    assert [point["workers"] for point in report["scaling"]] == [1, 2]
+    text = format_service_bench(report)
+    assert "uncached baseline" in text and "speedup" in text
+
+
+def test_quick_mode_clamps_size():
+    report = run_service_bench(
+        factor=0.05, repeat=100, workers=(1, 2, 4, 8, 16), quick=True
+    )
+    assert report["metadata"]["factor"] <= 0.004
+    assert report["metadata"]["repeat"] <= 8
+    assert max(p["workers"] for p in report["scaling"]) <= 4

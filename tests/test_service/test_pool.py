@@ -1,0 +1,87 @@
+"""Tests for the shared-cache SQLite backend pool."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.infoset.encoding import shred
+from repro.service import BackendPool
+
+XML = "<a><b>1</b><b>2</b></a>"
+
+
+@pytest.fixture()
+def table():
+    return shred(XML, "a.xml")
+
+
+def test_same_thread_reuses_connection(table):
+    with BackendPool(table) as pool:
+        assert pool.backend() is pool.backend()
+        assert pool.connection_count == 2  # primary + this thread
+
+
+def test_threads_get_distinct_connections_to_same_data(table):
+    with BackendPool(table) as pool:
+        main_backend = pool.backend()
+        seen: dict[str, object] = {}
+
+        def worker() -> None:
+            backend = pool.backend()
+            seen["backend"] = backend
+            seen["rows"] = backend.run_raw("SELECT COUNT(*) FROM doc")[0][0]
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["backend"] is not main_backend
+        # the worker's connection sees the data the primary loaded
+        assert seen["rows"] == len(table)
+
+
+def test_two_pools_are_isolated():
+    pool_a = BackendPool(shred("<a><only_a/></a>", "a.xml"))
+    pool_b = BackendPool(shred("<b><only_b/></b>", "b.xml"))
+    try:
+        names_a = {
+            row[0]
+            for row in pool_a.backend().run_raw(
+                "SELECT name FROM doc WHERE name IS NOT NULL"
+            )
+        }
+        assert "only_a" in names_a and "only_b" not in names_a
+    finally:
+        pool_a.close()
+        pool_b.close()
+
+
+def test_closed_pool_refuses_new_backends(table):
+    pool = BackendPool(table)
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.backend()
+    with pytest.raises(RuntimeError):
+        pool.lease()
+    pool.close()  # idempotent
+
+
+def test_retire_waits_for_leases(table):
+    pool = BackendPool(table)
+    pool.backend()
+    pool.lease()
+    pool.retire()
+    # still usable: the in-flight lease keeps every connection open
+    rows = pool.backend().run_raw("SELECT COUNT(*) FROM doc")[0][0]
+    assert rows == len(table)
+    pool.release()  # last lease out -> pool closes itself
+    with pytest.raises(RuntimeError):
+        pool.lease()
+
+
+def test_retire_idle_pool_closes_immediately(table):
+    pool = BackendPool(table)
+    pool.retire()
+    with pytest.raises(RuntimeError):
+        pool.backend()

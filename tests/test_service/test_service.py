@@ -1,0 +1,144 @@
+"""QueryService facade tests: cache correctness, invalidation,
+metrics, and the batch APIs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.infoset import DocumentStore
+from repro.obs import metrics_scope
+from repro.pipeline import XQueryProcessor
+from repro.service import QueryService
+
+AUCTION_XML = """\
+<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>
+"""
+
+ENGINES = ("interpreter", "isolated-interpreter", "stacked-sql", "joingraph-sql")
+
+
+@pytest.fixture()
+def service():
+    with QueryService(workers=2) as svc:
+        svc.load(AUCTION_XML, "auction.xml")
+        yield svc
+
+
+def test_cache_hit_identical_to_cold_compile_across_engines(service):
+    query = 'doc("auction.xml")//open_auction[initial = "15"]'
+    # cold compile on an independent processor = the reference artifact
+    cold = XQueryProcessor(store=service.store, default_doc="auction.xml")
+    reference = {
+        engine: cold.execute(cold.compile(query), engine=engine)
+        for engine in ENGINES
+    }
+    # first service call fills the cache, the rest must hit
+    for engine in ENGINES:
+        assert service.execute(query, engine=engine) == reference[engine]
+    assert service.cache.stats()["misses"] == 1
+    assert service.cache.stats()["hits"] == len(ENGINES) - 1
+    # and a hit returns the *same* artifact, not a recompile
+    assert service.compile(query) is service.compile(query)
+
+
+def test_cache_invalidates_on_document_load(service):
+    query = "//bidder/time"
+    assert service.serialize(service.execute(query)) == "<time>18:43</time>"
+    version_before = service.store.version
+    service.load(
+        "<open_auction><bidder><time>09:01</time></bidder></open_auction>",
+        "other.xml",
+    )
+    assert service.store.version == version_before + 1
+    assert service.cache.stats()["size"] == 0  # stale entry dropped
+    # same text, same answer — but through a fresh compile (a miss)
+    assert service.serialize(service.execute(query)) == "<time>18:43</time>"
+    assert service.cache.stats()["misses"] == 2
+    # and the new document is queryable through the rebuilt pool
+    out = service.serialize(service.execute('doc("other.xml")//time'))
+    assert out == "<time>09:01</time>"
+
+
+def test_disabled_rules_get_distinct_cache_entries():
+    store = DocumentStore()
+    store.load(AUCTION_XML, "auction.xml")
+    query = "//bidder"
+    with QueryService(store=store, default_doc="auction.xml") as plain, \
+            QueryService(
+                store=store,
+                default_doc="auction.xml",
+                disabled_rules={"17", "18"},
+            ) as ablated:
+        full = plain.compile(query)
+        partial = ablated.compile(query)
+        assert plain.execute(query) == ablated.execute(query)
+        # differing disabled_rules -> differing cache keys -> distinct
+        # artifacts; neither service ever serves the other's plan
+        assert full is not partial
+        assert plain._cache_key(query) != ablated._cache_key(query)
+        assert plain.compile(query) is full
+        assert ablated.compile(query) is partial
+
+
+def test_stale_plans_never_served_after_load(service):
+    query = "//increase"
+    before = service.compile(query)
+    service.load("<open_auction><increase>9.99</increase></open_auction>",
+                 "late.xml")
+    after = service.compile(query)
+    assert after is not before
+    assert len(service.execute(query)) == 1
+
+
+def test_run_many_preserves_submission_order(service):
+    queries = ["//bidder/time", "//initial", "//bidder/time"]
+    results = service.run_many(queries)
+    assert results[0] == results[2]
+    assert results[1] == service.execute("//initial")
+
+
+def test_submit_returns_future(service):
+    future = service.submit("//bidder/time")
+    assert future.result() == service.execute("//bidder/time")
+
+
+def test_service_metrics_flow_from_workers():
+    with metrics_scope() as metrics:
+        with QueryService(workers=2) as svc:
+            svc.load(AUCTION_XML, "auction.xml")
+            svc.run_many(["//initial"] * 10)
+        counters = metrics.snapshot()["counters"]
+    assert counters["service.queries"] == 10
+    assert counters["service.queries.joingraph-sql"] == 10
+    assert counters["service.cache.misses"] == 1
+    assert counters["service.cache.hits"] == 9
+    histogram = metrics.snapshot()["histograms"]["service.query_ns"]
+    assert histogram["count"] == 10
+
+
+def test_closed_service_refuses_work(service):
+    service.close()
+    with pytest.raises(RuntimeError):
+        service.execute("//initial")
+    with pytest.raises(RuntimeError):
+        service.submit("//initial")
+
+
+def test_stats_snapshot(service):
+    service.execute("//initial")
+    stats = service.stats()
+    assert stats["workers"] == 2
+    assert stats["store_version"] == service.store.version
+    assert stats["cache"]["size"] == 1
+    assert stats["pool_connections"] >= 1
+
+
+def test_unknown_engine_rejected(service):
+    with pytest.raises(ValueError):
+        service.execute("//initial", engine="db2")  # type: ignore[arg-type]

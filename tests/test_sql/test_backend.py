@@ -58,3 +58,28 @@ def test_explain_reports_index_usage(fig2_store):
     compiled = processor.compile('doc("auction.xml")//bidder')
     plan_lines = processor.backend.explain(compiled.joingraph_sql)
     assert any("idx_" in line for line in plan_lines)
+
+
+def test_bulk_load_records_load_metric(fig2_store):
+    from repro.obs import metrics_scope
+
+    with metrics_scope() as metrics:
+        with SQLiteBackend(fig2_store.table):
+            pass
+    load_ns = metrics.snapshot()["histograms"].get("sql.load_ns")
+    assert load_ns is not None and load_ns["count"] == 1
+    assert load_ns["total"] > 0
+
+
+def test_attach_only_connection_sees_shared_database():
+    table = shred("<a><b/></a>")
+    uri = "file:test-backend-shared?mode=memory&cache=shared"
+    with SQLiteBackend(table, database=uri, uri=True) as primary:
+        with SQLiteBackend(None, database=uri, uri=True, load=False) as worker:
+            assert worker.run_raw("SELECT COUNT(*) FROM doc") == [(3,)]
+        assert primary.run_raw("SELECT COUNT(*) FROM doc") == [(3,)]
+
+
+def test_attach_only_requires_no_table_but_load_does():
+    with pytest.raises(ValueError):
+        SQLiteBackend(None)
