@@ -47,6 +47,15 @@ shared-cache SQLite pool, see ``docs/performance.md``)::
     python -m repro serve-bench --quick
     python -m repro serve-bench --factor 0.01 --workers 1,2,4,8 \\
         --out BENCH_service.json
+
+Chaos mode (see ``docs/robustness.md``): inject backend faults at a
+configured error rate while 8 threads hammer the service, and verify
+the robustness contract — every call returns a correct answer or a
+clean typed error, and every injected fault is accounted for as
+retried, degraded, or surfaced::
+
+    python -m repro serve-bench --faults --fault-rate 0.15 --fault-seed 7 \\
+        --out CHAOS_report.json
 """
 
 from __future__ import annotations
@@ -376,6 +385,37 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="also write the JSON benchmark document to FILE",
     )
+    chaos = parser.add_argument_group(
+        "chaos mode (see docs/robustness.md)",
+        "run the randomized differential fault-injection campaign "
+        "instead of the throughput benchmark; exit status 1 when the "
+        "robustness contract (correct-or-typed-error, balanced fault "
+        "accounting) is violated",
+    )
+    chaos.add_argument(
+        "--faults", action="store_true",
+        help="chaos mode: inject backend faults and check the contract",
+    )
+    chaos.add_argument(
+        "--fault-rate", type=float, default=0.12,
+        help="overall injected error rate (default: 0.12)",
+    )
+    chaos.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="campaign seed (reproduces a prior run exactly)",
+    )
+    chaos.add_argument(
+        "--threads", type=int, default=8,
+        help="chaos worker threads (default: 8)",
+    )
+    chaos.add_argument(
+        "--queries-per-thread", type=int, default=25,
+        help="queries per chaos thread (default: 25)",
+    )
+    chaos.add_argument(
+        "--deadline", type=float, default=2.0,
+        help="per-query deadline in seconds (default: 2.0)",
+    )
     return parser
 
 
@@ -383,6 +423,28 @@ def serve_bench_main(argv: list[str]) -> int:
     parser = build_serve_bench_parser()
     args = parser.parse_args(argv)
     sys.setrecursionlimit(100_000)
+
+    if args.faults:
+        from repro.faults.campaign import (
+            ChaosConfig,
+            format_chaos_report,
+            run_chaos_campaign,
+        )
+
+        config = ChaosConfig(
+            seed=args.fault_seed,
+            threads=args.threads,
+            queries_per_thread=args.queries_per_thread,
+            rate=args.fault_rate,
+            factor=args.factor,
+            deadline_s=args.deadline,
+        )
+        report = run_chaos_campaign(config)
+        print(format_chaos_report(report))
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+            print(f"-- wrote {args.out}")
+        return 0 if report["contract"]["holds"] else 1
 
     from repro.service.bench import format_service_bench, run_service_bench
 

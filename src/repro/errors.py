@@ -78,3 +78,62 @@ class PlanError(ReproError):
 
 class DocumentError(ReproError):
     """Raised when a referenced document URI is unknown to the store."""
+
+
+class ServiceError(ReproError):
+    """Base class for serving-layer failures (:mod:`repro.service`).
+
+    Every subclass is a *clean, typed* outcome: the query was not
+    answered, but the service state is intact and no partial or stale
+    result escaped.  See ``docs/robustness.md`` for the failure model.
+    """
+
+
+class DeadlineExceeded(ServiceError):
+    """The per-query deadline elapsed before a result was produced.
+
+    Carries the ``budget`` (seconds granted) and ``elapsed`` (seconds
+    actually spent) when known.  Raised by the deadline guard after the
+    in-flight SQLite statement has been cancelled via the progress
+    handler, so the backend connection is immediately reusable.
+    """
+
+    def __init__(
+        self,
+        message: str = "query deadline exceeded",
+        budget: float | None = None,
+        elapsed: float | None = None,
+    ):
+        if budget is not None:
+            message = f"{message} (budget {budget:.3f}s"
+            if elapsed is not None:
+                message += f", elapsed {elapsed:.3f}s"
+            message += ")"
+        super().__init__(message)
+        self.budget = budget
+        self.elapsed = elapsed
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control fast-fail: the service already holds its
+    configured maximum of in-flight/queued queries.  The caller should
+    back off and resubmit; nothing was executed."""
+
+
+class CircuitOpenError(ServiceError):
+    """The backend circuit breaker is open (repeated backend failures)
+    and graceful degradation is disabled, so the query fails fast
+    instead of queueing against a backend that is known to be sick."""
+
+
+class BackendUnavailable(ServiceError):
+    """The backend kept failing after bounded retries and the degraded
+    (fresh uncached compile+execute) path could not answer either —
+    or degradation is disabled.  The ``__cause__`` chain carries the
+    final backend error."""
+
+
+class PoolRetiredError(ServiceError):
+    """A lease was requested on a retired :class:`BackendPool`
+    snapshot.  Transient by construction: the owning service reacts by
+    building a fresh pool for the current store version and retrying."""

@@ -1,0 +1,255 @@
+"""The randomized differential chaos campaign.
+
+This is the proof behind ``docs/robustness.md``: hammer the
+:class:`repro.service.QueryService` from many threads while the fault
+injector (:mod:`repro.faults.injector`) delivers backend misbehavior at
+a configured error rate, and hold the service to its contract:
+
+* every call returns either a **correct** answer (bit-identical to an
+  uncached oracle computed on the reference interpreter before the
+  storm) or a **clean typed error** (:class:`repro.errors.ServiceError`
+  subclass) — never a wrong, partial, or stale result, and never an
+  untyped crash;
+* every injected fault is **accounted for**: the injector's tally must
+  equal the service's recovery ledger,
+  ``injected == retried + degraded + surfaced``.
+
+The campaign is reproducible from its config: the injector draws from
+``seed``, and each worker thread's query order is derived from
+``seed + thread index``.  ``repro serve-bench --faults`` runs exactly
+this campaign from the command line and prints/saves the report (CI
+uploads it as the chaos seed artifact).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import asdict, dataclass, field
+from random import Random
+from typing import Any
+
+from repro.errors import ServiceError
+from repro.faults.injector import FaultInjector, FaultPlan, injection
+from repro.infoset.encoding import DocumentStore
+from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.pipeline import XQueryProcessor
+from repro.service.resilience import RetryPolicy
+from repro.service.service import QueryService
+from repro.workloads import XMARK_QUERIES, XMarkConfig, generate_xmark
+
+__all__ = ["ChaosConfig", "format_chaos_report", "run_chaos_campaign"]
+
+SCHEMA = "repro.faults.campaign/v1"
+
+#: service-level typed errors a chaos run is allowed to surface
+_ALLOWED_ERRORS = ServiceError
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Everything needed to reproduce one campaign run."""
+
+    seed: int = 0
+    threads: int = 8
+    queries_per_thread: int = 25
+    rate: float = 0.12
+    factor: float = 0.002
+    deadline_s: float = 2.0
+    #: stalls are sized to always overrun the deadline, so every stall
+    #: has a deterministic disposition (surfaced as DeadlineExceeded) —
+    #: the accounting gate stays a three-term equation
+    stall_ms: float = 4_000.0
+    max_retries: int = 3
+    breaker_threshold: int = 6
+    breaker_reset_s: float = 0.05
+    query_mix: tuple[str, ...] = ("X1", "X5", "X13", "X17", "X19")
+    engines: tuple[str, ...] = ("joingraph-sql", "stacked-sql")
+
+    def plan(self) -> FaultPlan:
+        return FaultPlan.uniform(
+            self.rate, seed=self.seed, stall_ms=self.stall_ms
+        )
+
+
+@dataclass
+class _Outcomes:
+    """Thread-safe tally of per-call outcomes."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    ok: int = 0
+    typed_errors: dict[str, int] = field(default_factory=dict)
+    wrong: list[str] = field(default_factory=list)
+    crashes: list[str] = field(default_factory=list)
+
+    def record_ok(self) -> None:
+        with self.lock:
+            self.ok += 1
+
+    def record_error(self, error: BaseException) -> None:
+        name = type(error).__name__
+        with self.lock:
+            self.typed_errors[name] = self.typed_errors.get(name, 0) + 1
+
+    def record_wrong(self, detail: str) -> None:
+        with self.lock:
+            self.wrong.append(detail)
+
+    def record_crash(self, detail: str) -> None:
+        with self.lock:
+            self.crashes.append(detail)
+
+
+def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
+    """Run one full campaign; returns the JSON-ready report.
+
+    The report's ``contract`` section is the acceptance gate: it must
+    show zero wrong results, zero crashes, and balanced accounting.
+    """
+    store = DocumentStore()
+    store.load_tree(generate_xmark(XMarkConfig(factor=config.factor)))
+    texts = {name: XMARK_QUERIES[name].text for name in config.query_mix}
+
+    # the uncached oracle: a bare processor on the reference
+    # interpreter, computed before any fault is ever injected
+    oracle_processor = XQueryProcessor(store=store, default_doc="auction.xml")
+    oracle = {
+        name: oracle_processor.execute(text, engine="interpreter")
+        for name, text in texts.items()
+    }
+
+    service = QueryService(
+        store=store,
+        default_doc="auction.xml",
+        workers=config.threads,
+        deadline_s=config.deadline_s,
+        retry=RetryPolicy(max_retries=config.max_retries),
+        breaker_threshold=config.breaker_threshold,
+        breaker_reset_s=config.breaker_reset_s,
+        degrade=True,
+    )
+    outcomes = _Outcomes()
+    campaign_metrics = MetricsRegistry()
+    merge_lock = threading.Lock()
+    barrier = threading.Barrier(config.threads)
+    names = sorted(texts)
+
+    def worker(index: int) -> None:
+        rng = Random(config.seed + index)
+        local = MetricsRegistry()
+        previous = set_metrics(local)
+        try:
+            barrier.wait()
+            for _ in range(config.queries_per_thread):
+                name = rng.choice(names)
+                engine = rng.choice(config.engines)
+                try:
+                    items = service.execute(texts[name], engine=engine)
+                except _ALLOWED_ERRORS as error:
+                    outcomes.record_error(error)
+                except Exception as error:  # noqa: BLE001 - the contract
+                    outcomes.record_crash(
+                        f"{name}/{engine}: {type(error).__name__}: {error}"
+                    )
+                else:
+                    if items == oracle[name]:
+                        outcomes.record_ok()
+                    else:
+                        outcomes.record_wrong(f"{name}/{engine}")
+        finally:
+            set_metrics(previous)
+            with merge_lock:
+                campaign_metrics.merge(local)
+
+    injector = FaultInjector(config.plan())
+    try:
+        with injection(injector):
+            threads = [
+                threading.Thread(target=worker, args=(n,), name=f"chaos-{n}")
+                for n in range(config.threads)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+    finally:
+        service.close()
+
+    handled = service.fault_accounting
+    injected = injector.counts.total
+    accounted = sum(handled.values())
+    calls = config.threads * config.queries_per_thread
+    counters = campaign_metrics.snapshot()["counters"]
+    return {
+        "schema": SCHEMA,
+        "config": asdict(config),
+        "calls": calls,
+        "outcomes": {
+            "ok": outcomes.ok,
+            "typed_errors": dict(sorted(outcomes.typed_errors.items())),
+            "wrong": list(outcomes.wrong),
+            "crashes": list(outcomes.crashes),
+        },
+        "faults": {
+            "injected": injector.counts.snapshot(),
+            "injected_total": injected,
+            "handled": handled,
+            "handled_total": accounted,
+        },
+        "contract": {
+            "no_wrong_results": not outcomes.wrong,
+            "no_crashes": not outcomes.crashes,
+            "accounting_balanced": injected == accounted,
+            "holds": (
+                not outcomes.wrong
+                and not outcomes.crashes
+                and injected == accounted
+            ),
+        },
+        "counters": {
+            name: value
+            for name, value in counters.items()
+            if name.startswith(("service.", "faults."))
+        },
+    }
+
+
+def format_chaos_report(report: dict[str, Any]) -> str:
+    """Human-readable rendering of a campaign report."""
+    config = report["config"]
+    outcomes = report["outcomes"]
+    faults = report["faults"]
+    contract = report["contract"]
+    lines = [
+        f"chaos campaign — seed {config['seed']}, {config['threads']} threads "
+        f"x {config['queries_per_thread']} queries, "
+        f"{config['rate']:.0%} fault rate (xmark factor {config['factor']})",
+        f"  calls             : {report['calls']}",
+        f"  correct answers   : {outcomes['ok']}",
+        "  typed errors      : "
+        + (
+            ", ".join(
+                f"{name} x{count}"
+                for name, count in outcomes["typed_errors"].items()
+            )
+            or "none"
+        ),
+        f"  wrong results     : {len(outcomes['wrong'])}",
+        f"  crashes           : {len(outcomes['crashes'])}",
+        "  injected          : "
+        + ", ".join(
+            f"{kind} x{count}"
+            for kind, count in faults["injected"].items()
+            if count
+        )
+        + f" (total {faults['injected_total']})",
+        f"  handled           : retry {faults['handled']['retry']}, "
+        f"degrade {faults['handled']['degrade']}, "
+        f"surface {faults['handled']['surface']} "
+        f"(total {faults['handled_total']})",
+        f"  contract          : "
+        f"{'HOLDS' if contract['holds'] else 'VIOLATED'} "
+        f"(wrong={not contract['no_wrong_results']}, "
+        f"crashes={not contract['no_crashes']}, "
+        f"accounting={'balanced' if contract['accounting_balanced'] else 'UNBALANCED'})",
+    ]
+    return "\n".join(lines)

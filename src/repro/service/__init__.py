@@ -10,11 +10,21 @@ batch/concurrent execution.  See ``docs/performance.md``.
 
 from repro.service.cache import CacheKey, CompiledQueryCache
 from repro.service.pool import BackendPool
+from repro.service.resilience import (
+    AdmissionGate,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+)
 from repro.service.service import QueryService
 
 __all__ = [
+    "AdmissionGate",
     "BackendPool",
     "CacheKey",
+    "CircuitBreaker",
     "CompiledQueryCache",
+    "Deadline",
     "QueryService",
+    "RetryPolicy",
 ]

@@ -29,6 +29,8 @@ from __future__ import annotations
 import itertools
 import threading
 
+from repro.errors import PoolRetiredError
+from repro.faults.injector import on_lease as _fault_on_lease
 from repro.infoset.encoding import DocTable
 from repro.obs import get_metrics
 from repro.sql.backend import SQLiteBackend
@@ -87,6 +89,18 @@ class BackendPool:
         with self._lock:
             return len(self._connections)
 
+    @property
+    def retired(self) -> bool:
+        """Has this snapshot been retired?  A retired pool takes no new
+        leases; the owning service reacts by building a fresh pool."""
+        with self._lock:
+            return self._retired
+
+    @property
+    def leases(self) -> int:
+        with self._lock:
+            return self._leases
+
     # -- per-thread connections ----------------------------------------
 
     def backend(self) -> SQLiteBackend:
@@ -116,20 +130,52 @@ class BackendPool:
             self._local.backend = backend
         return backend
 
+    def discard_backend(self) -> None:
+        """Drop this thread's connection (closing it if still open) so
+        the next :meth:`backend` call opens a fresh one — the recovery
+        step after connection death.  Safe to call when the thread has
+        no connection yet."""
+        backend: SQLiteBackend | None = getattr(self._local, "backend", None)
+        if backend is None:
+            return
+        self._local.backend = None
+        with self._lock:
+            if backend in self._connections:
+                self._connections.remove(backend)
+            count = len(self._connections)
+        backend.close()
+        metrics = get_metrics()
+        metrics.count("service.pool.discarded_connections")
+        metrics.gauge("service.pool.connections", count)
+
     # -- lifecycle ------------------------------------------------------
 
     def lease(self) -> "BackendPool":
         """Mark one in-flight query on this snapshot; pair with
         :meth:`release`.  A retired pool stays alive (connections open)
-        until its last lease is released."""
+        until its last lease is released, but refuses *new* leases with
+        :class:`PoolRetiredError` — otherwise a steady caller could
+        keep a retired snapshot alive (and served) forever."""
+        # the chaos hook fires outside the lock (an injected
+        # retirement race calls retire(), which needs it) and before
+        # the count moves, so a refused lease can never leak a count
+        _fault_on_lease(self)
         with self._lock:
             if self._closed:
                 raise RuntimeError(f"backend pool {self.name} is closed")
+            if self._retired:
+                raise PoolRetiredError(
+                    f"backend pool {self.name} is retired"
+                )
             self._leases += 1
         return self
 
     def release(self) -> None:
         with self._lock:
+            if self._leases <= 0:
+                raise RuntimeError(
+                    f"backend pool {self.name}: release without a lease"
+                )
             self._leases -= 1
             close_now = self._retired and self._leases <= 0
         if close_now:

@@ -24,21 +24,52 @@ Invalidation: :meth:`load` bumps the store's content version, drops
 cache entries compiled against older versions and retires the current
 backend pool — in-flight queries drain against the old snapshot, new
 queries see the new one.
+
+Resilience (see ``docs/robustness.md``): every SQL-engine execution
+runs under a per-query deadline with true statement cancellation, a
+bounded exponential-backoff retry loop for transient backend errors, a
+circuit breaker over repeated failures, and an admission-control cap
+that sheds load fast.  When the pooled/cached path cannot answer, the
+service *degrades gracefully* — a fresh uncached compile + fresh
+single-use backend — rather than ever serving a stale or partial
+result.  All recovery actions are observable (``service.retry.*``,
+``service.deadline.*``, ``service.breaker.*``, ``service.degrade.*``)
+and fault-injection-tested by :mod:`repro.faults`.
 """
 
 from __future__ import annotations
 
+import sqlite3
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.interpreter import run_plan
+from repro.errors import (
+    BackendUnavailable,
+    CircuitOpenError,
+    DeadlineExceeded,
+    PoolRetiredError,
+    ServiceError,
+)
+from repro.faults.injector import is_injected, suppressed
 from repro.infoset.encoding import DocumentStore
-from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.obs import MetricsRegistry, get_metrics, get_tracer, set_metrics
 from repro.pipeline import CompiledQuery, Engine, XQueryProcessor
 from repro.service.cache import CacheKey, CompiledQueryCache
 from repro.service.pool import BackendPool
+from repro.service.resilience import (
+    AdmissionGate,
+    CircuitBreaker,
+    Deadline,
+    RetryPolicy,
+    cancellation,
+    deadline_scope,
+    is_connection_death,
+    is_transient,
+)
+from repro.sql.backend import SQLiteBackend
 
 __all__ = ["QueryService"]
 
@@ -64,6 +95,26 @@ class QueryService:
     checked:
         Run the plan sanitizer during (cold) compiles, as on
         :class:`XQueryProcessor`.
+    deadline_s:
+        Default per-query time budget (seconds); ``None`` disables
+        deadlines.  Overridable per call via ``deadline_s=``.
+    retry:
+        The :class:`RetryPolicy` for transient backend errors
+        (default: 2 retries, 5 ms exponential backoff).
+    queue_cap:
+        Admission-control cap on concurrently admitted queries;
+        ``None`` (the default) disables the cap.  When set, calls
+        beyond the cap fail fast with
+        :class:`repro.errors.ServiceOverloaded`.
+    breaker_threshold, breaker_reset_s:
+        Circuit breaker: trip open after this many *consecutive*
+        backend failures, probe again after this many seconds.
+    degrade:
+        Graceful degradation: when the pooled/cached path cannot
+        answer (retries exhausted, breaker open), fall back to a fresh
+        uncached compile + a fresh single-use backend instead of
+        failing.  Results are never stale or partial either way; with
+        ``degrade=False`` the failure surfaces as a typed error.
     """
 
     def __init__(
@@ -78,6 +129,12 @@ class QueryService:
         cached_statements: int = 512,
         indexes: dict[str, tuple[str, ...]] | None = None,
         checked: bool = False,
+        deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        queue_cap: int | None = None,
+        breaker_threshold: int = 8,
+        breaker_reset_s: float = 0.25,
+        degrade: bool = True,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -102,6 +159,15 @@ class QueryService:
         self._executor_lock = threading.Lock()
         self._merge_lock = threading.Lock()
         self._closed = False
+        self.deadline_s = deadline_s
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.degrade_enabled = degrade
+        self._admission = AdmissionGate(queue_cap)
+        self._breaker = CircuitBreaker(breaker_threshold, breaker_reset_s)
+        # injected-fault disposition tally for the chaos accounting
+        # gate: injected == retried + degraded + surfaced
+        self._accounting_lock = threading.Lock()
+        self._fault_accounting = {"retry": 0, "degrade": 0, "surface": 0}
 
     # -- documents -----------------------------------------------------
 
@@ -158,48 +224,217 @@ class QueryService:
         with self._pool_lock:
             if self._closed:
                 raise RuntimeError("query service is closed")
-            if self._pool is None or self._pool_version != self.store.version:
-                if self._pool is not None:
-                    self._pool.retire()
-                self._pool = BackendPool(
+            pool = self._pool
+            if pool is not None and (
+                self._pool_version != self.store.version or pool.retired
+            ):
+                # stale or retired (a mid-flight retirement race):
+                # detach it first so a construction failure below never
+                # leaves the service pointing at a dead snapshot
+                self._pool = None
+                pool.retire()
+                pool = None
+            if pool is None:
+                pool = BackendPool(
                     self.store.table,
                     self._indexes,
                     cached_statements=self._cached_statements,
                 )
+                self._pool = pool
                 self._pool_version = self.store.version
-            return self._pool.lease()
+            return pool.lease()
 
     def execute(
-        self, query: str | CompiledQuery, engine: Engine = "joingraph-sql"
+        self,
+        query: str | CompiledQuery,
+        engine: Engine = "joingraph-sql",
+        *,
+        deadline_s: float | None = None,
     ) -> list[Any]:
         """Evaluate a query on the caller's thread; returns the item
-        sequence (same contract as :meth:`XQueryProcessor.execute`)."""
+        sequence (same contract as :meth:`XQueryProcessor.execute`).
+
+        ``deadline_s`` overrides the service default for this call.
+        Raises a typed :class:`repro.errors.ServiceError` subclass on
+        overload, deadline, or backend unavailability — never a partial
+        or stale result.
+        """
+        with self._admission.slot():
+            return self._execute_admitted(query, engine, deadline_s)
+
+    def _execute_admitted(
+        self,
+        query: str | CompiledQuery,
+        engine: Engine,
+        deadline_s: float | None = None,
+    ) -> list[Any]:
         start = time.perf_counter_ns()
-        compiled = (
-            query if isinstance(query, CompiledQuery) else self.compile(query)
-        )
-        if engine == "interpreter":
-            items = run_plan(compiled.stacked_plan)
-        elif engine == "isolated-interpreter":
-            items = run_plan(compiled.isolated_plan)
-        elif engine in ("stacked-sql", "joingraph-sql"):
-            sql = (
-                compiled.stacked_sql
-                if engine == "stacked-sql"
-                else compiled.joingraph_sql
-            )
-            pool = self._lease_pool()
-            try:
-                items = pool.backend().run(sql)
-            finally:
-                pool.release()
-        else:
-            raise ValueError(f"unknown engine {engine!r}")
+        budget = self.deadline_s if deadline_s is None else deadline_s
+        deadline = Deadline.after(budget) if budget else None
         metrics = get_metrics()
+        try:
+            with deadline_scope(deadline):
+                compiled = (
+                    query
+                    if isinstance(query, CompiledQuery)
+                    else self.compile(query)
+                )
+                if deadline is not None:
+                    deadline.check()
+                if engine == "interpreter":
+                    items = run_plan(compiled.stacked_plan)
+                elif engine == "isolated-interpreter":
+                    items = run_plan(compiled.isolated_plan)
+                elif engine in ("stacked-sql", "joingraph-sql"):
+                    items = self._run_pooled(compiled, engine, deadline)
+                else:
+                    raise ValueError(f"unknown engine {engine!r}")
+                if deadline is not None:
+                    # interpreters cannot be cancelled mid-run; a late
+                    # result is still refused so the deadline contract
+                    # holds across engines
+                    deadline.check()
+        except ServiceError as error:
+            metrics.count("service.queries.failed")
+            metrics.count(f"service.errors.{type(error).__name__}")
+            raise
         metrics.count("service.queries")
         metrics.count(f"service.queries.{engine}")
         metrics.observe("service.query_ns", time.perf_counter_ns() - start)
         return items
+
+    def _run_pooled(
+        self,
+        compiled: CompiledQuery,
+        engine: Engine,
+        deadline: Deadline | None,
+    ) -> list[Any]:
+        """The pooled SQL path under the full resilience stack: breaker
+        -> lease -> cancellable execution, retrying transient failures
+        with backoff and degrading to :meth:`_degraded` as last resort."""
+        sql = (
+            compiled.stacked_sql
+            if engine == "stacked-sql"
+            else compiled.joingraph_sql
+        )
+        metrics = get_metrics()
+        tracer = get_tracer()
+        attempt = 0
+        while True:
+            if not self._breaker.allow():
+                if self.degrade_enabled:
+                    metrics.count("service.degrade.breaker_fastpath")
+                    return self._degraded(compiled, engine, deadline)
+                raise CircuitOpenError(
+                    "backend circuit breaker is open and degradation "
+                    "is disabled"
+                )
+            pool: BackendPool | None = None
+            try:
+                pool = self._lease_pool()
+                try:
+                    backend = pool.backend()
+                    with cancellation(backend.connection, deadline):
+                        items = backend.run(sql)
+                finally:
+                    pool.release()
+                self._breaker.record_success()
+                return items
+            except DeadlineExceeded as error:
+                # the budget is gone: neither a retry nor the degraded
+                # path could answer in time, so the miss surfaces
+                metrics.count("service.deadline.exceeded")
+                self._account(error, "surface")
+                raise
+            except (sqlite3.Error, PoolRetiredError) as error:
+                if not is_transient(error):
+                    raise
+                self._breaker.record_failure()
+                if is_connection_death(error) and pool is not None:
+                    # this thread's connection is gone; a retry only
+                    # helps on a fresh one
+                    pool.discard_backend()
+                if self.retry.allows(attempt, deadline):
+                    self._account(error, "retry")
+                    metrics.count("service.retry.attempts")
+                    with tracer.span(
+                        "service.retry", attempt=attempt, error=str(error)
+                    ):
+                        metrics.observe(
+                            "service.retry.backoff_s",
+                            self.retry.pause(attempt, deadline),
+                        )
+                    attempt += 1
+                    continue
+                metrics.count("service.retry.exhausted")
+                if self.degrade_enabled:
+                    try:
+                        items = self._degraded(compiled, engine, deadline)
+                    except DeadlineExceeded:
+                        metrics.count("service.deadline.exceeded")
+                        self._account(error, "surface")
+                        raise
+                    except Exception as fallback_error:
+                        self._account(error, "surface")
+                        raise BackendUnavailable(
+                            "backend kept failing and the degraded "
+                            "path failed too"
+                        ) from fallback_error
+                    metrics.count("service.degrade.fallbacks")
+                    self._account(error, "degrade")
+                    return items
+                self._account(error, "surface")
+                raise BackendUnavailable(
+                    f"backend failure persisted through "
+                    f"{self.retry.max_retries} retries: {error}"
+                ) from error
+
+    def _degraded(
+        self,
+        compiled: CompiledQuery,
+        engine: Engine,
+        deadline: Deadline | None,
+    ) -> list[Any]:
+        """Graceful degradation: a *fresh uncached* compile and a fresh
+        single-use backend, bypassing the compiled-plan cache, the
+        shared pool, and any state a misbehaving backend could have
+        poisoned.  Slower, but the answer is computed from scratch
+        against the current store — correct or a typed error, never
+        stale.  Fault injection is suppressed here: the fallback of
+        last resort is not itself chaos-tested mid-recovery."""
+        with suppressed(), get_tracer().span("service.degrade", engine=engine):
+            if deadline is not None:
+                deadline.check()
+            get_metrics().count("service.degrade.queries")
+            with self._compile_lock:
+                fresh = self.processor.compile(compiled.source)
+            sql = (
+                fresh.stacked_sql
+                if engine == "stacked-sql"
+                else fresh.joingraph_sql
+            )
+            backend = SQLiteBackend(self.store.table, self._indexes)
+            try:
+                with cancellation(backend.connection, deadline):
+                    return backend.run(sql)
+            finally:
+                backend.close()
+
+    def _account(self, error: BaseException, disposition: str) -> None:
+        """Tally how an *injected* fault was handled (organic failures
+        are recovered identically but stay out of the chaos ledger)."""
+        if not is_injected(error):
+            return
+        with self._accounting_lock:
+            self._fault_accounting[disposition] += 1
+        get_metrics().count(f"service.faults.handled.{disposition}")
+
+    @property
+    def fault_accounting(self) -> dict[str, int]:
+        """Injected-fault dispositions so far (``retry`` / ``degrade``
+        / ``surface``) — the service side of the chaos accounting gate."""
+        with self._accounting_lock:
+            return dict(self._fault_accounting)
 
     def serialize(self, items: Sequence[Any]) -> str:
         """Serialize a node-sequence result back to XML text."""
@@ -227,6 +462,7 @@ class QueryService:
         registry: MetricsRegistry,
         query: str | CompiledQuery,
         engine: Engine,
+        deadline_s: float | None,
     ) -> list[Any]:
         # record into a private registry, then merge into the
         # submitting thread's registry under a lock: counters stay
@@ -235,26 +471,49 @@ class QueryService:
         local = MetricsRegistry()
         previous = set_metrics(local)
         try:
-            return self.execute(query, engine=engine)
+            return self._execute_admitted(query, engine, deadline_s)
         finally:
+            self._admission.exit()
             set_metrics(previous)
             with self._merge_lock:
                 registry.merge(local)
 
     def submit(
-        self, query: str | CompiledQuery, engine: Engine = "joingraph-sql"
+        self,
+        query: str | CompiledQuery,
+        engine: Engine = "joingraph-sql",
+        *,
+        deadline_s: float | None = None,
     ) -> "Future[list[Any]]":
-        """Schedule one query on the worker pool; returns its future."""
+        """Schedule one query on the worker pool; returns its future.
+
+        Admission control applies at submission time: with a
+        ``queue_cap`` configured, a submission beyond the cap raises
+        :class:`repro.errors.ServiceOverloaded` immediately instead of
+        queueing work the caller would only time out on.
+        """
         executor = self._ensure_executor()
-        return executor.submit(self._task, get_metrics(), query, engine)
+        self._admission.enter()
+        try:
+            return executor.submit(
+                self._task, get_metrics(), query, engine, deadline_s
+            )
+        except BaseException:
+            self._admission.exit()
+            raise
 
     def run_many(
         self,
         queries: Iterable[str | CompiledQuery],
         engine: Engine = "joingraph-sql",
+        *,
+        deadline_s: float | None = None,
     ) -> list[list[Any]]:
         """Execute a batch concurrently; results in submission order."""
-        futures = [self.submit(query, engine=engine) for query in queries]
+        futures = [
+            self.submit(query, engine=engine, deadline_s=deadline_s)
+            for query in queries
+        ]
         return [future.result() for future in futures]
 
     # -- lifecycle -----------------------------------------------------
@@ -268,6 +527,15 @@ class QueryService:
             "store_version": self.store.version,
             "cache": self.cache.stats(),
             "pool_connections": pool.connection_count if pool else 0,
+            "resilience": {
+                "deadline_s": self.deadline_s,
+                "max_retries": self.retry.max_retries,
+                "queue_cap": self._admission.capacity,
+                "inflight": self._admission.inflight,
+                "breaker": self._breaker.state,
+                "degrade": self.degrade_enabled,
+                "fault_accounting": self.fault_accounting,
+            },
         }
 
     def close(self) -> None:

@@ -14,6 +14,7 @@ import time
 from typing import Sequence
 
 from repro.algebra.expressions import Value
+from repro.faults.injector import on_execute as _fault_on_execute
 from repro.infoset.encoding import DocTable
 from repro.obs import get_metrics, get_tracer
 from repro.sql.codegen import SQLQuery
@@ -90,7 +91,13 @@ class SQLiteBackend:
         if load:
             if table is None:
                 raise ValueError("load=True requires a document table")
-            self._load(table)
+            try:
+                self._load(table)
+            except BaseException:
+                # a half-loaded backend is unusable: release the
+                # connection instead of leaking it to the GC
+                self.connection.close()
+                raise
 
     def _load(self, table: DocTable) -> None:
         with get_tracer().span(
@@ -142,6 +149,11 @@ class SQLiteBackend:
         span, fetches, and records statement/row metrics.  When a trace
         is being captured, the ``EXPLAIN QUERY PLAN`` output for the
         statement is attached to the span as well."""
+        # chaos hook (no-op unless an injector is installed): may raise
+        # a transient error, stall, or kill this connection — the
+        # service layer's retry/deadline machinery is built against
+        # exactly the failures delivered here
+        _fault_on_execute(self.connection)
         tracer = get_tracer()
         with tracer.span(label, statement=_statement_head(sql)) as span:
             if tracer.enabled:

@@ -1,0 +1,290 @@
+"""Grammar-based random query generation for the workhorse fragment.
+
+``tests/genquery.py`` is the shared query/document generator behind
+the differential property tests (``test_genquery_differential.py``).
+It walks the surface grammar of ``docs/fragment.md`` — FLWOR with
+multiple ``for`` clauses and ``where``, conditionals, reverse and
+sibling axes, kind tests, conjunctive predicates, general and value
+comparisons — and emits query strings guaranteed to *parse*; whether
+every engine agrees on them is exactly what the differential test
+checks.
+
+Everything is driven by an explicit ``random.Random``: the same seed
+yields the same document and query text, so any failing example is
+reproducible from the one integer that hypothesis (or a CI log)
+prints.  A per-query *size budget* bounds the number of steps and
+comparisons: every ``doc()``-rooted comparand joins against the whole
+document, and unbounded nesting generates queries whose SQL join
+graphs take minutes on pathological seeds.
+
+``let`` clauses are generated only with ``allow_let=True``: certain
+let-shapes currently die in join-graph codegen ("operator DISTINCT is
+not join-graph material") — a pre-existing isolation limitation, so
+the differential sweep excludes the construct rather than report it
+over and over.
+
+Deliberately outside the generator (rejected by the front end, see
+``docs/fragment.md``): positional predicates, arithmetic, ``or`` /
+``not``, aggregation, element construction, ``order by``.
+"""
+
+from __future__ import annotations
+
+import random
+
+__all__ = [
+    "DEFAULT_URI",
+    "GRAMMAR_VERSION",
+    "QueryGenerator",
+    "random_document",
+    "random_query",
+]
+
+#: bump when the grammar changes shape — reports citing a seed are only
+#: reproducible against the same grammar version
+GRAMMAR_VERSION = 2
+
+DEFAULT_URI = "g.xml"
+
+TAGS = ("a", "b", "c", "d")
+
+#: forward/reverse/sibling axes the fragment supports, weighted toward
+#: the shapes real workloads use (child/descendant dominate)
+_AXES = (
+    ("child", 8),
+    ("descendant", 4),
+    ("self", 1),
+    ("parent", 2),
+    ("ancestor", 1),
+    ("ancestor-or-self", 1),
+    ("descendant-or-self", 1),
+    ("following-sibling", 2),
+    ("preceding-sibling", 2),
+)
+
+_COMPARATORS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+def random_document(rng: random.Random, max_nodes: int = 40) -> str:
+    """A random element tree over ``TAGS`` with id attributes and
+    short numeric text — small enough to interpret quickly, varied
+    enough that axes/predicates discriminate."""
+    budget = [rng.randint(8, max_nodes)]
+
+    def element(depth: int) -> str:
+        budget[0] -= 1
+        tag = rng.choice(TAGS)
+        attrs = ""
+        if rng.random() < 0.4:
+            attrs += f' id="{rng.randint(0, 4)}"'
+        if rng.random() < 0.15:
+            attrs += f' key="k{rng.randint(0, 2)}"'
+        children: list[str] = []
+        while budget[0] > 0 and rng.random() < (0.75 if depth < 4 else 0.25):
+            if rng.random() < 0.35:
+                budget[0] -= 1
+                children.append(str(rng.randint(0, 9)))
+            else:
+                children.append(element(depth + 1))
+        return f"<{tag}{attrs}>{''.join(children)}</{tag}>"
+
+    return element(0)
+
+
+class QueryGenerator:
+    """One random query per :meth:`query` call, drawn from the
+    fragment grammar.  ``size_budget`` bounds steps + comparisons per
+    query (compile time and SQL join width are both roughly linear in
+    it).  Construction is cheap; generators are not thread-safe (hand
+    each thread its own)."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        uri: str = DEFAULT_URI,
+        size_budget: int = 12,
+        allow_let: bool = False,
+    ):
+        self.rng = rng
+        self.uri = uri
+        self.size_budget = size_budget
+        self.allow_let = allow_let
+        self._fresh = 0
+        self._budget = 0
+
+    # -- budget ---------------------------------------------------------
+
+    def _spend(self, cost: int = 1) -> bool:
+        """Charge ``cost`` against the query budget; False once spent
+        (callers degrade to their cheapest production)."""
+        if self._budget < cost:
+            return False
+        self._budget -= cost
+        return True
+
+    # -- terminals ------------------------------------------------------
+
+    def _tag(self) -> str:
+        return self.rng.choice(TAGS)
+
+    def _node_test(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.70:
+            return self._tag()
+        if roll < 0.85:
+            return "*"
+        if roll < 0.95:
+            return "text()"
+        return "node()"
+
+    def _axis(self) -> str:
+        total = sum(weight for _, weight in _AXES)
+        roll = self.rng.uniform(0, total)
+        for axis, weight in _AXES:
+            roll -= weight
+            if roll <= 0:
+                return axis
+        return "child"
+
+    def _var(self, bound: list[str]) -> str:
+        return self.rng.choice(bound)
+
+    def _fresh_var(self) -> str:
+        self._fresh += 1
+        return f"$v{self._fresh}"
+
+    # -- steps and paths ------------------------------------------------
+
+    def _step(self, depth: int) -> str:
+        if not self._spend():
+            return f"/{self._tag()}"
+        axis = self._axis()
+        if axis == "child":
+            text = f"/{self._node_test()}"
+        elif axis == "descendant":
+            text = f"//{self._tag()}"
+        else:
+            test = self._tag() if axis != "self" else self._node_test()
+            text = f"/{axis}::{test}"
+        if depth > 0 and self.rng.random() < 0.25:
+            text += f"[{self._predicate(depth - 1)}]"
+        return text
+
+    def _initial_step(self) -> str:
+        """The first step off the document node: reverse/sibling axes
+        are always empty there, so start with a step that actually
+        lands in the tree — the rest of the path can then explore any
+        axis from real context nodes."""
+        self._spend()
+        roll = self.rng.random()
+        if roll < 0.6:
+            return f"//{self._tag()}"
+        if roll < 0.8:
+            return "/*"
+        return f"//{self.rng.choice(('*', 'node()'))}"
+
+    def path(self, base: str, length: int, depth: int = 2) -> str:
+        steps: list[str] = []
+        if base.startswith("doc(") and length > 0:
+            steps.append(self._initial_step())
+            length -= 1
+        steps.extend(self._step(depth) for _ in range(length))
+        return base + "".join(steps)
+
+    def _source(self, bound: list[str]) -> str:
+        # prefer bound variables: every doc()-rooted subexpression is
+        # another full-document join in the generated SQL
+        if bound and self.rng.random() < 0.75:
+            return self._var(bound)
+        return f'doc("{self.uri}")'
+
+    # -- predicates and conditions --------------------------------------
+
+    def _comparand(self) -> str:
+        if self.rng.random() < 0.6:
+            return str(self.rng.randint(0, 9))
+        return f'"{self.rng.randint(0, 9)}"'
+
+    def _comparison(self, depth: int, bound: list[str]) -> str:
+        # single-step comparands, charged double: comparisons dominate
+        # both compile time and join-graph width
+        self._spend(2)
+        left = self.path(self._source(bound), 1, depth)
+        op = self.rng.choice(_COMPARATORS)
+        if self.rng.random() < 0.8 or not self._spend(2):
+            return f"{left} {op} {self._comparand()}"
+        right = self.path(self._source(bound), 1, depth)
+        return f"{left} {op} {right}"
+
+    def _predicate(self, depth: int) -> str:
+        roll = self.rng.random()
+        if roll < 0.35:
+            relative = self.path("", self.rng.randint(1, 2), depth).lstrip("/")
+            return relative or self._tag()
+        if roll < 0.55:
+            return f'@id = "{self.rng.randint(0, 4)}"'
+        if roll < 0.9 or depth <= 0 or not self._spend(2):
+            return self._comparison(depth, [])
+        return (
+            f"{self._predicate(depth - 1)} and {self._predicate(depth - 1)}"
+        )
+
+    def _condition(self, depth: int, bound: list[str]) -> str:
+        condition = self._comparison(depth, bound)
+        if self.rng.random() < 0.25 and self._spend(2):
+            condition += f" and {self._comparison(depth - 1, bound)}"
+        return condition
+
+    # -- expressions ----------------------------------------------------
+
+    def _flwor(self, depth: int, bound: list[str]) -> str:
+        bound = list(bound)
+        clauses: list[str] = []
+        for _ in range(self.rng.randint(1, 2)):
+            var = self._fresh_var()
+            source = self.path(
+                self._source(bound), self.rng.randint(1, 2), depth
+            )
+            clauses.append(f"for {var} in {source}")
+            bound.append(var)
+        if self.allow_let and self.rng.random() < 0.3:
+            var = self._fresh_var()
+            source = self.path(self._var(bound), 1, depth)
+            clauses.append(f"let {var} := {source}")
+            bound.append(var)
+        if self.rng.random() < 0.4:
+            clauses.append(f"where {self._condition(depth, bound)}")
+        return " ".join(clauses) + f" return {self._tail(depth, bound)}"
+
+    def _tail(self, depth: int, bound: list[str]) -> str:
+        roll = self.rng.random()
+        if depth > 0 and roll < 0.15 and self._spend(4):
+            return self._flwor(depth - 1, bound)
+        if depth > 0 and roll < 0.3:
+            # the workhorse fragment requires the else branch to be ()
+            condition = self._condition(depth - 1, bound)
+            then = self.path(self._var(bound), self.rng.randint(0, 1), depth)
+            return f"if ({condition}) then {then} else ()"
+        return self.path(self._var(bound), self.rng.randint(0, 2), depth)
+
+    def query(self) -> str:
+        """One random query over ``doc(uri)``."""
+        self._budget = self.size_budget
+        if self.rng.random() < 0.45:
+            return self.path(f'doc("{self.uri}")', self.rng.randint(1, 4))
+        return self._flwor(2, [])
+
+
+def random_query(rng: random.Random, uri: str = DEFAULT_URI, **kwargs) -> str:
+    """Convenience wrapper: one query from a fresh generator."""
+    return QueryGenerator(rng, uri=uri, **kwargs).query()
+
+
+if __name__ == "__main__":  # pragma: no cover - manual inspection aid
+    import sys
+
+    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    rng = random.Random(seed)
+    print(random_document(rng))
+    for _ in range(10):
+        print(random_query(rng))

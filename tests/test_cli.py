@@ -211,3 +211,26 @@ def test_serve_bench_subcommand(capsys, tmp_path):
     assert report["uncached_baseline"]["queries_per_second"] > 0
     assert report["cached"]["cache"]["hits"] > 0
     assert [p["workers"] for p in report["scaling"]] == [1, 2]
+
+
+def test_serve_bench_faults_subcommand(capsys, tmp_path):
+    out_path = tmp_path / "chaos.json"
+    out = run(
+        capsys,
+        "serve-bench",
+        "--faults",
+        "--fault-rate", "0.15",
+        "--fault-seed", "7",
+        "--factor", "0.002",
+        "--threads", "4",
+        "--queries-per-thread", "5",
+        "--deadline", "1.0",
+        "--out", str(out_path),
+    )
+    assert "chaos campaign" in out
+    assert "contract" in out and "HOLDS" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro.faults.campaign/v1"
+    assert report["config"]["seed"] == 7
+    assert report["contract"]["holds"] is True
+    assert report["faults"]["injected_total"] == report["faults"]["handled_total"]

@@ -1,0 +1,150 @@
+"""The randomized chaos campaign gate, and a mid-storm reload test
+proving the service never serves stale results.
+
+These are the heavyweight tests of the suite (multi-threaded storms
+over an XMark instance); CI additionally runs the full-size campaign
+as a separate job via ``repro serve-bench --faults``.
+"""
+
+from __future__ import annotations
+
+import threading
+from random import Random
+
+from repro.errors import ServiceError
+from repro.faults import FaultPlan, injection
+from repro.faults.campaign import (
+    ChaosConfig,
+    format_chaos_report,
+    run_chaos_campaign,
+)
+from repro.service import QueryService
+
+GATE_CONFIG = ChaosConfig(
+    seed=7,
+    threads=8,
+    queries_per_thread=8,
+    rate=0.15,  # the gate requires >= 10% injected-fault rate
+    factor=0.002,
+    deadline_s=1.0,
+    stall_ms=4_000.0,  # stalls always overrun the deadline
+    breaker_reset_s=0.02,
+)
+
+
+def test_chaos_campaign_contract_holds():
+    report = run_chaos_campaign(GATE_CONFIG)
+    outcomes = report["outcomes"]
+    faults = report["faults"]
+
+    # the storm actually stormed
+    assert report["calls"] == GATE_CONFIG.threads * GATE_CONFIG.queries_per_thread
+    assert faults["injected_total"] > 0
+
+    # the contract: correct answer or clean typed error, nothing else
+    assert outcomes["wrong"] == []
+    assert outcomes["crashes"] == []
+    assert outcomes["ok"] + sum(outcomes["typed_errors"].values()) == report["calls"]
+
+    # the accounting gate: every injected fault has exactly one
+    # disposition — retried, degraded, or surfaced as a typed error
+    handled = faults["handled"]
+    assert faults["injected_total"] == (
+        handled["retry"] + handled["degrade"] + handled["surface"]
+    )
+    assert report["contract"]["holds"]
+
+    # the report is renderable and says so
+    rendered = format_chaos_report(report)
+    assert "HOLDS" in rendered
+    assert f"seed {GATE_CONFIG.seed}" in rendered
+
+
+def test_no_stale_results_across_midstorm_reload():
+    """Load a new document *while* 8 threads hammer the service under
+    fault injection.  Queries against the new document must return
+    either the pre-load answer (empty: the URI is unknown) or the
+    complete post-load answer — never a partial or stale snapshot —
+    and each thread's view must flip monotonically from empty to full.
+    """
+    extra_xml = "<catalog>" + "".join(
+        f"<item><name>n{i}</name></item>" for i in range(10)
+    ) + "</catalog>"
+    extra_query = 'doc("extra.xml")//item/name'
+    base_query = 'doc("auction.xml")//bidder/increase'
+
+    service = QueryService(workers=8, deadline_s=1.5, breaker_threshold=64)
+    service.load(
+        "<open_auction><bidder><increase>4.20</increase></bidder>"
+        "</open_auction>",
+        "auction.xml",
+    )
+    base_expected = service.execute(base_query)
+    assert base_expected != []
+
+    threads = 8
+    per_thread = 30
+    errors: list[str] = []
+    extra_results: dict[int, list[list]] = {n: [] for n in range(threads)}
+    results_lock = threading.Lock()
+    barrier = threading.Barrier(threads + 1)
+
+    def worker(index: int) -> None:
+        rng = Random(1000 + index)
+        barrier.wait()
+        for _ in range(per_thread):
+            query = extra_query if rng.random() < 0.5 else base_query
+            engine = rng.choice(("joingraph-sql", "stacked-sql"))
+            try:
+                items = service.execute(query, engine=engine)
+            except ServiceError:
+                continue  # clean typed error: allowed under chaos
+            except Exception as error:  # noqa: BLE001
+                with results_lock:
+                    errors.append(f"{type(error).__name__}: {error}")
+                continue
+            if query == base_query:
+                if items != base_expected:
+                    with results_lock:
+                        errors.append(f"wrong base answer: {items!r}")
+            else:
+                with results_lock:
+                    extra_results[index].append(items)
+
+    plan = FaultPlan.uniform(0.12, seed=3, stall_ms=10_000.0)
+    with injection(plan):
+        pool = [
+            threading.Thread(target=worker, args=(n,)) for n in range(threads)
+        ]
+        for thread in pool:
+            thread.start()
+        barrier.wait()
+        # the mid-storm reload: invalidates the compiled-plan cache and
+        # retires the backend pool while queries are in flight
+        service.load(extra_xml, "extra.xml")
+        for thread in pool:
+            thread.join()
+
+    # the canonical post-load answer, computed after the storm
+    extra_expected = service.execute(extra_query)
+    assert len(extra_expected) == 10
+    service.close()
+
+    assert errors == []
+    saw_full = False
+    for index in range(threads):
+        seen_nonempty = False
+        for items in extra_results[index]:
+            # every answer is the empty pre-load one or the full
+            # post-load one — a stale pool/cache would show up as an
+            # empty (or partial) answer after a full one
+            assert items in ([], extra_expected), f"stale/partial: {items!r}"
+            if items:
+                seen_nonempty = True
+                saw_full = True
+            else:
+                assert not seen_nonempty, (
+                    f"thread {index} regressed to the pre-load answer "
+                    "after observing the reloaded document"
+                )
+    assert saw_full  # the scenario actually exercised the post-load path

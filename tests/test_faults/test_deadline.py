@@ -1,0 +1,122 @@
+"""Deadline enforcement through the full service stack: a stalled
+backend query surfaces :class:`DeadlineExceeded` promptly (not after
+the stall), poisons no cached state, and leaks no pool lease."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import DeadlineExceeded
+from repro.faults import FaultInjector, injection
+from repro.obs import metrics_scope
+from repro.service import QueryService
+
+AUCTION_XML = """\
+<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>
+"""
+
+QUERY = 'doc("auction.xml")//bidder/increase'
+
+#: the injected stall is 10x the deadline: without real cancellation
+#: the call would take the full stall
+STALL_MS = 500.0
+DEADLINE_S = 0.05
+
+
+@pytest.fixture()
+def service():
+    with QueryService(workers=2) as svc:
+        svc.load(AUCTION_XML, "auction.xml")
+        yield svc
+
+
+def test_stalled_query_misses_its_deadline_promptly(service):
+    expected = service.execute(QUERY)  # warm cache + pool, no faults
+    injector = FaultInjector.scripted([None, "stall"], stall_ms=STALL_MS)
+    started = time.monotonic()
+    with injection(injector):
+        with metrics_scope() as metrics:
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                service.execute(QUERY, deadline_s=DEADLINE_S)
+    elapsed = time.monotonic() - started
+    # returned once the budget ran out, far before the stall finished
+    assert elapsed < STALL_MS / 1000.0 * 0.8
+    assert elapsed >= DEADLINE_S
+    assert excinfo.value.injected  # type: ignore[attr-defined]
+    counters = metrics.snapshot()["counters"]
+    assert counters["service.deadline.exceeded"] == 1
+    assert counters["service.queries.failed"] == 1
+    # the deadline miss is a *surfaced* injected fault in the ledger
+    assert service.fault_accounting == {
+        "retry": 0,
+        "degrade": 0,
+        "surface": 1,
+    }
+    # no leaked lease: a retired pool would otherwise never drain
+    assert service._pool is not None and service._pool.leases == 0
+    # no poisoned state: the same cached plan answers correctly, from
+    # the same pool, on the very next call
+    pool_before = service._pool
+    assert service.execute(QUERY, deadline_s=5.0) == expected
+    assert service._pool is pool_before
+    assert service.cache.stats()["size"] == 1
+
+
+def test_per_call_deadline_overrides_service_default(service):
+    service.execute(QUERY)
+    injector = FaultInjector.scripted([None, "stall"], stall_ms=STALL_MS)
+    with injection(injector):
+        # service has no default deadline; the per-call budget governs
+        with pytest.raises(DeadlineExceeded):
+            service.execute(QUERY, deadline_s=DEADLINE_S)
+
+
+def test_service_default_deadline_applies(service):
+    expected = service.execute(QUERY)
+    with QueryService(deadline_s=DEADLINE_S) as governed:
+        governed.load(AUCTION_XML, "auction.xml")
+        assert governed.execute(QUERY) == expected  # fast query fits
+        injector = FaultInjector.scripted([None, "stall"], stall_ms=STALL_MS)
+        with injection(injector):
+            with pytest.raises(DeadlineExceeded):
+                governed.execute(QUERY)
+
+
+def test_deadline_error_reports_budget_and_elapsed(service):
+    service.execute(QUERY)
+    injector = FaultInjector.scripted([None, "stall"], stall_ms=STALL_MS)
+    with injection(injector):
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            service.execute(QUERY, deadline_s=DEADLINE_S)
+    message = str(excinfo.value)
+    assert "0.05" in message  # the budget
+    assert excinfo.value.budget == pytest.approx(DEADLINE_S)
+    assert excinfo.value.elapsed >= DEADLINE_S
+
+
+def test_spent_budget_refuses_even_a_cold_compile(service):
+    # a budget far below compile time: the post-compile check refuses
+    # before any backend work happens — organic, so the ledger is empty
+    with pytest.raises(DeadlineExceeded):
+        service.execute(QUERY, deadline_s=0.0005)
+    assert service.fault_accounting["surface"] == 0
+    assert service.execute(QUERY) != []
+
+
+def test_deadline_exceeded_through_the_worker_pool(service):
+    service.execute(QUERY)
+    injector = FaultInjector.scripted([None, "stall"], stall_ms=STALL_MS)
+    with injection(injector):
+        future = service.submit(QUERY, deadline_s=DEADLINE_S)
+        with pytest.raises(DeadlineExceeded):
+            future.result(timeout=30)
+    assert service._admission.inflight == 0
+    assert service._pool is not None and service._pool.leases == 0

@@ -1,0 +1,166 @@
+"""The fault injector itself: determinism, scripting, suppression,
+installation discipline, and delivery at both hook sites."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro import faults
+from repro.errors import PoolRetiredError
+from repro.faults import (
+    FAULT_KINDS,
+    FaultInjector,
+    FaultPlan,
+    InjectedOperationalError,
+    injection,
+    is_injected,
+)
+
+
+def fresh_connection() -> sqlite3.Connection:
+    connection = sqlite3.connect(":memory:")
+    connection.execute("CREATE TABLE t (x)")
+    return connection
+
+
+class FakePool:
+    name = "fake-pool"
+
+    def __init__(self):
+        self.retired = False
+
+    def retire(self):
+        self.retired = True
+
+
+def drive(injector: FaultInjector, opportunities: int) -> list[str | None]:
+    """Fire the execute site ``opportunities`` times; returns the
+    injected kind (or None) per opportunity."""
+    observed: list[str | None] = []
+    for _ in range(opportunities):
+        connection = fresh_connection()
+        try:
+            injector.fire_execute(connection)
+        except InjectedOperationalError as error:
+            observed.append(
+                "disconnect" if "disconnect" in str(error) else "busy"
+            )
+        else:
+            observed.append(None)
+        finally:
+            try:
+                connection.close()
+            except sqlite3.ProgrammingError:
+                pass
+    return observed
+
+
+def test_plan_validation_rejects_bad_rates():
+    with pytest.raises(ValueError):
+        FaultInjector(FaultPlan(busy=1.5))
+    with pytest.raises(ValueError):
+        FaultInjector(FaultPlan(stall_ms=-1))
+
+
+def test_uniform_split_sums_to_rate():
+    plan = FaultPlan.uniform(0.2, seed=1)
+    total = plan.busy + plan.stall + plan.disconnect + plan.retire
+    assert total == pytest.approx(0.2)
+
+
+def test_same_seed_same_fault_sequence():
+    plan = FaultPlan(seed=42, busy=0.3, disconnect=0.2)
+    first = drive(FaultInjector(plan), 50)
+    second = drive(FaultInjector(plan), 50)
+    assert first == second
+    assert any(kind is not None for kind in first)
+
+
+def test_different_seeds_differ():
+    a = drive(FaultInjector(FaultPlan(seed=1, busy=0.4)), 60)
+    b = drive(FaultInjector(FaultPlan(seed=2, busy=0.4)), 60)
+    assert a != b
+
+
+def test_counts_match_observations():
+    injector = FaultInjector(FaultPlan(seed=7, busy=0.3, disconnect=0.3))
+    observed = drive(injector, 80)
+    by_kind = injector.counts.snapshot()
+    assert by_kind["busy"] == observed.count("busy")
+    assert by_kind["disconnect"] == observed.count("disconnect")
+    assert injector.counts.total == sum(by_kind.values())
+
+
+def test_scripted_replay_is_exact():
+    injector = FaultInjector.scripted(["busy", None, "disconnect", None])
+    assert drive(injector, 5) == ["busy", None, "disconnect", None, None]
+
+
+def test_scripted_rejects_unknown_kind():
+    with pytest.raises(ValueError):
+        FaultInjector.scripted(["segfault"])
+
+
+def test_disconnect_actually_kills_the_connection():
+    injector = FaultInjector.scripted(["disconnect"])
+    connection = fresh_connection()
+    with pytest.raises(InjectedOperationalError) as excinfo:
+        injector.fire_execute(connection)
+    assert is_injected(excinfo.value)
+    with pytest.raises(sqlite3.ProgrammingError):
+        connection.execute("SELECT 1")
+
+
+def test_retire_fault_retires_pool_and_raises_marked_error():
+    injector = FaultInjector.scripted(["retire"])
+    pool = FakePool()
+    with pytest.raises(PoolRetiredError) as excinfo:
+        injector.fire_lease(pool)  # type: ignore[arg-type]
+    assert pool.retired
+    assert is_injected(excinfo.value)
+    assert injector.counts.snapshot()["retire"] == 1
+
+
+def test_lease_site_ignores_execute_kinds():
+    injector = FaultInjector.scripted(["busy"])
+    pool = FakePool()
+    injector.fire_lease(pool)  # type: ignore[arg-type]
+    assert not pool.retired
+
+
+def test_hooks_are_noops_without_installation():
+    connection = fresh_connection()
+    faults.on_execute(connection)  # nothing installed: must not raise
+    connection.close()
+
+
+def test_suppression_is_thread_local_and_nested():
+    injector = FaultInjector(FaultPlan(seed=0, busy=1.0))
+    with injection(injector):
+        connection = fresh_connection()
+        with faults.suppressed():
+            with faults.suppressed():
+                faults.on_execute(connection)
+            faults.on_execute(connection)  # still suppressed (outer)
+        with pytest.raises(InjectedOperationalError):
+            faults.on_execute(connection)
+        connection.close()
+    assert injector.counts.snapshot()["busy"] == 1
+
+
+def test_double_install_is_refused():
+    with injection(FaultPlan()):
+        with pytest.raises(RuntimeError):
+            faults.install(FaultInjector(FaultPlan()))
+    assert faults.active() is None
+
+
+def test_snapshot_is_json_ready():
+    injector = FaultInjector(FaultPlan(seed=5, busy=0.5))
+    drive(injector, 10)
+    snapshot = injector.snapshot()
+    assert set(snapshot["rates"]) == set(FAULT_KINDS)
+    assert snapshot["seed"] == 5
+    assert snapshot["total"] == sum(snapshot["injected"].values())

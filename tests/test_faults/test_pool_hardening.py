@@ -1,0 +1,168 @@
+"""BackendPool lease/retire exception-path hardening: draining
+retirement under repeated failures, lease accounting, connection
+discard/recovery, and load-failure cleanup."""
+
+from __future__ import annotations
+
+import sqlite3
+import threading
+
+import pytest
+
+from repro.errors import PoolRetiredError
+from repro.infoset.encoding import DocumentStore
+from repro.service.pool import BackendPool
+from repro.sql.backend import SQLiteBackend
+
+AUCTION_XML = "<a><b>1</b><b>2</b></a>"
+
+
+@pytest.fixture()
+def table():
+    store = DocumentStore()
+    store.load(AUCTION_XML, "auction.xml")
+    return store.table
+
+
+def rows(pool: BackendPool) -> int:
+    return pool.backend().run_raw("SELECT count(*) FROM doc")[0][0]
+
+
+def test_retired_pool_refuses_new_leases(table):
+    pool = BackendPool(table)
+    pool.lease()  # keep one query in flight: retired but not closed
+    pool.retire()
+    with pytest.raises(PoolRetiredError):
+        pool.lease()
+    pool.release()
+
+
+def test_retiring_an_idle_pool_closes_it_immediately(table):
+    pool = BackendPool(table)
+    pool.retire()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.lease()
+
+
+def test_retirement_drains_then_closes(table):
+    pool = BackendPool(table)
+    pool.lease()
+    pool.lease()
+    pool.retire()
+    assert pool.retired
+    # in-flight leases still work against the old snapshot...
+    assert rows(pool) > 0
+    pool.release()
+    assert rows(pool) > 0
+    # ...but new leases are refused, so the drain can complete even
+    # under a steady stream of would-be callers
+    for _ in range(5):
+        with pytest.raises(PoolRetiredError):
+            pool.lease()
+    pool.release()  # last lease out: the pool closes itself
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.lease()
+
+
+def test_repeated_lease_failures_never_corrupt_the_count(table):
+    pool = BackendPool(table)
+    pool.lease()
+    pool.retire()
+    for _ in range(10):
+        with pytest.raises(PoolRetiredError):
+            pool.lease()
+    assert pool.leases == 1  # refused leases never moved the count
+    pool.release()  # the drain completes despite the failure storm
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.lease()
+    assert pool.leases == 0
+
+
+def test_release_without_lease_is_an_error(table):
+    pool = BackendPool(table)
+    with pytest.raises(RuntimeError, match="release without a lease"):
+        pool.release()
+    # the guard must not have pushed the count negative
+    pool.lease()
+    assert pool.leases == 1
+    pool.release()
+    pool.close()
+
+
+def test_discard_backend_recovers_with_a_fresh_connection(table):
+    pool = BackendPool(table)
+    first = pool.backend()
+    assert pool.backend() is first  # per-thread caching
+    before = pool.connection_count
+    first.connection.close()  # simulate connection death
+    pool.discard_backend()
+    assert pool.connection_count == before - 1
+    replacement = pool.backend()
+    assert replacement is not first
+    assert rows(pool) > 0
+    pool.close()
+
+
+def test_discard_backend_without_a_connection_is_a_noop(table):
+    pool = BackendPool(table)
+    pool.discard_backend()
+    pool.discard_backend()
+    assert pool.connection_count == 1  # just the primary
+    pool.close()
+
+
+def test_close_is_idempotent_and_closes_every_connection(table):
+    pool = BackendPool(table)
+    backend = pool.backend()
+    pool.close()
+    pool.close()
+    with pytest.raises(sqlite3.ProgrammingError):
+        backend.connection.execute("SELECT 1")
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.lease()
+    # a thread arriving without a cached connection is refused too
+    pool.discard_backend()
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.backend()
+
+
+def test_concurrent_lease_release_accounting_is_exact(table):
+    pool = BackendPool(table)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(8)
+
+    def worker():
+        barrier.wait()
+        try:
+            for _ in range(50):
+                pool.lease()
+                rows(pool)
+                pool.release()
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert pool.leases == 0
+    pool.retire()  # idle: closes immediately
+    with pytest.raises(RuntimeError):
+        pool.lease()
+
+
+def test_backend_load_failure_closes_the_connection(table):
+    captured: list[sqlite3.Connection] = []
+
+    class ExplodingBackend(SQLiteBackend):
+        def _load(self, table):
+            captured.append(self.connection)
+            raise RuntimeError("simulated load failure")
+
+    with pytest.raises(RuntimeError, match="simulated load failure"):
+        ExplodingBackend(table)
+    (connection,) = captured
+    with pytest.raises(sqlite3.ProgrammingError):
+        connection.execute("SELECT 1")

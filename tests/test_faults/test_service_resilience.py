@@ -1,0 +1,213 @@
+"""The hardened QueryService against scripted faults: retry, connection
+recovery, pool-retirement races, degradation, breaker, admission.
+
+Scripted injectors replay one entry per injection *opportunity*; on the
+pooled path each execute is a lease opportunity followed by an execute
+opportunity, so scripts interleave ``None`` placeholders accordingly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    BackendUnavailable,
+    CircuitOpenError,
+    ServiceOverloaded,
+)
+from repro.faults import FaultInjector, injection
+from repro.obs import metrics_scope
+from repro.service import QueryService
+from repro.service.resilience import RetryPolicy
+
+AUCTION_XML = """\
+<open_auction id="1">
+  <initial>15</initial>
+  <bidder>
+    <time>18:43</time>
+    <increase>4.20</increase>
+  </bidder>
+</open_auction>
+"""
+
+QUERY = 'doc("auction.xml")//bidder/increase'
+
+
+def make_service(**kwargs) -> QueryService:
+    service = QueryService(workers=2, **kwargs)
+    service.load(AUCTION_XML, "auction.xml")
+    return service
+
+
+@pytest.fixture()
+def expected():
+    with make_service() as plain:
+        return plain.execute(QUERY)
+
+
+def test_busy_fault_is_retried_to_success(expected):
+    with make_service() as service:
+        # lease ok, first statement busy; the retry round is clean
+        with injection(FaultInjector.scripted([None, "busy"])):
+            with metrics_scope() as metrics:
+                assert service.execute(QUERY) == expected
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.retry.attempts"] == 1
+        assert counters["faults.injected.busy"] == 1
+        assert service.fault_accounting == {
+            "retry": 1,
+            "degrade": 0,
+            "surface": 0,
+        }
+        assert service._pool is not None and service._pool.leases == 0
+
+
+def test_connection_death_discards_and_retries_on_fresh_connection(expected):
+    with make_service() as service:
+        with injection(FaultInjector.scripted([None, "disconnect"])):
+            with metrics_scope() as metrics:
+                assert service.execute(QUERY) == expected
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.pool.discarded_connections"] == 1
+        assert counters["service.retry.attempts"] == 1
+        assert service.fault_accounting["retry"] == 1
+
+
+def test_injected_retirement_race_rebuilds_the_pool(expected):
+    with make_service() as service:
+        assert service.execute(QUERY) == expected  # build the first pool
+        first_pool = service._pool
+        with injection(FaultInjector.scripted(["retire"])):
+            assert service.execute(QUERY) == expected
+        assert service._pool is not first_pool
+        assert first_pool.retired
+        assert service.fault_accounting["retry"] == 1
+
+
+def test_exhausted_retries_degrade_to_fresh_uncached_answer(expected):
+    with make_service(retry=RetryPolicy(max_retries=1, base=0.001)) as service:
+        script = [None, "busy", None, "busy"]  # both attempts fail
+        with injection(FaultInjector.scripted(script)):
+            with metrics_scope() as metrics:
+                assert service.execute(QUERY) == expected
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.retry.exhausted"] == 1
+        assert counters["service.degrade.fallbacks"] == 1
+        assert counters["service.degrade.queries"] == 1
+        assert service.fault_accounting == {
+            "retry": 1,
+            "degrade": 1,
+            "surface": 0,
+        }
+
+
+def test_degrade_disabled_surfaces_backend_unavailable(expected):
+    with make_service(
+        retry=RetryPolicy(max_retries=0), degrade=False
+    ) as service:
+        with injection(FaultInjector.scripted([None, "busy"])):
+            with pytest.raises(BackendUnavailable):
+                service.execute(QUERY)
+        assert service.fault_accounting == {
+            "retry": 0,
+            "degrade": 0,
+            "surface": 1,
+        }
+        # the failure was contained: the very next call answers
+        assert service.execute(QUERY) == expected
+        assert service._pool.leases == 0
+
+
+def test_open_breaker_fastpaths_to_degraded_answers(expected):
+    with make_service(
+        retry=RetryPolicy(max_retries=0), breaker_threshold=1
+    ) as service:
+        with injection(FaultInjector.scripted([None, "busy"])):
+            with metrics_scope() as metrics:
+                assert service.execute(QUERY) == expected  # trips the breaker
+                assert service._breaker.state == "open"
+                assert service.execute(QUERY) == expected  # short-circuited
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.degrade.breaker_fastpath"] == 1
+        assert counters["service.breaker.opened"] == 1
+        # the fastpath consumed no injection: the ledger holds one fault
+        assert sum(service.fault_accounting.values()) == 1
+
+
+def test_open_breaker_without_degradation_raises_circuit_open(expected):
+    with make_service(
+        retry=RetryPolicy(max_retries=0),
+        breaker_threshold=1,
+        breaker_reset_s=30.0,
+        degrade=False,
+    ) as service:
+        with injection(FaultInjector.scripted([None, "busy"])):
+            with pytest.raises(BackendUnavailable):
+                service.execute(QUERY)
+            with pytest.raises(CircuitOpenError):
+                service.execute(QUERY)
+
+
+def test_breaker_recovers_through_half_open_probe(expected):
+    with make_service(
+        retry=RetryPolicy(max_retries=0), breaker_threshold=1,
+        breaker_reset_s=0.0, degrade=False,
+    ) as service:
+        with injection(FaultInjector.scripted([None, "busy"])):
+            with pytest.raises(BackendUnavailable):
+                service.execute(QUERY)
+        # reset window (0 s) elapsed: the next call is the probe, the
+        # injector script is exhausted, so it succeeds and closes
+        assert service.execute(QUERY) == expected
+        assert service._breaker.state == "closed"
+
+
+def test_queue_cap_fast_fails_with_service_overloaded(expected):
+    with make_service(queue_cap=1) as service:
+        service._admission.enter()  # occupy the only slot
+        try:
+            with pytest.raises(ServiceOverloaded):
+                service.execute(QUERY)
+            with pytest.raises(ServiceOverloaded):
+                service.submit(QUERY)
+        finally:
+            service._admission.exit()
+        assert service.execute(QUERY) == expected
+        assert service._admission.inflight == 0
+
+
+def test_submit_path_recovers_from_faults_too(expected):
+    with make_service() as service:
+        with injection(FaultInjector.scripted([None, "busy"])):
+            future = service.submit(QUERY)
+            assert future.result(timeout=30) == expected
+        assert service._admission.inflight == 0
+
+
+def test_stats_expose_the_resilience_block(expected):
+    with make_service(deadline_s=5.0, queue_cap=16) as service:
+        service.execute(QUERY)
+        resilience = service.stats()["resilience"]
+        assert resilience["deadline_s"] == 5.0
+        assert resilience["queue_cap"] == 16
+        assert resilience["breaker"] == "closed"
+        assert resilience["degrade"] is True
+        assert resilience["fault_accounting"] == {
+            "retry": 0,
+            "degrade": 0,
+            "surface": 0,
+        }
+
+
+def test_organic_faults_recover_but_stay_off_the_ledger(expected):
+    with make_service() as service:
+        assert service.execute(QUERY) == expected
+        # an *organic* retirement (no injector): the service must
+        # recover identically but account nothing
+        service._pool.retire()
+        assert service.execute(QUERY) == expected
+        assert service.fault_accounting == {
+            "retry": 0,
+            "degrade": 0,
+            "surface": 0,
+        }
