@@ -9,7 +9,14 @@ under production load, at the two seams the service depends on:
     ``stall``       a slow-query stall: the statement hangs for
                     ``stall_ms`` before running — deadline-aware, so a
                     governed query observes :class:`DeadlineExceeded`
-                    promptly instead of after the full stall;
+                    promptly instead of after the full stall.  A stall
+                    enters the injected tally only when it converts
+                    into a :class:`DeadlineExceeded`; a stall the query
+                    absorbs (no active deadline, or it fit the
+                    remaining budget) produces no failure and therefore
+                    no disposition, so it is tallied separately
+                    (``faults.absorbed.stall``) and stays out of the
+                    accounting ledger;
     ``disconnect``  connection death: the thread's connection is
                     *actually closed* and the statement fails — the
                     next use of that connection fails too, exactly like
@@ -50,7 +57,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
 
-from repro.errors import PoolRetiredError
+from repro.errors import DeadlineExceeded, PoolRetiredError
 from repro.obs import get_metrics
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids the
@@ -133,10 +140,22 @@ class FaultPlan:
 
 @dataclass
 class FaultCounts:
-    """Thread-safe per-kind injection tally."""
+    """Thread-safe per-kind injection tally.
+
+    ``by_kind`` counts faults *delivered* as an observable failure —
+    exactly the population the chaos ledger must balance against
+    (``injected == retried + degraded + surfaced``).  ``absorbed``
+    counts opportunities that fired but produced no failure (a stall
+    with no active deadline, or one that fit the remaining budget):
+    they have no disposition, so they are kept out of ``by_kind`` and
+    out of :attr:`total`.
+    """
 
     _lock: threading.Lock = field(default_factory=threading.Lock)
     by_kind: dict[str, int] = field(
+        default_factory=lambda: dict.fromkeys(FAULT_KINDS, 0)
+    )
+    absorbed: dict[str, int] = field(
         default_factory=lambda: dict.fromkeys(FAULT_KINDS, 0)
     )
 
@@ -144,6 +163,11 @@ class FaultCounts:
         with self._lock:
             self.by_kind[kind] += 1
         get_metrics().count(f"faults.injected.{kind}")
+
+    def record_absorbed(self, kind: str) -> None:
+        with self._lock:
+            self.absorbed[kind] += 1
+        get_metrics().count(f"faults.absorbed.{kind}")
 
     @property
     def total(self) -> int:
@@ -153,6 +177,10 @@ class FaultCounts:
     def snapshot(self) -> dict[str, int]:
         with self._lock:
             return dict(self.by_kind)
+
+    def absorbed_snapshot(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self.absorbed)
 
 
 class FaultInjector:
@@ -216,17 +244,20 @@ class FaultInjector:
         kind = self._draw(("busy", "stall", "disconnect"))
         if kind is None:
             return
+        if kind == "stall":
+            # _stall does its own accounting: the stall counts as
+            # injected only when it converts into a DeadlineExceeded
+            self._stall()
+            return
         self.counts.record(kind)
         if kind == "busy":
             raise InjectedOperationalError(
                 "database is locked [injected busy]"
             )
-        if kind == "disconnect":
-            connection.close()
-            raise InjectedOperationalError(
-                "connection died [injected disconnect]"
-            )
-        self._stall()
+        connection.close()
+        raise InjectedOperationalError(
+            "connection died [injected disconnect]"
+        )
 
     def fire_lease(self, pool: "BackendPool") -> None:
         """Pool-lease site: may retire the pool mid-acquisition."""
@@ -244,7 +275,12 @@ class FaultInjector:
     def _stall(self) -> None:
         """Sleep ``stall_ms``, waking every slice to honor the active
         deadline — a governed query sees :class:`DeadlineExceeded`
-        promptly, an ungoverned one simply runs slow."""
+        promptly, an ungoverned one simply runs slow.
+
+        Only a stall that actually raises counts as injected; a stall
+        that runs to completion caused no failure for the service to
+        handle and is tallied as absorbed instead, keeping the chaos
+        ledger balanced for services without deadlines."""
         # lazy import: repro.sql.backend imports this module at load
         # time, and repro.service.resilience sits behind the
         # repro.service package __init__ — resolving it here (runtime,
@@ -253,14 +289,19 @@ class FaultInjector:
 
         remaining = self.plan.stall_ms / 1000.0
         deadline = current_deadline()
-        while remaining > 0:
+        try:
+            while remaining > 0:
+                if deadline is not None:
+                    deadline.check(injected=True)
+                step = min(_STALL_SLICE_S, remaining)
+                time.sleep(step)
+                remaining -= step
             if deadline is not None:
                 deadline.check(injected=True)
-            step = min(_STALL_SLICE_S, remaining)
-            time.sleep(step)
-            remaining -= step
-        if deadline is not None:
-            deadline.check(injected=True)
+        except DeadlineExceeded:
+            self.counts.record("stall")
+            raise
+        self.counts.record_absorbed("stall")
 
     def snapshot(self) -> dict[str, object]:
         """JSON-ready report: the plan and what was actually injected."""
@@ -269,6 +310,7 @@ class FaultInjector:
             "rates": {kind: getattr(self.plan, kind) for kind in FAULT_KINDS},
             "stall_ms": self.plan.stall_ms,
             "injected": self.counts.snapshot(),
+            "absorbed": self.counts.absorbed_snapshot(),
             "total": self.counts.total,
         }
 

@@ -285,7 +285,11 @@ class CircuitBreaker:
 
     States: *closed* (all calls pass), *open* (calls are refused for
     ``reset_after`` seconds), *half-open* (one probe call is let
-    through; success closes the breaker, failure re-opens it).  All
+    through; success closes the breaker, failure re-opens it).  A
+    probe that ends without a backend verdict — a deadline miss, a
+    non-transient query bug — must call :meth:`release_probe` so the
+    slot frees and the next caller can probe; the service wraps every
+    admitted attempt in a ``finally`` doing exactly that.  All
     transitions are counted (``service.breaker.opened`` /
     ``.reopened`` / ``.closed``) and the current state is exported as
     the gauge ``service.breaker.state`` (0 closed, 1 open, 0.5
@@ -310,6 +314,7 @@ class CircuitBreaker:
         self._state = self.CLOSED
         self._opened_at = 0.0
         self._probing = False
+        self._probe_owner: int | None = None
 
     @property
     def state(self) -> str:
@@ -339,6 +344,7 @@ class CircuitBreaker:
                 return True
             if state == self.HALF_OPEN and not self._probing:
                 self._probing = True
+                self._probe_owner = threading.get_ident()
                 get_metrics().count("service.breaker.half_open")
                 return True
             get_metrics().count("service.breaker.short_circuited")
@@ -351,6 +357,7 @@ class CircuitBreaker:
             self._state = self.CLOSED
             self._failures = 0
             self._probing = False
+            self._probe_owner = None
             self._export_state()
 
     def record_failure(self) -> None:
@@ -363,12 +370,32 @@ class CircuitBreaker:
                 self._state = self.OPEN
                 self._opened_at = self._clock()
                 self._probing = False
+                self._probe_owner = None
                 metrics.count("service.breaker.reopened")
             elif state == self.CLOSED and self._failures >= self.threshold:
                 self._state = self.OPEN
                 self._opened_at = self._clock()
                 metrics.count("service.breaker.opened")
             self._export_state()
+
+    def release_probe(self) -> None:
+        """Free the half-open probe slot without recording a verdict.
+
+        A probe admitted by :meth:`allow` normally reports back through
+        :meth:`record_success` or :meth:`record_failure`; a probe that
+        exits any other way (deadline miss, non-transient query bug,
+        unexpected exception) would hold the slot forever and wedge the
+        breaker half-open, refusing every call.  Only the thread that
+        was admitted as the probe can release it, and a probe that has
+        already reported is a no-op — callers may invoke this
+        unconditionally in a ``finally``.
+        """
+        with self._lock:
+            if self._probing and self._probe_owner == threading.get_ident():
+                self._probing = False
+                self._probe_owner = None
+                get_metrics().count("service.breaker.probe_released")
+                self._export_state()
 
     def require(self) -> None:
         """:meth:`allow` or raise :class:`CircuitOpenError`."""

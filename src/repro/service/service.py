@@ -96,8 +96,10 @@ class QueryService:
         Run the plan sanitizer during (cold) compiles, as on
         :class:`XQueryProcessor`.
     deadline_s:
-        Default per-query time budget (seconds); ``None`` disables
-        deadlines.  Overridable per call via ``deadline_s=``.
+        Default per-query time budget (seconds); must be positive
+        (non-positive budgets raise ``ValueError`` at call time) and
+        ``None`` disables deadlines.  Overridable per call via
+        ``deadline_s=``.
     retry:
         The :class:`RetryPolicy` for transient backend errors
         (default: 2 retries, 5 ms exponential backoff).
@@ -254,10 +256,12 @@ class QueryService:
         """Evaluate a query on the caller's thread; returns the item
         sequence (same contract as :meth:`XQueryProcessor.execute`).
 
-        ``deadline_s`` overrides the service default for this call.
-        Raises a typed :class:`repro.errors.ServiceError` subclass on
-        overload, deadline, or backend unavailability — never a partial
-        or stale result.
+        ``deadline_s`` overrides the service default for this call; it
+        must be positive (``ValueError`` otherwise — pass ``None`` to
+        use the service default).  Raises a typed
+        :class:`repro.errors.ServiceError` subclass on overload,
+        deadline, or backend unavailability — never a partial or stale
+        result.
         """
         with self._admission.slot():
             return self._execute_admitted(query, engine, deadline_s)
@@ -270,7 +274,9 @@ class QueryService:
     ) -> list[Any]:
         start = time.perf_counter_ns()
         budget = self.deadline_s if deadline_s is None else deadline_s
-        deadline = Deadline.after(budget) if budget else None
+        # `is not None`, not truthiness: a caller passing 0 gets the
+        # ValueError from Deadline.after, not a silently unbounded query
+        deadline = Deadline.after(budget) if budget is not None else None
         metrics = get_metrics()
         try:
             with deadline_scope(deadline):
@@ -320,74 +326,82 @@ class QueryService:
         metrics = get_metrics()
         tracer = get_tracer()
         attempt = 0
-        while True:
-            if not self._breaker.allow():
-                if self.degrade_enabled:
-                    metrics.count("service.degrade.breaker_fastpath")
-                    return self._degraded(compiled, engine, deadline)
-                raise CircuitOpenError(
-                    "backend circuit breaker is open and degradation "
-                    "is disabled"
-                )
-            pool: BackendPool | None = None
-            try:
-                pool = self._lease_pool()
+        try:
+            while True:
+                if not self._breaker.allow():
+                    if self.degrade_enabled:
+                        metrics.count("service.degrade.breaker_fastpath")
+                        return self._degraded(compiled, engine, deadline)
+                    raise CircuitOpenError(
+                        "backend circuit breaker is open and degradation "
+                        "is disabled"
+                    )
+                pool: BackendPool | None = None
                 try:
-                    backend = pool.backend()
-                    with cancellation(backend.connection, deadline):
-                        items = backend.run(sql)
-                finally:
-                    pool.release()
-                self._breaker.record_success()
-                return items
-            except DeadlineExceeded as error:
-                # the budget is gone: neither a retry nor the degraded
-                # path could answer in time, so the miss surfaces
-                metrics.count("service.deadline.exceeded")
-                self._account(error, "surface")
-                raise
-            except (sqlite3.Error, PoolRetiredError) as error:
-                if not is_transient(error):
-                    raise
-                self._breaker.record_failure()
-                if is_connection_death(error) and pool is not None:
-                    # this thread's connection is gone; a retry only
-                    # helps on a fresh one
-                    pool.discard_backend()
-                if self.retry.allows(attempt, deadline):
-                    self._account(error, "retry")
-                    metrics.count("service.retry.attempts")
-                    with tracer.span(
-                        "service.retry", attempt=attempt, error=str(error)
-                    ):
-                        metrics.observe(
-                            "service.retry.backoff_s",
-                            self.retry.pause(attempt, deadline),
-                        )
-                    attempt += 1
-                    continue
-                metrics.count("service.retry.exhausted")
-                if self.degrade_enabled:
+                    pool = self._lease_pool()
                     try:
-                        items = self._degraded(compiled, engine, deadline)
-                    except DeadlineExceeded:
-                        metrics.count("service.deadline.exceeded")
-                        self._account(error, "surface")
-                        raise
-                    except Exception as fallback_error:
-                        self._account(error, "surface")
-                        raise BackendUnavailable(
-                            "backend kept failing and the degraded "
-                            "path failed too"
-                        ) from fallback_error
-                    metrics.count("service.degrade.fallbacks")
-                    self._account(error, "degrade")
+                        backend = pool.backend()
+                        with cancellation(backend.connection, deadline):
+                            items = backend.run(sql)
+                    finally:
+                        pool.release()
+                    self._breaker.record_success()
                     return items
-                self._account(error, "surface")
-                raise BackendUnavailable(
-                    f"backend failure persisted through "
-                    f"{self.retry.max_retries} retries: {error}"
-                ) from error
+                except DeadlineExceeded as error:
+                    # the budget is gone: neither a retry nor the
+                    # degraded path could answer in time, so the miss
+                    # surfaces
+                    metrics.count("service.deadline.exceeded")
+                    self._account(error, "surface")
+                    raise
+                except (sqlite3.Error, PoolRetiredError) as error:
+                    if not is_transient(error):
+                        raise
+                    self._breaker.record_failure()
+                    if is_connection_death(error) and pool is not None:
+                        # this thread's connection is gone; a retry only
+                        # helps on a fresh one
+                        pool.discard_backend()
+                    if self.retry.allows(attempt, deadline):
+                        self._account(error, "retry")
+                        metrics.count("service.retry.attempts")
+                        with tracer.span(
+                            "service.retry", attempt=attempt, error=str(error)
+                        ):
+                            metrics.observe(
+                                "service.retry.backoff_s",
+                                self.retry.pause(attempt, deadline),
+                            )
+                        attempt += 1
+                        continue
+                    metrics.count("service.retry.exhausted")
+                    if self.degrade_enabled:
+                        try:
+                            items = self._degraded(compiled, engine, deadline)
+                        except DeadlineExceeded:
+                            metrics.count("service.deadline.exceeded")
+                            self._account(error, "surface")
+                            raise
+                        except Exception as fallback_error:
+                            self._account(error, "surface")
+                            raise BackendUnavailable(
+                                "backend kept failing and the degraded "
+                                "path failed too"
+                            ) from fallback_error
+                        metrics.count("service.degrade.fallbacks")
+                        self._account(error, "degrade")
+                        return items
+                    self._account(error, "surface")
+                    raise BackendUnavailable(
+                        f"backend failure persisted through "
+                        f"{self.retry.max_retries} retries: {error}"
+                    ) from error
+        finally:
+            # a half-open probe admitted by allow() that exited without
+            # reporting a verdict (deadline miss, non-transient error)
+            # must free the probe slot or the breaker wedges; no-op for
+            # every other path
+            self._breaker.release_probe()
 
     def _degraded(
         self,
@@ -473,7 +487,9 @@ class QueryService:
         try:
             return self._execute_admitted(query, engine, deadline_s)
         finally:
-            self._admission.exit()
+            # the admission slot is NOT released here: submit() frees
+            # it from the future's done-callback, which also covers
+            # futures cancelled before this ever runs
             set_metrics(previous)
             with self._merge_lock:
                 registry.merge(local)
@@ -490,17 +506,24 @@ class QueryService:
         Admission control applies at submission time: with a
         ``queue_cap`` configured, a submission beyond the cap raises
         :class:`repro.errors.ServiceOverloaded` immediately instead of
-        queueing work the caller would only time out on.
+        queueing work the caller would only time out on.  The slot is
+        released when the future reaches *any* terminal state —
+        including cancellation while still queued.
         """
         executor = self._ensure_executor()
         self._admission.enter()
         try:
-            return executor.submit(
+            future = executor.submit(
                 self._task, get_metrics(), query, engine, deadline_s
             )
         except BaseException:
             self._admission.exit()
             raise
+        # release from the done-callback, not inside _task: a future
+        # cancelled before it ever runs (or dropped by the executor)
+        # still fires its callbacks, so the slot cannot leak
+        future.add_done_callback(lambda _finished: self._admission.exit())
+        return future
 
     def run_many(
         self,
@@ -509,11 +532,28 @@ class QueryService:
         *,
         deadline_s: float | None = None,
     ) -> list[list[Any]]:
-        """Execute a batch concurrently; results in submission order."""
-        futures = [
-            self.submit(query, engine=engine, deadline_s=deadline_s)
-            for query in queries
-        ]
+        """Execute a batch concurrently; results in submission order.
+
+        Submission is all-or-nothing: when a mid-batch :meth:`submit`
+        fails (e.g. :class:`repro.errors.ServiceOverloaded`), the
+        already-submitted futures are cancelled — or drained to
+        completion if they are past cancelling — before the error
+        propagates, so no query from the batch keeps running
+        unobserved.
+        """
+        futures: list[Future[list[Any]]] = []
+        try:
+            for query in queries:
+                futures.append(
+                    self.submit(query, engine=engine, deadline_s=deadline_s)
+                )
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            for future in futures:
+                if not future.cancelled():
+                    future.exception()  # drain; the submit error wins
+            raise
         return [future.result() for future in futures]
 
     # -- lifecycle -----------------------------------------------------

@@ -111,6 +111,41 @@ def test_spent_budget_refuses_even_a_cold_compile(service):
     assert service.execute(QUERY) != []
 
 
+def test_non_positive_deadline_is_rejected_not_silently_disabled(service):
+    # deadline_s=0 must not fall through truthiness into "no deadline"
+    with pytest.raises(ValueError):
+        service.execute(QUERY, deadline_s=0)
+    with pytest.raises(ValueError):
+        service.execute(QUERY, deadline_s=-1.0)
+    assert service._admission.inflight == 0  # the slot was released
+    assert service.execute(QUERY) != []
+
+
+def test_absorbed_stall_stays_out_of_the_injected_ledger(service):
+    expected = service.execute(QUERY)
+    injector = FaultInjector.scripted([None, "stall"], stall_ms=20.0)
+    with injection(injector):
+        # no deadline anywhere: the stall completes and the query
+        # succeeds — there is no failure for the service to handle
+        assert service.execute(QUERY) == expected
+    assert injector.counts.snapshot()["stall"] == 0
+    assert injector.counts.total == 0
+    assert injector.counts.absorbed_snapshot()["stall"] == 1
+    # injected (0) == retried + degraded + surfaced (0): balanced
+    assert sum(service.fault_accounting.values()) == 0
+
+
+def test_stall_within_budget_is_absorbed_too(service):
+    expected = service.execute(QUERY)
+    injector = FaultInjector.scripted([None, "stall"], stall_ms=20.0)
+    with injection(injector):
+        # a roomy deadline: the stall fits and never raises
+        assert service.execute(QUERY, deadline_s=30.0) == expected
+    assert injector.counts.total == 0
+    assert injector.counts.absorbed_snapshot()["stall"] == 1
+    assert sum(service.fault_accounting.values()) == 0
+
+
 def test_deadline_exceeded_through_the_worker_pool(service):
     service.execute(QUERY)
     injector = FaultInjector.scripted([None, "stall"], stall_ms=STALL_MS)

@@ -8,7 +8,7 @@ import sqlite3
 import pytest
 
 from repro import faults
-from repro.errors import PoolRetiredError
+from repro.errors import DeadlineExceeded, PoolRetiredError
 from repro.faults import (
     FAULT_KINDS,
     FaultInjector,
@@ -17,6 +17,7 @@ from repro.faults import (
     injection,
     is_injected,
 )
+from repro.service.resilience import Deadline, deadline_scope
 
 
 def fresh_connection() -> sqlite3.Connection:
@@ -111,6 +112,29 @@ def test_disconnect_actually_kills_the_connection():
     assert is_injected(excinfo.value)
     with pytest.raises(sqlite3.ProgrammingError):
         connection.execute("SELECT 1")
+
+
+def test_stall_without_deadline_is_absorbed_not_injected():
+    injector = FaultInjector.scripted(["stall"], stall_ms=1.0)
+    connection = fresh_connection()
+    injector.fire_execute(connection)  # completes: no failure delivered
+    connection.close()
+    assert injector.counts.snapshot()["stall"] == 0
+    assert injector.counts.total == 0
+    assert injector.counts.absorbed_snapshot()["stall"] == 1
+    assert injector.snapshot()["absorbed"]["stall"] == 1
+
+
+def test_stall_past_the_deadline_is_injected():
+    injector = FaultInjector.scripted(["stall"], stall_ms=200.0)
+    connection = fresh_connection()
+    with deadline_scope(Deadline.after(0.02)):
+        with pytest.raises(DeadlineExceeded) as excinfo:
+            injector.fire_execute(connection)
+    connection.close()
+    assert is_injected(excinfo.value)
+    assert injector.counts.snapshot()["stall"] == 1
+    assert injector.counts.absorbed_snapshot()["stall"] == 0
 
 
 def test_retire_fault_retires_pool_and_raises_marked_error():

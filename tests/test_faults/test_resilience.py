@@ -4,6 +4,7 @@ error classification, retry policy, circuit breaker, admission gate."""
 from __future__ import annotations
 
 import sqlite3
+import threading
 import time
 
 import pytest
@@ -294,6 +295,54 @@ def test_failed_probe_reopens_for_a_full_window():
 def test_breaker_threshold_must_be_positive():
     with pytest.raises(ValueError):
         CircuitBreaker(threshold=0)
+
+
+def test_release_probe_frees_the_half_open_slot():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()  # the probe
+    assert not breaker.allow()
+    # the probe exits without a verdict (e.g. a deadline miss): the
+    # slot frees, the breaker stays half-open, the next caller probes
+    breaker.release_probe()
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_release_probe_after_a_verdict_is_a_noop():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()
+    breaker.record_failure()  # the probe reported: re-open
+    breaker.release_probe()  # late release must not disturb the state
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow()
+
+
+def test_release_probe_ignores_non_owner_threads():
+    clock = Clock()
+    breaker = CircuitBreaker(threshold=1, reset_after=1.0, clock=clock)
+    breaker.record_failure()
+    clock.advance(1.5)
+    assert breaker.allow()  # this thread owns the probe
+    observed: list[bool] = []
+
+    def bystander() -> None:
+        breaker.release_probe()  # not the probe: must be a no-op
+        observed.append(breaker.allow())
+
+    thread = threading.Thread(target=bystander)
+    thread.start()
+    thread.join()
+    assert observed == [False]  # the probe slot was not stolen
+    breaker.release_probe()  # the owner frees it
+    assert breaker.allow()
 
 
 # -- AdmissionGate --------------------------------------------------------

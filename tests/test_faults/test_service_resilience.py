@@ -8,11 +8,14 @@ opportunity, so scripts interleave ``None`` placeholders accordingly.
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.errors import (
     BackendUnavailable,
     CircuitOpenError,
+    DeadlineExceeded,
     ServiceOverloaded,
 )
 from repro.faults import FaultInjector, injection
@@ -162,6 +165,27 @@ def test_breaker_recovers_through_half_open_probe(expected):
         assert service._breaker.state == "closed"
 
 
+def test_probe_deadline_miss_does_not_wedge_the_breaker(expected):
+    with make_service(
+        retry=RetryPolicy(max_retries=0), breaker_threshold=1,
+        breaker_reset_s=0.0, degrade=False,
+    ) as service:
+        # trip the breaker, then let the half-open probe stall past its
+        # deadline: the probe dies with DeadlineExceeded, never calling
+        # record_success/record_failure
+        script = [None, "busy", None, "stall"]
+        with injection(FaultInjector.scripted(script, stall_ms=500.0)):
+            with pytest.raises(BackendUnavailable):
+                service.execute(QUERY)
+            with pytest.raises(DeadlineExceeded):
+                service.execute(QUERY, deadline_s=0.05)
+        # the probe slot was released on the way out: the next call is
+        # admitted as a fresh probe, succeeds, and closes the breaker —
+        # a leaked slot would refuse every call here forever
+        assert service.execute(QUERY) == expected
+        assert service._breaker.state == "closed"
+
+
 def test_queue_cap_fast_fails_with_service_overloaded(expected):
     with make_service(queue_cap=1) as service:
         service._admission.enter()  # occupy the only slot
@@ -174,6 +198,41 @@ def test_queue_cap_fast_fails_with_service_overloaded(expected):
             service._admission.exit()
         assert service.execute(QUERY) == expected
         assert service._admission.inflight == 0
+
+
+def test_cancelled_queued_future_releases_its_admission_slot(expected):
+    with QueryService(workers=1, queue_cap=1) as service:
+        service.load(AUCTION_XML, "auction.xml")
+        unblock = threading.Event()
+        # wedge the only worker so the next submission stays queued
+        service._ensure_executor().submit(unblock.wait)
+        try:
+            future = service.submit(QUERY)  # queued; holds the one slot
+            with pytest.raises(ServiceOverloaded):
+                service.submit(QUERY)
+            assert future.cancel()  # _task never runs for this future
+            # the done-callback released the slot anyway
+            assert service._admission.inflight == 0
+        finally:
+            unblock.set()
+        assert service.submit(QUERY).result(timeout=30) == expected
+
+
+def test_run_many_drains_submitted_work_when_a_submit_overloads(expected):
+    with QueryService(workers=1, queue_cap=1) as service:
+        service.load(AUCTION_XML, "auction.xml")
+        unblock = threading.Event()
+        # wedge the only worker: the first batch entry queues, the
+        # second overflows the admission cap mid-batch
+        service._ensure_executor().submit(unblock.wait)
+        try:
+            with pytest.raises(ServiceOverloaded):
+                service.run_many([QUERY, QUERY])
+            # the already-submitted future was cancelled, not abandoned
+            assert service._admission.inflight == 0
+        finally:
+            unblock.set()
+        assert service.run_many([QUERY]) == [expected]
 
 
 def test_submit_path_recovers_from_faults_too(expected):
