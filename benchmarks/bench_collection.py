@@ -1,0 +1,100 @@
+"""Shard-scaling collection benchmark — emits ``BENCH_collection.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_collection.py [--quick] \\
+        [--documents 8] [--factor 0.02] [--repeat 5] [--shards 1,2,4] \\
+        [--out BENCH_collection.json] [--check]
+
+Measures scatter-gather throughput of :class:`repro.service.ShardedService`
+over a multi-document XMark corpus against a single combined-table
+baseline (see ``docs/performance.md``).  Every configuration is verified
+item- and byte-identical to the serial answer before timing.  ``--check``
+exits non-zero unless the widest shard point beats 1 shard (the CI
+smoke gate; the full acceptance bar is >= 2x at 4 shards).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench.collection import (
+    DEFAULT_COLLECTION_QUERIES,
+    format_collection_bench,
+    run_collection_bench,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--documents", type=int, default=8)
+    parser.add_argument("--factor", type=float, default=0.02)
+    parser.add_argument("--repeat", type=int, default=5)
+    parser.add_argument(
+        "--shards",
+        default="1,2,4",
+        help="comma-separated shard counts for the scaling curve",
+    )
+    parser.add_argument(
+        "--queries",
+        default=",".join(DEFAULT_COLLECTION_QUERIES),
+        help="comma-separated collection query names",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke size: tiny documents, few repeats",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_collection.json",
+        metavar="FILE",
+        help="where to write the JSON document",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail unless the widest fan-out beats 1 shard",
+    )
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    try:
+        queries = {
+            name: DEFAULT_COLLECTION_QUERIES[name]
+            for name in args.queries.split(",")
+        }
+    except KeyError as missing:
+        print(f"unknown query name {missing}", file=sys.stderr)
+        return 2
+
+    report = run_collection_bench(
+        documents=args.documents,
+        factor=args.factor,
+        repeat=args.repeat,
+        shards=tuple(int(n) for n in args.shards.split(",")),
+        queries=queries,
+        quick=args.quick,
+    )
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    print(format_collection_bench(report))
+    print(f"-- wrote {args.out}")
+
+    if args.check:
+        widest = max(report["curve"], key=lambda point: point["shards"])
+        if widest["speedup_vs_1_shard"] <= 1.0:
+            print(
+                f"FAIL: {widest['shards']}-shard fan-out not above the "
+                f"1-shard baseline "
+                f"({widest['speedup_vs_1_shard']:.2f}x)",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,10 +13,11 @@ Run:  python examples/auction_analytics.py
 
 import sys
 
-from repro import DocumentStore, XQueryProcessor
+import repro
 from repro.planner import JoinGraphPlanner, explain_plan, plan_phenomena
 from repro.sql import flatten_query
 from repro.workloads import XMarkConfig, generate_xmark
+from repro.xmltree.serializer import serialize
 
 sys.setrecursionlimit(100_000)
 
@@ -39,36 +40,38 @@ BIDDER_TIMES = (
 
 
 def main() -> None:
-    store = DocumentStore()
-    store.load_tree(generate_xmark(XMarkConfig(factor=0.01)))
-    processor = XQueryProcessor(store=store, default_doc="auction.xml")
-    print(f"document: {len(store.table)} nodes")
+    document = generate_xmark(XMarkConfig(factor=0.01))
+    with repro.connect(default_doc="auction.xml") as session:
+        session.load(serialize(document), "auction.xml")
+        table = session.service.store.table
+        print(f"document: {len(table)} nodes")
 
-    # -- the Q2-style value join -------------------------------------
-    compiled = processor.compile(EXPENSIVE_CATEGORIES)
-    names = processor.execute(compiled)
-    print(f"\ncategories with expensive sales: {len(names)}")
-    print("sample:", processor.serialize(names[:3]))
-    print(f"join graph: {compiled.joingraph_sql.doc_instances}-fold self-join "
-          f"of table doc, executed as ONE SQL block")
+        # -- the Q2-style value join ---------------------------------
+        names = session.execute(EXPENSIVE_CATEGORIES)
+        print(f"\ncategories with expensive sales: {len(names)}")
+        print("sample:", session.serialize(names.items[:3]))
+        compiled = session.service.compile(EXPENSIVE_CATEGORIES)
+        print(f"join graph: {compiled.joingraph_sql.doc_instances}-fold "
+              f"self-join of table doc, executed as ONE SQL block "
+              f"in {names.timings['execute_ns'] / 1e6:.2f} ms")
 
-    # -- what would the optimizer do? --------------------------------
-    planner = JoinGraphPlanner(store.table)
-    plan = planner.plan(flatten_query(compiled.isolated_plan))
-    phenomena = plan_phenomena(plan)
-    print("\nphysical plan (our cost-based optimizer):")
-    print(explain_plan(plan))
-    print(f"\nleading test: {phenomena.leading_node_test} "
-          f"(the plan starts mid-path, at the selective value predicate)")
-    print(f"axis reversal on: {phenomena.reversed_edges}")
+        # -- what would the optimizer do? ----------------------------
+        planner = JoinGraphPlanner(table)
+        plan = planner.plan(flatten_query(compiled.isolated_plan))
+        phenomena = plan_phenomena(plan)
+        print("\nphysical plan (our cost-based optimizer):")
+        print(explain_plan(plan))
+        print(f"\nleading test: {phenomena.leading_node_test} "
+              f"(the plan starts mid-path, at the selective value predicate)")
+        print(f"axis reversal on: {phenomena.reversed_edges}")
 
-    # -- simpler analytics -------------------------------------------
-    hot = processor.execute(processor.compile(HOT_AUCTIONS))
-    print(f"\nhot auctions (bidders & initial > 100): {len(hot)}")
+        # -- simpler analytics ---------------------------------------
+        hot = session.execute(HOT_AUCTIONS)
+        print(f"\nhot auctions (bidders & initial > 100): {len(hot)}")
 
-    times = processor.execute(processor.compile(BIDDER_TIMES))
-    print(f"bid timestamps collected: {len(times)}")
-    print("first bids:", processor.serialize(times[:3]))
+        times = session.execute(BIDDER_TIMES)
+        print(f"bid timestamps collected: {len(times)}")
+        print("first bids:", session.serialize(times.items[:3]))
 
 
 if __name__ == "__main__":

@@ -1,14 +1,16 @@
 #!/usr/bin/env python3
 """Quickstart: XQuery on a relational back-end in five lines.
 
-Loads the paper's running example document (Fig. 2), runs Q1 and shows
-every artifact of the pipeline: the normalized core, the generated
+Opens a session through the stable facade (``repro.connect``), loads
+the paper's running example document (Fig. 2), runs Q1 and shows every
+artifact of the pipeline: the normalized core, the generated
 single-block SQL, and the serialized XML result.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import XQueryProcessor
+import repro
+from repro import Engine
 from repro.xquery import core_to_text
 
 AUCTION_XML = """\
@@ -25,35 +27,40 @@ QUERY = 'doc("auction.xml")/descendant::open_auction[bidder]'
 
 
 def main() -> None:
-    processor = XQueryProcessor()
-    processor.load(AUCTION_XML, "auction.xml")
+    with repro.connect() as session:
+        session.load(AUCTION_XML, "auction.xml")
 
-    # one call: parse -> normalize -> loop-lift -> isolate -> SQL -> run
-    print("== result (serialized XML) ==")
-    print(processor.run(QUERY))
-    print()
+        # one call: parse -> normalize -> loop-lift -> isolate -> SQL -> run
+        print("== result (serialized XML) ==")
+        print(session.run(QUERY))
+        print()
 
-    compiled = processor.compile(QUERY)
+        # the compilation pipeline is one layer down, via the session's
+        # serving stack (the compiled artifact is cached for reuse)
+        compiled = session.service.compile(QUERY)
 
-    print("== XQuery Core (normalized) ==")
-    print(core_to_text(compiled.core))
-    print()
+        print("== XQuery Core (normalized) ==")
+        print(core_to_text(compiled.core))
+        print()
 
-    print("== join graph SQL (paper Fig. 8) ==")
-    print(compiled.joingraph_sql.text)
-    print()
+        print("== join graph SQL (paper Fig. 8) ==")
+        print(compiled.joingraph_sql.text)
+        print()
 
-    print("== isolation statistics ==")
-    stats = compiled.isolation_stats
-    print(f"rule applications: {dict(stats.applications)}")
-    print()
+        print("== isolation statistics ==")
+        stats = compiled.isolation_stats
+        print(f"rule applications: {dict(stats.applications)}")
+        print()
 
-    items = processor.execute(compiled)
-    print(f"== result items (pre ranks) == {items}")
-    print()
-    print("engines agree:",
-          processor.execute(compiled, engine="interpreter") == items ==
-          processor.execute(compiled, engine="stacked-sql"))
+        result = session.execute(QUERY)
+        print(f"== result items (pre ranks) == {result.items}")
+        print(f"   engine={result.engine}  shards={result.shards}  "
+              f"{result.timings['execute_ns'] / 1e6:.2f} ms")
+        print()
+        print("engines agree:",
+              result.items
+              == session.execute(QUERY, Engine.INTERPRETER).items
+              == session.execute(QUERY, Engine.STACKED_SQL).items)
 
 
 if __name__ == "__main__":

@@ -8,11 +8,28 @@ off-the-shelf SQL back-end.
 
 Quickstart::
 
-    from repro import XQueryProcessor
+    import repro
 
-    xp = XQueryProcessor()
-    xp.load(open("auction.xml").read(), "auction.xml")
-    print(xp.run('doc("auction.xml")//open_auction[bidder]'))
+    with repro.connect() as session:
+        session.load(open("auction.xml").read(), "auction.xml")
+        result = session.execute('doc("auction.xml")//open_auction[bidder]')
+        print(result.serialize())
+
+Scale out across shards (``fn:collection`` fans out one compiled plan
+across per-shard tables and merges in document order)::
+
+    with repro.connect(shards=4) as session:
+        for text, uri in corpus:
+            session.load(text, uri)
+        print(session.run('collection()//person[profile/@income > 80000]/name'))
+
+The stable public surface is what this module re-exports (semantic
+versioning promise in ``docs/api.md``): :func:`connect` /
+:class:`Session`, the :class:`Result` / :class:`Serialized` return
+types, the :class:`Engine` enum, the error hierarchy, and the
+lower-level building blocks :class:`XQueryProcessor`,
+:class:`QueryService`, :class:`ShardedService`, :class:`Collection`
+and the infoset encoding.
 
 Sub-packages
 ------------
@@ -28,38 +45,63 @@ Sub-packages
 ``repro.purexml``   XSCAN/TurboXPath-style native baseline (Section 4.2)
 ``repro.workloads`` XMark / DBLP generators and the paper's query set
 ``repro.bench``     multi-engine benchmark harness (Table 9)
+``repro.store``     sharded multi-document collection store
+``repro.service``   serving layer: plan cache, pools, scatter-gather
 """
 
+from repro.api import Session, connect
+from repro.engines import Engine
 from repro.errors import (
+    BackendUnavailable,
+    CircuitOpenError,
     CodegenError,
     CompileError,
+    DeadlineExceeded,
     DocumentError,
     PlanError,
     ReproError,
     RewriteError,
+    ServiceError,
+    ServiceOverloaded,
     XMLParseError,
     XQuerySyntaxError,
     XQueryTypeError,
 )
 from repro.infoset.encoding import DocTable, DocumentStore, shred
 from repro.pipeline import CompiledQuery, XQueryProcessor
+from repro.result import Result, Serialized
+from repro.service import QueryService, ShardedService
+from repro.store import Collection
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "BackendUnavailable",
+    "CircuitOpenError",
     "CodegenError",
+    "Collection",
     "CompileError",
     "CompiledQuery",
+    "DeadlineExceeded",
     "DocTable",
     "DocumentError",
     "DocumentStore",
+    "Engine",
     "PlanError",
+    "QueryService",
     "ReproError",
+    "Result",
     "RewriteError",
+    "Serialized",
+    "ServiceError",
+    "ServiceOverloaded",
+    "Session",
+    "ShardedService",
     "XMLParseError",
     "XQueryProcessor",
     "XQuerySyntaxError",
     "XQueryTypeError",
     "__version__",
+    "connect",
     "shred",
 ]

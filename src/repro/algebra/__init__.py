@@ -13,6 +13,7 @@ from repro.algebra.expressions import (
     Comparison,
     Const,
     Expr,
+    In,
     Or,
     Plus,
     col,
@@ -54,6 +55,7 @@ __all__ = [
     "Distinct",
     "DocScan",
     "Expr",
+    "In",
     "Join",
     "LitTable",
     "Operator",

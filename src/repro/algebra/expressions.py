@@ -66,6 +66,8 @@ class Expr:
             return And(p.substitute(mapping) for p in self.parts)
         if isinstance(self, Or):
             return Or(p.substitute(mapping) for p in self.parts)
+        if isinstance(self, In):
+            return In(self.expr.substitute(mapping), self.values)
         raise NotImplementedError(type(self).__name__)
 
     def to_sql(self, render_col: Callable[[str], str]) -> str:
@@ -298,6 +300,48 @@ class Or(Expr):
 
     def _key(self) -> tuple:
         return (self.parts,)
+
+
+class In(Expr):
+    """Membership of a scalar in a *literal* value set, rendered as SQL
+    ``IN (...)``.
+
+    Semantically equal to an :class:`Or` of ``=`` comparisons, but kept
+    as one node so the back-end sees ``col IN (v1, …, vn)`` — which
+    SQLite answers with n index point-lookups, where the equivalent
+    n-way ``OR`` disjunction makes it abandon the index and fall back
+    to scanning (measured ~6x slower on the scatter-gather plans whose
+    ``collection()`` membership predicate names every member URI).
+    ``None`` in ``values`` follows SQL NULL semantics and never
+    matches.
+    """
+
+    __slots__ = ("expr", "values")
+
+    def __init__(self, expr: Expr, values: Iterable[Value]):
+        self.expr = expr
+        self.values = tuple(values)
+        if not self.values:
+            raise ValueError("In() needs at least one value")
+
+    def cols(self) -> frozenset[str]:
+        return self.expr.cols()
+
+    def evaluate(self, row: Mapping[str, Value]) -> bool:
+        value = self.expr.evaluate(row)
+        if value is None:
+            return False
+        return any(v is not None and value == v for v in self.values)
+
+    def rename(self, mapping: Mapping[str, str]) -> "In":
+        return In(self.expr.rename(mapping), self.values)
+
+    def to_sql(self, render_col: Callable[[str], str]) -> str:
+        rendered = ", ".join(Const(v).to_sql(render_col) for v in self.values)
+        return f"{self.expr.to_sql(render_col)} IN ({rendered})"
+
+    def _key(self) -> tuple:
+        return (self.expr, self.values)
 
 
 # -- convenience constructors -----------------------------------------------

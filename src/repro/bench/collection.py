@@ -1,0 +1,232 @@
+"""The shard-scaling collection benchmark (``BENCH_collection.json``).
+
+Measures the scatter-gather claim of the sharded store on a
+multi-document XMark corpus: one compiled ``collection()`` plan fanned
+out across N per-shard ``doc`` tables beats the same plan against one
+combined table hosting every document — *even serially* — because the
+path-step self-joins the join graph hands SQLite get superlinearly
+more expensive as the table grows (the name-indexed candidate sets of
+every step are corpus-wide, while the answers are document-local).
+Sharding keeps each probe against a table a fraction of the size.
+
+The grid:
+
+1. **Serial baseline** — a bare :class:`XQueryProcessor` over one
+   combined table hosting the whole corpus, repeated executions of the
+   query set.
+2. **Shard curve** — the same repeated workload through
+   :class:`ShardedService` at several shard counts (1 shard = the
+   degenerate scatter over one full-size table).
+
+Every configuration's *items* and *serialized text* are verified
+against the serial baseline before any number is reported — the
+benchmark doubles as a differential test.  ``benchmarks/bench_collection.py``
+and ``repro serve-bench --collection`` are thin wrappers over
+:func:`run_collection_bench`; the emitted document is
+``repro.bench.collection/v1`` (see ``docs/schemas.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Mapping, Sequence
+
+from repro.pipeline import XQueryProcessor
+from repro.service.scatter import ShardedService
+from repro.store import Collection
+from repro.workloads.corpus import CorpusConfig, xmark_corpus
+from repro.xmltree.serializer import serialize
+
+__all__ = [
+    "DEFAULT_COLLECTION_QUERIES",
+    "format_collection_bench",
+    "run_collection_bench",
+]
+
+SCHEMA = "repro.bench.collection/v1"
+
+#: Predicate-heavy multi-step shapes: each step's candidate set is
+#: corpus-wide under a combined table, so per-document cost grows with
+#: total corpus size and sharding pays off.  All end in a location
+#: step after the predicate, keeping them scatter-safe (document-
+#: ordered result).
+DEFAULT_COLLECTION_QUERIES: Mapping[str, str] = {
+    "CX1": 'collection()//closed_auction[itemref/@item = "item3"]/price',
+    "CX2": 'collection()//person[address/country = "United States"]/name',
+    "CX3": 'collection()//open_auction[bidder/increase > 25]/seller',
+    "CX4": 'collection()//closed_auction[price > 500]/itemref',
+}
+
+
+def _corpus_texts(config: CorpusConfig) -> list[tuple[str, str]]:
+    return [
+        (serialize(tree), tree.uri) for tree in xmark_corpus(config)
+    ]
+
+
+def _serial_baseline(
+    texts: Sequence[tuple[str, str]],
+    queries: Mapping[str, str],
+    repeat: int,
+) -> tuple[float, dict[str, Any], int]:
+    """One combined table, bare processor: (seconds, references, rows)."""
+    processor = XQueryProcessor()
+    for text, uri in texts:
+        processor.load(text, uri)
+    reference: dict[str, Any] = {}
+    # warm: compile + backend bulk load happen outside the timed window
+    processor.backend
+    for name, query in queries.items():
+        items = processor.execute(query)
+        reference[name] = (list(items), processor.serialize(items))
+    compiled = {name: processor.compile(q) for name, q in queries.items()}
+    seconds = _best_of_trials(
+        lambda: [
+            processor.execute(compiled[name])
+            for _ in range(repeat)
+            for name in queries
+        ]
+    )
+    return seconds, reference, len(processor.store.table)
+
+
+#: timed loops run this many times; the minimum is reported.  A single
+#: hot loop is hostage to scheduler noise on the shared CI host — the
+#: minimum across trials is the standard estimator for the true cost.
+TRIALS = 3
+
+
+def _best_of_trials(workload) -> float:
+    best = float("inf")
+    for _ in range(TRIALS):
+        start = time.perf_counter()
+        workload()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _shard_point(
+    texts: Sequence[tuple[str, str]],
+    queries: Mapping[str, str],
+    reference: dict[str, Any],
+    repeat: int,
+    shards: int,
+) -> dict[str, Any]:
+    """One shard count: verify against the baseline, then time."""
+    with ShardedService(Collection(shards)) as service:
+        # pinned round-robin placement: on a small corpus, hash
+        # placement variance would dominate the scaling signal the
+        # benchmark exists to measure (large corpora converge to
+        # balance on their own)
+        for index, (text, uri) in enumerate(texts):
+            service.load(text, uri, shard=index % shards)
+        fanout: dict[str, int] = {}
+        for name, query in queries.items():
+            result = service.execute(query)
+            expected_items, expected_text = reference[name]
+            if list(result) != expected_items:
+                raise AssertionError(
+                    f"shards={shards}: items diverge from the serial "
+                    f"baseline for query {name!r}"
+                )
+            if service.serialize(result) != expected_text:
+                raise AssertionError(
+                    f"shards={shards}: serialization diverges from the "
+                    f"serial baseline for query {name!r}"
+                )
+            fanout[name] = result.shards
+        seconds = _best_of_trials(
+            lambda: [
+                service.execute(query)
+                for _ in range(repeat)
+                for query in queries.values()
+            ]
+        )
+        placement = [
+            entry["documents"]
+            for entry in service.collection.stats()["per_shard"]
+        ]
+    return {
+        "shards": shards,
+        "seconds": seconds,
+        "fanout": fanout,
+        "documents_per_shard": placement,
+    }
+
+
+def run_collection_bench(
+    documents: int = 8,
+    factor: float = 0.02,
+    repeat: int = 5,
+    shards: Sequence[int] = (1, 2, 4),
+    queries: Mapping[str, str] = DEFAULT_COLLECTION_QUERIES,
+    seed: int = 42,
+    quick: bool = False,
+) -> dict[str, Any]:
+    """Run the whole grid; returns the ``BENCH_collection.json`` document.
+
+    ``quick`` shrinks the corpus and repeat count to CI-smoke size
+    (seconds, not minutes) while keeping every verification.
+    """
+    if quick:
+        factor = min(factor, 0.005)
+        repeat = min(repeat, 2)
+    texts = _corpus_texts(
+        CorpusConfig(documents=documents, factor=factor, seed=seed)
+    )
+    calls = repeat * len(queries)
+    serial_s, reference, rows = _serial_baseline(texts, queries, repeat)
+    curve = [
+        _shard_point(texts, queries, reference, repeat, n) for n in shards
+    ]
+    by_shards = {point["shards"]: point["seconds"] for point in curve}
+    base = by_shards.get(1, serial_s)
+    for point in curve:
+        point["speedup_vs_1_shard"] = (
+            base / point["seconds"] if point["seconds"] else float("inf")
+        )
+        point["speedup_vs_serial"] = (
+            serial_s / point["seconds"] if point["seconds"] else float("inf")
+        )
+    return {
+        "schema": SCHEMA,
+        "metadata": {
+            "workload": "xmark-corpus",
+            "documents": documents,
+            "factor": factor,
+            "seed": seed,
+            "rows": rows,
+            "queries": dict(queries),
+            "repeat": repeat,
+            "trials": TRIALS,
+            "calls_per_mode": calls,
+            "placement": "round-robin",
+            "quick": quick,
+        },
+        "serial_baseline": {
+            "seconds": serial_s,
+            "queries_per_second": calls / serial_s if serial_s else 0.0,
+        },
+        "curve": curve,
+    }
+
+
+def format_collection_bench(report: dict[str, Any]) -> str:
+    """Human-readable rendering of the benchmark document."""
+    meta = report["metadata"]
+    serial = report["serial_baseline"]
+    lines = [
+        f"collection bench — {meta['documents']} xmark docs @ factor "
+        f"{meta['factor']} ({meta['rows']} rows), "
+        f"{meta['calls_per_mode']} calls/mode",
+        f"  serial baseline  : {serial['seconds']:8.3f}s "
+        f"({serial['queries_per_second']:.1f} q/s)",
+    ]
+    for point in report["curve"]:
+        lines.append(
+            f"  {point['shards']:2d} shard(s)      : "
+            f"{point['seconds']:8.3f}s   "
+            f"{point['speedup_vs_1_shard']:5.2f}x vs 1 shard   "
+            f"docs/shard {point['documents_per_shard']}"
+        )
+    return "\n".join(lines)

@@ -66,6 +66,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.engines import Engine
 from repro.errors import ReproError
 from repro.obs import (
     MetricsRegistry,
@@ -97,10 +98,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        default="joingraph-sql",
-        choices=["joingraph-sql", "stacked-sql", "interpreter",
-                 "isolated-interpreter", "planner"],
+        default=Engine.JOINGRAPH_SQL.value,
+        choices=[engine.value for engine in Engine] + ["planner"],
         help="execution engine (default: the isolated single SQL block)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve the documents from an N-shard collection with "
+        "scatter-gather execution (default: 1, a single backend)",
     )
     parser.add_argument(
         "--sql", action="store_true", help="print the join graph SQL and exit"
@@ -274,9 +282,8 @@ def build_obs_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--engine",
-        default="joingraph-sql",
-        choices=["joingraph-sql", "stacked-sql", "interpreter",
-                 "isolated-interpreter"],
+        default=Engine.JOINGRAPH_SQL.value,
+        choices=[engine.value for engine in Engine],
         help="execution engine to run (the planner is always audited)",
     )
     parser.add_argument(
@@ -416,6 +423,32 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=2.0,
         help="per-query deadline in seconds (default: 2.0)",
     )
+    chaos.add_argument(
+        "--shards", type=int, default=1,
+        help="chaos in sharded mode: storm a ShardedService over this "
+        "many shards with collection() queries (default: 1, classic "
+        "single-service mode)",
+    )
+    chaos.add_argument(
+        "--documents", type=int, default=4,
+        help="corpus size for sharded chaos / collection mode "
+        "(default: 4; collection mode default: 8)",
+    )
+    coll = parser.add_argument_group(
+        "collection mode (see docs/performance.md)",
+        "run the shard-scaling collection benchmark instead of the "
+        "service throughput benchmark; writes the "
+        "repro.bench.collection/v1 document",
+    )
+    coll.add_argument(
+        "--collection", action="store_true",
+        help="benchmark scatter-gather over a sharded collection",
+    )
+    coll.add_argument(
+        "--shard-curve", default="1,2,4",
+        help="comma-separated shard counts for --collection "
+        "(default: 1,2,4)",
+    )
     return parser
 
 
@@ -423,6 +456,9 @@ def serve_bench_main(argv: list[str]) -> int:
     parser = build_serve_bench_parser()
     args = parser.parse_args(argv)
     sys.setrecursionlimit(100_000)
+
+    if args.faults and args.collection:
+        parser.error("--faults and --collection are mutually exclusive")
 
     if args.faults:
         from repro.faults.campaign import (
@@ -438,6 +474,8 @@ def serve_bench_main(argv: list[str]) -> int:
             rate=args.fault_rate,
             factor=args.factor,
             deadline_s=args.deadline,
+            shards=args.shards,
+            documents=args.documents,
         )
         report = run_chaos_campaign(config)
         print(format_chaos_report(report))
@@ -445,6 +483,28 @@ def serve_bench_main(argv: list[str]) -> int:
             Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
             print(f"-- wrote {args.out}")
         return 0 if report["contract"]["holds"] else 1
+
+    if args.collection:
+        from repro.bench.collection import (
+            format_collection_bench,
+            run_collection_bench,
+        )
+
+        report = run_collection_bench(
+            # the service-bench repeat/documents defaults are sized for
+            # the cheaper single-backend loop; substitute collection-
+            # mode defaults unless the user overrode them
+            documents=args.documents if args.documents != 4 else 8,
+            factor=args.factor,
+            repeat=args.repeat if args.repeat != 40 else 5,
+            shards=tuple(int(n) for n in args.shard_curve.split(",")),
+            quick=args.quick,
+        )
+        print(format_collection_bench(report))
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+            print(f"-- wrote {args.out}")
+        return 0
 
     from repro.service.bench import format_service_bench, run_service_bench
 
@@ -497,6 +557,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("a query is required (or use --generate)")
     if not args.doc:
         parser.error("at least one --doc FILE is required")
+    if args.shards < 1:
+        parser.error("--shards must be at least 1")
+    if args.shards > 1 and args.engine == "planner":
+        parser.error("--shards does not apply to the planner engine")
+    if args.shards > 1 and args.explain:
+        parser.error("--explain needs a single backend (drop --shards)")
+
+    if args.shards > 1:
+        return _sharded_main(args)
 
     processor = XQueryProcessor(serialize_step=args.serialize_step)
     observing = bool(args.trace or args.metrics is not None)
@@ -565,6 +634,69 @@ def main(argv: list[str] | None = None) -> int:
                 else:
                     Path(args.metrics).write_text(dump + "\n")
         return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    finally:
+        if observing:
+            set_tracer(previous_tracer)
+            set_metrics(previous_metrics)
+
+
+def _sharded_main(args: argparse.Namespace) -> int:
+    """The ``--shards N`` execution path: serve the documents from a
+    sharded collection through the :func:`repro.connect` facade."""
+    import repro
+
+    observing = bool(args.trace or args.metrics is not None)
+    previous_tracer, previous_metrics = get_tracer(), get_metrics()
+    if observing:
+        tracer = set_tracer(Tracer())
+        metrics = set_metrics(MetricsRegistry())
+    try:
+        with repro.connect(
+            shards=args.shards, serialize_step=args.serialize_step
+        ) as session:
+            for spec in args.doc:
+                path, _, uri = spec.partition("=")
+                session.load(Path(path).read_text(), uri or Path(path).name)
+
+            if args.plan or args.sql or args.stacked_sql:
+                compiled = session.service.compile(args.query)
+                if args.plan:
+                    from repro.algebra.dagutils import plan_to_text
+
+                    print(plan_to_text(compiled.isolated_plan))
+                elif args.sql:
+                    print(compiled.joingraph_sql.text)
+                else:
+                    print(compiled.stacked_sql.text)
+                return 0
+
+            start = time.perf_counter()
+            result = session.execute(args.query, engine=args.engine)
+            elapsed = time.perf_counter() - start
+            if args.items:
+                print(" ".join(str(i) for i in result))
+            else:
+                print(session.serialize(result))
+            if args.time:
+                print(
+                    f"-- {len(result)} item(s) in {elapsed * 1000:.2f} ms "
+                    f"[{args.engine}, fan-out {result.shards} of "
+                    f"{args.shards} shard(s)]",
+                    file=sys.stderr,
+                )
+            if observing:
+                if args.trace:
+                    write_chrome_trace(tracer, args.trace)
+                if args.metrics is not None:
+                    dump = json.dumps(metrics_json(metrics), indent=1)
+                    if args.metrics == "-":
+                        print(dump)
+                    else:
+                        Path(args.metrics).write_text(dump + "\n")
+            return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -17,7 +17,7 @@ references — the plans are DAGs, exactly as in Fig. 4.
 
 from __future__ import annotations
 
-from repro.algebra.expressions import And, Comparison, Expr, col, lit
+from repro.algebra.expressions import And, Comparison, In, col, lit
 from repro.algebra.ops import (
     Attach,
     Cross,
@@ -42,6 +42,7 @@ from repro.errors import CompileError
 from repro.infoset.encoding import DocumentStore
 from repro.xmltree.model import NodeKind
 from repro.xquery.core import (
+    CoreCollection,
     CoreComp,
     CoreDdo,
     CoreDoc,
@@ -91,6 +92,8 @@ class LoopLiftingCompiler:
     def compile_expr(self, core: CoreExpr, env: Env, loop: Operator) -> Operator:
         if isinstance(core, CoreDoc):
             return self._rule_doc(core, loop)
+        if isinstance(core, CoreCollection):
+            return self._rule_collection(core, loop)
         if isinstance(core, CoreDdo):
             return self._rule_ddo(core, env, loop)
         if isinstance(core, CoreStep):
@@ -126,6 +129,32 @@ class LoopLiftingCompiler:
         )
         lifted = Cross(doc_row, Attach(loop, "pos", 1))
         return Project(lifted, [("iter", "iter"), ("pos", "pos"), ("item", "pre")])
+
+    def _rule_collection(self, core: CoreCollection, loop: Operator) -> Operator:
+        """Collection: the DOC rows of every member URI, replicated per
+        iteration and ranked into document order.  The URI set is baked
+        into the plan as an ``IN`` membership predicate on the DOC-row
+        name (one index point-lookup per member — an ``OR`` disjunction
+        of equalities makes SQLite abandon the name index), so the
+        generated SQL is portable across any backend hosting a subset
+        of the members (missing documents simply match nothing) — the
+        property the scatter-gather executor relies on."""
+        if not core.uris:
+            return LitTable(("iter", "pos", "item"), [])
+        if len(core.uris) == 1:
+            return self._rule_doc(CoreDoc(core.uris[0]), loop)
+        doc_rows = Select(
+            self.doc,
+            And(
+                [
+                    Comparison("=", col("kind"), lit(_DOC)),
+                    In(col("name"), core.uris),
+                ]
+            ),
+        )
+        lifted = Cross(doc_rows, loop)
+        members = Project(lifted, [("iter", "iter"), ("item", "pre")])
+        return RowRank(members, "pos", ("item",))
 
     def _rule_ddo(self, core: CoreDdo, env: Env, loop: Operator) -> Operator:
         """Ddo: duplicate node removal + document order per iteration."""

@@ -1,0 +1,58 @@
+"""The execution-engine enumeration.
+
+One name for each of the four differential engines of
+:mod:`repro.pipeline`.  ``Engine`` subclasses :class:`str`, so every
+member compares (and serializes) equal to the wire string previous
+releases used — ``Engine.JOINGRAPH_SQL == "joingraph-sql"`` — and
+plain strings are still accepted at every API boundary, normalized
+via :meth:`Engine.of`.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Engine"]
+
+
+class Engine(str, enum.Enum):
+    """The four result-identical execution engines.
+
+    ``interpreter``           the algebra reference interpreter on the
+                              stacked (un-isolated) plan — ground truth;
+    ``isolated-interpreter``  the same interpreter on the isolated plan;
+    ``stacked-sql``           the CTE chain on SQLite (the paper's
+                              pre-isolation DB2 baseline);
+    ``joingraph-sql``         the single SELECT-DISTINCT-FROM-WHERE-ORDER
+                              BY block on SQLite (the paper's
+                              contribution).
+    """
+
+    INTERPRETER = "interpreter"
+    ISOLATED_INTERPRETER = "isolated-interpreter"
+    STACKED_SQL = "stacked-sql"
+    JOINGRAPH_SQL = "joingraph-sql"
+
+    # StrEnum semantics on 3.10: render as the wire value everywhere
+    # ("joingraph-sql", never "Engine.JOINGRAPH_SQL")
+    __str__ = str.__str__
+    __format__ = str.__format__
+
+    @classmethod
+    def of(cls, value: "Engine | str") -> "Engine":
+        """Normalize a user-supplied engine name (string or member)."""
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            known = ", ".join(member.value for member in cls)
+            raise ValueError(
+                f"unknown engine {value!r} (expected one of: {known})"
+            ) from None
+
+    @classmethod
+    def sql_engines(cls) -> tuple["Engine", ...]:
+        """The engines whose compiled SQL text is backend-portable
+        (what the scatter-gather executor can fan out across shards)."""
+        return (cls.STACKED_SQL, cls.JOINGRAPH_SQL)

@@ -19,6 +19,17 @@ The campaign is reproducible from its config: the injector draws from
 ``seed + thread index``.  ``repro serve-bench --faults`` runs exactly
 this campaign from the command line and prints/saves the report (CI
 uploads it as the chaos seed artifact).
+
+**Sharded mode** (``shards > 1``): the storm targets a
+:class:`repro.service.ShardedService` over a multi-document XMark
+corpus with scatter-safe ``collection()`` queries, so injected faults
+land *inside* the scatter fan-out — a failing shard triggers the
+service's full-serial fallback, never a partial merge.  The contract
+is unchanged: answers stay bit-identical to the pre-storm oracle (a
+bare interpreter over the combined store) and the recovery ledger
+balances across every shard service plus the serial fallback.  The
+report schema is ``repro.faults.campaign/v2`` (adds ``mode`` and the
+shard fields, see ``docs/schemas.md``).
 """
 
 from __future__ import annotations
@@ -39,7 +50,7 @@ from repro.workloads import XMARK_QUERIES, XMarkConfig, generate_xmark
 
 __all__ = ["ChaosConfig", "format_chaos_report", "run_chaos_campaign"]
 
-SCHEMA = "repro.faults.campaign/v1"
+SCHEMA = "repro.faults.campaign/v2"
 
 #: service-level typed errors a chaos run is allowed to surface
 _ALLOWED_ERRORS = ServiceError
@@ -65,6 +76,12 @@ class ChaosConfig:
     breaker_reset_s: float = 0.05
     query_mix: tuple[str, ...] = ("X1", "X5", "X13", "X17", "X19")
     engines: tuple[str, ...] = ("joingraph-sql", "stacked-sql")
+    #: shards > 1 switches the campaign to sharded mode: the storm
+    #: targets a ShardedService over a ``documents``-document corpus
+    #: with the scatter-safe collection query mix
+    shards: int = 1
+    documents: int = 4
+    collection_query_mix: tuple[str, ...] = ("CX1", "CX2", "CX3", "CX4")
 
     def plan(self) -> FaultPlan:
         return FaultPlan.uniform(
@@ -100,12 +117,8 @@ class _Outcomes:
             self.crashes.append(detail)
 
 
-def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
-    """Run one full campaign; returns the JSON-ready report.
-
-    The report's ``contract`` section is the acceptance gate: it must
-    show zero wrong results, zero crashes, and balanced accounting.
-    """
+def _single_target(config: ChaosConfig):
+    """The classic storm target: one QueryService over one document."""
     store = DocumentStore()
     store.load_tree(generate_xmark(XMarkConfig(factor=config.factor)))
     texts = {name: XMARK_QUERIES[name].text for name in config.query_mix}
@@ -128,6 +141,61 @@ def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
         breaker_reset_s=config.breaker_reset_s,
         degrade=True,
     )
+    return service, texts, oracle
+
+
+def _sharded_target(config: ChaosConfig):
+    """Sharded-mode storm target: a ShardedService over a multi-
+    document corpus, queried through scatter-safe ``collection()``
+    shapes so faults strike mid-fan-out."""
+    from repro.bench.collection import DEFAULT_COLLECTION_QUERIES
+    from repro.service.scatter import ShardedService
+    from repro.store import Collection
+    from repro.workloads.corpus import CorpusConfig, xmark_corpus
+
+    collection = Collection(config.shards)
+    corpus = xmark_corpus(
+        CorpusConfig(documents=config.documents, factor=config.factor)
+    )
+    for index, tree in enumerate(corpus):
+        collection.load_tree(tree, shard=index % config.shards)
+    texts = {
+        name: DEFAULT_COLLECTION_QUERIES[name]
+        for name in config.collection_query_mix
+    }
+
+    oracle_processor = XQueryProcessor(
+        store=collection.combined_store(),
+        default_doc=corpus[0].uri,
+        collections=collection.resolve,
+    )
+    oracle = {
+        name: oracle_processor.execute(text, engine="interpreter")
+        for name, text in texts.items()
+    }
+
+    service = ShardedService(
+        collection,
+        default_doc=corpus[0].uri,
+        deadline_s=config.deadline_s,
+        retry=RetryPolicy(max_retries=config.max_retries),
+        breaker_threshold=config.breaker_threshold,
+        breaker_reset_s=config.breaker_reset_s,
+        degrade=True,
+    )
+    return service, texts, oracle
+
+
+def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
+    """Run one full campaign; returns the JSON-ready report.
+
+    The report's ``contract`` section is the acceptance gate: it must
+    show zero wrong results, zero crashes, and balanced accounting.
+    """
+    if config.shards > 1:
+        service, texts, oracle = _sharded_target(config)
+    else:
+        service, texts, oracle = _single_target(config)
     outcomes = _Outcomes()
     campaign_metrics = MetricsRegistry()
     merge_lock = threading.Lock()
@@ -182,6 +250,7 @@ def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
     counters = campaign_metrics.snapshot()["counters"]
     return {
         "schema": SCHEMA,
+        "mode": "sharded" if config.shards > 1 else "single",
         "config": asdict(config),
         "calls": calls,
         "outcomes": {
@@ -225,6 +294,13 @@ def format_chaos_report(report: dict[str, Any]) -> str:
         f"chaos campaign — seed {config['seed']}, {config['threads']} threads "
         f"x {config['queries_per_thread']} queries, "
         f"{config['rate']:.0%} fault rate (xmark factor {config['factor']})",
+    ]
+    if report.get("mode") == "sharded":
+        lines.append(
+            f"  sharded mode      : {config['shards']} shards, "
+            f"{config['documents']}-document collection() storm"
+        )
+    lines += [
         f"  calls             : {report['calls']}",
         f"  correct answers   : {outcomes['ok']}",
         "  typed errors      : "

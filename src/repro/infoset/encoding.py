@@ -90,6 +90,38 @@ class DocTable:
         """Parse and shred an XML document given as text."""
         return self.add_tree(parse_document(text, uri=uri))
 
+    def graft(self, other: "DocTable", root_pre: int) -> int:
+        """Copy one whole document subtree (its DOC row plus all
+        descendants) from another table, without re-shredding.
+
+        ``level`` is document-relative (every DOC row sits at level 0),
+        so rows transplant verbatim; only ``pre`` shifts by the copy
+        offset.  Returns the new DOC row's ``pre`` rank.
+
+        Raises
+        ------
+        DocumentError
+            If ``root_pre`` is not a DOC row in ``other``, or a
+            document with the same URI is already hosted here.
+        """
+        if other.kind[root_pre] != int(NodeKind.DOC):
+            raise DocumentError(f"pre rank {root_pre} is not a DOC row")
+        uri = other.name[root_pre]
+        if uri is None or uri in self._doc_roots:
+            raise DocumentError(f"document {uri!r} already loaded")
+        new_root = len(self.size)
+        end = root_pre + other.size[root_pre] + 1
+        self.size.extend(other.size[root_pre:end])
+        self.level.extend(other.level[root_pre:end])
+        self.kind.extend(other.kind[root_pre:end])
+        self.name.extend(other.name[root_pre:end])
+        self.value.extend(other.value[root_pre:end])
+        self.data.extend(other.data[root_pre:end])
+        self._doc_roots[uri] = new_root
+        self._frozen = None
+        self.version += 1
+        return new_root
+
     def _shred(self, node: XMLNode, level: int = 0) -> int:
         """Emit rows for ``node``'s subtree; returns the subtree size
         *including* ``node`` itself."""

@@ -167,8 +167,10 @@ def validate_chrome_trace(trace: Any) -> list[str]:
 
 
 def metrics_json(metrics: MetricsRegistry) -> dict[str, Any]:
-    """A flat, JSON-serializable dump of every metric."""
-    return metrics.snapshot()
+    """A flat, JSON-serializable dump of every metric, stamped with
+    its schema version (``repro.obs.metrics/v1``, see
+    ``docs/schemas.md``)."""
+    return {"schema": "repro.obs.metrics/v1", **metrics.snapshot()}
 
 
 def tree_report(tracer: Tracer, min_ms: float = 0.0) -> str:

@@ -19,29 +19,47 @@ execution engines are available (all differential-consistent):
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Literal
+from fnmatch import fnmatchcase
 
 from repro.algebra.dagutils import clone_plan
 from repro.algebra.interpreter import run_plan
 from repro.algebra.ops import Serialize
 from repro.compiler.looplift import LoopLiftingCompiler
+from repro.engines import Engine
 from repro.errors import XQueryTypeError
 from repro.infoset.encoding import DocumentStore
 from repro.infoset.serialize import serialize_sequence
 from repro.obs import get_metrics, get_tracer
+from repro.result import Result, Serialized
 from repro.rewrite.engine import IsolationEngine, IsolationStats
 from repro.sql.backend import SQLiteBackend
 from repro.sql.codegen import SQLQuery, generate_join_graph_sql
 from repro.sql.stacked import generate_stacked_sql
 from repro.xquery import ast
 from repro.xquery.core import CoreDdo, CoreExpr, CoreFor, CoreStep, CoreVar
-from repro.xquery.normalize import normalize
+from repro.xquery.normalize import CollectionResolver, normalize
 from repro.xquery.parser import parse_xquery
 
-Engine = Literal[
-    "interpreter", "isolated-interpreter", "stacked-sql", "joingraph-sql"
-]
+__all__ = ["CompiledQuery", "Engine", "XQueryProcessor", "store_resolver"]
+
+
+def store_resolver(store: DocumentStore) -> CollectionResolver:
+    """The default ``collection()`` resolver: match URI globs against
+    the documents hosted by one store, in load (= ``pre``) order."""
+
+    def resolve(patterns: tuple[str, ...]) -> tuple[str, ...]:
+        uris = store.table.doc_uris
+        if not patterns:
+            return tuple(uris)
+        return tuple(
+            uri
+            for uri in uris
+            if any(fnmatchcase(uri, pattern) for pattern in patterns)
+        )
+
+    return resolve
 
 
 @dataclass
@@ -103,6 +121,12 @@ class XQueryProcessor:
         each step on small documents and compare the item sequence
         against the pre-isolation reference (per-step differential
         testing; skipped automatically on large stores).
+    collections:
+        Resolver turning ``collection()`` URI globs into concrete
+        document URIs; defaults to matching against this processor's
+        own store.  The sharded service passes a resolver over the
+        whole :class:`repro.store.Collection` here so compiled plans
+        name every member document regardless of shard placement.
     """
 
     def __init__(
@@ -113,9 +137,13 @@ class XQueryProcessor:
         disabled_rules: set[str] | None = None,
         checked: bool = False,
         check_interpret: bool = False,
+        collections: CollectionResolver | None = None,
     ):
         self.store = store if store is not None else DocumentStore()
         self.default_doc = default_doc
+        self.collections = (
+            collections if collections is not None else store_resolver(self.store)
+        )
         self.serialize_step = serialize_step
         self.checked = checked
         sanitizer = None
@@ -169,7 +197,11 @@ class XQueryProcessor:
             with tracer.span("parse"):
                 surface = parse_xquery(query)
             with tracer.span("normalize"):
-                core = normalize(surface, default_doc=self.default_doc)
+                core = normalize(
+                    surface,
+                    default_doc=self.default_doc,
+                    collections=self.collections,
+                )
                 if self.serialize_step:
                     core = _with_serialize_step(core)
             with tracer.span("looplift"):
@@ -205,7 +237,11 @@ class XQueryProcessor:
             component = ast.FLWOR(surface.clauses, surface.where, item)
             with tracer.span("compile", query=query, component=i):
                 with tracer.span("normalize"):
-                    core = normalize(component, default_doc=self.default_doc)
+                    core = normalize(
+                        component,
+                        default_doc=self.default_doc,
+                        collections=self.collections,
+                    )
                     if self.serialize_step:
                         core = _with_serialize_step(core)
                 with tracer.span("looplift"):
@@ -225,35 +261,49 @@ class XQueryProcessor:
 
     # -- execution ---------------------------------------------------------
 
-    def execute(self, query: str | CompiledQuery, engine: Engine = "joingraph-sql"):
-        """Evaluate a query; returns the item sequence (pre ranks for
-        node results, ``1`` markers for boolean results)."""
+    def execute(
+        self,
+        query: str | CompiledQuery,
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
+    ) -> Result:
+        """Evaluate a query; returns a :class:`repro.Result` — the item
+        sequence (pre ranks for node results, ``1`` markers for boolean
+        results) plus engine/timing metadata."""
+        engine = Engine.of(engine)
         compiled = query if isinstance(query, CompiledQuery) else self.compile(query)
-        with get_tracer().span("execute", engine=engine) as span:
-            if engine == "interpreter":
+        started = time.perf_counter_ns()
+        with get_tracer().span("execute", engine=engine.value) as span:
+            if engine is Engine.INTERPRETER:
                 items = run_plan(compiled.stacked_plan)
-            elif engine == "isolated-interpreter":
+            elif engine is Engine.ISOLATED_INTERPRETER:
                 items = run_plan(compiled.isolated_plan)
-            elif engine == "stacked-sql":
+            elif engine is Engine.STACKED_SQL:
                 items = self.backend.run(compiled.stacked_sql)
-            elif engine == "joingraph-sql":
-                items = self.backend.run(compiled.joingraph_sql)
             else:
-                raise ValueError(f"unknown engine {engine!r}")
+                items = self.backend.run(compiled.joingraph_sql)
             span.set(items=len(items))
         metrics = get_metrics()
         metrics.count("pipeline.executions")
-        metrics.count(f"pipeline.executions.{engine}")
-        return items
+        metrics.count(f"pipeline.executions.{engine.value}")
+        return Result(
+            items,
+            engine=engine,
+            timings={"execute_ns": time.perf_counter_ns() - started},
+            shards=1,
+            serializer=self.serialize,
+        )
 
     def serialize(self, items) -> str:
         """Serialize a node-sequence result back to XML text."""
         with get_tracer().span("serialize", items=len(items)):
             return serialize_sequence(self.store.table, items)
 
-    def run(self, query: str, engine: Engine = "joingraph-sql") -> str:
-        """Execute and serialize in one step."""
-        return self.serialize(self.execute(query, engine=engine))
+    def run(self, query: str, engine: Engine | str = Engine.JOINGRAPH_SQL) -> Serialized:
+        """Execute and serialize in one step.  Returns the XML text
+        (a :class:`repro.result.Serialized` string with the underlying
+        :class:`Result` attached as ``.result``)."""
+        result = self.execute(query, engine=engine)
+        return Serialized(self.serialize(result), result)
 
     def explain(self, query: str | CompiledQuery, mode: str = "statistics") -> str:
         """The continuation-annotated physical plan our cost-based

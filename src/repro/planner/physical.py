@@ -29,6 +29,7 @@ from repro.algebra.expressions import (
     Comparison,
     Const,
     Expr,
+    In,
     Or,
     Plus,
     Value,
@@ -87,6 +88,10 @@ def compile_expr(expr: Expr, table: DocTable) -> BoundFn:
     if isinstance(expr, Or):
         parts = [compile_expr(p, table) for p in expr.parts]
         return lambda binding: any(p(binding) for p in parts)
+    if isinstance(expr, In):
+        member = compile_expr(expr.expr, table)
+        values = frozenset(v for v in expr.values if v is not None)
+        return lambda binding: member(binding) in values
     raise PlanError(f"cannot compile {type(expr).__name__}")
 
 

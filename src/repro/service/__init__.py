@@ -16,6 +16,7 @@ from repro.service.resilience import (
     Deadline,
     RetryPolicy,
 )
+from repro.service.scatter import ShardedService
 from repro.service.service import QueryService
 
 __all__ = [
@@ -27,4 +28,5 @@ __all__ = [
     "Deadline",
     "QueryService",
     "RetryPolicy",
+    "ShardedService",
 ]

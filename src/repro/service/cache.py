@@ -14,7 +14,11 @@ content:
 ``disabled_rules``   ablations produce different isolated plans;
 ``store_version``    the document table's monotonic content version —
                      a load bumps it, so stale plans can never be
-                     served (their key no longer matches).
+                     served (their key no longer matches);
+``collection``       the sharded-collection identity (shard count tag)
+                     for plans compiled by the scatter-gather service,
+                     whose ``collection()`` resolution spans shards —
+                     ``None`` for single-store services.
 
 Hit/miss/eviction counts flow into the process metrics registry
 (``service.cache.*``, see ``docs/observability.md``) and are kept as
@@ -43,6 +47,7 @@ class CacheKey(NamedTuple):
     serialize_step: bool
     disabled_rules: frozenset[str]
     store_version: int
+    collection: str | None = None
 
 
 class CompiledQueryCache:

@@ -1,0 +1,585 @@
+"""Scatter-gather execution over a sharded document collection.
+
+:class:`ShardedService` is the serving layer over a
+:class:`repro.store.Collection`: one compiled plan fans out across N
+per-shard backends in parallel, per-shard results translate to global
+``pre`` ranks and merge back in stable document order (doc rank ⊕ pre).
+
+Why this works
+--------------
+The join-graph SQL compiled for a ``collection()`` query embeds the
+member URIs as a disjunctive literal predicate on the ``doc`` table's
+DOC rows — the text references no shard-specific state, so the *same*
+statement runs against every shard's schema unchanged; documents a
+shard doesn't host simply match nothing.  A query is **scatter-safe**
+when
+
+* the normalized Core expression has exactly one document source —
+  one ``collection(...)`` (scatter across its shards) or ``doc()``
+  references to a single URI (route to its one shard), and
+* the top-level Core expression is ``fs:ddo(...)``, i.e. the result is
+  a document-ordered node sequence.
+
+Then every result item belongs to the document (and hence shard) it
+was computed on, per-shard sequences are sorted by shard-local ``pre``,
+translation to global ranks is monotonic per shard, and a k-way merge
+reproduces the serial answer item for item.  Everything else — joins
+across two sources, FLWOR-ordered results, boolean results, the
+``serialize_step`` wrapper — falls back to *serial* execution against
+the lazily materialized combined store, so differential agreement with
+a single-backend processor holds universally.
+
+Resilience composes with PR 4's machinery: each shard runs under its
+own :class:`QueryService` (deadline spans the fan-out via remaining
+budget, retries/breaker/degrade apply per shard), and when a shard
+still fails with degradation enabled the whole query falls back to the
+serial path — partial results are never returned.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import fields, is_dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.engines import Engine
+from repro.errors import ServiceError
+from repro.infoset.encoding import DocumentStore
+from repro.obs import get_metrics, get_tracer
+from repro.pipeline import CompiledQuery, XQueryProcessor
+from repro.result import Result, Serialized
+from repro.service.cache import CacheKey, CompiledQueryCache
+from repro.service.resilience import Deadline, RetryPolicy
+from repro.service.service import QueryService
+from repro.store import Collection
+from repro.xquery.core import CoreCollection, CoreDdo, CoreDoc, CoreExpr
+
+__all__ = ["ShardedService", "scatter_uris"]
+
+
+def _remaining(deadline: Deadline | None) -> float | None:
+    """The budget to hand a downstream call.  Raises the typed
+    :class:`DeadlineExceeded` when the fan-out has already spent the
+    deadline — a non-positive budget must never reach a service entry
+    point (it would be rejected as a :class:`ValueError`).  The floor
+    covers the instant between the check and the reading."""
+    if deadline is None:
+        return None
+    deadline.check()
+    return max(deadline.remaining(), 1e-9)
+
+
+def _sources(core: CoreExpr) -> Iterable[CoreDoc | CoreCollection]:
+    """Every document-source node in a Core tree."""
+    if isinstance(core, (CoreDoc, CoreCollection)):
+        yield core
+    if is_dataclass(core):
+        for field in fields(core):
+            child = getattr(core, field.name)
+            if isinstance(child, CoreExpr):
+                yield from _sources(child)
+
+
+def scatter_uris(core: CoreExpr) -> tuple[str, ...] | None:
+    """The URI set a compiled query is scatter-safe over, or ``None``.
+
+    ``None`` means the query must run serially; a tuple (possibly
+    empty) means every result item lives in one of these documents and
+    per-shard execution + ordered merge is exact.
+    """
+    if not isinstance(core, CoreDdo):
+        return None
+    sources = list(_sources(core))
+    if not sources:
+        return None
+    if all(isinstance(s, CoreDoc) for s in sources):
+        uris = {s.uri for s in sources}
+        # several doc() references are routable only when they all
+        # name the same document (the whole query then lives in one
+        # shard); distinct URIs may join across shards
+        return tuple(uris) if len(uris) == 1 else None
+    if len(sources) == 1 and isinstance(sources[0], CoreCollection):
+        return sources[0].uris
+    return None
+
+
+class ShardedService:
+    """Scatter-gather query service over a sharded collection.
+
+    Parameters
+    ----------
+    collection:
+        The :class:`repro.store.Collection` to serve.
+    default_doc, serialize_step, disabled_rules, checked:
+        Front-end configuration, as on :class:`XQueryProcessor`.  Note
+        ``serialize_step`` forces serial execution (its result shape
+        is not merge-safe across shards).
+    workers_per_shard:
+        Worker threads per shard service; the scatter fan-out runs one
+        in-flight plan per shard, so 1 is the natural width.
+    parallel_fanout:
+        ``True`` dispatches shard plans onto the shard services' worker
+        threads concurrently; ``False`` runs them sequentially in the
+        calling thread (still through each shard's full resilience
+        stack).  The default ``None`` picks by ``os.cpu_count()``: on a
+        single-core host thread fan-out is pure scheduling overhead —
+        the per-shard cost reduction (smaller tables, shorter membership
+        predicates) is what sharding buys, and it survives serial
+        dispatch intact.
+    cache_capacity, cached_statements, indexes:
+        As on :class:`QueryService`; apply to every shard.
+    deadline_s, retry, breaker_threshold, breaker_reset_s, degrade:
+        Resilience configuration.  The deadline spans the whole
+        fan-out: each shard receives the *remaining* budget, and the
+        merge re-checks before returning.  With ``degrade`` enabled a
+        shard-level failure falls back to full serial execution; with
+        it disabled the typed shard error surfaces.
+    """
+
+    def __init__(
+        self,
+        collection: Collection | None = None,
+        default_doc: str | None = None,
+        serialize_step: bool = False,
+        disabled_rules: set[str] | None = None,
+        *,
+        shards: int | None = None,
+        workers_per_shard: int = 1,
+        cache_capacity: int = 256,
+        cached_statements: int = 512,
+        indexes: dict[str, tuple[str, ...]] | None = None,
+        checked: bool = False,
+        deadline_s: float | None = None,
+        retry: RetryPolicy | None = None,
+        breaker_threshold: int = 8,
+        breaker_reset_s: float = 0.25,
+        degrade: bool = True,
+        parallel_fanout: bool | None = None,
+    ):
+        if collection is None:
+            collection = Collection(shards if shards is not None else 1)
+        elif shards is not None and shards != collection.shards:
+            raise ValueError(
+                f"shards={shards} conflicts with the given collection's "
+                f"{collection.shards} shards"
+            )
+        self.collection = collection
+        self.serialize_step = serialize_step
+        self.deadline_s = deadline_s
+        self.degrade_enabled = degrade
+        if parallel_fanout is None:
+            parallel_fanout = (os.cpu_count() or 1) > 1
+        self.parallel_fanout = parallel_fanout
+        # the compile-side processor: bound to an empty store (compiled
+        # SQL never executes against it), resolving collection() globs
+        # against the *whole* collection so plans name every member
+        # regardless of shard placement
+        self._compiler = XQueryProcessor(
+            store=DocumentStore(),
+            default_doc=default_doc,
+            serialize_step=serialize_step,
+            disabled_rules=disabled_rules,
+            checked=checked,
+            collections=collection.resolve,
+        )
+        self.cache = CompiledQueryCache(cache_capacity)
+        self._compile_lock = threading.Lock()
+        self._service_config = dict(
+            default_doc=default_doc,
+            serialize_step=serialize_step,
+            disabled_rules=disabled_rules,
+            workers=workers_per_shard,
+            cache_capacity=cache_capacity,
+            cached_statements=cached_statements,
+            indexes=indexes,
+            checked=checked,
+            deadline_s=None,  # the sharded service owns the deadline
+            retry=retry,
+            breaker_threshold=breaker_threshold,
+            breaker_reset_s=breaker_reset_s,
+            degrade=degrade,
+        )
+        self._shard_services: list[QueryService] = [
+            QueryService(store=store, **self._service_config)
+            for store in collection.stores
+        ]
+        # per-shard plan specializers, built lazily: same front-end
+        # configuration, but collection() resolves to only the member
+        # URIs the shard hosts (see _shard_compiled)
+        self._shard_compilers: list[XQueryProcessor | None] = [
+            None for _ in collection.stores
+        ]
+        self._serial_service: QueryService | None = None
+        self._serial_lock = threading.Lock()
+        self._closed = False
+
+    # -- documents -----------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        return self.collection.shards
+
+    @property
+    def default_doc(self) -> str | None:
+        return self._compiler.default_doc
+
+    def load(self, xml_text: str, uri: str, shard: int | None = None) -> None:
+        """Load a document into its shard and invalidate compiled
+        plans (``shard`` overrides hash placement, as on
+        :meth:`Collection.load`).  Shard backends/caches
+        self-invalidate off their store versions; the collection-level
+        plan cache is versioned on the collection."""
+        entry = self.collection.load(xml_text, uri, shard=shard)
+        if self._compiler.default_doc is None:
+            self._compiler.default_doc = uri
+            self._service_config["default_doc"] = uri
+            for service in self._shard_services:
+                service.processor.default_doc = uri
+            with self._serial_lock:
+                if self._serial_service is not None:
+                    self._serial_service.processor.default_doc = uri
+        self.cache.invalidate(store_version=self.collection.version)
+        # the shard that received the document must drop its pool;
+        # QueryService.load would do this, but the collection already
+        # loaded the row — retire explicitly instead
+        self._shard_services[entry.shard].cache.invalidate(
+            store_version=self.collection.stores[entry.shard].version
+        )
+
+    # -- compilation ---------------------------------------------------
+
+    def _cache_key(self, query: str) -> CacheKey:
+        return CacheKey(
+            query=query,
+            default_doc=self._compiler.default_doc,
+            serialize_step=self._compiler.serialize_step,
+            disabled_rules=self._compiler.disabled_rules,
+            store_version=self.collection.version,
+            collection=f"shards:{self.collection.shards}",
+        )
+
+    def compile(self, query: str) -> CompiledQuery:
+        """The compiled artifact for ``query``, resolved against the
+        whole collection — from cache when possible."""
+        key = self._cache_key(query)
+        compiled = self.cache.get(key)
+        if compiled is not None:
+            return compiled
+        with self._compile_lock:
+            compiled = self.cache.peek(key)
+            if compiled is not None:
+                return compiled
+            compiled = self._compiler.compile(query)
+            _ = (compiled.stacked_sql, compiled.joingraph_sql)
+            self.cache.put(key, compiled)
+        return compiled
+
+    def _shard_resolver(self, shard: int):
+        def resolve(patterns: tuple[str, ...]) -> tuple[str, ...]:
+            return tuple(
+                uri
+                for uri in self.collection.resolve(patterns)
+                if self.collection.entry(uri).shard == shard
+            )
+
+        return resolve
+
+    def _shard_compiled(
+        self, compiled: CompiledQuery, shard: int
+    ) -> CompiledQuery:
+        """The shard-specialized variant of a compiled plan.
+
+        The collection-wide plan names *every* member URI in its
+        membership predicate; re-resolving against only the URIs this
+        shard hosts yields provably identical rows on the shard
+        (foreign URIs match nothing there) but keeps the membership
+        list short — on a long list, SQLite flips to driving the join
+        from the DOC rows and walks whole document subtrees by rowid
+        range, turning indexed point-lookups into per-shard table
+        scans.  Variants are cached like any compiled plan.
+        """
+        key = self._cache_key(compiled.source)._replace(
+            collection=f"shards:{self.collection.shards}:{shard}"
+        )
+        variant = self.cache.get(key)
+        if variant is not None:
+            return variant
+        with self._compile_lock:
+            variant = self.cache.peek(key)
+            if variant is not None:
+                return variant
+            compiler = self._shard_compilers[shard]
+            if compiler is None:
+                compiler = XQueryProcessor(
+                    store=DocumentStore(),
+                    default_doc=self._compiler.default_doc,
+                    serialize_step=self._compiler.serialize_step,
+                    disabled_rules=set(self._compiler.disabled_rules),
+                    collections=self._shard_resolver(shard),
+                )
+                self._shard_compilers[shard] = compiler
+            compiler.default_doc = self._compiler.default_doc
+            variant = compiler.compile(compiled.source)
+            _ = (variant.stacked_sql, variant.joingraph_sql)
+            self.cache.put(key, variant)
+        return variant
+
+    # -- execution -----------------------------------------------------
+
+    def execute(
+        self,
+        query: str | CompiledQuery,
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
+        *,
+        deadline_s: float | None = None,
+    ) -> Result:
+        """Evaluate a query; returns a :class:`repro.Result` whose
+        ``shards`` attribute records the fan-out width (1 for routed or
+        serial execution).
+
+        Scatter-safe SQL-engine queries fan out across the shards
+        hosting their documents; everything else (interpreter engines,
+        cross-document joins, FLWOR-ordered results) runs serially
+        against the combined store.  Either way the item sequence is
+        exactly what a single-backend serial processor would return.
+        """
+        if self._closed:
+            raise RuntimeError("sharded service is closed")
+        engine = Engine.of(engine)
+        started = time.perf_counter_ns()
+        budget = self.deadline_s if deadline_s is None else deadline_s
+        deadline = Deadline.after(budget) if budget is not None else None
+        metrics = get_metrics()
+
+        compiled = (
+            query if isinstance(query, CompiledQuery) else self.compile(query)
+        )
+        uris = None
+        if engine in Engine.sql_engines() and not self.serialize_step:
+            uris = scatter_uris(compiled.core)
+        if uris is None:
+            metrics.count("service.scatter.serial")
+            items = self._serial().execute(
+                compiled.source,
+                engine,
+                deadline_s=_remaining(deadline),
+            )
+            return Result(
+                items,
+                engine=engine,
+                timings={"execute_ns": time.perf_counter_ns() - started},
+                shards=1,
+                serializer=self.serialize,
+            )
+
+        known = [uri for uri in uris if uri in self.collection]
+        shards = self.collection.shards_of(known)
+        merged, merge_ns = self._scatter(compiled, engine, shards, deadline)
+        metrics.count("service.scatter.queries")
+        metrics.count(f"service.scatter.queries.{engine.value}")
+        metrics.observe("service.scatter.fanout", len(shards))
+        elapsed = time.perf_counter_ns() - started
+        metrics.observe("service.scatter.query_ns", elapsed)
+        return Result(
+            merged,
+            engine=engine,
+            timings={"execute_ns": elapsed, "merge_ns": merge_ns},
+            shards=max(1, len(shards)),
+            serializer=self.serialize,
+        )
+
+    def _scatter(
+        self,
+        compiled: CompiledQuery,
+        engine: Engine,
+        shards: Sequence[int],
+        deadline: Deadline | None,
+    ) -> tuple[list[Any], int]:
+        """Fan one compiled plan out across ``shards``; returns the
+        merged global-rank sequence and the merge-phase nanoseconds."""
+        tracer = get_tracer()
+        if not shards:
+            return [], 0
+        remaining = _remaining(deadline)
+        with tracer.span(
+            "service.scatter", engine=engine.value, shards=len(shards)
+        ):
+            if len(shards) == 1:
+                # routed: the whole query lives in one shard
+                get_metrics().count("service.scatter.routed")
+                shard = shards[0]
+                with tracer.span("service.scatter.shard", shard=shard):
+                    items = self._shard_services[shard].execute(
+                        self._shard_compiled(compiled, shard),
+                        engine,
+                        deadline_s=remaining,
+                    )
+                started = time.perf_counter_ns()
+                merged = self.collection.to_global(shard, items)
+                return merged, time.perf_counter_ns() - started
+
+            per_shard: list[list[int]] = []
+            failure: BaseException | None = None
+            if self.parallel_fanout:
+                futures: list[tuple[int, Future[Result]]] = [
+                    (
+                        shard,
+                        self._shard_services[shard].submit(
+                            self._shard_compiled(compiled, shard),
+                            engine,
+                            deadline_s=remaining,
+                        ),
+                    )
+                    for shard in shards
+                ]
+                for shard, future in futures:
+                    try:
+                        items = future.result()
+                    except ServiceError as error:
+                        get_metrics().count("service.scatter.shard_failures")
+                        if failure is None:
+                            failure = error
+                        continue
+                    if failure is None:
+                        per_shard.append(self.collection.to_global(shard, items))
+            else:
+                for shard in shards:
+                    try:
+                        items = self._shard_services[shard].execute(
+                            self._shard_compiled(compiled, shard),
+                            engine,
+                            deadline_s=_remaining(deadline),
+                        )
+                    except ServiceError as error:
+                        get_metrics().count("service.scatter.shard_failures")
+                        if failure is None:
+                            failure = error
+                        continue
+                    if failure is None:
+                        per_shard.append(self.collection.to_global(shard, items))
+            if failure is not None:
+                if not self.degrade_enabled:
+                    raise failure
+                # partial answers are never merged: degrade to full
+                # serial execution against the combined store
+                get_metrics().count("service.scatter.serial_fallbacks")
+                with tracer.span("service.scatter.degrade"):
+                    items = self._serial().execute(
+                        compiled.source,
+                        engine,
+                        deadline_s=_remaining(deadline),
+                    )
+                return list(items), 0
+            started = time.perf_counter_ns()
+            merged = list(heapq.merge(*per_shard))
+            merge_ns = time.perf_counter_ns() - started
+            if deadline is not None:
+                deadline.check()
+            return merged, merge_ns
+
+    def _serial(self) -> QueryService:
+        """The serial fallback service over the combined store, built
+        lazily (materializing the combined table) on first use."""
+        with self._serial_lock:
+            if self._serial_service is None:
+                get_metrics().count("service.scatter.serial_materializations")
+                self._serial_service = QueryService(
+                    store=self.collection.combined_store(),
+                    **self._service_config,
+                )
+            return self._serial_service
+
+    # -- results -------------------------------------------------------
+
+    def serialize(self, items: Sequence[Any]) -> str:
+        """Serialize a global-rank node sequence back to XML text."""
+        return self.collection.serialize(items)
+
+    def run(
+        self,
+        query: str | CompiledQuery,
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
+    ) -> Serialized:
+        """Execute and serialize in one step."""
+        result = self.execute(query, engine=engine)
+        return Serialized(self.serialize(result), result)
+
+    def run_many(
+        self,
+        queries: Iterable[str | CompiledQuery],
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
+        *,
+        deadline_s: float | None = None,
+    ) -> list[Result]:
+        """Execute a batch; each query fans out across the shards in
+        turn (the fan-out itself is the parallelism)."""
+        return [
+            self.execute(query, engine=engine, deadline_s=deadline_s)
+            for query in queries
+        ]
+
+    # -- accounting / lifecycle ----------------------------------------
+
+    @property
+    def fault_accounting(self) -> dict[str, int]:
+        """Injected-fault dispositions summed across every shard
+        service and the serial fallback — the ledger side of the
+        ``injected == retried + degraded + surfaced`` invariant."""
+        total = {"retry": 0, "degrade": 0, "surface": 0}
+        services: list[QueryService] = list(self._shard_services)
+        with self._serial_lock:
+            if self._serial_service is not None:
+                services.append(self._serial_service)
+        for service in services:
+            for disposition, count in service.fault_accounting.items():
+                total[disposition] += count
+        return total
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-ready snapshot: collection placement, per-shard
+        service and planner-statistics summaries, plan-cache counters."""
+        from repro.planner.stats import TableStatistics
+
+        per_shard = []
+        for shard, service in enumerate(self._shard_services):
+            table = self.collection.stores[shard].table
+            table_stats = TableStatistics.collect(table)
+            per_shard.append(
+                {
+                    "shard": shard,
+                    "documents": len(self.collection._by_shard[shard]),
+                    "rows": table_stats.row_count,
+                    "distinct_names": len(table_stats.name_frequency),
+                    "max_level": table_stats.max_level,
+                    "service": service.stats(),
+                }
+            )
+        with self._serial_lock:
+            serial = self._serial_service is not None
+        return {
+            "collection": self.collection.stats(),
+            "cache": self.cache.stats(),
+            "serial_materialized": serial,
+            "fault_accounting": self.fault_accounting,
+            "per_shard": per_shard,
+        }
+
+    def close(self) -> None:
+        """Close every shard service and the serial fallback."""
+        self._closed = True
+        for service in self._shard_services:
+            service.close()
+        with self._serial_lock:
+            serial, self._serial_service = self._serial_service, None
+        if serial is not None:
+            serial.close()
+
+    def __enter__(self) -> "ShardedService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

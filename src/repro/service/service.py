@@ -57,6 +57,7 @@ from repro.faults.injector import is_injected, suppressed
 from repro.infoset.encoding import DocumentStore
 from repro.obs import MetricsRegistry, get_metrics, get_tracer, set_metrics
 from repro.pipeline import CompiledQuery, Engine, XQueryProcessor
+from repro.result import Result, Serialized
 from repro.service.cache import CacheKey, CompiledQueryCache
 from repro.service.pool import BackendPool
 from repro.service.resilience import (
@@ -249,12 +250,13 @@ class QueryService:
     def execute(
         self,
         query: str | CompiledQuery,
-        engine: Engine = "joingraph-sql",
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
         *,
         deadline_s: float | None = None,
-    ) -> list[Any]:
-        """Evaluate a query on the caller's thread; returns the item
-        sequence (same contract as :meth:`XQueryProcessor.execute`).
+    ) -> Result:
+        """Evaluate a query on the caller's thread; returns a
+        :class:`repro.Result` (same contract as
+        :meth:`XQueryProcessor.execute`).
 
         ``deadline_s`` overrides the service default for this call; it
         must be positive (``ValueError`` otherwise — pass ``None`` to
@@ -269,9 +271,10 @@ class QueryService:
     def _execute_admitted(
         self,
         query: str | CompiledQuery,
-        engine: Engine,
+        engine: Engine | str,
         deadline_s: float | None = None,
-    ) -> list[Any]:
+    ) -> Result:
+        engine = Engine.of(engine)
         start = time.perf_counter_ns()
         budget = self.deadline_s if deadline_s is None else deadline_s
         # `is not None`, not truthiness: a caller passing 0 gets the
@@ -287,14 +290,12 @@ class QueryService:
                 )
                 if deadline is not None:
                     deadline.check()
-                if engine == "interpreter":
+                if engine is Engine.INTERPRETER:
                     items = run_plan(compiled.stacked_plan)
-                elif engine == "isolated-interpreter":
+                elif engine is Engine.ISOLATED_INTERPRETER:
                     items = run_plan(compiled.isolated_plan)
-                elif engine in ("stacked-sql", "joingraph-sql"):
-                    items = self._run_pooled(compiled, engine, deadline)
                 else:
-                    raise ValueError(f"unknown engine {engine!r}")
+                    items = self._run_pooled(compiled, engine, deadline)
                 if deadline is not None:
                     # interpreters cannot be cancelled mid-run; a late
                     # result is still refused so the deadline contract
@@ -305,9 +306,16 @@ class QueryService:
             metrics.count(f"service.errors.{type(error).__name__}")
             raise
         metrics.count("service.queries")
-        metrics.count(f"service.queries.{engine}")
-        metrics.observe("service.query_ns", time.perf_counter_ns() - start)
-        return items
+        metrics.count(f"service.queries.{engine.value}")
+        elapsed = time.perf_counter_ns() - start
+        metrics.observe("service.query_ns", elapsed)
+        return Result(
+            items,
+            engine=engine,
+            timings={"execute_ns": elapsed},
+            shards=1,
+            serializer=self.serialize,
+        )
 
     def _run_pooled(
         self,
@@ -454,9 +462,14 @@ class QueryService:
         """Serialize a node-sequence result back to XML text."""
         return self.processor.serialize(items)
 
-    def run(self, query: str | CompiledQuery, engine: Engine = "joingraph-sql") -> str:
+    def run(
+        self,
+        query: str | CompiledQuery,
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
+    ) -> Serialized:
         """Execute and serialize in one step."""
-        return self.serialize(self.execute(query, engine=engine))
+        result = self.execute(query, engine=engine)
+        return Serialized(self.serialize(result), result)
 
     # -- concurrent serving --------------------------------------------
 
@@ -475,9 +488,9 @@ class QueryService:
         self,
         registry: MetricsRegistry,
         query: str | CompiledQuery,
-        engine: Engine,
+        engine: Engine | str,
         deadline_s: float | None,
-    ) -> list[Any]:
+    ) -> Result:
         # record into a private registry, then merge into the
         # submitting thread's registry under a lock: counters stay
         # exact even under contention, and metrics_scope on the caller
@@ -497,10 +510,10 @@ class QueryService:
     def submit(
         self,
         query: str | CompiledQuery,
-        engine: Engine = "joingraph-sql",
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
         *,
         deadline_s: float | None = None,
-    ) -> "Future[list[Any]]":
+    ) -> "Future[Result]":
         """Schedule one query on the worker pool; returns its future.
 
         Admission control applies at submission time: with a
@@ -528,10 +541,10 @@ class QueryService:
     def run_many(
         self,
         queries: Iterable[str | CompiledQuery],
-        engine: Engine = "joingraph-sql",
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
         *,
         deadline_s: float | None = None,
-    ) -> list[list[Any]]:
+    ) -> list[Result]:
         """Execute a batch concurrently; results in submission order.
 
         Submission is all-or-nothing: when a mid-batch :meth:`submit`
@@ -541,7 +554,7 @@ class QueryService:
         propagates, so no query from the batch keeps running
         unobserved.
         """
-        futures: list[Future[list[Any]]] = []
+        futures: list[Future[Result]] = []
         try:
             for query in queries:
                 futures.append(

@@ -1,0 +1,11 @@
+"""Sharded multi-document storage.
+
+:class:`Collection` partitions loaded documents across N per-shard
+``doc`` tables (shard = stable URI hash mod N) so the scatter-gather
+executor can run one compiled plan against every shard in parallel
+while per-shard self-join selectivities stay those of a small table.
+"""
+
+from repro.store.collection import Collection, DocEntry
+
+__all__ = ["Collection", "DocEntry"]

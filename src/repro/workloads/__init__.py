@@ -4,11 +4,13 @@ Q3–Q6 of Table 8)."""
 
 from repro.workloads.xmark import XMarkConfig, generate_xmark
 from repro.workloads.dblp import DBLPConfig, generate_dblp
+from repro.workloads.corpus import CorpusConfig, dblp_corpus, xmark_corpus
 from repro.workloads.queries import PAPER_QUERIES, PaperQuery
 from repro.workloads.tpox import TPOX_QUERIES, TPoXConfig, generate_tpox
 from repro.workloads.xmark_queries import XMARK_QUERIES
 
 __all__ = [
+    "CorpusConfig",
     "DBLPConfig",
     "PAPER_QUERIES",
     "PaperQuery",
@@ -16,7 +18,9 @@ __all__ = [
     "TPoXConfig",
     "XMARK_QUERIES",
     "XMarkConfig",
+    "dblp_corpus",
     "generate_dblp",
     "generate_tpox",
     "generate_xmark",
+    "xmark_corpus",
 ]

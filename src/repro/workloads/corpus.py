@@ -1,0 +1,70 @@
+"""Multi-document benchmark corpora for the sharded collection store.
+
+The scatter-gather experiments need *collections*: many independent
+documents whose union a serial processor would host in one table.
+:func:`xmark_corpus` / :func:`dblp_corpus` generate N documents from
+the existing single-document generators, each with a distinct seed
+(content differs per document — entity ids, join keys and value
+distributions are document-local) and a distinct URI, so shard
+placement (``crc32(uri) % shards``) spreads them around and
+``collection()`` queries have real per-document answers to merge.
+
+Everything is deterministic in ``(seed, documents, factor)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.dblp import DBLPConfig, generate_dblp
+from repro.workloads.xmark import XMarkConfig, generate_xmark
+from repro.xmltree.model import DocumentNode
+
+__all__ = ["CorpusConfig", "dblp_corpus", "xmark_corpus"]
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Shape of a generated multi-document corpus."""
+
+    #: number of documents
+    documents: int = 8
+    #: per-document scale factor of the underlying generator
+    factor: float = 0.01
+    #: base seed; document *i* is generated with ``seed + i``
+    seed: int = 42
+    #: URI template; must contain ``{i}``
+    uri_template: str = field(default="xmark{i}.xml")
+
+    def __post_init__(self) -> None:
+        if self.documents < 1:
+            raise ValueError(f"documents must be >= 1, got {self.documents}")
+        if "{i}" not in self.uri_template:
+            raise ValueError("uri_template must contain '{i}'")
+
+    def uri(self, i: int) -> str:
+        return self.uri_template.format(i=i)
+
+
+def xmark_corpus(config: CorpusConfig | None = None) -> list[DocumentNode]:
+    """N XMark-like auction documents, one tree per URI."""
+    cfg = config or CorpusConfig()
+    return [
+        generate_xmark(
+            XMarkConfig(factor=cfg.factor, seed=cfg.seed + i),
+            uri=cfg.uri(i),
+        )
+        for i in range(cfg.documents)
+    ]
+
+
+def dblp_corpus(config: CorpusConfig | None = None) -> list[DocumentNode]:
+    """N DBLP-like bibliography documents, one tree per URI."""
+    cfg = config or CorpusConfig(uri_template="dblp{i}.xml")
+    return [
+        generate_dblp(
+            DBLPConfig(factor=cfg.factor, seed=cfg.seed + i),
+            uri=cfg.uri(i),
+        )
+        for i in range(cfg.documents)
+    ]

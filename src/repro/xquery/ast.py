@@ -78,6 +78,22 @@ class DocCall(Expr):
 
 
 @dataclass
+class CollectionCall(Expr):
+    """``collection(glob, ...)`` / ``fn:collection(...)`` and multi-URI
+    ``doc(u1, u2, ...)``: the DOC nodes of every matching document, in
+    global document order.  ``patterns`` holds shell-style URI globs
+    (``fnmatch`` syntax); an empty tuple selects every hosted document.
+    Patterns resolve to concrete URIs during normalization, against the
+    processor's store (or sharded collection)."""
+
+    patterns: tuple[str, ...]
+
+    def __str__(self) -> str:
+        args = ", ".join(f'"{p}"' for p in self.patterns)
+        return f"collection({args})"
+
+
+@dataclass
 class PathRoot(Expr):
     """A leading ``/`` — the root of the context document.
 

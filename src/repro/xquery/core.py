@@ -9,7 +9,7 @@ constructs the inference rules of paper Fig. 13 handle:
 
     e ::= for $v in e return e   | let $v := e return e | $v
         | if (fn:boolean(e)) then e else ()
-        | fs:ddo(e/axis::test)   | doc(uri)
+        | fs:ddo(e/axis::test)   | doc(uri) | collection(uri, ...)
         | e cmp literal          | e cmp e
 """
 
@@ -73,6 +73,16 @@ class CoreDoc(CoreExpr):
 
 
 @dataclass
+class CoreCollection(CoreExpr):
+    """``fn:collection(...)`` with its URI globs already resolved: the
+    DOC nodes of exactly these documents, in global document order.
+    An empty tuple means the collection matched nothing and the
+    expression is equivalent to ``()``."""
+
+    uris: tuple[str, ...]
+
+
+@dataclass
 class CoreValComp(CoreExpr):
     """General comparison of a node sequence against a literal
     (rule ValComp).  ``value`` being numeric selects the typed
@@ -129,6 +139,9 @@ def core_to_text(expr: CoreExpr, depth: int = 0) -> str:
         )
     if isinstance(expr, CoreDoc):
         return f'{pad}doc("{expr.uri}")'
+    if isinstance(expr, CoreCollection):
+        uris = ", ".join(f'"{u}"' for u in expr.uris)
+        return f"{pad}collection({uris})"
     if isinstance(expr, CoreValComp):
         return (
             f"{pad}(valcomp {expr.op} {expr.value!r})\n"

@@ -18,9 +18,12 @@ expects:
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.errors import XQueryTypeError
 from repro.xquery import ast
 from repro.xquery.core import (
+    CoreCollection,
     CoreComp,
     CoreDdo,
     CoreDoc,
@@ -35,10 +38,20 @@ from repro.xquery.core import (
 )
 from repro.xquery.parser import ContextItem
 
+#: resolves ``collection()`` URI globs to the concrete document URIs
+#: they match, in global document order (an empty pattern tuple means
+#: "every hosted document")
+CollectionResolver = Callable[[tuple[str, ...]], tuple[str, ...]]
+
 
 class _Normalizer:
-    def __init__(self, default_doc: str | None):
+    def __init__(
+        self,
+        default_doc: str | None,
+        collections: CollectionResolver | None = None,
+    ):
         self.default_doc = default_doc
+        self.collections = collections
         self.counter = 0
         self.context_stack: list[str] = []
 
@@ -65,6 +78,13 @@ class _Normalizer:
             return CoreVar(expr.name)
         if isinstance(expr, ast.DocCall):
             return CoreDoc(expr.uri)
+        if isinstance(expr, ast.CollectionCall):
+            if self.collections is None:
+                raise XQueryTypeError(
+                    "collection() requires a processor bound to a "
+                    "document store (no collection resolver given)"
+                )
+            return CoreCollection(self.collections(expr.patterns))
         if isinstance(expr, ast.PathRoot):
             if self.default_doc is None:
                 raise XQueryTypeError(
@@ -213,7 +233,11 @@ def _resolve_test(axis: str, test: ast.NodeTest) -> tuple[str, str | None, str |
     return axis, kind, name
 
 
-def normalize(expr: ast.Expr, default_doc: str | None = None) -> CoreExpr:
+def normalize(
+    expr: ast.Expr,
+    default_doc: str | None = None,
+    collections: CollectionResolver | None = None,
+) -> CoreExpr:
     """Normalize a surface AST into XQuery Core.
 
     Parameters
@@ -223,5 +247,9 @@ def normalize(expr: ast.Expr, default_doc: str | None = None) -> CoreExpr:
     default_doc:
         Document URI that a leading ``/`` resolves to (Table 8 style
         absolute paths); ``None`` forbids absolute paths.
+    collections:
+        Resolver turning ``collection()`` URI globs into the matching
+        document URIs (in global document order); ``None`` forbids
+        ``collection()`` and multi-URI ``doc()``.
     """
-    return _Normalizer(default_doc).normalize(expr)
+    return _Normalizer(default_doc, collections).normalize(expr)

@@ -15,7 +15,8 @@ Grammar (cf. paper Fig. 1, plus the standard XPath abbreviations):
     PathExpr   ::= ('/' | '//')? StepExpr (('/' | '//') StepExpr)*
     StepExpr   ::= Primary Predicate* | AxisStep
     AxisStep   ::= (Axis '::' | '@')? NodeTest Predicate*
-    Primary    ::= '$'Name | 'doc' '(' String ')' | Literal
+    Primary    ::= '$'Name | 'doc' '(' String (',' String)* ')'
+                 | 'collection' '(' (String (',' String)*)? ')' | Literal
                  | '(' ')' | '(' Expr (',' Expr)* ')' | '.'
     NodeTest   ::= QName | '*' | KindTest
     Predicate  ::= '[' OrExpr ']'
@@ -28,6 +29,7 @@ from repro.xquery.ast import (
     ALL_AXES,
     AndExpr,
     COMPARISON_OPS,
+    CollectionCall,
     Comparison,
     DocCall,
     EmptySequence,
@@ -243,9 +245,29 @@ class _Parser:
         ):
             self.advance()
             self.advance()
-            uri = self.expect("string").text
+            uris = [self.expect("string").text]
+            while self.accept("symbol", ","):
+                uris.append(self.expect("string").text)
             self.expect("symbol", ")")
-            return self.with_predicates(DocCall(uri))
+            if len(uris) == 1:
+                return self.with_predicates(DocCall(uris[0]))
+            # multi-URI doc(): a fixed (glob-free) collection
+            return self.with_predicates(CollectionCall(tuple(uris)))
+        if (
+            token.kind == "name"
+            and token.text in ("collection", "fn:collection")
+            and self.peek(1).kind == "symbol"
+            and self.peek(1).text == "("
+        ):
+            self.advance()
+            self.advance()
+            patterns: list[str] = []
+            if not self.accept("symbol", ")"):
+                patterns.append(self.expect("string").text)
+                while self.accept("symbol", ","):
+                    patterns.append(self.expect("string").text)
+                self.expect("symbol", ")")
+            return self.with_predicates(CollectionCall(tuple(patterns)))
         # a relative axis step: child::a, @id, descendant::x, name, ...
         return self.axis_step(ContextItem(), double_slash=False, relative=True)
 

@@ -23,6 +23,14 @@ not join-graph material") — a pre-existing isolation limitation, so
 the differential sweep excludes the construct rather than report it
 over and over.
 
+Grammar v3 adds *collection-source mode*: pass ``collection=(uri, …)``
+(the member URIs of a multi-document corpus) and generated queries may
+root at ``collection()``, a ``collection("glob")`` subset, or a
+``doc()`` reference to any member.  The mode is strictly additive —
+with ``collection=None`` (the default) the generator draws the exact
+same random sequence as grammar v2, so existing seed-cited repros stay
+reproducible.
+
 Deliberately outside the generator (rejected by the front end, see
 ``docs/fragment.md``): positional predicates, arithmetic, ``or`` /
 ``not``, aggregation, element construction, ``order by``.
@@ -42,7 +50,7 @@ __all__ = [
 
 #: bump when the grammar changes shape — reports citing a seed are only
 #: reproducible against the same grammar version
-GRAMMAR_VERSION = 2
+GRAMMAR_VERSION = 3
 
 DEFAULT_URI = "g.xml"
 
@@ -104,11 +112,14 @@ class QueryGenerator:
         uri: str = DEFAULT_URI,
         size_budget: int = 12,
         allow_let: bool = False,
+        collection: tuple[str, ...] | None = None,
     ):
         self.rng = rng
         self.uri = uri
         self.size_budget = size_budget
         self.allow_let = allow_let
+        #: member URIs of the corpus; enables collection-source mode
+        self.collection = tuple(collection) if collection is not None else None
         self._fresh = 0
         self._budget = 0
 
@@ -185,7 +196,7 @@ class QueryGenerator:
 
     def path(self, base: str, length: int, depth: int = 2) -> str:
         steps: list[str] = []
-        if base.startswith("doc(") and length > 0:
+        if base.startswith(("doc(", "collection(")) and length > 0:
             steps.append(self._initial_step())
             length -= 1
         steps.extend(self._step(depth) for _ in range(length))
@@ -196,7 +207,25 @@ class QueryGenerator:
         # another full-document join in the generated SQL
         if bound and self.rng.random() < 0.75:
             return self._var(bound)
-        return f'doc("{self.uri}")'
+        if self.collection is None:
+            return f'doc("{self.uri}")'
+        roll = self.rng.random()
+        if roll < 0.35:
+            return "collection()"
+        if roll < 0.6:
+            return f'collection("{self._collection_glob()}")'
+        return f'doc("{self.rng.choice(self.collection)}")'
+
+    def _collection_glob(self) -> str:
+        """A glob matching all, one, or a prefix-subset of the corpus."""
+        assert self.collection is not None
+        roll = self.rng.random()
+        if roll < 0.3:
+            return "*"
+        member = self.rng.choice(self.collection)
+        if roll < 0.6:
+            return member
+        return member[: self.rng.randint(1, len(member))] + "*"
 
     # -- predicates and conditions --------------------------------------
 
@@ -268,10 +297,13 @@ class QueryGenerator:
         return self.path(self._var(bound), self.rng.randint(0, 2), depth)
 
     def query(self) -> str:
-        """One random query over ``doc(uri)``."""
+        """One random query over ``doc(uri)`` (or, in collection-source
+        mode, over the corpus)."""
         self._budget = self.size_budget
         if self.rng.random() < 0.45:
-            return self.path(f'doc("{self.uri}")', self.rng.randint(1, 4))
+            # _source([]) draws nothing in default mode (empty `bound`
+            # short-circuits), keeping the v2 random sequence intact
+            return self.path(self._source([]), self.rng.randint(1, 4))
         return self._flwor(2, [])
 
 

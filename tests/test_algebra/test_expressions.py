@@ -8,6 +8,7 @@ from repro.algebra.expressions import (
     ColRef,
     Comparison,
     Const,
+    In,
     MIRRORED,
     Or,
     Plus,
@@ -111,3 +112,40 @@ def test_empty_and_rejected():
         And([])
     with pytest.raises(ValueError):
         Or([])
+
+
+def test_in_membership_semantics():
+    expr = In(col("name"), ["a.xml", "b.xml"])
+    assert expr.evaluate({"name": "a.xml"}) is True
+    assert expr.evaluate({"name": "c.xml"}) is False
+    assert expr.cols() == {"name"}
+
+
+def test_in_null_semantics():
+    # SQL NULL: a NULL probe never matches, and NULL members never match
+    expr = In(col("name"), ["a.xml", None])
+    assert expr.evaluate({"name": None}) is False
+    assert expr.evaluate({"name": "a.xml"}) is True
+    assert expr.evaluate({"name": "b.xml"}) is False
+
+
+def test_in_to_sql_renders_one_membership_predicate():
+    sql = In(col("name"), ["a.xml", "o'hara"]).to_sql(lambda c: f"d1.{c}")
+    assert sql == "d1.name IN ('a.xml', 'o''hara')"
+
+
+def test_in_rename_and_substitute():
+    expr = In(col("name"), ["a.xml"])
+    assert expr.rename({"name": "n2"}) == In(col("n2"), ["a.xml"])
+    out = expr.substitute({"name": col("other")})
+    assert out == In(col("other"), ["a.xml"])
+
+
+def test_in_structural_equality():
+    assert In(col("a"), [1, 2]) == In(col("a"), (1, 2))
+    assert In(col("a"), [1, 2]) != In(col("a"), [2, 1])
+
+
+def test_empty_in_rejected():
+    with pytest.raises(ValueError):
+        In(col("a"), [])

@@ -1,0 +1,157 @@
+"""One validation test per versioned JSON document the project emits.
+
+Every machine-readable artifact carries a ``schema`` stamp
+(``repro.<family>/<version>``); these tests pin the stamp and the
+structural contract of each document, and check that ``docs/schemas.md``
+documents every stamp we emit.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import pytest
+
+SCHEMAS = (
+    "repro.bench.table9/v3",
+    "repro.bench.collection/v1",
+    "repro.service.bench/v1",
+    "repro.faults.campaign/v2",
+    "repro.obs.metrics/v1",
+)
+
+
+def _json_ready(doc) -> None:
+    text = json.dumps(doc)
+    assert "Infinity" not in text and "NaN" not in text
+
+
+# -- repro.bench.table9/v3 -------------------------------------------------
+
+
+def test_bench_table9_v3():
+    from repro.bench.harness import EngineRun, table9_json
+
+    run = EngineRun(
+        query="Q1", engine="joingraph-sql", seconds=0.01,
+        result_size=5, correct=True, phases={"execute": 0.01},
+    )
+    doc = table9_json([run], shards=4, xmark_factor=0.002)
+    assert doc["schema"] == "repro.bench.table9/v3"
+    assert doc["shards"] == 4
+    assert doc["metadata"] == {"xmark_factor": 0.002}
+    [entry] = doc["runs"]
+    assert set(entry) == {
+        "query", "engine", "seconds", "result_size", "correct", "phases",
+    }
+    _json_ready(doc)
+
+
+# -- repro.bench.collection/v1 ---------------------------------------------
+
+
+def test_bench_collection_v1():
+    from repro.bench.collection import run_collection_bench
+
+    doc = run_collection_bench(
+        documents=2, factor=0.001, repeat=1, shards=(1, 2), quick=True
+    )
+    assert doc["schema"] == "repro.bench.collection/v1"
+    meta = doc["metadata"]
+    assert meta["documents"] == 2
+    assert meta["quick"] is True
+    assert meta["placement"] == "round-robin"
+    assert doc["serial_baseline"]["seconds"] > 0
+    assert [point["shards"] for point in doc["curve"]] == [1, 2]
+    for point in doc["curve"]:
+        assert point["seconds"] > 0
+        assert math.isfinite(point["speedup_vs_1_shard"])
+        assert math.isfinite(point["speedup_vs_serial"])
+        assert sum(point["documents_per_shard"]) == 2
+        assert set(point["fanout"].values()) <= {1, point["shards"]}
+    _json_ready(doc)
+
+
+# -- repro.service.bench/v1 ------------------------------------------------
+
+
+def test_service_bench_v1():
+    from repro.service.bench import run_service_bench
+
+    doc = run_service_bench(
+        factor=0.001, repeat=2, workers=(1,), quick=True
+    )
+    assert doc["schema"] == "repro.service.bench/v1"
+    assert doc["uncached_baseline"]["queries_per_second"] > 0
+    assert doc["cached"]["cache"]["hits"] > 0
+    assert [point["workers"] for point in doc["scaling"]] == [1]
+    _json_ready(doc)
+
+
+# -- repro.faults.campaign/v2 ----------------------------------------------
+
+
+def _check_campaign(report: dict) -> None:
+    assert report["schema"] == "repro.faults.campaign/v2"
+    contract = report["contract"]
+    assert contract["holds"] is True
+    faults = report["faults"]
+    assert faults["injected_total"] == faults["handled_total"]
+    _json_ready(report)
+
+
+def test_faults_campaign_v2_single_mode():
+    from repro.faults.campaign import ChaosConfig, run_chaos_campaign
+
+    report = run_chaos_campaign(
+        ChaosConfig(
+            seed=3, threads=2, queries_per_thread=3, rate=0.3,
+            factor=0.001, stall_ms=100.0, deadline_s=5.0,
+        )
+    )
+    assert report["mode"] == "single"
+    assert report["config"]["shards"] == 1
+    _check_campaign(report)
+
+
+def test_faults_campaign_v2_sharded_mode():
+    from repro.faults.campaign import ChaosConfig, run_chaos_campaign
+
+    report = run_chaos_campaign(
+        ChaosConfig(
+            seed=11, threads=2, queries_per_thread=3, rate=0.25,
+            factor=0.001, stall_ms=100.0, deadline_s=5.0,
+            shards=2, documents=2,
+        )
+    )
+    assert report["mode"] == "sharded"
+    assert report["config"]["shards"] == 2
+    assert report["outcomes"]["wrong"] == []
+    _check_campaign(report)
+
+
+# -- repro.obs.metrics/v1 --------------------------------------------------
+
+
+def test_obs_metrics_v1():
+    from repro.obs import MetricsRegistry, metrics_json
+
+    metrics = MetricsRegistry()
+    metrics.count("pipeline.compiles")
+    metrics.observe("sql.run_ns", 1500)
+    doc = metrics_json(metrics)
+    assert doc["schema"] == "repro.obs.metrics/v1"
+    assert doc["counters"]["pipeline.compiles"] == 1
+    assert "gauges" in doc
+    _json_ready(doc)
+
+
+# -- the catalog -----------------------------------------------------------
+
+
+def test_docs_catalog_lists_every_schema():
+    catalog = (Path(__file__).parents[2] / "docs" / "schemas.md").read_text()
+    for schema in SCHEMAS:
+        assert schema in catalog, f"docs/schemas.md must document {schema}"

@@ -75,7 +75,8 @@ def test_table9_json_schema(harness):
 
     runs = [harness.run("Q1", "joingraph-sql")]
     doc = table9_json(runs, xmark_factor=0.002)
-    assert doc["schema"] == "repro.bench.table9/v2"
+    assert doc["schema"] == "repro.bench.table9/v3"
+    assert doc["shards"] == 1
     assert doc["metadata"] == {"xmark_factor": 0.002}
     [entry] = doc["runs"]
     assert entry["query"] == "Q1"

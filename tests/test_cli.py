@@ -230,7 +230,8 @@ def test_serve_bench_faults_subcommand(capsys, tmp_path):
     assert "chaos campaign" in out
     assert "contract" in out and "HOLDS" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro.faults.campaign/v1"
+    assert report["schema"] == "repro.faults.campaign/v2"
+    assert report["mode"] == "single"
     assert report["config"]["seed"] == 7
     assert report["contract"]["holds"] is True
     assert report["faults"]["injected_total"] == report["faults"]["handled_total"]

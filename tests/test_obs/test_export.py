@@ -119,7 +119,8 @@ def test_metrics_json_matches_snapshot():
     metrics.count("pipeline.compiles")
     metrics.observe("sql.run_ns", 1500)
     dump = metrics_json(metrics)
-    assert dump == metrics.snapshot()
+    assert dump["schema"] == "repro.obs.metrics/v1"
+    assert {k: v for k, v in dump.items() if k != "schema"} == metrics.snapshot()
     json.dumps(dump)  # JSON-ready
 
 

@@ -1,0 +1,237 @@
+"""The scatter-gather executor: scatter-safety analysis, sharded vs
+serial agreement, routing, deadline propagation, and partial-shard
+failure handling."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.engines import Engine
+from repro.errors import BackendUnavailable, DeadlineExceeded, ServiceError
+from repro.faults import FaultInjector, injection
+from repro.infoset import DocumentStore
+from repro.obs import metrics_scope
+from repro.pipeline import XQueryProcessor
+from repro.service.resilience import RetryPolicy
+from repro.service.scatter import ShardedService, scatter_uris
+from repro.store import Collection
+from tests.genquery import random_document
+
+DOCS = [f"m{i}.xml" for i in range(5)]
+
+COLLECTION_QUERY = "collection()//a/b"
+
+QUERIES = [
+    "collection()//a",
+    "collection()//a/b",
+    'collection("m1*")//b',
+    'collection("m*")//a[@id = "1"]',
+    'doc("m2.xml")//b/c',
+    "for $x in collection()//a where $x/b = 3 return $x/b",
+]
+
+
+def _corpus(seed: int = 9) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    return [(random_document(rng), uri) for uri in DOCS]
+
+
+def make_sharded(shards: int = 3, **kwargs) -> ShardedService:
+    service = ShardedService(
+        Collection(shards), default_doc=DOCS[0], parallel_fanout=False,
+        **kwargs,
+    )
+    for index, (text, uri) in enumerate(_corpus()):
+        service.load(text, uri, shard=index % shards)
+    return service
+
+
+def make_serial() -> XQueryProcessor:
+    collection = Collection(1)
+    for text, uri in _corpus():
+        collection.load(text, uri)
+    return XQueryProcessor(
+        store=collection.combined_store(),
+        default_doc=DOCS[0],
+        collections=collection.resolve,
+    )
+
+
+# -- scatter-safety analysis -----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def compiler():
+    return XQueryProcessor(
+        store=DocumentStore(),
+        default_doc=DOCS[0],
+        collections=lambda patterns: tuple(DOCS),
+    )
+
+
+def test_collection_query_is_scatter_safe(compiler):
+    core = compiler.compile("collection()//a/b").core
+    assert scatter_uris(core) == tuple(DOCS)
+
+
+def test_single_doc_query_routes(compiler):
+    core = compiler.compile('doc("m2.xml")//a').core
+    assert scatter_uris(core) == ("m2.xml",)
+
+
+def test_cross_document_join_is_serial(compiler):
+    core = compiler.compile(
+        'doc("m0.xml")//a[b = doc("m1.xml")/c]'
+    ).core
+    assert scatter_uris(core) is None
+
+
+def test_flwor_result_is_serial(compiler):
+    core = compiler.compile(
+        "for $x in collection()//a return $x/b"
+    ).core
+    assert scatter_uris(core) is None
+
+
+# -- sharded vs serial agreement -------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["joingraph-sql", "stacked-sql"])
+def test_sharded_matches_serial_for_every_query_shape(engine):
+    serial = make_serial()
+    with make_sharded() as service:
+        for query in QUERIES:
+            expected = serial.execute(query, engine)
+            result = service.execute(query, engine)
+            assert list(result) == list(expected), query
+            assert service.serialize(result) == serial.serialize(expected)
+
+
+def test_interpreter_engines_run_serially_and_agree():
+    serial = make_serial()
+    with make_sharded() as service:
+        for engine in ("interpreter", "isolated-interpreter"):
+            result = service.execute(COLLECTION_QUERY, engine)
+            assert result.shards == 1
+            assert list(result) == list(serial.execute(COLLECTION_QUERY, engine))
+
+
+def test_parallel_and_sequential_fanout_agree():
+    with make_sharded() as sequential:
+        expected = sequential.execute(COLLECTION_QUERY)
+    service = ShardedService(
+        Collection(3), default_doc=DOCS[0], parallel_fanout=True
+    )
+    with service:
+        for index, (text, uri) in enumerate(_corpus()):
+            service.load(text, uri, shard=index % 3)
+        result = service.execute(COLLECTION_QUERY)
+        assert list(result) == list(expected)
+        assert result.shards == expected.shards
+
+
+# -- result metadata -------------------------------------------------------
+
+
+def test_scatter_result_records_fanout_width():
+    with make_sharded() as service:
+        result = service.execute(COLLECTION_QUERY)
+        assert result.shards == 3
+        assert result.engine is Engine.JOINGRAPH_SQL
+        assert set(result.timings) == {"execute_ns", "merge_ns"}
+        assert result.serialize() == service.serialize(result)
+
+
+def test_routed_result_is_single_shard():
+    with make_sharded() as service:
+        with metrics_scope() as metrics:
+            result = service.execute('doc("m2.xml")//b')
+        assert result.shards == 1
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.scatter.routed"] == 1
+
+
+def test_run_returns_serialized_with_result_attached():
+    with make_sharded() as service:
+        serialized = service.run(COLLECTION_QUERY)
+        assert serialized == service.serialize(serialized.result)
+        assert serialized.result.shards == 3
+
+
+# -- deadlines -------------------------------------------------------------
+
+
+def test_exhausted_deadline_raises_typed_error():
+    with make_sharded() as service:
+        service.execute(COLLECTION_QUERY)  # warm caches
+        with pytest.raises(DeadlineExceeded):
+            service.execute(COLLECTION_QUERY, deadline_s=1e-9)
+
+
+def test_generous_deadline_passes_through():
+    with make_sharded(deadline_s=60.0) as service:
+        assert list(service.execute(COLLECTION_QUERY))
+
+
+# -- partial-shard failures ------------------------------------------------
+
+
+def _fail_shard(service: ShardedService, shard: int) -> None:
+    def boom(*args, **kwargs):
+        raise BackendUnavailable("injected shard outage")
+
+    service._shard_services[shard].execute = boom
+
+
+def test_shard_failure_degrades_to_serial_fallback():
+    serial = make_serial()
+    with make_sharded(degrade=True) as service:
+        _fail_shard(service, 0)
+        with metrics_scope() as metrics:
+            result = service.execute(COLLECTION_QUERY)
+        assert list(result) == list(serial.execute(COLLECTION_QUERY))
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.scatter.shard_failures"] == 1
+        assert counters["service.scatter.serial_fallbacks"] == 1
+
+
+def test_shard_failure_without_degradation_surfaces():
+    with make_sharded(degrade=False) as service:
+        _fail_shard(service, 1)
+        with pytest.raises(ServiceError):
+            service.execute(COLLECTION_QUERY)
+        # partial answers are never returned: the failure surfaced
+        # before any merge happened
+
+
+def test_injected_shard_fault_is_retried_with_balanced_ledger():
+    serial = make_serial()
+    with make_sharded(retry=RetryPolicy(max_retries=2, base=0.001)) as service:
+        expected = list(serial.execute(COLLECTION_QUERY))
+        # lease ok, first shard statement busy; the retry is clean and
+        # the other shards never see the (exhausted) script
+        with injection(FaultInjector.scripted([None, "busy"])):
+            result = service.execute(COLLECTION_QUERY)
+        assert list(result) == expected
+        accounting = service.fault_accounting
+        assert accounting["retry"] == 1
+        assert sum(accounting.values()) == 1
+
+
+def test_stats_aggregate_per_shard_services():
+    with make_sharded() as service:
+        service.execute(COLLECTION_QUERY)
+        stats = service.stats()
+        assert stats["collection"]["shards"] == 3
+        assert len(stats["per_shard"]) == 3
+        assert set(stats["fault_accounting"]) == {"retry", "degrade", "surface"}
+        assert sum(p["documents"] for p in stats["per_shard"]) == len(DOCS)
+
+
+def test_closed_service_rejects_queries():
+    service = make_sharded()
+    service.close()
+    with pytest.raises(RuntimeError):
+        service.execute(COLLECTION_QUERY)

@@ -1,0 +1,153 @@
+"""Unit tests for the sharded multi-document collection store:
+placement, global/local pre-rank translation, the lazily grafted
+combined table, glob resolution, and serialization."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import DocumentError
+from repro.infoset import DocumentStore
+from repro.store import Collection
+from tests.genquery import random_document
+
+DOCS = [f"g{i}.xml" for i in range(6)]
+
+
+def _texts(seed: int = 5) -> list[tuple[str, str]]:
+    rng = random.Random(seed)
+    return [(random_document(rng), uri) for uri in DOCS]
+
+
+def _loaded(shards: int, seed: int = 5) -> Collection:
+    collection = Collection(shards)
+    for text, uri in _texts(seed):
+        collection.load(text, uri)
+    return collection
+
+
+def test_shard_of_is_stable_and_in_range():
+    collection = Collection(4)
+    for uri in DOCS:
+        shard = collection.shard_of(uri)
+        assert 0 <= shard < 4
+        assert shard == collection.shard_of(uri)  # deterministic
+
+
+def test_hash_placement_spreads_a_uri_family():
+    # the crc32 predecessor collapsed xmark{i}.xml families into one
+    # shard (CRC32 is GF(2)-linear); blake2b must not
+    collection = Collection(4)
+    shards = {collection.shard_of(f"xmark{i}.xml") for i in range(32)}
+    assert len(shards) > 1
+
+
+def test_explicit_shard_override_and_validation():
+    collection = Collection(3)
+    entry = collection.load("<a/>", "pinned.xml", shard=2)
+    assert entry.shard == 2
+    assert collection.entry("pinned.xml").shard == 2
+    with pytest.raises(ValueError):
+        collection.load("<a/>", "bad.xml", shard=3)
+    with pytest.raises(ValueError):
+        collection.load("<a/>", "bad.xml", shard=-1)
+
+
+def test_duplicate_uri_rejected():
+    collection = Collection(2)
+    collection.load("<a/>", "dup.xml")
+    with pytest.raises(DocumentError):
+        collection.load("<b/>", "dup.xml")
+
+
+def test_global_ranges_follow_load_order():
+    collection = _loaded(3)
+    expected_root = 0
+    for uri in DOCS:
+        entry = collection.entry(uri)
+        assert entry.global_root == expected_root
+        expected_root += entry.size + 1
+    assert collection.doc_uris == DOCS
+
+
+def test_to_global_to_local_round_trip_every_node():
+    collection = _loaded(3)
+    for shard in range(3):
+        table = collection.stores[shard].table
+        for pre in range(len(table)):
+            (global_pre,) = collection.to_global(shard, [pre])
+            assert collection.to_local(global_pre) == (shard, pre)
+
+
+def test_translation_rejects_out_of_range_ranks():
+    collection = Collection(2)
+    collection.load("<a><b/></a>", "one.xml", shard=0)
+    with pytest.raises(DocumentError):
+        collection.to_global(0, [99])
+    with pytest.raises(DocumentError):
+        collection.to_local(99)
+
+
+def test_combined_store_equals_serial_load():
+    collection = _loaded(4)
+    serial = DocumentStore()
+    for text, uri in _texts():
+        serial.load(text, uri)
+    combined = collection.combined_store().table
+    reference = serial.table
+    assert len(combined) == len(reference)
+    for column in ("size", "level", "kind", "name", "value", "data"):
+        assert getattr(combined, column) == getattr(reference, column)
+    assert combined.doc_uris == reference.doc_uris
+
+
+def test_combined_store_stays_in_sync_with_later_loads():
+    collection = _loaded(2)
+    before = len(collection.combined_store().table)  # materialize now
+    collection.load("<late><x/></late>", "late.xml")
+    after = collection.combined_store().table
+    assert len(after) == before + 3
+    assert "late.xml" in after.doc_uris
+
+
+def test_resolve_globs_in_global_order():
+    collection = _loaded(3)
+    assert collection.resolve(()) == tuple(DOCS)
+    assert collection.resolve(("*",)) == tuple(DOCS)
+    assert collection.resolve(("g1.xml",)) == ("g1.xml",)
+    assert collection.resolve(("g1*", "g3*")) == ("g1.xml", "g3.xml")
+    assert collection.resolve(("nomatch-*",)) == ()
+
+
+def test_shards_of_deduplicates_and_sorts():
+    collection = Collection(4)
+    for index, uri in enumerate(DOCS):
+        collection.load("<a/>", uri, shard=index % 2)
+    assert collection.shards_of(DOCS) == [0, 1]
+    assert collection.shards_of(["g0.xml"]) == [0]
+    with pytest.raises(DocumentError):
+        collection.shards_of(["unknown.xml"])
+
+
+def test_serialize_matches_combined_table():
+    from repro.infoset.serialize import serialize_nodes
+
+    collection = _loaded(3)
+    combined = collection.combined_store().table
+    roots = [collection.entry(uri).global_root for uri in DOCS]
+    expected = "".join(serialize_nodes(combined, root) for root in roots)
+    assert collection.serialize(roots) == expected
+
+
+def test_stats_shape_and_version():
+    collection = _loaded(3)
+    stats = collection.stats()
+    assert stats["shards"] == 3
+    assert stats["documents"] == len(DOCS)
+    assert stats["version"] == len(DOCS)
+    assert sum(p["documents"] for p in stats["per_shard"]) == len(DOCS)
+    assert stats["rows"] == sum(
+        len(store.table) for store in collection.stores
+    )
