@@ -14,9 +14,15 @@ statement runs against every shard's schema unchanged; documents a
 shard doesn't host simply match nothing.  A query is **scatter-safe**
 when
 
-* the normalized Core expression has exactly one document source —
-  one ``collection(...)`` (scatter across its shards) or ``doc()``
-  references to a single URI (route to its one shard), and
+* the normalized Core expression has exactly one *effective* document
+  source — one ``collection(...)`` reference (scatter across its
+  shards) or ``doc()`` references to a single URI (route to its one
+  shard).  Effective means after accounting for variables: a
+  ``let``-bound variable denotes its whole binding sequence, so every
+  reference re-enters each source inside the binding (two references
+  to a ``let``-bound collection are a cross-document self-join); a
+  ``for``-bound variable denotes one item of its sequence, so its
+  references stay inside the single document that item lives in — and
 * the top-level Core expression is ``fs:ddo(...)``, i.e. the result is
   a document-ordered node sequence.
 
@@ -56,7 +62,15 @@ from repro.service.cache import CacheKey, CompiledQueryCache
 from repro.service.resilience import Deadline, RetryPolicy
 from repro.service.service import QueryService
 from repro.store import Collection
-from repro.xquery.core import CoreCollection, CoreDdo, CoreDoc, CoreExpr
+from repro.xquery.core import (
+    CoreCollection,
+    CoreDdo,
+    CoreDoc,
+    CoreExpr,
+    CoreFor,
+    CoreLet,
+    CoreVar,
+)
 
 __all__ = ["ShardedService", "scatter_uris"]
 
@@ -73,15 +87,54 @@ def _remaining(deadline: Deadline | None) -> float | None:
     return max(deadline.remaining(), 1e-9)
 
 
-def _sources(core: CoreExpr) -> Iterable[CoreDoc | CoreCollection]:
-    """Every document-source node in a Core tree."""
+class _FreeVariable(Exception):
+    """A Core variable with no visible binding — unanalyzable."""
+
+
+_Source = CoreDoc | CoreCollection
+_Env = dict[str, tuple["_Source", ...]]
+
+
+def _effective_sources(core: CoreExpr, env: _Env) -> list[_Source]:
+    """One entry per *effective* document-source reference in a Core
+    tree — syntactic source nodes plus, for every variable reference,
+    the sources of its binding.
+
+    Counting AST nodes alone is unsound: ``let $c := collection()``
+    has one ``CoreCollection`` node, but each ``$c`` reference
+    re-evaluates the whole collection, so ``$c//a[$c//b]`` is a
+    cross-document self-join.  ``let``-bound references therefore
+    contribute their binding's sources per occurrence.  ``for``-bound
+    variables bind one *item* at a time — every reference stays inside
+    the single document that item lives in — so they contribute
+    nothing beyond the iteration sequence itself (counted once at the
+    ``CoreFor``); this keeps desugared predicates (``e[p]`` becomes a
+    ``for`` whose variable appears in both branch and result)
+    scatterable.
+    """
     if isinstance(core, (CoreDoc, CoreCollection)):
-        yield core
+        return [core]
+    if isinstance(core, CoreVar):
+        try:
+            return list(env[core.name])
+        except KeyError:
+            raise _FreeVariable(core.name) from None
+    if isinstance(core, CoreFor):
+        out = _effective_sources(core.sequence, env)
+        out.extend(_effective_sources(core.ret, {**env, core.var: ()}))
+        return out
+    if isinstance(core, CoreLet):
+        bound = tuple(_effective_sources(core.value, env))
+        # the binding's sources count only where the variable is
+        # referenced: an unused binding contributes no result items
+        return _effective_sources(core.ret, {**env, core.var: bound})
+    out: list[_Source] = []
     if is_dataclass(core):
         for field in fields(core):
             child = getattr(core, field.name)
             if isinstance(child, CoreExpr):
-                yield from _sources(child)
+                out.extend(_effective_sources(child, env))
+    return out
 
 
 def scatter_uris(core: CoreExpr) -> tuple[str, ...] | None:
@@ -93,7 +146,10 @@ def scatter_uris(core: CoreExpr) -> tuple[str, ...] | None:
     """
     if not isinstance(core, CoreDdo):
         return None
-    sources = list(_sources(core))
+    try:
+        sources = _effective_sources(core, {})
+    except _FreeVariable:
+        return None
     if not sources:
         return None
     if all(isinstance(s, CoreDoc) for s in sources):
@@ -346,6 +402,10 @@ class ShardedService:
         cross-document joins, FLWOR-ordered results) runs serially
         against the combined store.  Either way the item sequence is
         exactly what a single-backend serial processor would return.
+        In particular a ``doc()``/``collection()`` URI naming no
+        hosted document matches nothing — the query returns an empty
+        :class:`Result`, never an error (serial SQL parity); each such
+        URI is counted under ``service.scatter.unknown_uris``.
         """
         if self._closed:
             raise RuntimeError("sharded service is closed")
@@ -377,6 +437,10 @@ class ShardedService:
             )
 
         known = [uri for uri in uris if uri in self.collection]
+        if len(known) != len(uris):
+            metrics.count(
+                "service.scatter.unknown_uris", len(uris) - len(known)
+            )
         shards = self.collection.shards_of(known)
         merged, merge_ns = self._scatter(compiled, engine, shards, deadline)
         metrics.count("service.scatter.queries")

@@ -73,6 +73,10 @@ class Collection:
         #: per shard: entries in shard-``pre`` (= load) order
         self._by_shard: list[list[DocEntry]] = [[] for _ in range(shards)]
         self._combined: DocumentStore | None = None
+        #: global_root offsets in entry order, rebuilt lazily after a
+        #: load — serialization calls :meth:`to_local` once per result
+        #: item, which must not rebuild the list per call
+        self._global_roots: list[int] | None = None
         self._next_global = 0
         self._version = 0
 
@@ -123,6 +127,7 @@ class Collection:
         )
         self._next_global += size + 1
         self._entries.append(entry)
+        self._global_roots = None
         self._by_uri[uri] = entry
         self._by_shard[shard].append(entry)
         if self._combined is not None:
@@ -200,7 +205,11 @@ class Collection:
 
     def to_local(self, global_pre: int) -> tuple[int, int]:
         """Inverse translation: global rank to (shard, local rank)."""
-        roots = [entry.global_root for entry in self._entries]
+        roots = self._global_roots
+        if roots is None:
+            roots = self._global_roots = [
+                entry.global_root for entry in self._entries
+            ]
         index = bisect_right(roots, global_pre) - 1
         if index >= 0:
             entry = self._entries[index]

@@ -30,6 +30,8 @@ QUERIES = [
     'collection("m*")//a[@id = "1"]',
     'doc("m2.xml")//b/c',
     "for $x in collection()//a where $x/b = 3 return $x/b",
+    "(let $c := collection() return $c//a)/b",
+    "(let $c := collection() return $c//a[$c//b = 3])/b",
 ]
 
 
@@ -95,6 +97,31 @@ def test_flwor_result_is_serial(compiler):
     assert scatter_uris(core) is None
 
 
+def test_let_shared_collection_is_serial(compiler):
+    # one CoreCollection AST node, but two evaluation contexts via $c:
+    # the predicate spans all documents, so scattering would evaluate
+    # it shard-locally and drop items
+    core = compiler.compile(
+        "(let $c := collection() return $c//a[$c//b])/c"
+    ).core
+    assert scatter_uris(core) is None
+
+
+def test_let_single_reference_collection_is_scatter_safe(compiler):
+    # referenced once, the let is equivalent to inlining its binding
+    core = compiler.compile("(let $c := collection() return $c//a)/b").core
+    assert scatter_uris(core) == tuple(DOCS)
+
+
+def test_let_shared_doc_routes(compiler):
+    # both references name the same document: the whole query lives in
+    # one shard, so routing stays exact
+    core = compiler.compile(
+        '(let $d := doc("m2.xml") return $d//a[$d//b])/c'
+    ).core
+    assert scatter_uris(core) == ("m2.xml",)
+
+
 # -- sharded vs serial agreement -------------------------------------------
 
 
@@ -107,6 +134,51 @@ def test_sharded_matches_serial_for_every_query_shape(engine):
             result = service.execute(query, engine)
             assert list(result) == list(expected), query
             assert service.serialize(result) == serial.serialize(expected)
+
+
+def test_let_shared_collection_differential_regression():
+    """A let-bound collection referenced twice has one source AST node
+    but two evaluation contexts; scattering would evaluate the
+    ``$c//flag`` predicate shard-locally and drop every item whose
+    shard doesn't host the flag document.  The query must fall back to
+    serial execution and reproduce the single-backend answer."""
+    docs = [
+        (
+            f"<r>{'<flag/>' if i == 2 else ''}<item><n>v{i}</n></item></r>",
+            f"f{i}.xml",
+        )
+        for i in range(4)
+    ]
+    query = "(let $c := collection() return $c//item[$c//flag])/n"
+    collection = Collection(1)
+    for text, uri in docs:
+        collection.load(text, uri)
+    serial = XQueryProcessor(
+        store=collection.combined_store(),
+        default_doc="f0.xml",
+        collections=collection.resolve,
+    )
+    expected = serial.execute(query, "joingraph-sql")
+    assert len(expected) == 4  # one flag document guards *all* items
+    service = ShardedService(
+        Collection(4), default_doc="f0.xml", parallel_fanout=False
+    )
+    with service:
+        for index, (text, uri) in enumerate(docs):
+            service.load(text, uri, shard=index % 4)
+        result = service.execute(query)
+        assert result.shards == 1
+        assert list(result) == list(expected)
+        assert service.serialize(result) == serial.serialize(expected)
+
+
+def test_unknown_uri_matches_nothing_and_counts():
+    with make_sharded() as service:
+        with metrics_scope() as metrics:
+            result = service.execute('doc("missing.xml")//a')
+        assert list(result) == []
+        counters = metrics.snapshot()["counters"]
+        assert counters["service.scatter.unknown_uris"] == 1
 
 
 def test_interpreter_engines_run_serially_and_agree():

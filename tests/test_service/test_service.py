@@ -116,8 +116,10 @@ def test_service_metrics_flow_from_workers():
         counters = metrics.snapshot()["counters"]
     assert counters["service.queries"] == 10
     assert counters["service.queries.joingraph-sql"] == 10
-    assert counters["service.cache.misses"] == 1
-    assert counters["service.cache.hits"] == 9
+    # both workers may miss the cold cache before single-flight compile
+    # fills it: misses counts lookups, not compiles
+    assert 1 <= counters["service.cache.misses"] <= 2
+    assert counters["service.cache.hits"] == 10 - counters["service.cache.misses"]
     histogram = metrics.snapshot()["histograms"]["service.query_ns"]
     assert histogram["count"] == 10
 

@@ -81,6 +81,20 @@ def test_to_global_to_local_round_trip_every_node():
             assert collection.to_local(global_pre) == (shard, pre)
 
 
+def test_to_local_roots_cache_invalidated_by_load():
+    # to_local memoizes the global_root offsets; a subsequent load
+    # must drop the cache so new documents resolve
+    collection = Collection(2)
+    first = collection.load("<a><b/></a>", "one.xml", shard=0)
+    assert collection.to_local(first.global_root) == (0, first.shard_root)
+    second = collection.load("<c><d/></c>", "two.xml", shard=1)
+    assert collection.to_local(second.global_root + 1) == (
+        1,
+        second.shard_root + 1,
+    )
+    assert collection.to_local(first.global_root) == (0, first.shard_root)
+
+
 def test_translation_rejects_out_of_range_ranks():
     collection = Collection(2)
     collection.load("<a><b/></a>", "one.xml", shard=0)
