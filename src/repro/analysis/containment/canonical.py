@@ -1,0 +1,212 @@
+"""Canonical (minimized, sorted) tree patterns and stable keys.
+
+:func:`canonicalize` rewrites a raw extracted pattern into a canonical
+representative of its equivalence class, using only transformations
+that provably preserve the pattern's value on every store:
+
+* **self-step merging** — a ``self`` edge binds the same instance node
+  as its parent, so its test, constraints, branches and selection fold
+  into the parent (an unsatisfiable merged test empties the pattern);
+* **descendant-or-self splicing** — a bare ``dos::node()`` hop with a
+  single downward continuation is the ``//`` desugaring; the two edges
+  compose into one ``descendant``-style edge;
+* **unsatisfiability** — an empty kind set anywhere (branch or spine)
+  makes the pattern statically empty: a false condition filters
+  everything, an empty spine selects nothing;
+* **redundant-branch elimination** — a branch ``b`` (a subtree without
+  the selected node) is dropped when the pattern embeds into its own
+  ``b``-less version via self-homomorphism: the remaining branches
+  already imply ``b`` (this removes duplicated predicates and
+  predicates subsumed by stronger ones);
+* **child ordering** — children sort by their canonical serialization,
+  making predicate order irrelevant.
+
+:func:`pattern_key` serializes a canonical pattern into a stable
+string: two queries with equal keys have equal canonical patterns and
+are therefore equivalent (the converse need not hold — key inequality
+is not a separation proof).  :func:`canonical_key` composes extraction
++ canonicalization + serialization for Core expressions and is what
+the compiled-query cache keys plans on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.containment.hom import find_homomorphism
+from repro.analysis.containment.pattern import (
+    ALL_KINDS,
+    PNode,
+    TreePattern,
+    extract_pattern,
+    pattern_nodes,
+)
+from repro.xmltree.model import NodeKind
+from repro.xquery.core import CoreExpr
+
+__all__ = ["canonical_key", "canonicalize", "pattern_key"]
+
+_ATTR = int(NodeKind.ATTR)
+
+_EMPTY_KEY = "empty"
+
+#: axis composition over a spliced ``dos::node()`` hop
+_SPLICE: dict[str, str] = {
+    "child": "descendant",
+    "descendant": "descendant",
+    "descendant-or-self": "descendant-or-self",
+}
+
+
+def _normalize(node: PNode) -> PNode | None:
+    """Merge self edges, splice bare dos hops, detect unsatisfiable
+    tests.  Returns ``None`` when the node (and with it the whole
+    pattern) is unsatisfiable."""
+    children: list[PNode] = []
+    for child in node.children:
+        normalized = _normalize(child)
+        if normalized is None:
+            return None
+        children.append(normalized)
+    node.children = children
+
+    while True:
+        self_child = next(
+            (c for c in node.children if c.axis == "self"), None
+        )
+        if self_child is None:
+            break
+        node.children.remove(self_child)
+        node.kinds = node.kinds & self_child.kinds
+        if self_child.name is not None:
+            if node.name is None:
+                node.name = self_child.name
+            elif node.name != self_child.name:
+                return None  # two different required names
+        node.constraints = tuple(
+            dict.fromkeys((*node.constraints, *self_child.constraints))
+        )
+        node.children.extend(self_child.children)
+        node.selected = node.selected or self_child.selected
+        node.fuzzy = node.fuzzy and _ATTR in node.kinds
+    if not node.kinds:
+        return None
+
+    changed = True
+    while changed:
+        changed = False
+        for position, child in enumerate(node.children):
+            if (
+                child.axis == "descendant-or-self"
+                and child.kinds == ALL_KINDS
+                and child.fuzzy
+                and child.name is None
+                and not child.constraints
+                and not child.selected
+                and len(child.children) == 1
+                and child.children[0].axis in _SPLICE
+            ):
+                grandchild = child.children[0]
+                grandchild.axis = _SPLICE[grandchild.axis]
+                node.children[position] = grandchild
+                changed = True
+                break
+
+    node.constraints = tuple(
+        sorted(
+            dict.fromkeys(node.constraints),
+            key=lambda c: (c[0], isinstance(c[1], str), str(c[1])),
+        )
+    )
+    return node
+
+
+def _branches(pattern: TreePattern) -> list[tuple[int, int]]:
+    """Every removable branch as (preorder parent index, child
+    position): subtrees that do not contain the selected node."""
+    out: list[tuple[int, int]] = []
+    for parent_index, node in enumerate(pattern_nodes(pattern)):
+        for position, child in enumerate(node.children):
+            if not child.has_selected():
+                out.append((parent_index, position))
+    return out
+
+
+def _without_branch(
+    pattern: TreePattern, parent_index: int, position: int
+) -> TreePattern:
+    candidate = pattern.clone()
+    parent = pattern_nodes(candidate)[parent_index]
+    del parent.children[position]
+    return candidate
+
+
+def _minimize(pattern: TreePattern) -> TreePattern:
+    """Drop branches already implied by the rest of the pattern: if the
+    pattern self-embeds into the branch-less version, the two are
+    equivalent (the branch-less version trivially contains the original,
+    and the homomorphism witnesses the converse)."""
+    shrinking = True
+    while shrinking:
+        shrinking = False
+        for parent_index, position in _branches(pattern):
+            candidate = _without_branch(pattern, parent_index, position)
+            if find_homomorphism(pattern, candidate) is not None:
+                pattern = candidate
+                shrinking = True
+                break
+    return pattern
+
+
+def _serialize(node: PNode) -> str:
+    kinds = ",".join(str(k) for k in sorted(node.kinds))
+    constraints = ";".join(
+        f"{op}{'s' if isinstance(v, str) else 'n'}:{v!r}"
+        for op, v in node.constraints
+    )
+    children = "".join(_serialize(child) for child in node.children)
+    flags = ("!" if node.selected else "") + ("~" if node.fuzzy else "")
+    return (
+        f"({node.axis}|{kinds}|{node.name or '*'}|{constraints}|"
+        f"{flags}{children})"
+    )
+
+
+def _sort(node: PNode) -> None:
+    for child in node.children:
+        _sort(child)
+    node.children.sort(key=_serialize)
+
+
+def canonicalize(pattern: TreePattern) -> TreePattern:
+    """The canonical representative of ``pattern``'s equivalence class
+    (value-preserving on every store; see the module docstring)."""
+    uris = tuple(sorted(set(pattern.uris)))
+    if pattern.root is None or not uris:
+        return TreePattern(uris=(), root=None)
+    root = _normalize(pattern.clone().root)
+    if root is None:
+        return TreePattern(uris=(), root=None)
+    minimized = _minimize(TreePattern(uris=uris, root=root))
+    assert minimized.root is not None
+    _sort(minimized.root)
+    return minimized
+
+
+def pattern_key(pattern: TreePattern) -> str:
+    """A stable string key: equal keys imply equivalent patterns."""
+    if pattern.root is None:
+        return _EMPTY_KEY
+    return "\x1f".join(pattern.uris) + "\x1e" + _serialize(pattern.root)
+
+
+def canonical_key(core: CoreExpr) -> str | None:
+    """The canonical cache key of a normalized Core expression, or
+    ``None`` when the expression is outside the pattern fragment.
+
+    Two expressions with equal keys have identical canonical tree
+    patterns and therefore the same value on every document store —
+    the soundness condition for sharing compiled plans between them.
+    """
+    pattern = extract_pattern(core)
+    if pattern is None:
+        return None
+    return pattern_key(canonicalize(pattern))

@@ -1,0 +1,149 @@
+"""The containment / equivalence decision procedure.
+
+``contains(p, q)`` asks: is every result of ``q`` a result of ``p``,
+on *every* document store?  The procedure extracts and canonicalizes
+both queries' tree patterns and searches for a containment
+homomorphism from ``p``'s pattern into ``q``'s.  Three verdicts:
+
+``CONTAINS``
+    A homomorphism was found **and** independently re-verified
+    (:func:`repro.analysis.containment.hom.verify_witness`); the
+    witness mapping ships with the result so any consumer can re-check
+    it without trusting the search.
+``NOT_SHOWN``
+    Both queries are in the fragment but no homomorphism exists.  For
+    the canonicalized XP\\ :sup:`{/, //, [], *}` fragment the
+    homomorphism test is exact on the structural part, but value
+    constraints use conservative implication — so ``NOT_SHOWN`` is
+    "not proven", never "proven false".
+``OUTSIDE_FRAGMENT``
+    At least one query is outside the pattern fragment.  Nothing is
+    claimed — this is the conservative default, and the wired-in
+    consumers (cache, sanitizer, scatter) all treat it as "no
+    information".
+
+Soundness is the only hard guarantee: a ``CONTAINS`` (or
+``EQUIVALENT``) verdict is always backed by a re-checked witness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.containment.canonical import canonicalize
+from repro.analysis.containment.hom import find_homomorphism, verify_witness
+from repro.analysis.containment.pattern import TreePattern, extract_pattern
+from repro.errors import AnalysisError
+from repro.xquery.core import CoreExpr
+
+__all__ = [
+    "CONTAINS",
+    "EQUIVALENT",
+    "NOT_SHOWN",
+    "OUTSIDE_FRAGMENT",
+    "ContainmentResult",
+    "EquivalenceResult",
+    "contains",
+    "contains_patterns",
+    "equivalent",
+]
+
+#: verdict constants — strings so they read well in logs and JSON
+CONTAINS = "contains"
+EQUIVALENT = "equivalent"
+NOT_SHOWN = "not-shown"
+OUTSIDE_FRAGMENT = "outside-fragment"
+
+
+@dataclass(frozen=True)
+class ContainmentResult:
+    """Outcome of a ``contains(p, q)`` question.
+
+    ``witness`` (present exactly on ``CONTAINS``) maps preorder node
+    indices of ``p``'s canonical pattern to preorder indices of ``q``'s
+    — re-checkable at any time via :func:`verify_witness` against the
+    ``p_pattern`` / ``q_pattern`` the verdict was computed over.
+    """
+
+    verdict: str
+    witness: tuple[tuple[int, int], ...] | None = None
+    p_pattern: TreePattern | None = None
+    q_pattern: TreePattern | None = None
+
+    @property
+    def holds(self) -> bool:
+        return self.verdict == CONTAINS
+
+
+@dataclass(frozen=True)
+class EquivalenceResult:
+    """Outcome of an ``equivalent(p, q)`` question: containment in both
+    directions, each carrying its own witness."""
+
+    verdict: str
+    forward: ContainmentResult  # p contains q
+    backward: ContainmentResult  # q contains p
+
+    @property
+    def holds(self) -> bool:
+        return self.verdict == EQUIVALENT
+
+
+def contains_patterns(p: TreePattern, q: TreePattern) -> ContainmentResult:
+    """Containment over already-**canonical** patterns."""
+    if q.root is None:
+        # the statically empty pattern is contained in everything
+        return ContainmentResult(CONTAINS, (), p, q)
+    if p.root is None:
+        return ContainmentResult(NOT_SHOWN, None, p, q)
+    if not set(q.uris) <= set(p.uris):
+        # a q-match could root in a document p never touches
+        return ContainmentResult(NOT_SHOWN, None, p, q)
+    mapping = find_homomorphism(p, q)
+    if mapping is None:
+        return ContainmentResult(NOT_SHOWN, None, p, q)
+    defects = verify_witness(p, q, mapping)
+    if defects:  # pragma: no cover - guards against search bugs
+        raise AnalysisError(
+            "containment witness failed re-verification: "
+            + "; ".join(defects)
+        )
+    witness = tuple(sorted(mapping.items()))
+    return ContainmentResult(CONTAINS, witness, p, q)
+
+
+def _canonical_pattern(core: CoreExpr) -> TreePattern | None:
+    pattern = extract_pattern(core)
+    if pattern is None:
+        return None
+    return canonicalize(pattern)
+
+
+def contains(p: CoreExpr, q: CoreExpr) -> ContainmentResult:
+    """Does ``p``'s result contain ``q``'s result on every store?
+
+    Both arguments are normalized Core expressions (the output of
+    :func:`repro.xquery.normalize.normalize`).
+    """
+    p_pattern = _canonical_pattern(p)
+    q_pattern = _canonical_pattern(q)
+    if p_pattern is None or q_pattern is None:
+        return ContainmentResult(OUTSIDE_FRAGMENT, None, p_pattern, q_pattern)
+    return contains_patterns(p_pattern, q_pattern)
+
+
+def equivalent(p: CoreExpr, q: CoreExpr) -> EquivalenceResult:
+    """Are ``p`` and ``q`` result-identical on every store?"""
+    p_pattern = _canonical_pattern(p)
+    q_pattern = _canonical_pattern(q)
+    if p_pattern is None or q_pattern is None:
+        outside = ContainmentResult(
+            OUTSIDE_FRAGMENT, None, p_pattern, q_pattern
+        )
+        return EquivalenceResult(OUTSIDE_FRAGMENT, outside, outside)
+    forward = contains_patterns(p_pattern, q_pattern)
+    backward = contains_patterns(q_pattern, p_pattern)
+    verdict = (
+        EQUIVALENT if forward.holds and backward.holds else NOT_SHOWN
+    )
+    return EquivalenceResult(verdict, forward, backward)

@@ -1,0 +1,333 @@
+"""Pattern-homomorphism search and independent witness checking.
+
+Containment of tree patterns in the XP\\ :sup:`{/, //, [], *}`
+fragment is decided by homomorphism: ``p`` contains ``q`` (every match
+of ``q`` on every store is a match of ``p``) whenever there is a
+mapping ``h`` from ``p``'s nodes to ``q``'s nodes that sends root to
+root and the selected node to the selected node, such that every
+``p``-edge is *guaranteed* by the ``q``-tree path between the images
+and every ``p``-node test is implied by the image's test.  The search
+here is exhaustive over the (small) pattern trees, so a ``None``
+answer means "no homomorphism exists", not "gave up".
+
+Guarantees are expressed as path-distance intervals: a ``q``-path from
+``h(parent)`` to ``h(node)`` composed of child/descendant/… edges
+promises its target lies at a tree distance within ``[lo, hi]``; a
+``p``-edge of axis ``child`` is guaranteed iff ``lo == hi == 1``,
+``descendant`` iff ``lo >= 1``, and so on.  Soundness rests only on
+these local implications — each is a statement about the pre/size/level
+axis semantics of ``repro.compiler.axes``.
+
+:func:`verify_witness` re-checks a claimed mapping from scratch
+(re-deriving the ``q``-paths and re-testing every implication without
+reusing any search state), so a search bug cannot silently produce an
+unsound ``CONTAINS`` verdict — the decision procedure re-validates
+every witness before returning it.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.containment.pattern import (
+    PNode,
+    TreePattern,
+    pattern_nodes,
+)
+from repro.xmltree.model import NodeKind
+
+__all__ = ["find_homomorphism", "verify_witness"]
+
+_ATTR = int(NodeKind.ATTR)
+
+#: effectively-infinite path distance
+_INF = 1 << 30
+
+#: per-edge distance interval contributed by each axis
+_EDGE_INTERVAL: dict[str, tuple[int, int]] = {
+    "child": (1, 1),
+    "attribute": (1, 1),
+    "descendant": (1, _INF),
+    "descendant-or-self": (0, _INF),
+    "self": (0, 0),
+}
+
+
+def _cap(a: int, b: int) -> int:
+    return _INF if _INF in (a, b) else a + b
+
+
+#: (target, lo, hi, lo_attr, hi_attr): the general distance interval of
+#: the path, and the interval *conditional on the bound instance being
+#: an ATTR row*.  The two differ only in the path's final edge: a fuzzy
+#: ``descendant-or-self::node()`` node admits ATTR instances only at
+#: distance 0 from its parent (the engine's ``kind <> ATTR OR pre =
+#: pre°``), so its edge contributes ``(0, 0)`` instead of ``(0, inf)``
+#: when the instance is known to be an attribute.
+_Reach = tuple[PNode, int, int, int, int]
+
+
+def _reachable(node: PNode) -> list[_Reach]:
+    """Every node of ``node``'s subtree with the distance intervals its
+    tree path from ``node`` guarantees (``node`` itself at ``[0, 0]``)."""
+    out: list[_Reach] = [(node, 0, 0, 0, 0)]
+    for child in node.children:
+        lo_edge, hi_edge = _EDGE_INTERVAL[child.axis]
+        lo_attr_edge, hi_attr_edge = (
+            (0, 0) if child.fuzzy else (lo_edge, hi_edge)
+        )
+        for target, lo, hi, lo_attr, hi_attr in _reachable(child):
+            if target is child:
+                # direct edge: it IS the path's final edge
+                out.append(
+                    (child, lo_edge, hi_edge, lo_attr_edge, hi_attr_edge)
+                )
+            else:
+                # deeper target: the final edge sits inside the
+                # sub-path's conditional interval already
+                out.append(
+                    (
+                        target,
+                        lo_edge + lo,
+                        _cap(hi_edge, hi),
+                        lo_edge + lo_attr,
+                        _cap(hi_edge, hi_attr),
+                    )
+                )
+    return out
+
+
+def _implies(qc: tuple[str, float | str], pc: tuple[str, float | str]) -> bool:
+    """Does constraint ``qc`` holding on a node imply ``pc`` holds?
+
+    Constraints are existential over the same node's typed ``data``
+    (numeric literal) or untyped ``value`` (string literal) column, so
+    implication is plain interval reasoning on the literal — but only
+    within one type: a numeric and a string comparison read different
+    columns and never imply each other.
+    """
+    q_op, q_val = qc
+    p_op, p_val = pc
+    if isinstance(q_val, str) != isinstance(p_val, str):
+        return False
+    if qc == pc:
+        return True
+    if isinstance(q_val, str) or isinstance(p_val, str):
+        # strings: no order reasoning (collation is the engine's
+        # business); only = excludes a differing literal
+        return p_op == "!=" and q_op == "=" and q_val != p_val
+    if p_op == ">":
+        return (q_op in (">", ">=") and q_val >= p_val and (q_op == ">" or q_val > p_val)) or (
+            q_op == "=" and q_val > p_val
+        )
+    if p_op == ">=":
+        return (q_op in (">", ">=", "=") and q_val >= p_val)
+    if p_op == "<":
+        return (q_op in ("<", "<=") and q_val <= p_val and (q_op == "<" or q_val < p_val)) or (
+            q_op == "=" and q_val < p_val
+        )
+    if p_op == "<=":
+        return (q_op in ("<", "<=", "=") and q_val <= p_val)
+    if p_op == "!=":
+        return (
+            (q_op == "=" and q_val != p_val)
+            or (q_op == ">" and q_val >= p_val)
+            or (q_op == "<" and q_val <= p_val)
+            or (q_op == ">=" and q_val > p_val)
+            or (q_op == "<=" and q_val < p_val)
+        )
+    return False  # p_op == "=" is only implied by the identical constraint
+
+
+def _accepts(
+    pn: PNode, qn: PNode, lo: int, hi: int, lo_attr: int, hi_attr: int
+) -> bool:
+    """Is every instance node ``qn`` can bind accepted by ``pn``'s node
+    test and constraints?  ``[lo, hi]`` is the guaranteed distance below
+    the image of ``pn``'s parent; ``[lo_attr, hi_attr]`` the same
+    interval conditional on the instance being an ATTR row (see
+    ``_Reach``)."""
+    if pn.name is not None and qn.name != pn.name:
+        return False
+    for pc in pn.constraints:
+        if not any(_implies(qc, pc) for qc in qn.constraints):
+            return False
+    if pn.fuzzy:
+        # a fuzzy p-node accepts any of its kinds at any distance —
+        # except ATTR, which it admits only at distance zero (the
+        # engine's ``kind <> ATTR OR pre = pre°``).  ATTR instances of
+        # ``qn`` are themselves pinned to ``[lo_attr, hi_attr]``.
+        if not qn.kinds - {_ATTR} <= pn.kinds:
+            return False
+        if _ATTR in qn.kinds:
+            return _ATTR in pn.kinds and hi_attr == 0
+        return True
+    return qn.kinds <= pn.kinds
+
+
+def _edge_guaranteed(axis: str, lo: int, hi: int, qn: PNode) -> bool:
+    """Does a ``q``-path with distance interval ``[lo, hi]`` to ``qn``
+    guarantee the structural relation of a ``p``-edge with ``axis``?"""
+    if axis == "child":
+        return lo == 1 and hi == 1
+    if axis == "attribute":
+        # distance-1 ATTR rows are exactly the attributes of the parent
+        return lo == 1 and hi == 1 and qn.kinds <= {_ATTR}
+    if axis == "descendant":
+        return lo >= 1
+    if axis == "descendant-or-self":
+        return True
+    if axis == "self":
+        return lo == 0 and hi == 0
+    return False
+
+
+def find_homomorphism(p: TreePattern, q: TreePattern) -> dict[int, int] | None:
+    """A containment homomorphism from ``p`` into ``q``, as a mapping
+    of preorder node indices (see :func:`pattern_nodes`), or ``None``.
+
+    Both patterns must be satisfiable (non-empty roots); source URIs
+    are the caller's concern.  The search is exhaustive: ``None``
+    really means no homomorphism exists.
+    """
+    if p.root is None or q.root is None:
+        return None
+    p_nodes = pattern_nodes(p)
+    q_nodes = pattern_nodes(q)
+    p_index = {id(node): i for i, node in enumerate(p_nodes)}
+    q_index = {id(node): i for i, node in enumerate(q_nodes)}
+    reach: dict[int, list[_Reach]] = {}
+
+    def reachable(qn: PNode) -> list[_Reach]:
+        key = q_index[id(qn)]
+        if key not in reach:
+            reach[key] = _reachable(qn)
+        return reach[key]
+
+    memo: dict[tuple[int, int], dict[int, int] | None] = {}
+
+    def embed(pn: PNode, qn: PNode) -> dict[int, int] | None:
+        """Map ``pn``'s subtree *below* an already-fixed ``pn -> qn``;
+        returns the (partial) index mapping for the children or None."""
+        key = (p_index[id(pn)], q_index[id(qn)])
+        if key in memo:
+            return memo[key]
+        mapping: dict[int, int] = {}
+        for child in pn.children:
+            found: dict[int, int] | None = None
+            for target, lo, hi, lo_attr, hi_attr in reachable(qn):
+                if child.selected and not target.selected:
+                    continue
+                if not _edge_guaranteed(child.axis, lo, hi, target):
+                    continue
+                if not _accepts(child, target, lo, hi, lo_attr, hi_attr):
+                    continue
+                below = embed(child, target)
+                if below is not None:
+                    found = {
+                        p_index[id(child)]: q_index[id(target)],
+                        **below,
+                    }
+                    break
+            if found is None:
+                memo[key] = None
+                return None
+            mapping.update(found)
+        memo[key] = mapping
+        return mapping
+
+    p_root, q_root = p.root, q.root
+    if p_root.selected and not q_root.selected:
+        return None
+    # the root-to-root binding is a distance-0 "path"
+    if not _accepts(p_root, q_root, 0, 0, 0, 0):
+        return None
+    below = embed(p_root, q_root)
+    if below is None:
+        return None
+    return {0: 0, **below}
+
+
+def verify_witness(
+    p: TreePattern, q: TreePattern, witness: dict[int, int]
+) -> list[str]:
+    """Independently re-check a claimed homomorphism witness.
+
+    Returns a list of human-readable defects (empty = the witness is
+    valid).  Re-derives everything from the two patterns alone: parent
+    relations, ``q``-tree paths and their distance intervals, node-test
+    and constraint implications, root and output preservation.
+    """
+    defects: list[str] = []
+    p_nodes = pattern_nodes(p)
+    q_nodes = pattern_nodes(q)
+    if p.root is None or q.root is None:
+        return ["witness over an empty pattern"]
+    if set(witness) != set(range(len(p_nodes))):
+        return ["witness does not map every p-node exactly once"]
+    if any(not 0 <= j < len(q_nodes) for j in witness.values()):
+        return ["witness maps outside q's node range"]
+    if witness[0] != 0:
+        defects.append("root is not mapped to root")
+
+    # preorder parent index of every non-root node, for both patterns
+    def parents(nodes: list[PNode]) -> dict[int, int]:
+        index = {id(node): i for i, node in enumerate(nodes)}
+        return {
+            index[id(child)]: index[id(node)]
+            for node in nodes
+            for child in node.children
+        }
+
+    p_parent = parents(p_nodes)
+    q_parent = parents(q_nodes)
+
+    def q_path(ancestor: int, node: int) -> tuple[int, int, int, int] | None:
+        """Distance intervals (general and ATTR-conditional, see
+        ``_Reach``) of the q-tree path ancestor -> node, or None if
+        ancestor is not on node's root path.  Walking bottom-up, the
+        first edge is the path's *final* edge — the only one whose
+        contribution differs when the bound instance is an ATTR row
+        (a fuzzy node admits ATTR only at distance 0)."""
+        lo = hi = lo_attr = hi_attr = 0
+        final_edge = True
+        current = node
+        while current != ancestor:
+            if current not in q_parent:
+                return None
+            edge_node = q_nodes[current]
+            lo_edge, hi_edge = _EDGE_INTERVAL[edge_node.axis]
+            lo += lo_edge
+            hi = _cap(hi, hi_edge)
+            if final_edge and edge_node.fuzzy:
+                lo_edge, hi_edge = 0, 0
+            lo_attr += lo_edge
+            hi_attr = _cap(hi_attr, hi_edge)
+            final_edge = False
+            current = q_parent[current]
+        return lo, hi, lo_attr, hi_attr
+
+    for i, pn in enumerate(p_nodes):
+        j = witness[i]
+        qn = q_nodes[j]
+        if pn.selected and not qn.selected:
+            defects.append(f"selected p-node {i} maps to unselected q-node {j}")
+        if i == 0:
+            if not _accepts(pn, qn, 0, 0, 0, 0):
+                defects.append("root node test not implied")
+            continue
+        parent_image = witness[p_parent[i]]
+        interval = q_path(parent_image, j)
+        if interval is None:
+            defects.append(
+                f"q-node {j} is not below the image {parent_image} of "
+                f"p-node {i}'s parent"
+            )
+            continue
+        lo, hi, lo_attr, hi_attr = interval
+        if not _edge_guaranteed(pn.axis, lo, hi, qn):
+            defects.append(
+                f"{pn.axis} edge to p-node {i} not guaranteed by the "
+                f"q-path [{lo}, {'inf' if hi >= _INF else hi}]"
+            )
+        if not _accepts(pn, qn, lo, hi, lo_attr, hi_attr):
+            defects.append(f"node test of p-node {i} not implied by q-node {j}")
+    return defects

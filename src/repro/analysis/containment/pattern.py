@@ -1,0 +1,296 @@
+"""Tree patterns: the static shape of the workhorse XPath fragment.
+
+A *tree pattern* is the classic XP\\ :sup:`{/, //, [], *}` object of
+Miklau/Suciu-style containment: a rooted tree whose nodes carry node
+tests (kind + name) and optional value constraints, whose edges carry a
+structural axis (child / descendant / descendant-or-self / self /
+attribute), and which distinguishes one *selected* node — the query's
+output.  The semantics of a pattern over a document store is the set of
+nodes the selected node can bind in any embedding of the pattern, in
+document order with duplicates removed — exactly the value of the
+normalized Core expressions this module extracts patterns from.
+
+:func:`extract_pattern` maps a normalized Core expression (the output
+of :func:`repro.xquery.normalize.normalize`) into a
+:class:`TreePattern`, or returns ``None`` when the expression falls
+outside the pattern fragment.  ``None`` is a *conservative* verdict:
+every downstream consumer (the containment decision procedure, the
+canonical cache keys, the scatter classifier) treats it as
+``OUTSIDE_FRAGMENT`` and never guesses.
+
+The supported shapes (everything else is outside):
+
+* ``doc(uri)`` and ``collection(...)`` roots (exactly one source);
+* downward steps — ``child``, ``descendant``, ``descendant-or-self``,
+  ``self``, ``attribute`` — wrapped in ``fs:ddo`` as the normalizer
+  emits them;
+* the desugared-predicate filter shape
+  ``for $v in P return if (cond) … then $v else ()`` with every
+  condition rooted at a bound pattern variable: existence paths and
+  ``ValComp`` literal comparisons (``Comp`` node-node joins are out);
+* nothing with ``let``, reverse/sibling axes, FLWOR-ordered returns
+  (``return $v/step``), or a second document source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.xmltree.model import NodeKind
+from repro.xquery.core import (
+    CoreCollection,
+    CoreComp,
+    CoreDdo,
+    CoreDoc,
+    CoreEmpty,
+    CoreExpr,
+    CoreFor,
+    CoreIf,
+    CoreStep,
+    CoreValComp,
+    CoreVar,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "PNode",
+    "TreePattern",
+    "extract_pattern",
+    "pattern_nodes",
+]
+
+_ATTR = int(NodeKind.ATTR)
+_DOC = int(NodeKind.DOC)
+
+#: every kind code a pattern node could bind
+ALL_KINDS = frozenset(int(k) for k in NodeKind)
+
+#: the downward axes the pattern fragment supports
+_PATTERN_AXES = frozenset(
+    ("child", "descendant", "descendant-or-self", "self", "attribute")
+)
+
+_KIND_SETS: dict[str, frozenset[int]] = {
+    "node": ALL_KINDS,
+    "element": frozenset({int(NodeKind.ELEM)}),
+    "attribute": frozenset({_ATTR}),
+    "text": frozenset({int(NodeKind.TEXT)}),
+    "comment": frozenset({int(NodeKind.COMMENT)}),
+    "processing-instruction": frozenset({int(NodeKind.PI)}),
+    "document-node": frozenset({_DOC}),
+}
+
+
+@dataclass
+class PNode:
+    """One pattern node.
+
+    ``axis`` is the structural edge from the parent node (``"root"``
+    for the pattern root).  ``kinds`` is the set of
+    :class:`~repro.xmltree.model.NodeKind` codes this node can bind —
+    exact for every edge/test combination except a
+    ``descendant-or-self::node()`` step, whose acceptance of ATTR rows
+    depends on the step distance; such nodes are marked ``fuzzy`` (ATTR
+    is admitted only at distance zero, mirroring the engine's
+    ``(kind <> ATTR OR pre = pre°)`` disjunct).  ``name`` is a required
+    tag/attribute name or ``None`` (any).  ``constraints`` are value
+    comparisons ``(op, literal)`` against this node's own ``value``
+    (string literal) or typed ``data`` (numeric literal) column, as in
+    Core ``ValComp``.  ``selected`` marks the query's output node —
+    exactly one node of a pattern carries it.
+    """
+
+    axis: str
+    kinds: frozenset[int]
+    name: str | None = None
+    fuzzy: bool = False
+    constraints: tuple[tuple[str, float | str], ...] = ()
+    children: list["PNode"] = field(default_factory=list)
+    selected: bool = False
+
+    def clone(self) -> "PNode":
+        return replace(
+            self, children=[child.clone() for child in self.children]
+        )
+
+    def has_selected(self) -> bool:
+        return self.selected or any(
+            child.has_selected() for child in self.children
+        )
+
+
+@dataclass
+class TreePattern:
+    """A rooted tree pattern over a document source.
+
+    ``uris`` is the set of documents the root can bind (one for a
+    ``doc(uri)`` root, the resolved member set for ``collection()``).
+    ``root`` is the pattern tree; ``None`` marks the *statically empty*
+    pattern (empty source or an unsatisfiable node test) whose value is
+    the empty sequence on every store.
+    """
+
+    uris: tuple[str, ...]
+    root: PNode | None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.root is None
+
+    def clone(self) -> "TreePattern":
+        return TreePattern(
+            self.uris, self.root.clone() if self.root is not None else None
+        )
+
+
+def pattern_nodes(pattern: TreePattern) -> list[PNode]:
+    """The pattern's nodes in preorder — the stable node numbering
+    containment witnesses are expressed in."""
+    out: list[PNode] = []
+
+    def walk(node: PNode) -> None:
+        out.append(node)
+        for child in node.children:
+            walk(child)
+
+    if pattern.root is not None:
+        walk(pattern.root)
+    return out
+
+
+class _Outside(Exception):
+    """The Core expression left the pattern fragment."""
+
+
+def _test_kinds(kind_test: str | None) -> frozenset[int]:
+    if kind_test is None:
+        return ALL_KINDS
+    try:
+        return _KIND_SETS[kind_test]
+    except KeyError:
+        raise _Outside(f"kind test {kind_test!r}") from None
+
+
+def _step_node(axis: str, kind_test: str | None, name_test: str | None) -> PNode:
+    """The pattern node for one location step, with the axis' ATTR
+    in/exclusion folded into the kind set (paper Fig. 3 semantics)."""
+    if axis not in _PATTERN_AXES:
+        raise _Outside(f"axis {axis!r}")
+    kinds = _test_kinds(kind_test)
+    fuzzy = False
+    if axis in ("child", "descendant"):
+        # children/descendants are never ATTR rows, and DOC rows are
+        # roots — both exclusions are exact
+        kinds = kinds - {_ATTR, _DOC}
+    elif axis == "attribute":
+        kinds = kinds & {_ATTR}
+    elif axis == "descendant-or-self":
+        # an ATTR context node stays visible at distance 0 only
+        fuzzy = _ATTR in kinds
+    name = None if name_test in (None, "*") else name_test
+    return PNode(axis=axis, kinds=kinds, name=name, fuzzy=fuzzy)
+
+
+class _Extractor:
+    def __init__(self) -> None:
+        self.uris: tuple[str, ...] | None = None
+        self.root: PNode | None = None
+
+    # -- pattern expressions -------------------------------------------
+
+    def walk(self, core: CoreExpr, env: dict[str, PNode]) -> PNode:
+        """The :class:`PNode` binding ``core``'s result items, attached
+        into the pattern tree as a side effect."""
+        if isinstance(core, (CoreDoc, CoreCollection)):
+            if self.root is not None:
+                raise _Outside("second document source")
+            self.uris = (
+                (core.uri,)
+                if isinstance(core, CoreDoc)
+                else tuple(core.uris)
+            )
+            self.root = PNode(axis="root", kinds=frozenset({_DOC}))
+            return self.root
+        if isinstance(core, CoreVar):
+            try:
+                return env[core.name]
+            except KeyError:
+                raise _Outside(f"free variable ${core.name}") from None
+        if isinstance(core, CoreDdo):
+            # ddo is sort + duplicate elimination: the identity on the
+            # node *set* a pattern denotes
+            return self.walk(core.expr, env)
+        if isinstance(core, CoreStep):
+            context = self.walk(core.input, env)
+            node = _step_node(core.axis, core.kind_test, core.name_test)
+            context.children.append(node)
+            return node
+        if isinstance(core, CoreFor):
+            return self._filter(core, env)
+        raise _Outside(type(core).__name__)
+
+    def _filter(self, core: CoreFor, env: dict[str, PNode]) -> PNode:
+        """The desugared-predicate shape ``for $v in base return
+        if (c1) … if (cn) then $v else ()``: conditions become branches
+        attached to the node ``$v`` binds; the filtered result binds
+        that same node."""
+        base = self.walk(core.sequence, env)
+        scope = {**env, core.var: base}
+        ret: CoreExpr = core.ret
+        conditions: list[CoreExpr] = []
+        while isinstance(ret, CoreIf):
+            conditions.append(ret.cond)
+            ret = ret.then
+        if not (isinstance(ret, CoreVar) and ret.name == core.var):
+            # a computed return (e.g. ``return $v/step``) concatenates
+            # per-binding sequences: duplicates and FLWOR order — not a
+            # pattern
+            raise _Outside("for-return is not the bound variable")
+        for condition in conditions:
+            self._condition(condition, scope)
+        return base
+
+    # -- conditions ----------------------------------------------------
+
+    def _condition(self, cond: CoreExpr, env: dict[str, PNode]) -> None:
+        """An effective-boolean-value condition: an existence path or a
+        literal comparison, rooted at a bound pattern variable."""
+        if isinstance(cond, CoreValComp):
+            value = cond.value
+            literal = (
+                float(value) if isinstance(value, (int, float)) else value
+            )
+            tip = self.walk(cond.expr, env)
+            tip.constraints = (*tip.constraints, (cond.op, literal))
+            return
+        if isinstance(cond, CoreComp):
+            raise _Outside("node-node comparison")
+        if isinstance(cond, CoreIf):
+            # nested conditional: nonempty iff the guard holds and the
+            # branch is nonempty — both are conditions
+            self._condition(cond.cond, env)
+            self._condition(cond.then, env)
+            return
+        self.walk(cond, env)  # existence test
+
+
+def extract_pattern(core: CoreExpr) -> TreePattern | None:
+    """The tree pattern of a normalized Core expression, or ``None``
+    when the expression is outside the pattern fragment.
+
+    The returned pattern is *raw* — step-accurate but not normalized;
+    run it through :func:`repro.analysis.containment.canonicalize`
+    before comparing or keying on it.
+    """
+    if isinstance(core, CoreEmpty):
+        return TreePattern(uris=(), root=None)
+    extractor = _Extractor()
+    try:
+        output = extractor.walk(core, {})
+    except _Outside:
+        return None
+    assert extractor.root is not None and extractor.uris is not None
+    output.selected = True
+    if not extractor.uris:
+        return TreePattern(uris=(), root=None)
+    return TreePattern(uris=extractor.uris, root=extractor.root)

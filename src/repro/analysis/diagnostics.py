@@ -12,6 +12,7 @@ JGI02x data-level defects (properties violated on real tables)
 JGI03x rewrite-rule defects (found by the per-step sanitizer)
 JGI04x generated-SQL defects (join-graph block linter)
 JGI05x pipeline-level defects (codegen / engine disagreement)
+JGI06x containment-analyzer cross-checks (pattern oracle)
 ====== =====================================================
 """
 
@@ -62,6 +63,9 @@ CODES: dict[str, tuple[str, str]] = {
     "JGI051": ("codegen-failed", "isolated plan could not be rendered as one SQL block"),
     "JGI052": ("compile-failed", "compilation or isolation raised an error"),
     "JGI053": ("not-join-graph", "isolated plan did not reach join-graph shape"),
+    # -- containment-analyzer cross-checks -----------------------------
+    "JGI060": ("rule-pattern-mismatch", "rewrite step result disagrees with the containment analyzer's pattern evaluation"),
+    "JGI061": ("plan-pattern-mismatch", "initial plan result disagrees with the containment analyzer's pattern evaluation"),
 }
 
 #: dagutils.PlanViolation.kind -> diagnostic code

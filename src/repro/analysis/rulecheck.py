@@ -7,10 +7,17 @@ downstream query.  :class:`PlanSanitizer` hooks into
 individual rule application,
 
 * runs the deep invariant checker (:func:`repro.analysis.check_plan`)
-  on the rewritten plan, and
+  on the rewritten plan,
 * optionally re-interprets the plan on the (small) fixture documents
   and compares the item sequence against the pre-isolation reference —
-  per-step differential testing.
+  per-step differential testing, and
+* when the query falls into the containment analyzer's tree-pattern
+  fragment (see :mod:`repro.analysis.containment`), additionally
+  compares the interpreted sequence against the *independent* naive
+  pattern evaluation of the canonical pattern — a second oracle that
+  shares no code with the loop-lifting compiler, so a rule bug and a
+  matching interpreter bug cannot mask each other (``JGI060``/
+  ``JGI061``).
 
 On failure it raises :class:`repro.errors.SanitizerError` carrying the
 diagnostic code, the *name of the offending rule*, and a unified diff
@@ -20,6 +27,7 @@ of the plan before/after the application.
 from __future__ import annotations
 
 import difflib
+from typing import TYPE_CHECKING
 
 from repro.algebra.dagutils import all_nodes, clone_plan, plan_to_text
 from repro.algebra.ops import DocScan, LitTable, Operator
@@ -27,6 +35,10 @@ from repro.analysis.diagnostics import Diagnostic, errors
 from repro.analysis.invariants import check_plan, prune_dead_refs
 from repro.errors import SanitizerError
 from repro.obs import record_diagnostics
+
+if TYPE_CHECKING:
+    from repro.infoset.encoding import DocTable
+    from repro.xquery.core import CoreExpr
 
 
 class PlanSanitizer:
@@ -62,6 +74,34 @@ class PlanSanitizer:
         self.max_base_rows = max_base_rows
         self.steps_checked = 0
         self._reference: list | None = None
+        self._pattern_expected: list | None = None
+
+    # -- arming -----------------------------------------------------------
+
+    def set_core(self, core: CoreExpr, table: DocTable) -> None:
+        """Arm the containment-analyzer cross-check for the next
+        isolation run.
+
+        When ``core`` falls into the tree-pattern fragment, the naive
+        pattern evaluator pre-computes the expected item sequence over
+        ``table`` — every interpreted plan (initial and per-step) is
+        then also compared against this second, compiler-independent
+        oracle.  Outside the fragment (or when the pattern is found
+        statically unsatisfiable *and* the engines might disagree on
+        emptiness shape) the check quietly disarms.
+        """
+        self._pattern_expected = None
+        from repro.analysis.containment import (
+            canonicalize,
+            evaluate_pattern,
+            extract_pattern,
+        )
+
+        pattern = extract_pattern(core)
+        if pattern is None:
+            return
+        canonical = canonicalize(pattern)
+        self._pattern_expected = evaluate_pattern(canonical, table)
 
     # -- engine hooks -----------------------------------------------------
 
@@ -74,6 +114,26 @@ class PlanSanitizer:
             from repro.algebra.interpreter import run_plan
 
             self._reference = run_plan(root)
+            if (
+                self._pattern_expected is not None
+                and self._reference != self._pattern_expected
+            ):
+                diagnostic = Diagnostic(
+                    code="JGI061",
+                    message=(
+                        f"initial plan disagrees with the pattern oracle: "
+                        f"pattern expects {self._pattern_expected[:20]!r}, "
+                        f"plan yields {self._reference[:20]!r}"
+                    ),
+                    where="<initial plan>",
+                )
+                record_diagnostics([diagnostic])
+                raise SanitizerError(
+                    diagnostic.render(),
+                    code="JGI061",
+                    rule="<initial plan>",
+                    diagnostics=[diagnostic],
+                )
 
     def snapshot(self, root: Operator) -> Operator:
         """A structure-preserving copy of ``root`` taken before a rule
@@ -98,6 +158,26 @@ class PlanSanitizer:
             from repro.algebra.interpreter import run_plan
 
             result = run_plan(prune_dead_refs(after))
+            if (
+                self._pattern_expected is not None
+                and result != self._pattern_expected
+            ):
+                diagnostic = Diagnostic(
+                    code="JGI060",
+                    message=(
+                        f"rule ({rule}) disagrees with the pattern oracle: "
+                        f"pattern expects {self._pattern_expected[:20]!r}, "
+                        f"got {result[:20]!r}"
+                    ),
+                    where=f"rule {rule}",
+                )
+                record_diagnostics([diagnostic])
+                raise SanitizerError(
+                    f"{diagnostic.render()}\n{_plan_diff(before, after)}",
+                    code="JGI060",
+                    rule=rule,
+                    diagnostics=[diagnostic],
+                )
             if result != self._reference:
                 diagnostic = Diagnostic(
                     code="JGI031",

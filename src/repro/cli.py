@@ -25,6 +25,15 @@ with the plan sanitizer, deep invariant checker and SQL linter::
     python -m repro lint '//closed_auction[price > 500]' --doc auction.xml
     python -m repro lint --workloads
 
+Decide query containment / equivalence statically over the tree-pattern
+fragment (see ``docs/containment.md``); exit status 0 = holds,
+1 = not shown, 2 = outside the fragment::
+
+    python -m repro analyze --contains '//b' '/a/b' --default-doc d.xml
+    python -m repro analyze --equivalent '//a[b][c]' '//a[c][b]' \\
+        --default-doc d.xml
+    python -m repro analyze --canonical '//a[c][b]' --default-doc d.xml
+
 Observability (see ``docs/observability.md``): ``--trace FILE`` writes
 a Chrome trace-event JSON file (load in ``about://tracing`` or
 Perfetto) with nested spans for every pipeline phase — parse,
@@ -260,6 +269,127 @@ def lint_main(argv: list[str]) -> int:
 
     print(report.render())
     return 1 if report.error_count else 0
+
+
+def build_analyze_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro analyze",
+        description="Static containment / equivalence analysis over the "
+        "workhorse tree-pattern fragment (see docs/containment.md).  "
+        "Verdicts are sound: 'contains'/'equivalent' ships a re-checked "
+        "homomorphism witness; 'not-shown' means not proven, and "
+        "'outside-fragment' means no claim.  Exit status: 0 when the "
+        "property holds, 1 when not shown, 2 when outside the fragment.",
+    )
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument(
+        "--contains",
+        nargs=2,
+        metavar=("P", "Q"),
+        help="decide whether P's result contains Q's on every store",
+    )
+    group.add_argument(
+        "--equivalent",
+        nargs=2,
+        metavar=("P", "Q"),
+        help="decide whether P and Q are result-identical on every store",
+    )
+    group.add_argument(
+        "--canonical",
+        metavar="Q",
+        help="print Q's canonical tree-pattern cache key",
+    )
+    parser.add_argument(
+        "--default-doc",
+        metavar="URI",
+        default="doc.xml",
+        help="URI that absolute paths (/a/b) resolve against; the "
+        "analysis is static, so both queries sharing this synthetic "
+        "default is sound (default: doc.xml)",
+    )
+    parser.add_argument(
+        "--collection",
+        action="append",
+        default=[],
+        metavar="URI",
+        help="declare a collection() member URI (repeatable); "
+        "collection() globs resolve against these",
+    )
+    return parser
+
+
+def analyze_main(argv: list[str]) -> int:
+    parser = build_analyze_parser()
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    from fnmatch import fnmatchcase
+
+    from repro.analysis.containment import (
+        CONTAINS,
+        EQUIVALENT,
+        OUTSIDE_FRAGMENT,
+        canonicalize,
+        contains,
+        equivalent,
+        extract_pattern,
+        pattern_key,
+    )
+    from repro.xquery.normalize import normalize
+    from repro.xquery.parser import parse_xquery
+
+    members = tuple(args.collection)
+
+    def resolve(patterns: tuple[str, ...]) -> tuple[str, ...]:
+        if not patterns:
+            return members
+        return tuple(
+            uri
+            for uri in members
+            if any(fnmatchcase(uri, pattern) for pattern in patterns)
+        )
+
+    def core_of(query: str):
+        return normalize(
+            parse_xquery(query),
+            default_doc=args.default_doc,
+            collections=resolve,
+        )
+
+    try:
+        if args.canonical is not None:
+            pattern = extract_pattern(core_of(args.canonical))
+            if pattern is None:
+                print("outside-fragment")
+                return 2
+            print(pattern_key(canonicalize(pattern)))
+            return 0
+        if args.contains is not None:
+            result = contains(core_of(args.contains[0]), core_of(args.contains[1]))
+            print(result.verdict)
+            if result.witness is not None:
+                witness = " ".join(f"{p}->{q}" for p, q in result.witness)
+                print(f"witness: {witness or '(empty pattern)'}")
+            if result.verdict == CONTAINS:
+                return 0
+            return 2 if result.verdict == OUTSIDE_FRAGMENT else 1
+        result = equivalent(
+            core_of(args.equivalent[0]), core_of(args.equivalent[1])
+        )
+        print(result.verdict)
+        for direction, part in (
+            ("forward", result.forward),
+            ("backward", result.backward),
+        ):
+            if part.witness is not None:
+                witness = " ".join(f"{p}->{q}" for p, q in part.witness)
+                print(f"{direction} witness: {witness or '(empty pattern)'}")
+        if result.verdict == EQUIVALENT:
+            return 0
+        return 2 if result.verdict == OUTSIDE_FRAGMENT else 1
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 def build_obs_parser() -> argparse.ArgumentParser:
@@ -541,6 +671,8 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "analyze":
+        return analyze_main(argv[1:])
     if argv and argv[0] == "obs":
         return obs_main(argv[1:])
     if argv and argv[0] == "serve-bench":

@@ -67,6 +67,12 @@ class SanitizerError(RewriteError):
         self.diagnostics = list(diagnostics)
 
 
+class AnalysisError(ReproError):
+    """Raised by the static-analysis subsystem on internal
+    inconsistencies — e.g. a containment witness that fails its
+    independent re-verification (:mod:`repro.analysis.containment`)."""
+
+
 class CodegenError(ReproError):
     """Raised when an isolated plan cannot be rendered as a single
     SELECT-DISTINCT-FROM-WHERE-ORDER BY block."""

@@ -209,6 +209,8 @@ class XQueryProcessor:
                 # isolation mutates the DAG: hand it an independent
                 # clone so the stacked plan survives as an artifact
                 isolated_input = clone_plan(stacked)
+            if self._engine.sanitizer is not None:
+                self._engine.sanitizer.set_core(core, self.store.table)
             isolated, stats = self._engine.isolate(isolated_input)
             span.set(rule_applications=stats.steps)
         get_metrics().count("pipeline.compiles")
@@ -247,6 +249,8 @@ class XQueryProcessor:
                 with tracer.span("looplift"):
                     stacked = LoopLiftingCompiler(self.store).compile(core)
                     isolated_input = clone_plan(stacked)
+                if self._engine.sanitizer is not None:
+                    self._engine.sanitizer.set_core(core, self.store.table)
                 isolated, stats = self._engine.isolate(isolated_input)
             compiled.append(
                 CompiledQuery(

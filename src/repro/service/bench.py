@@ -38,6 +38,18 @@ DEFAULT_QUERY_SET: tuple[str, ...] = ("X1", "X5", "X8", "X13", "X17", "X19")
 
 SCHEMA = "repro.service.bench/v1"
 
+#: Template respellings of in-fragment path queries — the traffic
+#: shape templated clients produce: same canonical pattern, different
+#: query text.  Each pair exercises one canonical-tier alias hit; the
+#: comment-decorated spelling of the original exercises one
+#: lexical-normalization exact hit.
+TEMPLATE_VARIANTS: tuple[tuple[str, str], ...] = (
+    ("//open_auction[initial][bidder]", "//open_auction[bidder][initial]"),
+    ("//item[location]/name", "//child::item[child::location]/child::name"),
+    ("//person[emailaddress]", "//person[emailaddress][emailaddress]"),
+    ("//closed_auction[price]", "//closed_auction/self::node()[price]"),
+)
+
 
 def _baseline_throughput(
     store: DocumentStore, queries: Sequence[str], repeat: int
@@ -86,6 +98,40 @@ def _worker_throughput(
         service.run_many(batch)
         elapsed = time.perf_counter() - start
     return elapsed, results
+
+
+def _variant_workload(store: DocumentStore) -> dict[str, Any]:
+    """The template-variant workload: each original query is followed
+    by a comment-decorated respelling (lexical tier → exact hit) and a
+    semantically equivalent respelling (canonical tier → alias hit).
+    Every served result is verified against the original's before the
+    rates are reported."""
+    with metrics_scope():
+        with QueryService(
+            store=store, default_doc="auction.xml", workers=1
+        ) as service:
+            for original, respelled in TEMPLATE_VARIANTS:
+                reference = service.execute(original)
+                if service.execute(f"(: templated :) {original}") != reference:
+                    raise AssertionError(
+                        f"lexical respelling diverges for {original!r}"
+                    )
+                if service.execute(respelled) != reference:
+                    raise AssertionError(
+                        f"canonical respelling diverges for {original!r}"
+                    )
+            stats = service.cache.stats()
+    calls = 3 * len(TEMPLATE_VARIANTS)
+    return {
+        "pairs": len(TEMPLATE_VARIANTS),
+        "calls": calls,
+        "cache": stats,
+        "exact_hit_rate": stats["hits"] / calls,
+        "canonical_hit_rate": stats["canonical_hits"] / calls,
+        "served_without_compile_rate": (
+            (stats["hits"] + stats["canonical_hits"]) / calls
+        ),
+    }
 
 
 def run_service_bench(
@@ -165,6 +211,7 @@ def run_service_bench(
             },
         },
         "speedup": (baseline_s / cached_s) if cached_s else float("inf"),
+        "canonical": _variant_workload(store),
         "scaling": scaling,
     }
 
@@ -208,4 +255,13 @@ def format_service_bench(report: dict[str, Any]) -> str:
         f"  cache             : {stats['hits']} hits / "
         f"{stats['misses']} misses / {stats['evictions']} evictions"
     )
+    canonical = report.get("canonical")
+    if canonical is not None:
+        lines.append(
+            "  template variants : "
+            f"{canonical['exact_hit_rate']:.0%} exact / "
+            f"{canonical['canonical_hit_rate']:.0%} canonical hits "
+            f"({canonical['served_without_compile_rate']:.0%} served "
+            "without a compile)"
+        )
     return "\n".join(lines)

@@ -8,7 +8,12 @@ full pipeline artifact — core expression, stacked plan, isolated plan,
 and the generated SQL texts — on everything that can change its
 content:
 
-``query``            the surface text (byte-exact);
+``query``            the surface text, lexically normalized by the
+                     service (comments stripped, whitespace collapsed
+                     via :func:`repro.xquery.text.normalize_query_text`)
+                     — or a canonical-pattern alias key (a reserved
+                     ``\\x00canonical\\x00`` prefix no real query text
+                     can carry, see :meth:`QueryService.compile`);
 ``default_doc``      absolute paths resolve differently per default;
 ``serialize_step``   changes the compiled shape (Section 4 wrapper);
 ``disabled_rules``   ablations produce different isolated plans;
@@ -65,6 +70,7 @@ class CompiledQueryCache:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.canonical_hits = 0
         self.evictions = 0
         self._entries: OrderedDict[CacheKey, CompiledQuery] = OrderedDict()
         self._lock = threading.Lock()
@@ -93,6 +99,21 @@ class CompiledQueryCache:
         original :meth:`get` already counted this caller's miss)."""
         with self._lock:
             return self._entries.get(key)
+
+    def get_canonical(self, key: CacheKey) -> CompiledQuery | None:
+        """Counted canonical-form lookup: a hit on the canonical alias
+        key increments the dedicated ``canonical_hits`` counter and the
+        ``service.cache.canonical_hit`` metric — the caller's exact-key
+        miss was already counted by :meth:`get`, so a miss here counts
+        nothing."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            self.canonical_hits += 1
+            get_metrics().count("service.cache.canonical_hit")
+            return entry
 
     def put(self, key: CacheKey, compiled: CompiledQuery) -> None:
         """Insert (or refresh) ``key``, evicting least-recently-used
@@ -141,5 +162,6 @@ class CompiledQueryCache:
                 "size": len(self._entries),
                 "hits": self.hits,
                 "misses": self.misses,
+                "canonical_hits": self.canonical_hits,
                 "evictions": self.evictions,
             }

@@ -52,6 +52,7 @@ from concurrent.futures import Future
 from dataclasses import fields, is_dataclass
 from typing import Any, Iterable, Sequence
 
+from repro.analysis.containment import canonicalize, extract_pattern
 from repro.engines import Engine
 from repro.errors import ServiceError
 from repro.infoset.encoding import DocumentStore
@@ -60,7 +61,7 @@ from repro.pipeline import CompiledQuery, XQueryProcessor
 from repro.result import Result, Serialized
 from repro.service.cache import CacheKey, CompiledQueryCache
 from repro.service.resilience import Deadline, RetryPolicy
-from repro.service.service import QueryService
+from repro.service.service import QueryService, canonical_alias_key
 from repro.store import Collection
 from repro.xquery.core import (
     CoreCollection,
@@ -71,6 +72,7 @@ from repro.xquery.core import (
     CoreLet,
     CoreVar,
 )
+from repro.xquery.text import normalize_query_text
 
 __all__ = ["ShardedService", "scatter_uris"]
 
@@ -143,7 +145,36 @@ def scatter_uris(core: CoreExpr) -> tuple[str, ...] | None:
     ``None`` means the query must run serially; a tuple (possibly
     empty) means every result item lives in one of these documents and
     per-shard execution + ordered merge is exact.
+
+    Two classifiers run in sequence.  The structural one requires a
+    top-level ``fs:ddo`` plus a single effective source.  Queries whose
+    top level is the desugared-predicate ``for`` shape (``//a[b]`` and
+    friends) fail that test even though their results are perfectly
+    merge-safe; for those, the containment analyzer's tree-pattern
+    extraction takes over — a query *in the pattern fragment* is by
+    construction single-source with a document-ordered duplicate-free
+    node result, which is exactly the scatter-safety contract.  Pattern
+    classifications are counted under
+    ``service.scatter.pattern_classified``.
     """
+    uris = _structural_scatter_uris(core)
+    if uris is not None:
+        return uris
+    pattern = extract_pattern(core)
+    if pattern is None:
+        return None
+    canonical = canonicalize(pattern)
+    get_metrics().count("service.scatter.pattern_classified")
+    if canonical.root is None:
+        # statically empty: scatter over nothing (the merge of zero
+        # shards is the correct empty answer)
+        return ()
+    return canonical.uris
+
+
+def _structural_scatter_uris(core: CoreExpr) -> tuple[str, ...] | None:
+    """The pre-analyzer classifier: top-level ddo + one effective
+    document source (see the module docstring)."""
     if not isinstance(core, CoreDdo):
         return None
     try:
@@ -320,8 +351,15 @@ class ShardedService:
 
     def compile(self, query: str) -> CompiledQuery:
         """The compiled artifact for ``query``, resolved against the
-        whole collection — from cache when possible."""
-        key = self._cache_key(query)
+        whole collection — from cache when possible.
+
+        Mirrors :meth:`QueryService.compile`'s three tiers: lexically
+        normalized exact key, canonical tree-pattern alias key
+        (semantically equivalent spellings share one artifact), then a
+        cold compile stored under both keys.
+        """
+        text = normalize_query_text(query)
+        key = self._cache_key(text)
         compiled = self.cache.get(key)
         if compiled is not None:
             return compiled
@@ -329,9 +367,24 @@ class ShardedService:
             compiled = self.cache.peek(key)
             if compiled is not None:
                 return compiled
-            compiled = self._compiler.compile(query)
+            alias = canonical_alias_key(
+                text,
+                key,
+                self._compiler.default_doc,
+                self._compiler.collections,
+            )
+            if alias is not None:
+                compiled = self.cache.get_canonical(alias)
+                if compiled is not None:
+                    # back-fill the exact key so this spelling hits
+                    # tier 1 from now on
+                    self.cache.put(key, compiled)
+                    return compiled
+            compiled = self._compiler.compile(text)
             _ = (compiled.stacked_sql, compiled.joingraph_sql)
             self.cache.put(key, compiled)
+            if alias is not None:
+                self.cache.put(alias, compiled)
         return compiled
 
     def _shard_resolver(self, shard: int):

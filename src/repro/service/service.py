@@ -46,6 +46,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.interpreter import run_plan
+from repro.analysis.containment import canonical_key
 from repro.errors import (
     BackendUnavailable,
     CircuitOpenError,
@@ -71,8 +72,49 @@ from repro.service.resilience import (
     is_transient,
 )
 from repro.sql.backend import SQLiteBackend
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+from repro.xquery.text import normalize_query_text
 
-__all__ = ["QueryService"]
+__all__ = ["QueryService", "canonical_alias_key"]
+
+#: reserved prefix marking canonical-pattern alias keys in the cache —
+#: contains NUL, which no parseable query text can
+_CANONICAL_NS = "\x00canonical\x00"
+
+
+def canonical_alias_key(
+    query: str,
+    key: CacheKey,
+    default_doc: str | None,
+    collections,
+) -> CacheKey | None:
+    """The canonical-pattern alias of a cache key, or ``None``.
+
+    Parses and normalizes ``query``, extracts its canonical tree
+    pattern, and rewrites ``key`` so its ``query`` field carries the
+    pattern's stable serialization (under the reserved namespace
+    prefix) instead of the surface text.  Two queries with the same
+    alias key are semantically equivalent — provably, via the
+    canonicalizer's self-homomorphism certificates — so sharing one
+    compiled plan between them is sound.  Returns ``None`` for queries
+    outside the pattern fragment (or that fail to parse: the compile
+    path will surface the real error).
+    """
+    try:
+        core = normalize(
+            parse_xquery(query),
+            default_doc=default_doc,
+            collections=collections,
+        )
+        pattern = canonical_key(core)
+    except ServiceError:  # pragma: no cover - not raised by the front end
+        raise
+    except Exception:
+        return None
+    if pattern is None:
+        return None
+    return key._replace(query=_CANONICAL_NS + pattern)
 
 
 class QueryService:
@@ -203,8 +245,19 @@ class QueryService:
 
     def compile(self, query: str) -> CompiledQuery:
         """The compiled artifact for ``query`` — from cache when
-        possible, compiled (and cached) otherwise."""
-        key = self._cache_key(query)
+        possible, compiled (and cached) otherwise.
+
+        Three key tiers, cheapest first: (1) exact match on the
+        lexically normalized text (comments stripped, whitespace
+        collapsed — no parsing); (2) the canonical tree-pattern key,
+        which lets *semantically equivalent* spellings (reordered
+        predicates, explicit axes, redundant self steps) share one
+        compiled plan — a canonical hit also back-fills the exact key
+        so that spelling hits tier 1 from then on; (3) a cold compile,
+        cached under both keys.
+        """
+        text = normalize_query_text(query)
+        key = self._cache_key(text)
         compiled = self.cache.get(key)
         if compiled is not None:
             return compiled
@@ -214,11 +267,24 @@ class QueryService:
             compiled = self.cache.peek(key)
             if compiled is not None:
                 return compiled
-            compiled = self.processor.compile(query)
+            canonical = canonical_alias_key(
+                text,
+                key,
+                self.processor.default_doc,
+                self.processor.collections,
+            )
+            if canonical is not None:
+                compiled = self.cache.get_canonical(canonical)
+                if compiled is not None:
+                    self.cache.put(key, compiled)
+                    return compiled
+            compiled = self.processor.compile(text)
             # materialize the lazy SQL artifacts now: cached entries
             # must be immutable so any thread can execute them
             _ = (compiled.stacked_sql, compiled.joingraph_sql)
             self.cache.put(key, compiled)
+            if canonical is not None:
+                self.cache.put(canonical, compiled)
         return compiled
 
     # -- execution -----------------------------------------------------

@@ -1,0 +1,70 @@
+"""Lexical query-text normalization (cache-key canonicalization).
+
+:func:`normalize_query_text` maps query text to a representative that
+is identical for all inputs with the same token stream: XQuery
+comments ``(: … :)`` (which may nest) are removed, and insignificant
+whitespace runs collapse to a single space.  String literals are
+preserved verbatim — whitespace inside them is data.
+
+The transformation never merges or splits tokens (comments and
+whitespace runs are replaced by *one* space, and the fragment's lexer
+never lets a space extend a token), so the normalized text parses to
+the identical surface AST.  The compiled-query cache applies it before
+the exact-match key, making trivially reformatted queries hit without
+any semantic analysis.
+
+On lexically broken input (unterminated comment or string literal) the
+text is returned unchanged: such queries fail in the parser anyway,
+and the cache key just stays conservative.
+"""
+
+from __future__ import annotations
+
+__all__ = ["normalize_query_text"]
+
+_WHITESPACE = " \t\r\n"
+
+
+def normalize_query_text(query: str) -> str:
+    """Strip comments and collapse insignificant whitespace."""
+    out: list[str] = []
+    i = 0
+    n = len(query)
+
+    def space() -> None:
+        if out and out[-1] != " ":
+            out.append(" ")
+
+    while i < n:
+        ch = query[i]
+        if ch in _WHITESPACE:
+            while i < n and query[i] in _WHITESPACE:
+                i += 1
+            space()
+            continue
+        if query.startswith("(:", i):
+            depth = 1
+            i += 2
+            while i < n and depth:
+                if query.startswith("(:", i):
+                    depth += 1
+                    i += 2
+                elif query.startswith(":)", i):
+                    depth -= 1
+                    i += 2
+                else:
+                    i += 1
+            if depth:  # unterminated: leave the broken text alone
+                return query
+            space()
+            continue
+        if ch in "\"'":
+            end = query.find(ch, i + 1)
+            if end < 0:  # unterminated literal
+                return query
+            out.append(query[i : end + 1])
+            i = end + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out).strip()

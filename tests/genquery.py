@@ -17,6 +17,18 @@ comparisons: every ``doc()``-rooted comparand joins against the whole
 document, and unbounded nesting generates queries whose SQL join
 graphs take minutes on pathological seeds.
 
+*Equivalent-pair mode* (PR 6) feeds the containment-analyzer soundness
+gate: :func:`variant_of` respells a query into a semantically
+equivalent variant — predicates reordered and duplicated, abbreviations
+expanded to explicit ``child::``/``attribute::`` axes, redundant
+``self::node()`` steps inserted, comments injected — and
+:meth:`QueryGenerator.equivalent_pair` pairs a random query with such a
+variant.  :meth:`QueryGenerator.pattern_query` draws from the
+downward-only tree-pattern sub-grammar, so most generated pairs fall
+*inside* the analyzer's fragment and actually exercise its EQUIVALENT
+verdict (general queries mostly land on OUTSIDE_FRAGMENT, which claims
+nothing and therefore tests nothing).
+
 ``let`` clauses are generated only with ``allow_let=True``: certain
 let-shapes currently die in join-graph codegen ("operator DISTINCT is
 not join-graph material") — a pre-existing isolation limitation, so
@@ -46,6 +58,7 @@ __all__ = [
     "QueryGenerator",
     "random_document",
     "random_query",
+    "variant_of",
 ]
 
 #: bump when the grammar changes shape — reports citing a seed are only
@@ -306,17 +319,165 @@ class QueryGenerator:
             return self.path(self._source([]), self.rng.randint(1, 4))
         return self._flwor(2, [])
 
+    # -- equivalent-pair mode -------------------------------------------
+
+    def _pattern_step(self, depth: int) -> str:
+        """One downward-only step (tree-pattern sub-grammar)."""
+        if not self._spend():
+            return f"/{self._tag()}"
+        roll = self.rng.random()
+        if roll < 0.5:
+            text = f"/{self._node_test()}"
+        elif roll < 0.85:
+            text = f"//{self._tag()}"
+        else:
+            text = "/descendant-or-self::node()"
+        if depth > 0 and self.rng.random() < 0.35:
+            text += f"[{self._pattern_predicate(depth - 1)}]"
+        return text
+
+    def _pattern_predicate(self, depth: int) -> str:
+        roll = self.rng.random()
+        if roll < 0.35:
+            text = self._tag()
+            if depth > 0 and self.rng.random() < 0.4:
+                text += self._pattern_step(depth - 1)
+            return text
+        if roll < 0.6:
+            attr = self.rng.choice(("id", "key"))
+            value = (
+                str(self.rng.randint(0, 4))
+                if attr == "id"
+                else f"k{self.rng.randint(0, 2)}"
+            )
+            return f'@{attr} = "{value}"'
+        if roll < 0.9 or depth <= 0 or not self._spend(2):
+            op = self.rng.choice(_COMPARATORS)
+            return f"{self._tag()} {op} {self.rng.randint(0, 9)}"
+        return (
+            f"{self._pattern_predicate(depth - 1)} and "
+            f"{self._pattern_predicate(depth - 1)}"
+        )
+
+    def pattern_query(self) -> str:
+        """One random query from the downward-only sub-grammar the
+        containment analyzer's tree-pattern fragment covers: a
+        ``doc()``-rooted path of child / descendant /
+        descendant-or-self steps with conjunctive downward predicates,
+        optionally ending in an attribute step."""
+        self._budget = self.size_budget
+        text = f'doc("{self.uri}")'
+        for _ in range(self.rng.randint(1, 3)):
+            text += self._pattern_step(2)
+        if self.rng.random() < 0.25:
+            text += f"/@{self.rng.choice(('id', 'key'))}"
+        return text
+
+    def equivalent_pair(self, pattern: bool = True) -> tuple[str, str]:
+        """A ``(query, variant)`` pair that is semantically equivalent
+        *by construction* (see :func:`variant_of`); with
+        ``pattern=True`` the base query is drawn from the tree-pattern
+        sub-grammar so the analyzer can actually prove the equivalence
+        it is being tested on."""
+        query = self.pattern_query() if pattern else self.query()
+        return query, variant_of(query, self.rng)
+
 
 def random_query(rng: random.Random, uri: str = DEFAULT_URI, **kwargs) -> str:
     """Convenience wrapper: one query from a fresh generator."""
     return QueryGenerator(rng, uri=uri, **kwargs).query()
 
 
+def variant_of(query: str, rng: random.Random) -> str:
+    """A differently-spelled, semantically equivalent variant of
+    ``query``.
+
+    Every applied transformation preserves the result sequence on
+    every store: predicate order and multiplicity are irrelevant in a
+    fragment without positional predicates, a ``self::node()`` step is
+    the identity on any node sequence, explicit-axis respelling
+    (``child::a`` for ``a``, ``attribute::id`` for ``@id``) is purely
+    lexical, and comments never reach the parser.  The variant text is
+    re-parsed before being returned; if the AST printer produced
+    something unparsable (e.g. the ``(/)`` root marker), the variant
+    degrades to a comment-decorated copy of the input — still
+    equivalent, just less adventurous.
+    """
+    from repro.xquery import ast
+    from repro.xquery.parser import parse_xquery
+
+    def respell(node: object) -> None:
+        if isinstance(node, ast.StepExpr):
+            respell(node.input)
+            for predicate in node.predicates:
+                respell(predicate.expr)
+            if len(node.predicates) > 1 and rng.random() < 0.6:
+                rng.shuffle(node.predicates)
+            if node.predicates and rng.random() < 0.25:
+                node.predicates.append(rng.choice(node.predicates))
+            if rng.random() < 0.2 and not isinstance(
+                node.input, ast.PathRoot
+            ):
+                node.input = ast.StepExpr(
+                    node.input, "self", ast.NodeTest(kind="node")
+                )
+        elif isinstance(node, ast.FLWOR):
+            for clause in node.clauses:
+                respell(
+                    clause.sequence
+                    if isinstance(clause, ast.ForClause)
+                    else clause.value
+                )
+            if node.where is not None:
+                respell(node.where)
+            respell(node.ret)
+        elif isinstance(node, ast.IfExpr):
+            respell(node.cond)
+            respell(node.then)
+            respell(node.orelse)
+        elif isinstance(node, ast.Comparison):
+            respell(node.left)
+            respell(node.right)
+        elif isinstance(node, ast.AndExpr):
+            for part in node.parts:
+                respell(part)
+            if len(node.parts) > 1 and rng.random() < 0.6:
+                rng.shuffle(node.parts)
+        elif isinstance(node, ast.SequenceExpr):
+            for item in node.items:
+                respell(item)
+        elif isinstance(node, ast.Predicate):
+            respell(node.expr)
+
+    try:
+        tree = parse_xquery(query)
+        respell(tree)
+        text = str(tree)
+        parse_xquery(text)  # printer round-trip guard
+    except Exception:
+        text = query
+    if rng.random() < 0.4:
+        text = f"(: equivalent respelling :) {text}"
+    if rng.random() < 0.3:
+        text = f"{text}\n(: :)"
+    return text
+
+
 if __name__ == "__main__":  # pragma: no cover - manual inspection aid
     import sys
 
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    argv = [a for a in sys.argv[1:] if a != "--pairs"]
+    pairs = "--pairs" in sys.argv[1:]
+    seed = int(argv[0]) if argv else 0
     rng = random.Random(seed)
     print(random_document(rng))
-    for _ in range(10):
-        print(random_query(rng))
+    if pairs:
+        generator = QueryGenerator(rng)
+        for mode in (True, False):
+            query, variant = generator.equivalent_pair(pattern=mode)
+            print(query)
+            print(variant)
+            print()
+    else:
+        for _ in range(10):
+            print(random_query(rng))

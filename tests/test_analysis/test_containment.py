@@ -1,0 +1,290 @@
+"""Unit and property tests for the containment analyzer itself:
+extraction, canonicalization, verdicts, witness checking, and the
+algebraic laws (reflexivity, transitivity, antisymmetry up to
+equivalence) over generator-seeded pattern pools.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from tests.genquery import QueryGenerator, variant_of
+from repro.analysis.containment import (
+    CONTAINS,
+    EQUIVALENT,
+    NOT_SHOWN,
+    OUTSIDE_FRAGMENT,
+    canonical_key,
+    canonicalize,
+    contains,
+    contains_patterns,
+    equivalent,
+    evaluate_pattern,
+    extract_pattern,
+    find_homomorphism,
+    pattern_key,
+    verify_witness,
+)
+from repro.infoset import DocumentStore
+from repro.xquery.normalize import normalize
+from repro.xquery.parser import parse_xquery
+
+DOC = "d.xml"
+MEMBERS = ("d.xml", "e.xml")
+
+
+def core(query: str):
+    return normalize(
+        parse_xquery(query),
+        default_doc=DOC,
+        collections=lambda pattern: MEMBERS,
+    )
+
+
+def pat(query: str):
+    pattern = extract_pattern(core(query))
+    assert pattern is not None, f"expected in-fragment: {query}"
+    return pattern
+
+
+# ---------------------------------------------------------------- extraction
+
+IN_FRAGMENT = [
+    "//a",
+    "/a/b/c",
+    '//a[@id = "3"]',
+    "//a[b > 1][c]/d",
+    "//a/descendant-or-self::node()/b",
+    'doc("d.xml")//open_auction[initial = "15"]',
+    "for $x in //a where $x/b return $x",
+    "collection()//a[b]",
+    "//a/@id",
+    "//*[b]",
+]
+
+OUTSIDE = [
+    "//a/parent::node()",            # upward axis
+    "let $x := //a return $x/b",     # let-binding
+    'for $x in doc("d.xml")//a return doc("e.xml")//b',  # two sources
+    "//a[b = c]",                    # join predicate, not a literal
+    "for $x in //a for $y in //b return $x",  # two generators
+]
+
+
+@pytest.mark.parametrize("query", IN_FRAGMENT)
+def test_extraction_covers_the_fragment(query):
+    assert extract_pattern(core(query)) is not None
+
+
+@pytest.mark.parametrize("query", OUTSIDE)
+def test_extraction_refuses_outside_fragment(query):
+    assert extract_pattern(core(query)) is None
+
+
+def test_extracted_uris_are_the_source_documents():
+    assert pat("//a").uris == (DOC,)
+    assert set(pat("collection()//a").uris) == set(MEMBERS)
+
+
+# ----------------------------------------------------------- canonicalization
+
+RESPELLINGS = [
+    ("//a[b][c]", "//a[c][b]"),                      # predicate order
+    ("//a[b]", "//a[b][b]"),                          # duplicated predicate
+    ("//a/b", "//a/self::node()/b"),                  # redundant self step
+    ("//a", "//child::a"),                            # explicit axis
+    ("//a[b > 1]", "//a[b > 1][b > 1]"),              # duplicated comparison
+    ("//a[b]/c", "(: x :) //a[b]/c"),                 # comment decoration
+    ("//a[b]", "for $x in //a where $x/b return $x"),  # FLWOR-where form
+]
+
+
+@pytest.mark.parametrize("left,right", RESPELLINGS)
+def test_respellings_share_a_canonical_key(left, right):
+    assert canonical_key(core(left)) == canonical_key(core(right))
+
+
+def test_distinct_queries_get_distinct_keys():
+    keys = {canonical_key(core(q)) for q in ("//a", "//b", "//a[b]", "//a/b", "/a")}
+    assert len(keys) == 5
+
+
+def test_canonical_key_is_none_outside_fragment():
+    assert canonical_key(core("//a/parent::node()")) is None
+
+
+def test_canonicalize_prunes_subsumed_branches():
+    # [b] is implied by [b > 1]: minimization folds the weaker branch
+    assert canonical_key(core("//a[b > 1][b]")) == canonical_key(core("//a[b > 1]"))
+
+
+def test_empty_collection_canonicalizes_to_the_empty_pattern():
+    c = normalize(
+        parse_xquery("collection()//a"),
+        default_doc=DOC,
+        collections=lambda pattern: (),
+    )
+    pattern = extract_pattern(c)
+    assert pattern is not None
+    canonical = canonicalize(pattern)
+    assert canonical.root is None
+    assert pattern_key(canonical) == "empty"
+
+
+# ----------------------------------------------------------------- verdicts
+
+VERDICT_PAIRS = [
+    # (p, q, verdict of contains(p, q))
+    ("//a", "//a[b]", CONTAINS),          # predicate narrows
+    ("//a[b]", "//a", NOT_SHOWN),         # ... and not conversely
+    ("//a", "/a", CONTAINS),              # // subsumes /
+    ("/a", "//a", NOT_SHOWN),
+    ("//*", "//a", CONTAINS),             # wildcard subsumes a name
+    ("//a", "//*", NOT_SHOWN),
+    ("//a/b", "//a[c]/b", CONTAINS),
+    ("//a[b > 3]", "//a[b > 5]", CONTAINS),   # numeric interval implication
+    ("//a[b > 5]", "//a[b > 3]", NOT_SHOWN),
+    ("//a[b]", "//a[b][c]", CONTAINS),
+    ("//a", "//b", NOT_SHOWN),            # different names
+    ("//a/b", "//a/c", NOT_SHOWN),
+    ("//a", "//a/parent::node()/a", OUTSIDE_FRAGMENT),
+]
+
+
+@pytest.mark.parametrize("p,q,verdict", VERDICT_PAIRS)
+def test_classic_verdicts(p, q, verdict):
+    assert contains(core(p), core(q)).verdict == verdict
+
+
+def test_equivalent_is_mutual_containment():
+    res = equivalent(core("//a[b][c]"), core("//a[c][b]"))
+    assert res.verdict == EQUIVALENT and res.holds
+    # respelled axes prove equivalent through both directions even
+    # though the surface spellings differ
+    assert equivalent(core("//a[b]"), core("//child::a[child::b]")).holds
+    assert res.forward is not None and res.backward is not None
+    one_way = equivalent(core("//a"), core("//a[b]"))
+    assert one_way.verdict == NOT_SHOWN and not one_way.holds
+
+
+def test_uri_mismatch_blocks_containment():
+    p = normalize(parse_xquery("//a"), default_doc="left.xml")
+    q = normalize(parse_xquery("//a"), default_doc="right.xml")
+    assert contains(p, q).verdict == NOT_SHOWN
+
+
+# ----------------------------------------------------------------- witnesses
+
+
+def test_witness_reverifies_independently():
+    res = contains(core("//a"), core("//a[b]"))
+    assert res.verdict == CONTAINS
+    assert res.witness is not None
+    # the shipped witness is a sorted tuple of pairs; re-check it as
+    # the mapping the hom layer speaks
+    assert verify_witness(res.p_pattern, res.q_pattern, dict(res.witness)) == []
+
+
+def test_tampered_witness_is_rejected():
+    p = canonicalize(pat("//a/b"))
+    q = canonicalize(pat("//a[c]/b"))
+    witness = find_homomorphism(p, q)
+    assert witness is not None
+    assert verify_witness(p, q, witness) == []
+    # remap everything to the root: structure and selection both break
+    bogus = {k: 0 for k in witness}
+    assert verify_witness(p, q, bogus) != []
+    # drop a binding: the witness must be total
+    partial = dict(witness)
+    partial.popitem()
+    assert verify_witness(p, q, partial) != []
+
+
+# ----------------------------------------------------------- algebraic laws
+
+
+def _pattern_pool(count: int):
+    pool = []
+    for seed in range(count):
+        gen = QueryGenerator(random.Random(seed))
+        pool.append(canonicalize(pat(gen.pattern_query())))
+    return pool
+
+
+def test_containment_is_reflexive():
+    for pattern in _pattern_pool(60):
+        assert contains_patterns(pattern, pattern).verdict in (CONTAINS, EQUIVALENT)
+
+
+def test_proven_containment_is_transitive():
+    pool = _pattern_pool(30)
+    proven = {
+        (i, j)
+        for i, p in enumerate(pool)
+        for j, q in enumerate(pool)
+        if contains_patterns(p, q).verdict in (CONTAINS, EQUIVALENT)
+    }
+    for (i, j) in proven:
+        for (j2, k) in proven:
+            if j == j2:
+                assert (i, k) in proven, (i, j, k)
+
+
+def test_antisymmetry_up_to_equivalence():
+    # mutual proven containment <=> identical canonical keys
+    pool = _pattern_pool(40)
+    for i, p in enumerate(pool):
+        for j, q in enumerate(pool):
+            forward = contains_patterns(p, q).verdict in (CONTAINS, EQUIVALENT)
+            backward = contains_patterns(q, p).verdict in (CONTAINS, EQUIVALENT)
+            if forward and backward:
+                assert pattern_key(p) == pattern_key(q), (i, j)
+
+
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(seed=st.integers(0, 1_000_000))
+def test_generated_variants_stay_equivalent(seed: int):
+    """variant_of produces respellings the analyzer proves equivalent
+    for the pattern sub-grammar, and never produces a pair the
+    analyzer *refutes* by claiming strict one-way containment with a
+    witness that evaluation contradicts."""
+    rng = random.Random(seed)
+    gen = QueryGenerator(rng)
+    query = gen.pattern_query()
+    variant = variant_of(query, rng)
+    res = equivalent(core(query), core(variant))
+    assert res.verdict in (EQUIVALENT, NOT_SHOWN, OUTSIDE_FRAGMENT)
+    # the canonical keys of a proven pair must collide (cache contract)
+    if res.holds:
+        assert canonical_key(core(query)) == canonical_key(core(variant))
+
+
+# ----------------------------------------------------- evaluation oracle
+
+XML = """\
+<site>
+  <a id="1"><b>1</b><c>2</c></a>
+  <a id="2"><b>4</b></a>
+  <a><b>7</b><c>7</c></a>
+</site>
+"""
+
+
+def test_evaluator_matches_engine_on_the_fragment():
+    store = DocumentStore()
+    store.load(XML, DOC)
+    from repro.pipeline import XQueryProcessor
+
+    processor = XQueryProcessor(store, default_doc=DOC)
+    for query in ("//a", "//a[b > 2]", "//a[@id = \"2\"]", "//a[b][c]", "//a/b"):
+        expected = [item for item in processor.execute(query).items]
+        got = evaluate_pattern(canonicalize(pat(query)), store.table)
+        assert got == expected, query

@@ -1,0 +1,101 @@
+"""The containment analyzer as a second semantic oracle inside the
+rewrite sanitizer (codes ``JGI060``/``JGI061``).
+
+The per-step differential check (``JGI031``) compares each rewrite
+step against the *initial* plan's interpretation — a compiler bug that
+corrupts the initial plan is invisible to it.  The pattern oracle
+evaluates the extracted tree pattern with code that shares nothing
+with the loop-lifting compiler, so the two cannot mask each other.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import PlanSanitizer, SanitizerError
+from repro.compiler import compile_core
+from repro.infoset import DocumentStore
+from repro.pipeline import XQueryProcessor
+from repro.rewrite import isolate
+from repro.xquery import normalize, parse_xquery
+from tests.test_analysis.test_rulecheck import (
+    XML,
+    _broken_drop_filter,
+    _patch_rule,
+)
+
+QUERY = 'doc("t.xml")//a[b > 1]'
+
+
+@pytest.fixture()
+def store() -> DocumentStore:
+    s = DocumentStore()
+    s.load(XML, "t.xml")
+    return s
+
+
+def _armed(store: DocumentStore, query: str):
+    core = normalize(parse_xquery(query))
+    plan = compile_core(core, store)
+    sanitizer = PlanSanitizer(interpret=True)
+    sanitizer.set_core(core, store.table)
+    return plan, sanitizer
+
+
+def test_pattern_oracle_catches_a_broken_rule(monkeypatch, store):
+    """A semantically broken rule trips the pattern cross-check with a
+    stable JGI060 code naming the rule — before the differential
+    comparison gets a word in."""
+    _patch_rule(monkeypatch, "3b", _broken_drop_filter)
+    plan, sanitizer = _armed(store, QUERY)
+    with pytest.raises(SanitizerError) as excinfo:
+        isolate(plan, sanitizer=sanitizer)
+    assert excinfo.value.code == "JGI060"
+    assert excinfo.value.rule == "3b"
+    assert "JGI060" in str(excinfo.value)
+
+
+def test_pattern_oracle_catches_a_broken_initial_plan(store):
+    """A mismatch between the compiled plan and the pattern oracle is
+    reported as JGI061 on the *initial* plan, before any rule runs.
+    Arming the sanitizer with the wrong query's pattern simulates a
+    compiler that produced a plan for a different query."""
+    wrong_core = normalize(parse_xquery('doc("t.xml")//a/c'))
+    plan = compile_core(normalize(parse_xquery(QUERY)), store)
+    sanitizer = PlanSanitizer(interpret=True)
+    sanitizer.set_core(wrong_core, store.table)
+    with pytest.raises(SanitizerError) as excinfo:
+        isolate(plan, sanitizer=sanitizer)
+    assert excinfo.value.code == "JGI061"
+    assert excinfo.value.rule == "<initial plan>"
+
+
+def test_oracle_disarms_outside_the_fragment(monkeypatch, store):
+    """Outside the fragment there is no pattern: the oracle stands
+    down and the classic differential check still catches the break."""
+    _patch_rule(monkeypatch, "3b", _broken_drop_filter)
+    query = 'let $x := doc("t.xml")//a return $x[b > 1]'
+    plan, sanitizer = _armed(store, query)
+    with pytest.raises(SanitizerError) as excinfo:
+        isolate(plan, sanitizer=sanitizer)
+    assert excinfo.value.code == "JGI031"
+
+
+def test_healthy_pipeline_passes_with_the_oracle_armed(store):
+    """End to end: a checked processor arms the oracle on every
+    in-fragment compile and the whole suite of rules passes it."""
+    processor = XQueryProcessor(
+        store, default_doc="t.xml", checked=True, check_interpret=True
+    )
+    for query in ("//a", "//a[b > 1]", "//a[b][c]/b", "//a/@id"):
+        assert processor.execute(query).items, query
+
+
+def test_checked_processor_reports_jgi060_end_to_end(monkeypatch, store):
+    _patch_rule(monkeypatch, "3b", _broken_drop_filter)
+    processor = XQueryProcessor(
+        store, default_doc="t.xml", checked=True, check_interpret=True
+    )
+    with pytest.raises(SanitizerError) as excinfo:
+        processor.compile(QUERY)
+    assert excinfo.value.code == "JGI060"

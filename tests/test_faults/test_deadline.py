@@ -67,7 +67,8 @@ def test_stalled_query_misses_its_deadline_promptly(service):
     pool_before = service._pool
     assert service.execute(QUERY, deadline_s=5.0) == expected
     assert service._pool is pool_before
-    assert service.cache.stats()["size"] == 1
+    # one compile: the exact-text entry plus its canonical-pattern alias
+    assert service.cache.stats()["size"] == 2
 
 
 def test_per_call_deadline_overrides_service_default(service):

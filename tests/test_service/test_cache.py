@@ -28,6 +28,7 @@ def test_miss_then_hit():
         "size": 1,
         "hits": 1,
         "misses": 1,
+        "canonical_hits": 0,
         "evictions": 0,
     }
 

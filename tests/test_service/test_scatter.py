@@ -122,6 +122,45 @@ def test_let_shared_doc_routes(compiler):
     assert scatter_uris(core) == ("m2.xml",)
 
 
+# -- containment-pattern fallback classifier --------------------------------
+
+
+def test_flwor_where_classifies_via_pattern_fallback(compiler):
+    """The structural walk refuses FLWOR shapes, but the containment
+    analyzer's canonical pattern proves this one is a plain filtered
+    path over a single collection — scatter-safe by construction."""
+    query = "for $x in collection()//a where $x/b return $x"
+    core = compiler.compile(query).core
+    with metrics_scope() as metrics:
+        assert scatter_uris(core) == tuple(DOCS)
+    counters = metrics.snapshot()["counters"]
+    assert counters["service.scatter.pattern_classified"] == 1
+
+
+def test_pattern_fallback_respects_fragment_limits(compiler):
+    # a path off the bound variable is outside the extraction fragment:
+    # neither classifier fires, the query stays serial
+    core = compiler.compile(
+        "for $x in collection()//a return $x/b"
+    ).core
+    with metrics_scope() as metrics:
+        assert scatter_uris(core) is None
+    assert "service.scatter.pattern_classified" not in (
+        metrics.snapshot()["counters"]
+    )
+
+
+def test_pattern_classified_query_matches_serial():
+    query = "for $x in collection()//a where $x/b return $x"
+    serial = make_serial()
+    expected = serial.execute(query)
+    with make_sharded() as service:
+        result = service.execute(query)
+        assert result.shards > 1
+        assert list(result) == list(expected)
+        assert service.serialize(result) == serial.serialize(expected)
+
+
 # -- sharded vs serial agreement -------------------------------------------
 
 

@@ -137,7 +137,8 @@ def test_stats_snapshot(service):
     stats = service.stats()
     assert stats["workers"] == 2
     assert stats["store_version"] == service.store.version
-    assert stats["cache"]["size"] == 1
+    # one compile: the exact-text entry plus its canonical-pattern alias
+    assert stats["cache"]["size"] == 2
     assert stats["pool_connections"] >= 1
 
 
