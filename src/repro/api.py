@@ -156,6 +156,8 @@ def connect(
     deadline_s: float | None = None,
     retry: RetryPolicy | None = None,
     degrade: bool = True,
+    flight: bool = True,
+    slow_threshold_s: float = 0.25,
 ) -> Session:
     """Open a query :class:`Session`.
 
@@ -180,6 +182,13 @@ def connect(
         Resilience defaults: per-query time budget, transient-error
         retry policy, and graceful degradation (see
         ``docs/robustness.md``).
+    flight, slow_threshold_s:
+        The query flight recorder (on by default): one structured
+        record per query plus a slow-query log promoting queries over
+        ``slow_threshold_s`` seconds — reachable via
+        ``session.service.flight``, summarized (with latency
+        percentiles) by :meth:`Session.stats`.  See
+        ``docs/observability.md``.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -193,6 +202,8 @@ def connect(
             deadline_s=deadline_s,
             retry=retry,
             degrade=degrade,
+            flight=flight,
+            slow_threshold_s=slow_threshold_s,
         )
     else:
         service = ShardedService(
@@ -205,5 +216,7 @@ def connect(
             deadline_s=deadline_s,
             retry=retry,
             degrade=degrade,
+            flight=flight,
+            slow_threshold_s=slow_threshold_s,
         )
     return Session(service)

@@ -20,17 +20,21 @@ The grid:
 
 Every configuration's *items* and *serialized text* are verified
 against the serial baseline before any number is reported — the
-benchmark doubles as a differential test.  ``benchmarks/bench_collection.py``
+benchmark doubles as a differential test.  Each grid point also
+reports per-call latency percentiles (p50/p90/p95/p99 in
+milliseconds) from the best timed trial, so the shard curve shows
+tail latency next to throughput.  ``benchmarks/bench_collection.py``
 and ``repro serve-bench --collection`` are thin wrappers over
 :func:`run_collection_bench`; the emitted document is
-``repro.bench.collection/v1`` (see ``docs/schemas.md``).
+``repro.bench.collection/v2`` (see ``docs/schemas.md``).
 """
 
 from __future__ import annotations
 
 import time
-from typing import Any, Mapping, Sequence
+from typing import Any, Callable, Mapping, Sequence
 
+from repro.obs import Histogram, latency_summary_ms
 from repro.pipeline import XQueryProcessor
 from repro.service.scatter import ShardedService
 from repro.store import Collection
@@ -43,7 +47,7 @@ __all__ = [
     "run_collection_bench",
 ]
 
-SCHEMA = "repro.bench.collection/v1"
+SCHEMA = "repro.bench.collection/v2"
 
 #: Predicate-heavy multi-step shapes: each step's candidate set is
 #: corpus-wide under a combined table, so per-document cost grows with
@@ -68,8 +72,9 @@ def _serial_baseline(
     texts: Sequence[tuple[str, str]],
     queries: Mapping[str, str],
     repeat: int,
-) -> tuple[float, dict[str, Any], int]:
-    """One combined table, bare processor: (seconds, references, rows)."""
+) -> tuple[float, Histogram, dict[str, Any], int]:
+    """One combined table, bare processor:
+    (seconds, latency, references, rows)."""
     processor = XQueryProcessor()
     for text, uri in texts:
         processor.load(text, uri)
@@ -80,14 +85,16 @@ def _serial_baseline(
         items = processor.execute(query)
         reference[name] = (list(items), processor.serialize(items))
     compiled = {name: processor.compile(q) for name, q in queries.items()}
-    seconds = _best_of_trials(
-        lambda: [
-            processor.execute(compiled[name])
-            for _ in range(repeat)
-            for name in queries
-        ]
-    )
-    return seconds, reference, len(processor.store.table)
+
+    def workload(latency: Histogram) -> None:
+        for _ in range(repeat):
+            for name in queries:
+                call_start = time.perf_counter_ns()
+                processor.execute(compiled[name])
+                latency.observe(time.perf_counter_ns() - call_start)
+
+    seconds, latency = _best_of_trials(workload)
+    return seconds, latency, reference, len(processor.store.table)
 
 
 #: timed loops run this many times; the minimum is reported.  A single
@@ -96,13 +103,24 @@ def _serial_baseline(
 TRIALS = 3
 
 
-def _best_of_trials(workload) -> float:
+def _best_of_trials(
+    workload: Callable[[Histogram], None],
+) -> tuple[float, Histogram]:
+    """Run ``workload`` TRIALS times; return the fastest window's
+    elapsed seconds together with that window's per-call latency
+    histogram (the same trial answers both questions — a mixed pick
+    would pair a fast total with a slow tail)."""
     best = float("inf")
+    best_latency = Histogram()
     for _ in range(TRIALS):
+        latency = Histogram()
         start = time.perf_counter()
-        workload()
-        best = min(best, time.perf_counter() - start)
-    return best
+        workload(latency)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+            best_latency = latency
+    return best, best_latency
 
 
 def _shard_point(
@@ -135,13 +153,15 @@ def _shard_point(
                     f"serial baseline for query {name!r}"
                 )
             fanout[name] = result.shards
-        seconds = _best_of_trials(
-            lambda: [
-                service.execute(query)
-                for _ in range(repeat)
-                for query in queries.values()
-            ]
-        )
+
+        def workload(latency: Histogram) -> None:
+            for _ in range(repeat):
+                for query in queries.values():
+                    call_start = time.perf_counter_ns()
+                    service.execute(query)
+                    latency.observe(time.perf_counter_ns() - call_start)
+
+        seconds, latency = _best_of_trials(workload)
         placement = [
             entry["documents"]
             for entry in service.collection.stats()["per_shard"]
@@ -149,6 +169,7 @@ def _shard_point(
     return {
         "shards": shards,
         "seconds": seconds,
+        "latency_ms": latency_summary_ms(latency),
         "fanout": fanout,
         "documents_per_shard": placement,
     }
@@ -175,7 +196,9 @@ def run_collection_bench(
         CorpusConfig(documents=documents, factor=factor, seed=seed)
     )
     calls = repeat * len(queries)
-    serial_s, reference, rows = _serial_baseline(texts, queries, repeat)
+    serial_s, serial_latency, reference, rows = _serial_baseline(
+        texts, queries, repeat
+    )
     curve = [
         _shard_point(texts, queries, reference, repeat, n) for n in shards
     ]
@@ -206,6 +229,7 @@ def run_collection_bench(
         "serial_baseline": {
             "seconds": serial_s,
             "queries_per_second": calls / serial_s if serial_s else 0.0,
+            "latency_ms": latency_summary_ms(serial_latency),
         },
         "curve": curve,
     }
@@ -215,18 +239,28 @@ def format_collection_bench(report: dict[str, Any]) -> str:
     """Human-readable rendering of the benchmark document."""
     meta = report["metadata"]
     serial = report["serial_baseline"]
+
+    def pct(mode: dict[str, Any]) -> str:
+        latency = mode.get("latency_ms")
+        if not latency or not latency.get("count"):
+            return ""
+        return (
+            f"   p50 {latency['p50']:.2f} / p95 {latency['p95']:.2f} / "
+            f"p99 {latency['p99']:.2f} ms"
+        )
+
     lines = [
         f"collection bench — {meta['documents']} xmark docs @ factor "
         f"{meta['factor']} ({meta['rows']} rows), "
         f"{meta['calls_per_mode']} calls/mode",
         f"  serial baseline  : {serial['seconds']:8.3f}s "
-        f"({serial['queries_per_second']:.1f} q/s)",
+        f"({serial['queries_per_second']:.1f} q/s){pct(serial)}",
     ]
     for point in report["curve"]:
         lines.append(
             f"  {point['shards']:2d} shard(s)      : "
             f"{point['seconds']:8.3f}s   "
             f"{point['speedup_vs_1_shard']:5.2f}x vs 1 shard   "
-            f"docs/shard {point['documents_per_shard']}"
+            f"docs/shard {point['documents_per_shard']}{pct(point)}"
         )
     return "\n".join(lines)

@@ -429,6 +429,34 @@ def build_obs_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--metrics", metavar="FILE", help="also write the metrics JSON"
     )
+    parser.add_argument(
+        "--flight",
+        metavar="FILE",
+        help="also write the flight-recorder snapshot "
+        "(repro.obs.flight/v1 JSON; '-' for stdout)",
+    )
+    parser.add_argument(
+        "--slow",
+        action="store_true",
+        help="also print the slow-query log (promoted captures with "
+        "trace spans and EXPLAIN output)",
+    )
+    parser.add_argument(
+        "--prometheus",
+        nargs="?",
+        const="-",
+        metavar="FILE",
+        help="also emit the Prometheus text exposition of every counter "
+        "and histogram ('-'/no value for stdout)",
+    )
+    parser.add_argument(
+        "--slow-threshold",
+        type=float,
+        default=0.25,
+        metavar="SECONDS",
+        help="flight-recorder slow-query promotion threshold "
+        "(default: 0.25s; degraded/surfaced queries always promote)",
+    )
     return parser
 
 
@@ -446,7 +474,9 @@ def obs_main(argv: list[str]) -> int:
 
     from repro.service import QueryService
 
-    service = QueryService(checked=args.checked, workers=2)
+    service = QueryService(
+        checked=args.checked, workers=2, slow_threshold_s=args.slow_threshold
+    )
     previous_tracer, previous_metrics = get_tracer(), get_metrics()
     tracer = set_tracer(Tracer())
     metrics = set_metrics(MetricsRegistry())
@@ -476,8 +506,25 @@ def obs_main(argv: list[str]) -> int:
             Path(args.metrics).write_text(
                 json.dumps(metrics_json(metrics), indent=1) + "\n"
             )
+        if args.flight:
+            snapshot = json.dumps(service.flight.snapshot(), indent=1) + "\n"
+            if args.flight == "-":
+                print(snapshot, end="")
+            else:
+                Path(args.flight).write_text(snapshot)
+        if args.prometheus:
+            from repro.obs import prometheus_text
+
+            exposition = prometheus_text(metrics, flight=service.flight)
+            if args.prometheus == "-":
+                print(exposition, end="")
+            else:
+                Path(args.prometheus).write_text(exposition)
         print(f"-- {len(items)} item(s) [{args.engine}]\n")
         print(summary_report(tracer, metrics, audits))
+        if args.slow:
+            print()
+            print(_slow_log_report(service.flight))
         return 0
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
@@ -486,6 +533,31 @@ def obs_main(argv: list[str]) -> int:
         service.close()
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
+
+
+def _slow_log_report(recorder) -> str:
+    """Human-readable slow-query log (``repro obs --slow``)."""
+    captures = recorder.slow()
+    lines = [
+        f"== slow-query log ({len(captures)} capture(s), "
+        f"threshold {recorder.slow_threshold_s:g}s) =="
+    ]
+    if not captures:
+        lines.append("  (no promoted queries)")
+    for capture in captures:
+        record = capture.record
+        lines.append(
+            f"  #{record.seq} [{capture.reason}] {record.engine} "
+            f"{record.elapsed_ns / 1e6:.3f} ms cache={record.cache} "
+            f"retries={record.retries} degraded={record.degraded} "
+            f"rows={record.rows}"
+        )
+        lines.append(f"    query: {record.query_head}")
+        for phase, ns in sorted(record.phases_ns.items()):
+            lines.append(f"    phase {phase}: {ns / 1e6:.3f} ms")
+        for row in capture.explain:
+            lines.append(f"    explain: {row}")
+    return "\n".join(lines)
 
 
 def build_serve_bench_parser() -> argparse.ArgumentParser:
@@ -568,7 +640,7 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         "collection mode (see docs/performance.md)",
         "run the shard-scaling collection benchmark instead of the "
         "service throughput benchmark; writes the "
-        "repro.bench.collection/v1 document",
+        "repro.bench.collection/v2 document",
     )
     coll.add_argument(
         "--collection", action="store_true",

@@ -27,9 +27,16 @@ land *inside* the scatter fan-out — a failing shard triggers the
 service's full-serial fallback, never a partial merge.  The contract
 is unchanged: answers stay bit-identical to the pre-storm oracle (a
 bare interpreter over the combined store) and the recovery ledger
-balances across every shard service plus the serial fallback.  The
-report schema is ``repro.faults.campaign/v2`` (adds ``mode`` and the
-shard fields, see ``docs/schemas.md``).
+balances across every shard service plus the serial fallback.
+
+The storm service carries a full-size **flight recorder** (every call
+retained, promotion by degradation/surfacing only), so the report
+separates latency percentiles for *clean* calls, *degraded* calls
+(served correct answers through the fallback path) and *surfaced*
+errors — the degraded-tail cost of resilience — and verifies that the
+slow-query log captured full diagnostics for every degraded and
+surfaced call.  The report schema is ``repro.faults.campaign/v3``
+(adds ``latency`` and ``slow_log``, see ``docs/schemas.md``).
 """
 
 from __future__ import annotations
@@ -42,7 +49,13 @@ from typing import Any
 from repro.errors import ServiceError
 from repro.faults.injector import FaultInjector, FaultPlan, injection
 from repro.infoset.encoding import DocumentStore
-from repro.obs import MetricsRegistry, get_metrics, set_metrics
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    latency_summary_ms,
+    set_metrics,
+)
+from repro.obs.flight import FlightRecorder
 from repro.pipeline import XQueryProcessor
 from repro.service.resilience import RetryPolicy
 from repro.service.service import QueryService
@@ -50,7 +63,7 @@ from repro.workloads import XMARK_QUERIES, XMarkConfig, generate_xmark
 
 __all__ = ["ChaosConfig", "format_chaos_report", "run_chaos_campaign"]
 
-SCHEMA = "repro.faults.campaign/v2"
+SCHEMA = "repro.faults.campaign/v3"
 
 #: service-level typed errors a chaos run is allowed to surface
 _ALLOWED_ERRORS = ServiceError
@@ -86,6 +99,21 @@ class ChaosConfig:
     def plan(self) -> FaultPlan:
         return FaultPlan.uniform(
             self.rate, seed=self.seed, stall_ms=self.stall_ms
+        )
+
+    @property
+    def calls(self) -> int:
+        return self.threads * self.queries_per_thread
+
+    def recorder(self) -> FlightRecorder:
+        """A storm-sized flight recorder: every call retained (no ring
+        eviction over the campaign), promotion by degradation or
+        surfacing only — the latency threshold is parked effectively
+        at infinity (but finite: the snapshot must stay JSON-clean)."""
+        return FlightRecorder(
+            capacity=self.calls,
+            slow_capacity=self.calls,
+            slow_threshold_s=1e9,
         )
 
 
@@ -140,6 +168,7 @@ def _single_target(config: ChaosConfig):
         breaker_threshold=config.breaker_threshold,
         breaker_reset_s=config.breaker_reset_s,
         degrade=True,
+        flight_recorder=config.recorder(),
     )
     return service, texts, oracle
 
@@ -182,6 +211,7 @@ def _sharded_target(config: ChaosConfig):
         breaker_threshold=config.breaker_threshold,
         breaker_reset_s=config.breaker_reset_s,
         degrade=True,
+        flight_recorder=config.recorder(),
     )
     return service, texts, oracle
 
@@ -246,8 +276,9 @@ def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
     handled = service.fault_accounting
     injected = injector.counts.total
     accounted = sum(handled.values())
-    calls = config.threads * config.queries_per_thread
+    calls = config.calls
     counters = campaign_metrics.snapshot()["counters"]
+    latency, slow_log = _flight_analysis(service.flight)
     return {
         "schema": SCHEMA,
         "mode": "sharded" if config.shards > 1 else "single",
@@ -276,12 +307,55 @@ def run_chaos_campaign(config: ChaosConfig = ChaosConfig()) -> dict[str, Any]:
                 and injected == accounted
             ),
         },
+        "latency": latency,
+        "slow_log": slow_log,
         "counters": {
             name: value
             for name, value in counters.items()
             if name.startswith(("service.", "faults."))
         },
     }
+
+
+def _flight_analysis(
+    recorder: FlightRecorder | None,
+) -> tuple[dict[str, Any], dict[str, Any]]:
+    """Classify the storm's flight records into clean / degraded /
+    surfaced latency populations, and check the slow-query log
+    captured full diagnostics for every degraded and surfaced call."""
+    if recorder is None:  # pragma: no cover - campaign always records
+        return {}, {}
+    populations = {
+        "clean": Histogram(),
+        "degraded": Histogram(),
+        "surfaced": Histogram(),
+    }
+    expected: set[int] = set()
+    for record in recorder.records():
+        if record.surfaced:
+            populations["surfaced"].observe(record.elapsed_ns)
+            expected.add(record.seq)
+        elif record.degraded:
+            populations["degraded"].observe(record.elapsed_ns)
+            expected.add(record.seq)
+        else:
+            populations["clean"].observe(record.elapsed_ns)
+    captures = recorder.slow()
+    captured = {capture.record.seq for capture in captures}
+    with_diagnostics = sum(
+        1 for capture in captures if capture.explain and capture.trace
+    )
+    latency = {
+        name: latency_summary_ms(histogram)
+        for name, histogram in populations.items()
+    }
+    slow_log = {
+        "expected": len(expected),
+        "captured": len(captured & expected),
+        "with_diagnostics": with_diagnostics,
+        "complete": expected <= captured,
+    }
+    return latency, slow_log
 
 
 def format_chaos_report(report: dict[str, Any]) -> str:
@@ -330,4 +404,22 @@ def format_chaos_report(report: dict[str, Any]) -> str:
         f"crashes={not contract['no_crashes']}, "
         f"accounting={'balanced' if contract['accounting_balanced'] else 'UNBALANCED'})",
     ]
+    latency = report.get("latency") or {}
+    for population in ("clean", "degraded", "surfaced"):
+        summary = latency.get(population)
+        if not summary or not summary["count"]:
+            continue
+        lines.append(
+            f"  {population + ' latency':<18}: "
+            f"p50 {summary['p50']:.2f} / p95 {summary['p95']:.2f} / "
+            f"p99 {summary['p99']:.2f} ms over {summary['count']} call(s)"
+        )
+    slow_log = report.get("slow_log")
+    if slow_log:
+        lines.append(
+            f"  slow-query log    : {slow_log['captured']}/"
+            f"{slow_log['expected']} degraded+surfaced calls captured "
+            f"({slow_log['with_diagnostics']} with explain+trace) — "
+            f"{'complete' if slow_log['complete'] else 'INCOMPLETE'}"
+        )
     return "\n".join(lines)

@@ -1,37 +1,56 @@
-"""Zero-dependency pipeline observability: tracing, metrics, audits.
+"""Zero-dependency observability for the pipeline *and* the serving
+stack: tracing, metrics, flight records, audits.
 
 The paper's whole evaluation is observational — it watches what the
 relational back-end does with isolated join graphs.  This package
-gives the reproduction the same eyes on itself:
+gives the reproduction the same eyes on itself, from single compiles
+up through the sharded, fault-injected serving layers:
 
 * :mod:`repro.obs.tracer` — nested spans over the pipeline phases
-  (parse → normalize → loop-lift → isolate → codegen → execute), with
-  a shared-singleton no-op path when disabled;
+  (parse → normalize → loop-lift → isolate → codegen → execute) and
+  the service layers (``service.query``, ``service.scatter``,
+  ``service.retry`` …), with a shared-singleton no-op path when
+  disabled;
 * :mod:`repro.obs.metrics` — process-global counters / gauges /
-  histograms (rewrite-rule fires, SQL statement stats, analysis
-  findings);
+  quantile histograms (rewrite-rule fires, SQL statement stats, cache
+  hit tiers, retry/breaker/degrade recoveries, scatter fan-outs) with
+  lossless merge across worker and shard registries;
+* :mod:`repro.obs.flight` — the always-on query flight recorder: one
+  structured record per served query in a bounded ring, plus the
+  slow-query log (trace spans + ``EXPLAIN`` for slow, degraded or
+  surfaced queries);
 * :mod:`repro.obs.audit` — the planner estimate-vs-actual cardinality
   audit (q-error per operator);
 * :mod:`repro.obs.export` — Chrome trace-event JSON, flat metrics
-  JSON, and a terminal span tree;
+  JSON, Prometheus text exposition, and a terminal span tree;
 * :mod:`repro.obs.report` — the composed ``repro obs`` summary.
 
 See ``docs/observability.md`` for the span taxonomy, metric name
-catalog, exporter formats, and the q-error definition.
+catalog, flight-record fields, exporter formats, and the q-error
+definition.
 """
 
 from repro.obs.audit import OperatorAudit, audit_plan, qerror
 from repro.obs.export import (
     chrome_trace,
     metrics_json,
+    prometheus_text,
     tree_report,
     validate_chrome_trace,
+    validate_prometheus_text,
     write_chrome_trace,
+)
+from repro.obs.flight import (
+    FlightRecord,
+    FlightRecorder,
+    SlowCapture,
+    validate_flight_snapshot,
 )
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     get_metrics,
+    latency_summary_ms,
     metrics_scope,
     record_diagnostics,
     set_metrics,
@@ -51,19 +70,24 @@ from repro.obs.tracer import (
 __all__ = [
     "NULL_SPAN",
     "Event",
+    "FlightRecord",
+    "FlightRecorder",
     "Histogram",
     "MetricsRegistry",
     "NullSpan",
     "OperatorAudit",
+    "SlowCapture",
     "Span",
     "Tracer",
     "audit_plan",
     "chrome_trace",
     "get_metrics",
     "get_tracer",
+    "latency_summary_ms",
     "metrics_json",
     "metrics_scope",
     "phase_profile",
+    "prometheus_text",
     "qerror",
     "qerror_table",
     "record_diagnostics",
@@ -73,5 +97,7 @@ __all__ = [
     "tracing",
     "tree_report",
     "validate_chrome_trace",
+    "validate_flight_snapshot",
+    "validate_prometheus_text",
     "write_chrome_trace",
 ]

@@ -1,33 +1,44 @@
 """Trace and metrics exporters.
 
-Three formats, all derivable from one :class:`~repro.obs.Tracer` +
+Four formats, all derivable from one :class:`~repro.obs.Tracer` +
 :class:`~repro.obs.MetricsRegistry` pair:
 
 * :func:`chrome_trace` — the Chrome trace-event JSON object format
   (load the file in ``about://tracing`` or https://ui.perfetto.dev to
   browse the span waterfall);
 * :func:`metrics_json` — a flat, JSON-ready metrics dump;
+* :func:`prometheus_text` — the Prometheus text exposition format
+  (counters as ``_total`` counters, quantile histograms as summaries
+  with ``quantile`` labels, flight-recorder health gauges);
 * :func:`tree_report` — an indented, human-readable span tree for
   terminals.
 
-:func:`validate_chrome_trace` re-checks an emitted trace object
-against the subset of the trace-event schema we produce; the CI smoke
-job and the golden-schema tests both go through it.
+:func:`validate_chrome_trace` / :func:`validate_prometheus_text`
+re-check emitted artifacts against the subset of each format we
+produce; the CI smoke job and the golden-schema tests both go through
+them.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+import math
+import re
+from typing import TYPE_CHECKING, Any
 
-from repro.obs.metrics import MetricsRegistry
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.obs.tracer import Span, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.flight import FlightRecorder
 
 __all__ = [
     "chrome_trace",
     "metrics_json",
+    "prometheus_text",
     "tree_report",
     "validate_chrome_trace",
+    "validate_prometheus_text",
     "write_chrome_trace",
 ]
 
@@ -171,6 +182,214 @@ def metrics_json(metrics: MetricsRegistry) -> dict[str, Any]:
     its schema version (``repro.obs.metrics/v1``, see
     ``docs/schemas.md``)."""
     return {"schema": "repro.obs.metrics/v1", **metrics.snapshot()}
+
+
+# -- Prometheus text exposition -------------------------------------------
+
+#: quantile labels emitted for every histogram-as-summary
+_PROMETHEUS_QUANTILES = (0.5, 0.9, 0.95, 0.99)
+
+_METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)(?:\s+(-?\d+))?$"
+)
+
+
+def _prometheus_name(name: str, prefix: str) -> str:
+    """A dotted metric name mapped into the Prometheus grammar
+    (``[a-zA-Z_:][a-zA-Z0-9_:]*``), namespaced under ``prefix``."""
+    sanitized = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    return f"{prefix}_{sanitized}" if prefix else sanitized
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if math.isfinite(value) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _summary_lines(
+    lines: list[str], name: str, histogram: Histogram, source: str
+) -> None:
+    lines.append(f"# HELP {name} {_escape_help('histogram ' + source)}")
+    lines.append(f"# TYPE {name} summary")
+    for q in _PROMETHEUS_QUANTILES:
+        lines.append(
+            f'{name}{{quantile="{q}"}} '
+            f"{_format_value(histogram.quantile(q))}"
+        )
+    lines.append(f"{name}_sum {_format_value(histogram.total)}")
+    lines.append(f"{name}_count {histogram.count}")
+
+
+def prometheus_text(
+    metrics: MetricsRegistry,
+    *,
+    flight: "FlightRecorder | None" = None,
+    prefix: str = "repro",
+) -> str:
+    """The registry (and optionally a flight recorder) rendered in the
+    Prometheus text exposition format, version 0.0.4.
+
+    Dotted metric names are sanitized into the Prometheus grammar and
+    namespaced under ``prefix``; counters gain the conventional
+    ``_total`` suffix; histograms are exposed as summaries with
+    ``quantile`` labels plus ``_sum`` / ``_count``.  Distinct dotted
+    names that sanitize to the same exposition name have their counter
+    values summed (never duplicated samples).
+    """
+    lines: list[str] = []
+    counters: dict[str, float] = {}
+    sources: dict[str, str] = {}
+    for name, value in sorted(metrics.counters.items()):
+        exposed = _prometheus_name(name, prefix)
+        if not exposed.endswith("_total"):
+            exposed += "_total"
+        counters[exposed] = counters.get(exposed, 0) + value
+        sources.setdefault(exposed, name)
+    for exposed, value in counters.items():
+        lines.append(
+            f"# HELP {exposed} {_escape_help('counter ' + sources[exposed])}"
+        )
+        lines.append(f"# TYPE {exposed} counter")
+        lines.append(f"{exposed} {_format_value(value)}")
+    gauges: dict[str, float] = {}
+    gauge_sources: dict[str, str] = {}
+    for name, value in sorted(metrics.gauges.items()):
+        exposed = _prometheus_name(name, prefix)
+        gauges[exposed] = value  # collisions: latest wins, like gauges
+        gauge_sources.setdefault(exposed, name)
+    for exposed, value in gauges.items():
+        lines.append(
+            f"# HELP {exposed} "
+            f"{_escape_help('gauge ' + gauge_sources[exposed])}"
+        )
+        lines.append(f"# TYPE {exposed} gauge")
+        lines.append(f"{exposed} {_format_value(value)}")
+    seen_summaries: set[str] = set()
+    for name, histogram in sorted(metrics.histograms.items()):
+        exposed = _prometheus_name(name, prefix)
+        if exposed in seen_summaries:
+            continue
+        seen_summaries.add(exposed)
+        _summary_lines(lines, exposed, histogram, name)
+    if flight is not None:
+        for key, value in flight.counts().items():
+            exposed = f"{prefix}_flight_{key}" if prefix else f"flight_{key}"
+            lines.append(
+                f"# HELP {exposed} {_escape_help('flight recorder ' + key)}"
+            )
+            lines.append(f"# TYPE {exposed} gauge")
+            lines.append(f"{exposed} {value}")
+        _summary_lines(
+            lines,
+            f"{prefix}_flight_latency_ns" if prefix else "flight_latency_ns",
+            flight.latency,
+            "end-to-end query latency (ns)",
+        )
+    return "\n".join(lines) + "\n"
+
+
+def validate_prometheus_text(text: str) -> list[str]:
+    """Parse a text exposition; returns a list of problems (empty when
+    every line round-trips through the subset of the format we emit:
+    HELP/TYPE comments, escaped label values, float samples)."""
+    problems: list[str] = []
+    types: dict[str, str] = {}
+    sampled: set[str] = set()
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                continue  # free-form comment
+            kind, name = parts[1], parts[2]
+            if not _METRIC_NAME_RE.match(name):
+                problems.append(f"line {number}: invalid metric name {name!r}")
+                continue
+            if kind == "TYPE":
+                declared = parts[3].strip() if len(parts) > 3 else ""
+                if declared not in (
+                    "counter", "gauge", "summary", "histogram", "untyped"
+                ):
+                    problems.append(
+                        f"line {number}: invalid TYPE {declared!r} for {name}"
+                    )
+                if name in types:
+                    problems.append(f"line {number}: duplicate TYPE for {name}")
+                if name in sampled:
+                    problems.append(
+                        f"line {number}: TYPE for {name} after its samples"
+                    )
+                types[name] = declared
+            else:
+                docstring = parts[3] if len(parts) > 3 else ""
+                # strip valid escape pairs (\\ and \n) left-to-right;
+                # a backslash surviving that is a stray escape — a
+                # lookahead can't do this (the second \ of \\s would
+                # be misread as opening a new escape)
+                if "\\" in re.sub(r"\\\\|\\n", "", docstring):
+                    problems.append(
+                        f"line {number}: invalid escape in HELP {name}"
+                    )
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            problems.append(f"line {number}: unparseable sample {line!r}")
+            continue
+        name, labels, value, _timestamp = match.groups()
+        family = name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in types:
+                family = name[: -len(suffix)]
+                break
+        sampled.add(family)
+        if family not in types:
+            problems.append(f"line {number}: sample {name} has no TYPE")
+        try:
+            float(value)
+        except ValueError:
+            problems.append(f"line {number}: non-float value {value!r}")
+        if labels:
+            consumed = 0
+            parsed: dict[str, str] = {}
+            for pair in _LABEL_PAIR_RE.finditer(labels):
+                parsed[pair.group(1)] = pair.group(2)
+                consumed = pair.end()
+                if consumed < len(labels) and labels[consumed] == ",":
+                    consumed += 1
+            if labels[consumed:].strip():
+                problems.append(
+                    f"line {number}: malformed labels {labels!r}"
+                )
+            for label_name, label_value in parsed.items():
+                if not _LABEL_NAME_RE.match(label_name):
+                    problems.append(
+                        f"line {number}: invalid label name {label_name!r}"
+                    )
+                if "\\" in re.sub(r'\\\\|\\n|\\"', "", label_value):
+                    problems.append(
+                        f"line {number}: invalid escape in label "
+                        f"{label_name}={label_value!r}"
+                    )
+            if types.get(family) == "summary" and "quantile" in parsed:
+                try:
+                    quantile = float(parsed["quantile"])
+                except ValueError:
+                    quantile = -1.0
+                if not 0.0 <= quantile <= 1.0:
+                    problems.append(
+                        f"line {number}: quantile out of range "
+                        f"{parsed['quantile']!r}"
+                    )
+    return problems
 
 
 def tree_report(tracer: Tracer, min_ms: float = 0.0) -> str:

@@ -14,6 +14,7 @@ locally and flush once per run instead.
 
 from __future__ import annotations
 
+import math
 import threading
 from typing import Any, Iterable
 
@@ -21,24 +22,44 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "get_metrics",
+    "latency_summary_ms",
     "metrics_scope",
     "record_diagnostics",
     "set_metrics",
 ]
 
+# Log-bucket base: bucket i covers (GAMMA**(i-1), GAMMA**i], so any
+# positive sample is reported within a factor of sqrt(GAMMA) of its
+# true value — a relative quantile error bound of ~4.9%.
+_GAMMA = 1.1
+_LOG_GAMMA = math.log(_GAMMA)
+_QUANTILES = (("p50", 0.50), ("p90", 0.90), ("p95", 0.95), ("p99", 0.99))
+
 
 class Histogram:
-    """Streaming summary of an observed distribution (count / total /
-    min / max; mean derived).  No buckets — the consumers here want
-    per-phase totals and worst cases, not quantiles."""
+    """Mergeable log-bucketed quantile histogram.
 
-    __slots__ = ("count", "maximum", "minimum", "total")
+    Samples land in sparse exponential buckets (index
+    ``ceil(log(v) / log(GAMMA))``); each bucket is reported by its
+    geometric midpoint ``GAMMA**(i - 0.5)``, so every quantile of a
+    positive-valued distribution is answered within a relative error
+    of ``sqrt(GAMMA) - 1`` (< 5%).  Non-positive samples collapse into
+    one underflow bucket and are reported as the observed minimum.
+
+    ``merge`` adds bucket counts, so it is lossless, associative and
+    commutative — worker- and shard-registry merges produce exactly
+    the histogram a single registry would have recorded.
+    """
+
+    __slots__ = ("buckets", "count", "maximum", "minimum", "total", "underflow")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.buckets: dict[int, int] = {}
+        self.underflow = 0  # samples <= 0 (rare: deltas, clock skew)
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -47,27 +68,83 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        if value > 0.0:
+            index = math.ceil(math.log(value) / _LOG_GAMMA)
+            self.buckets[index] = self.buckets.get(index, 0) + 1
+        else:
+            self.underflow += 1
 
     def merge(self, other: "Histogram") -> None:
         self.count += other.count
         self.total += other.total
         self.minimum = min(self.minimum, other.minimum)
         self.maximum = max(self.maximum, other.maximum)
+        self.underflow += other.underflow
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile estimate, clamped into [min, max]."""
+        if not self.count:
+            return 0.0
+        rank = min(self.count, max(1, math.ceil(q * self.count)))
+        if rank <= self.underflow:
+            return min(self.minimum, 0.0)
+        seen = self.underflow
+        for index in sorted(self.buckets):
+            seen += self.buckets[index]
+            if seen >= rank:
+                representative = _GAMMA ** (index - 0.5)
+                return min(self.maximum, max(self.minimum, representative))
+        return self.maximum
+
+    def percentiles(self) -> dict[str, float]:
+        return {name: self.quantile(q) for name, q in _QUANTILES}
+
     def summary(self) -> dict[str, float]:
         if not self.count:
-            return {"count": 0, "total": 0.0, "min": 0.0, "max": 0.0, "mean": 0.0}
+            return {
+                "count": 0,
+                "total": 0.0,
+                "min": 0.0,
+                "max": 0.0,
+                "mean": 0.0,
+                **{name: 0.0 for name, _ in _QUANTILES},
+            }
         return {
             "count": self.count,
             "total": self.total,
             "min": self.minimum,
             "max": self.maximum,
             "mean": self.mean,
+            **self.percentiles(),
         }
+
+
+def latency_summary_ms(histogram: "Histogram | None") -> dict[str, float]:
+    """Millisecond latency summary (count + mean/p50/p90/p95/p99/max)
+    of a *nanosecond* histogram — the shape every benchmark and chaos
+    report embeds; all-zero when nothing was observed."""
+    if histogram is None or not histogram.count:
+        return {
+            "count": 0,
+            "mean": 0.0,
+            "p50": 0.0,
+            "p90": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+            "max": 0.0,
+        }
+    return {
+        "count": histogram.count,
+        "mean": histogram.mean / 1e6,
+        **{name: ns / 1e6 for name, ns in histogram.percentiles().items()},
+        "max": histogram.maximum / 1e6,
+    }
 
 
 class MetricsRegistry:

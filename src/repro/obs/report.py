@@ -112,6 +112,7 @@ def summary_report(
         if run_ns is not None and run_ns.count:
             sections.append(
                 f"  statement time: mean {run_ns.mean / 1e6:.3f} ms, "
+                f"p95 {run_ns.quantile(0.95) / 1e6:.3f} ms, "
                 f"max {run_ns.maximum / 1e6:.3f} ms over {run_ns.count} stmt(s)"
             )
 
@@ -128,10 +129,22 @@ def summary_report(
                 service_stats,
             )
         )
+        exact_hits = metrics.counters.get("service.cache.hits", 0)
+        canonical_hits = metrics.counters.get("service.cache.canonical_hit", 0)
+        misses = metrics.counters.get("service.cache.misses", 0)
+        if exact_hits or canonical_hits or misses:
+            sections.append(
+                f"  cache outcomes: {exact_hits:g} exact hit(s), "
+                f"{canonical_hits:g} canonical hit(s), "
+                f"{misses:g} miss(es)"
+            )
         query_ns = metrics.histograms.get("service.query_ns")
         if query_ns is not None and query_ns.count:
             sections.append(
                 f"  query latency: mean {query_ns.mean / 1e6:.3f} ms, "
+                f"p50 {query_ns.quantile(0.50) / 1e6:.3f} ms, "
+                f"p95 {query_ns.quantile(0.95) / 1e6:.3f} ms, "
+                f"p99 {query_ns.quantile(0.99) / 1e6:.3f} ms, "
                 f"max {query_ns.maximum / 1e6:.3f} ms over "
                 f"{query_ns.count} query(ies)"
             )

@@ -57,6 +57,14 @@ from repro.engines import Engine
 from repro.errors import ServiceError
 from repro.infoset.encoding import DocumentStore
 from repro.obs import get_metrics, get_tracer
+from repro.obs.flight import (
+    FlightContext,
+    FlightRecorder,
+    current_context,
+    flight_capture,
+    span_tree,
+)
+from repro.obs.tracer import Span
 from repro.pipeline import CompiledQuery, XQueryProcessor
 from repro.result import Result, Serialized
 from repro.service.cache import CacheKey, CompiledQueryCache
@@ -165,6 +173,9 @@ def scatter_uris(core: CoreExpr) -> tuple[str, ...] | None:
         return None
     canonical = canonicalize(pattern)
     get_metrics().count("service.scatter.pattern_classified")
+    flight = current_context()
+    if flight is not None:
+        flight.note_pattern_classified()
     if canonical.root is None:
         # statically empty: scatter over nothing (the merge of zero
         # shards is the correct empty answer)
@@ -246,6 +257,9 @@ class ShardedService:
         breaker_reset_s: float = 0.25,
         degrade: bool = True,
         parallel_fanout: bool | None = None,
+        flight: bool = True,
+        flight_recorder: FlightRecorder | None = None,
+        slow_threshold_s: float = 0.25,
     ):
         if collection is None:
             collection = Collection(shards if shards is not None else 1)
@@ -261,6 +275,16 @@ class ShardedService:
         if parallel_fanout is None:
             parallel_fanout = (os.cpu_count() or 1) > 1
         self.parallel_fanout = parallel_fanout
+        # exactly one flight record per query, at this serving
+        # boundary: the shard services and the serial fallback are
+        # constructed with recording off and annotate this service's
+        # per-query context instead
+        if flight_recorder is not None:
+            self.flight: FlightRecorder | None = flight_recorder
+        elif flight:
+            self.flight = FlightRecorder(slow_threshold_s=slow_threshold_s)
+        else:
+            self.flight = None
         # the compile-side processor: bound to an empty store (compiled
         # SQL never executes against it), resolving collection() globs
         # against the *whole* collection so plans name every member
@@ -289,6 +313,7 @@ class ShardedService:
             breaker_threshold=breaker_threshold,
             breaker_reset_s=breaker_reset_s,
             degrade=degrade,
+            flight=False,
         )
         self._shard_services: list[QueryService] = [
             QueryService(store=store, **self._service_config)
@@ -360,12 +385,17 @@ class ShardedService:
         """
         text = normalize_query_text(query)
         key = self._cache_key(text)
+        flight = current_context()
         compiled = self.cache.get(key)
         if compiled is not None:
+            if flight is not None:
+                flight.note_cache("exact")
             return compiled
         with self._compile_lock:
             compiled = self.cache.peek(key)
             if compiled is not None:
+                if flight is not None:
+                    flight.note_cache("single-flight-wait")
                 return compiled
             alias = canonical_alias_key(
                 text,
@@ -379,9 +409,17 @@ class ShardedService:
                     # back-fill the exact key so this spelling hits
                     # tier 1 from now on
                     self.cache.put(key, compiled)
+                    if flight is not None:
+                        flight.note_cache("canonical")
                     return compiled
+            rewrite_start = time.perf_counter_ns()
             compiled = self._compiler.compile(text)
             _ = (compiled.stacked_sql, compiled.joingraph_sql)
+            if flight is not None:
+                flight.note_cache("miss")
+                flight.add_phase(
+                    "rewrite", time.perf_counter_ns() - rewrite_start
+                )
             self.cache.put(key, compiled)
             if alias is not None:
                 self.cache.put(alias, compiled)
@@ -467,20 +505,68 @@ class ShardedService:
         budget = self.deadline_s if deadline_s is None else deadline_s
         deadline = Deadline.after(budget) if budget is not None else None
         metrics = get_metrics()
+        recorder = self.flight
+        with flight_capture(own=recorder is not None) as flight:
+            compiled: CompiledQuery | None = None
+            qspan = get_tracer().span(
+                "service.query", engine=engine.value, sharded=True
+            )
+            try:
+                with qspan:
+                    result = self._execute_classified(
+                        query, engine, deadline, started, metrics, flight
+                    )
+            except ServiceError as error:
+                if recorder is not None and flight is not None:
+                    # the plan usually made it into the cache before
+                    # the failure, so EXPLAIN diagnostics still work
+                    compiled = self._last_compiled(query)
+                    self._flight_record(
+                        recorder, flight, query, compiled, engine,
+                        started, budget, deadline, qspan, error=error,
+                    )
+                raise
+            if recorder is not None and flight is not None:
+                self._flight_record(
+                    recorder, flight, query, self._last_compiled(query),
+                    engine, started, budget, deadline, qspan,
+                )
+            return result
 
-        compiled = (
-            query if isinstance(query, CompiledQuery) else self.compile(query)
-        )
+    def _execute_classified(
+        self,
+        query: str | CompiledQuery,
+        engine: Engine,
+        deadline: Deadline | None,
+        started: int,
+        metrics: Any,
+        flight: FlightContext | None,
+    ) -> Result:
+        if isinstance(query, CompiledQuery):
+            compiled = query
+            if flight is not None:
+                flight.note_cache("precompiled")
+        else:
+            compile_start = time.perf_counter_ns()
+            compiled = self.compile(query)
+            if flight is not None:
+                flight.add_phase(
+                    "compile", time.perf_counter_ns() - compile_start
+                )
         uris = None
         if engine in Engine.sql_engines() and not self.serialize_step:
             uris = scatter_uris(compiled.core)
         if uris is None:
             metrics.count("service.scatter.serial")
+            if flight is not None:
+                flight.note_scatter("serial", 1)
             items = self._serial().execute(
                 compiled.source,
                 engine,
                 deadline_s=_remaining(deadline),
             )
+            if flight is not None:
+                flight.note_rows(len(items))
             return Result(
                 items,
                 engine=engine,
@@ -495,18 +581,99 @@ class ShardedService:
                 "service.scatter.unknown_uris", len(uris) - len(known)
             )
         shards = self.collection.shards_of(known)
+        if flight is not None:
+            flight.note_scatter(
+                "route" if len(shards) == 1 else "scatter", len(shards)
+            )
         merged, merge_ns = self._scatter(compiled, engine, shards, deadline)
         metrics.count("service.scatter.queries")
         metrics.count(f"service.scatter.queries.{engine.value}")
         metrics.observe("service.scatter.fanout", len(shards))
         elapsed = time.perf_counter_ns() - started
         metrics.observe("service.scatter.query_ns", elapsed)
+        if flight is not None:
+            flight.add_phase("merge", merge_ns)
+            flight.note_rows(len(merged))
         return Result(
             merged,
             engine=engine,
             timings={"execute_ns": elapsed, "merge_ns": merge_ns},
             shards=max(1, len(shards)),
             serializer=self.serialize,
+        )
+
+    def _last_compiled(
+        self, query: str | CompiledQuery
+    ) -> CompiledQuery | None:
+        """The compiled artifact for a just-served query (cache lookup
+        only — never compiles), for the slow-capture diagnostics."""
+        if isinstance(query, CompiledQuery):
+            return query
+        try:
+            return self.cache.peek(self._cache_key(normalize_query_text(query)))
+        except Exception:
+            return None
+
+    def _breaker_state(self) -> str:
+        """The worst breaker state across the shard services (open >
+        half-open > closed) — the serving boundary's health summary."""
+        states = {service._breaker.state for service in self._shard_services}
+        with self._serial_lock:
+            if self._serial_service is not None:
+                states.add(self._serial_service._breaker.state)
+        for state in ("open", "half-open"):
+            if state in states:
+                return state
+        return "closed"
+
+    def _flight_record(
+        self,
+        recorder: FlightRecorder,
+        flight: FlightContext,
+        query: str | CompiledQuery,
+        compiled: CompiledQuery | None,
+        engine: Engine,
+        start_ns: int,
+        budget: float | None,
+        deadline: Deadline | None,
+        qspan: Any,
+        error: BaseException | None = None,
+    ) -> None:
+        elapsed = time.perf_counter_ns() - start_ns
+        if compiled is not None:
+            text = compiled.source
+        else:
+            text = query if isinstance(query, str) else query.source
+        consumed: float | None = None
+        if deadline is not None and budget:
+            consumed = min(1.0, deadline.elapsed() / budget)
+        trace = [span_tree(qspan)] if isinstance(qspan, Span) else []
+
+        def detail() -> dict[str, Any]:
+            diagnostics: dict[str, Any] = {"trace": trace}
+            if compiled is not None:
+                # any shard's schema explains the collection-wide SQL;
+                # prefer the serial store when it is already built
+                with self._serial_lock:
+                    service = self._serial_service
+                if service is None:
+                    service = self._shard_services[0]
+                diagnostics["explain"] = service._flight_explain(
+                    compiled, engine
+                )
+            return diagnostics
+
+        recorder.record(
+            query_text=text,
+            engine=engine.value,
+            status="ok" if error is None else f"error:{type(error).__name__}",
+            context=flight,
+            elapsed_ns=elapsed,
+            shards=self.collection.shards,
+            breaker=self._breaker_state(),
+            deadline_budget_s=budget,
+            deadline_consumed=consumed,
+            detail=detail,
         )
 
     def _scatter(
@@ -584,6 +751,9 @@ class ShardedService:
                 # partial answers are never merged: degrade to full
                 # serial execution against the combined store
                 get_metrics().count("service.scatter.serial_fallbacks")
+                flight = current_context()
+                if flight is not None:
+                    flight.note_degraded()
                 with tracer.span("service.scatter.degrade"):
                     items = self._serial().execute(
                         compiled.source,
@@ -680,6 +850,7 @@ class ShardedService:
         return {
             "collection": self.collection.stats(),
             "cache": self.cache.stats(),
+            "flight": self.flight.stats() if self.flight else None,
             "serial_materialized": serial,
             "fault_accounting": self.fault_accounting,
             "per_shard": per_shard,

@@ -20,6 +20,13 @@ connection gauges.  Worker threads record into private registries that
 are merged into the submitting thread's registry when each task
 finishes, so ``metrics_scope`` works transparently across the pool.
 
+Flight recording (``repro.obs.flight``, on by default): every query
+leaves one structured :class:`~repro.obs.flight.FlightRecord` in the
+service's bounded ring — cache outcome, retries, degradations, breaker
+state, per-phase nanoseconds, deadline consumption — and slow,
+degraded or surfaced queries are promoted to a slow-query log with
+trace spans and ``EXPLAIN`` output attached.
+
 Invalidation: :meth:`load` bumps the store's content version, drops
 cache entries compiled against older versions and retires the current
 backend pool — in-flight queries drain against the old snapshot, new
@@ -57,6 +64,15 @@ from repro.errors import (
 from repro.faults.injector import is_injected, suppressed
 from repro.infoset.encoding import DocumentStore
 from repro.obs import MetricsRegistry, get_metrics, get_tracer, set_metrics
+from repro.obs.flight import (
+    FlightContext,
+    FlightRecorder,
+    adopt_context,
+    current_context,
+    flight_capture,
+    span_tree,
+)
+from repro.obs.tracer import Span
 from repro.pipeline import CompiledQuery, Engine, XQueryProcessor
 from repro.result import Result, Serialized
 from repro.service.cache import CacheKey, CompiledQueryCache
@@ -160,6 +176,13 @@ class QueryService:
         uncached compile + a fresh single-use backend instead of
         failing.  Results are never stale or partial either way; with
         ``degrade=False`` the failure surfaces as a typed error.
+    flight, flight_recorder, slow_threshold_s:
+        The query flight recorder (:mod:`repro.obs.flight`) — on by
+        default, recording one :class:`FlightRecord` per query with a
+        slow-query log promoting queries over ``slow_threshold_s``
+        seconds (and every degraded/surfaced query) to a full capture.
+        Pass ``flight=False`` to disable, or ``flight_recorder=`` to
+        share/configure the recorder explicitly.
     """
 
     def __init__(
@@ -180,6 +203,9 @@ class QueryService:
         breaker_threshold: int = 8,
         breaker_reset_s: float = 0.25,
         degrade: bool = True,
+        flight: bool = True,
+        flight_recorder: FlightRecorder | None = None,
+        slow_threshold_s: float = 0.25,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -213,6 +239,12 @@ class QueryService:
         # gate: injected == retried + degraded + surfaced
         self._accounting_lock = threading.Lock()
         self._fault_accounting = {"retry": 0, "degrade": 0, "surface": 0}
+        if flight_recorder is not None:
+            self.flight: FlightRecorder | None = flight_recorder
+        elif flight:
+            self.flight = FlightRecorder(slow_threshold_s=slow_threshold_s)
+        else:
+            self.flight = None
 
     # -- documents -----------------------------------------------------
 
@@ -258,14 +290,19 @@ class QueryService:
         """
         text = normalize_query_text(query)
         key = self._cache_key(text)
+        flight = current_context()
         compiled = self.cache.get(key)
         if compiled is not None:
+            if flight is not None:
+                flight.note_cache("exact")
             return compiled
         with self._compile_lock:
             # single-flight: a racing thread may have compiled the same
             # key while this one waited for the lock
             compiled = self.cache.peek(key)
             if compiled is not None:
+                if flight is not None:
+                    flight.note_cache("single-flight-wait")
                 return compiled
             canonical = canonical_alias_key(
                 text,
@@ -277,11 +314,19 @@ class QueryService:
                 compiled = self.cache.get_canonical(canonical)
                 if compiled is not None:
                     self.cache.put(key, compiled)
+                    if flight is not None:
+                        flight.note_cache("canonical")
                     return compiled
+            rewrite_start = time.perf_counter_ns()
             compiled = self.processor.compile(text)
             # materialize the lazy SQL artifacts now: cached entries
             # must be immutable so any thread can execute them
             _ = (compiled.stacked_sql, compiled.joingraph_sql)
+            if flight is not None:
+                flight.note_cache("miss")
+                flight.add_phase(
+                    "rewrite", time.perf_counter_ns() - rewrite_start
+                )
             self.cache.put(key, compiled)
             if canonical is not None:
                 self.cache.put(canonical, compiled)
@@ -347,41 +392,134 @@ class QueryService:
         # ValueError from Deadline.after, not a silently unbounded query
         deadline = Deadline.after(budget) if budget is not None else None
         metrics = get_metrics()
-        try:
-            with deadline_scope(deadline):
-                compiled = (
-                    query
-                    if isinstance(query, CompiledQuery)
-                    else self.compile(query)
+        recorder = self.flight
+        # a recording service owns a fresh flight context (the serving
+        # boundary); a non-recording one (a shard inside ShardedService)
+        # annotates the caller's context instead
+        with flight_capture(own=recorder is not None) as flight:
+            compiled: CompiledQuery | None = None
+            qspan = get_tracer().span("service.query", engine=engine.value)
+            try:
+                with qspan, deadline_scope(deadline):
+                    if isinstance(query, CompiledQuery):
+                        compiled = query
+                        if flight is not None:
+                            flight.note_cache("precompiled")
+                    else:
+                        compile_start = time.perf_counter_ns()
+                        compiled = self.compile(query)
+                        if flight is not None:
+                            flight.add_phase(
+                                "compile",
+                                time.perf_counter_ns() - compile_start,
+                            )
+                    if deadline is not None:
+                        deadline.check()
+                    sql_start = time.perf_counter_ns()
+                    if engine is Engine.INTERPRETER:
+                        items = run_plan(compiled.stacked_plan)
+                    elif engine is Engine.ISOLATED_INTERPRETER:
+                        items = run_plan(compiled.isolated_plan)
+                    else:
+                        items = self._run_pooled(compiled, engine, deadline)
+                    if flight is not None:
+                        flight.add_phase(
+                            "sql", time.perf_counter_ns() - sql_start
+                        )
+                        flight.note_rows(len(items))
+                    if deadline is not None:
+                        # interpreters cannot be cancelled mid-run; a
+                        # late result is still refused so the deadline
+                        # contract holds across engines
+                        deadline.check()
+            except ServiceError as error:
+                metrics.count("service.queries.failed")
+                metrics.count(f"service.errors.{type(error).__name__}")
+                if recorder is not None and flight is not None:
+                    self._flight_record(
+                        recorder, flight, query, compiled, engine,
+                        start, budget, deadline, qspan, error=error,
+                    )
+                raise
+            metrics.count("service.queries")
+            metrics.count(f"service.queries.{engine.value}")
+            elapsed = time.perf_counter_ns() - start
+            metrics.observe("service.query_ns", elapsed)
+            if recorder is not None and flight is not None:
+                self._flight_record(
+                    recorder, flight, query, compiled, engine,
+                    start, budget, deadline, qspan,
                 )
-                if deadline is not None:
-                    deadline.check()
-                if engine is Engine.INTERPRETER:
-                    items = run_plan(compiled.stacked_plan)
-                elif engine is Engine.ISOLATED_INTERPRETER:
-                    items = run_plan(compiled.isolated_plan)
-                else:
-                    items = self._run_pooled(compiled, engine, deadline)
-                if deadline is not None:
-                    # interpreters cannot be cancelled mid-run; a late
-                    # result is still refused so the deadline contract
-                    # holds across engines
-                    deadline.check()
-        except ServiceError as error:
-            metrics.count("service.queries.failed")
-            metrics.count(f"service.errors.{type(error).__name__}")
-            raise
-        metrics.count("service.queries")
-        metrics.count(f"service.queries.{engine.value}")
-        elapsed = time.perf_counter_ns() - start
-        metrics.observe("service.query_ns", elapsed)
-        return Result(
-            items,
-            engine=engine,
-            timings={"execute_ns": elapsed},
+            return Result(
+                items,
+                engine=engine,
+                timings={"execute_ns": elapsed},
+                shards=1,
+                serializer=self.serialize,
+            )
+
+    def _flight_record(
+        self,
+        recorder: FlightRecorder,
+        flight: FlightContext,
+        query: str | CompiledQuery,
+        compiled: CompiledQuery | None,
+        engine: Engine,
+        start_ns: int,
+        budget: float | None,
+        deadline: Deadline | None,
+        qspan: Any,
+        error: BaseException | None = None,
+    ) -> None:
+        """Append this query's flight record at the serving boundary."""
+        elapsed = time.perf_counter_ns() - start_ns
+        if compiled is not None:
+            text = compiled.source
+        else:
+            text = query if isinstance(query, str) else query.source
+        consumed: float | None = None
+        if deadline is not None and budget:
+            consumed = min(1.0, deadline.elapsed() / budget)
+        trace = [span_tree(qspan)] if isinstance(qspan, Span) else []
+
+        def detail() -> dict[str, Any]:
+            diagnostics: dict[str, Any] = {"trace": trace}
+            if compiled is not None:
+                diagnostics["explain"] = self._flight_explain(
+                    compiled, engine
+                )
+            return diagnostics
+
+        recorder.record(
+            query_text=text,
+            engine=engine.value,
+            status="ok" if error is None else f"error:{type(error).__name__}",
+            context=flight,
+            elapsed_ns=elapsed,
             shards=1,
-            serializer=self.serialize,
+            breaker=self._breaker.state,
+            deadline_budget_s=budget,
+            deadline_consumed=consumed,
+            detail=detail,
         )
+
+    def _flight_explain(
+        self, compiled: CompiledQuery, engine: Engine
+    ) -> list[str]:
+        """EXPLAIN QUERY PLAN rows for a promoted slow capture (the
+        joingraph SQL stands in for the interpreter engines).  Fault
+        injection is suppressed: diagnostics are not chaos targets."""
+        sql = (
+            compiled.stacked_sql
+            if engine == "stacked-sql"
+            else compiled.joingraph_sql
+        )
+        with suppressed():
+            pool = self._lease_pool()
+            try:
+                return pool.backend().explain(sql)
+            finally:
+                pool.release()
 
     def _run_pooled(
         self,
@@ -439,6 +577,9 @@ class QueryService:
                     if self.retry.allows(attempt, deadline):
                         self._account(error, "retry")
                         metrics.count("service.retry.attempts")
+                        flight = current_context()
+                        if flight is not None:
+                            flight.note_retry()
                         with tracer.span(
                             "service.retry", attempt=attempt, error=str(error)
                         ):
@@ -494,6 +635,9 @@ class QueryService:
             if deadline is not None:
                 deadline.check()
             get_metrics().count("service.degrade.queries")
+            flight = current_context()
+            if flight is not None:
+                flight.note_degraded()
             with self._compile_lock:
                 fresh = self.processor.compile(compiled.source)
             sql = (
@@ -553,6 +697,7 @@ class QueryService:
     def _task(
         self,
         registry: MetricsRegistry,
+        context: FlightContext | None,
         query: str | CompiledQuery,
         engine: Engine | str,
         deadline_s: float | None,
@@ -560,11 +705,14 @@ class QueryService:
         # record into a private registry, then merge into the
         # submitting thread's registry under a lock: counters stay
         # exact even under contention, and metrics_scope on the caller
-        # side sees everything its submissions caused
+        # side sees everything its submissions caused; the submitting
+        # query's flight context (if any) is adopted so shard-level
+        # retries/degradations land on the top-level record
         local = MetricsRegistry()
         previous = set_metrics(local)
         try:
-            return self._execute_admitted(query, engine, deadline_s)
+            with adopt_context(context):
+                return self._execute_admitted(query, engine, deadline_s)
         finally:
             # the admission slot is NOT released here: submit() frees
             # it from the future's done-callback, which also covers
@@ -593,7 +741,12 @@ class QueryService:
         self._admission.enter()
         try:
             future = executor.submit(
-                self._task, get_metrics(), query, engine, deadline_s
+                self._task,
+                get_metrics(),
+                current_context(),
+                query,
+                engine,
+                deadline_s,
             )
         except BaseException:
             self._admission.exit()
@@ -646,6 +799,7 @@ class QueryService:
             "store_version": self.store.version,
             "cache": self.cache.stats(),
             "pool_connections": pool.connection_count if pool else 0,
+            "flight": self.flight.stats() if self.flight else None,
             "resilience": {
                 "deadline_s": self.deadline_s,
                 "max_retries": self.retry.max_retries,

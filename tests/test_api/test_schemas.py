@@ -12,15 +12,16 @@ import json
 import math
 from pathlib import Path
 
-import pytest
-
 SCHEMAS = (
     "repro.bench.table9/v3",
-    "repro.bench.collection/v1",
-    "repro.service.bench/v1",
-    "repro.faults.campaign/v2",
+    "repro.bench.collection/v2",
+    "repro.service.bench/v2",
+    "repro.faults.campaign/v3",
     "repro.obs.metrics/v1",
+    "repro.obs.flight/v1",
 )
+
+_LATENCY_KEYS = {"count", "mean", "p50", "p90", "p95", "p99", "max"}
 
 
 def _json_ready(doc) -> None:
@@ -49,21 +50,23 @@ def test_bench_table9_v3():
     _json_ready(doc)
 
 
-# -- repro.bench.collection/v1 ---------------------------------------------
+# -- repro.bench.collection/v2 ---------------------------------------------
 
 
-def test_bench_collection_v1():
+def test_bench_collection_v2():
     from repro.bench.collection import run_collection_bench
 
     doc = run_collection_bench(
         documents=2, factor=0.001, repeat=1, shards=(1, 2), quick=True
     )
-    assert doc["schema"] == "repro.bench.collection/v1"
+    assert doc["schema"] == "repro.bench.collection/v2"
     meta = doc["metadata"]
     assert meta["documents"] == 2
     assert meta["quick"] is True
     assert meta["placement"] == "round-robin"
     assert doc["serial_baseline"]["seconds"] > 0
+    assert set(doc["serial_baseline"]["latency_ms"]) == _LATENCY_KEYS
+    assert doc["serial_baseline"]["latency_ms"]["count"] > 0
     assert [point["shards"] for point in doc["curve"]] == [1, 2]
     for point in doc["curve"]:
         assert point["seconds"] > 0
@@ -71,38 +74,60 @@ def test_bench_collection_v1():
         assert math.isfinite(point["speedup_vs_serial"])
         assert sum(point["documents_per_shard"]) == 2
         assert set(point["fanout"].values()) <= {1, point["shards"]}
+        latency = point["latency_ms"]
+        assert set(latency) == _LATENCY_KEYS
+        assert latency["count"] > 0
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
     _json_ready(doc)
 
 
-# -- repro.service.bench/v1 ------------------------------------------------
+# -- repro.service.bench/v2 ------------------------------------------------
 
 
-def test_service_bench_v1():
+def test_service_bench_v2():
     from repro.service.bench import run_service_bench
 
     doc = run_service_bench(
         factor=0.001, repeat=2, workers=(1,), quick=True
     )
-    assert doc["schema"] == "repro.service.bench/v1"
+    assert doc["schema"] == "repro.service.bench/v2"
     assert doc["uncached_baseline"]["queries_per_second"] > 0
     assert doc["cached"]["cache"]["hits"] > 0
     assert [point["workers"] for point in doc["scaling"]] == [1]
+    for mode in (doc["uncached_baseline"], doc["cached"], *doc["scaling"]):
+        latency = mode["latency_ms"]
+        assert set(latency) == _LATENCY_KEYS
+        assert latency["count"] > 0
+        assert latency["p50"] <= latency["p95"] <= latency["p99"]
+    overhead = doc["flight_overhead"]
+    assert overhead["trials"] > 0
+    assert overhead["disabled_seconds"] > 0
+    assert overhead["enabled_seconds"] > 0
+    assert math.isfinite(overhead["overhead_pct"])
     _json_ready(doc)
 
 
-# -- repro.faults.campaign/v2 ----------------------------------------------
+# -- repro.faults.campaign/v3 ----------------------------------------------
 
 
 def _check_campaign(report: dict) -> None:
-    assert report["schema"] == "repro.faults.campaign/v2"
+    assert report["schema"] == "repro.faults.campaign/v3"
     contract = report["contract"]
     assert contract["holds"] is True
     faults = report["faults"]
     assert faults["injected_total"] == faults["handled_total"]
+    assert set(report["latency"]) == {"clean", "degraded", "surfaced"}
+    for summary in report["latency"].values():
+        assert set(summary) == _LATENCY_KEYS
+    total = sum(summary["count"] for summary in report["latency"].values())
+    assert total == report["calls"]
+    slow_log = report["slow_log"]
+    assert slow_log["complete"] is True
+    assert slow_log["captured"] == slow_log["expected"]
     _json_ready(report)
 
 
-def test_faults_campaign_v2_single_mode():
+def test_faults_campaign_v3_single_mode():
     from repro.faults.campaign import ChaosConfig, run_chaos_campaign
 
     report = run_chaos_campaign(
@@ -116,7 +141,7 @@ def test_faults_campaign_v2_single_mode():
     _check_campaign(report)
 
 
-def test_faults_campaign_v2_sharded_mode():
+def test_faults_campaign_v3_sharded_mode():
     from repro.faults.campaign import ChaosConfig, run_chaos_campaign
 
     report = run_chaos_campaign(
@@ -146,6 +171,62 @@ def test_obs_metrics_v1():
     assert doc["counters"]["pipeline.compiles"] == 1
     assert "gauges" in doc
     _json_ready(doc)
+
+
+# -- repro.obs.flight/v1 ---------------------------------------------------
+
+
+def test_obs_flight_v1():
+    from repro.obs import validate_flight_snapshot
+    from repro.obs.flight import FlightContext, FlightRecorder
+
+    recorder = FlightRecorder(capacity=8, slow_capacity=4,
+                              slow_threshold_s=0.001)
+    for elapsed_ms in (0.1, 5.0):
+        context = FlightContext()
+        context.note_cache("exact")
+        context.add_phase("sql", int(elapsed_ms * 1e6))
+        context.note_rows(3)
+        recorder.record(
+            query_text="//item/name",
+            engine="joingraph-sql",
+            status="ok",
+            context=context,
+            elapsed_ns=int(elapsed_ms * 1e6),
+        )
+    snapshot = recorder.snapshot()
+    assert snapshot["schema"] == "repro.obs.flight/v1"
+    assert validate_flight_snapshot(snapshot) == []
+    assert snapshot["counts"]["recorded"] == 2
+    assert snapshot["counts"]["promoted"] == 1
+    assert len(snapshot["records"]) == 2
+    assert len(snapshot["slow"]) == 1
+    _json_ready(snapshot)
+
+
+def test_obs_flight_v1_live_service():
+    import repro
+
+    with repro.connect(slow_threshold_s=0.0) as session:
+        session.load("<a><b>x</b></a>", "doc.xml")
+        session.execute("//b")
+        snapshot = session.service.flight.snapshot()
+    from repro.obs import validate_flight_snapshot
+
+    assert validate_flight_snapshot(snapshot) == []
+    assert snapshot["counts"]["recorded"] == 1
+    # threshold 0 promotes everything: the capture carries diagnostics
+    [capture] = snapshot["slow"]
+    assert capture["reason"] == "slow"
+    assert capture["trace"]
+    _json_ready(snapshot)
+
+
+def test_validate_flight_snapshot_rejects_bad_documents():
+    from repro.obs import validate_flight_snapshot
+
+    assert validate_flight_snapshot({}) != []
+    assert validate_flight_snapshot({"schema": "nope/v1"}) != []
 
 
 # -- the catalog -----------------------------------------------------------

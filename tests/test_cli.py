@@ -207,7 +207,7 @@ def test_serve_bench_subcommand(capsys, tmp_path):
     assert "uncached baseline" in out
     assert "speedup" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro.service.bench/v1"
+    assert report["schema"] == "repro.service.bench/v2"
     assert report["uncached_baseline"]["queries_per_second"] > 0
     assert report["cached"]["cache"]["hits"] > 0
     assert [p["workers"] for p in report["scaling"]] == [1, 2]
@@ -230,7 +230,7 @@ def test_serve_bench_faults_subcommand(capsys, tmp_path):
     assert "chaos campaign" in out
     assert "contract" in out and "HOLDS" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro.faults.campaign/v2"
+    assert report["schema"] == "repro.faults.campaign/v3"
     assert report["mode"] == "single"
     assert report["config"]["seed"] == 7
     assert report["contract"]["holds"] is True

@@ -1,0 +1,143 @@
+"""Property tests for the log-bucketed quantile histogram.
+
+The histogram backs every latency percentile the serving stack
+reports, so its two contracts are checked against randomized inputs:
+
+* **merge is lossless**: merging histograms in any order/grouping
+  produces exactly the state one histogram would have after observing
+  every sample (bucket counts are integers, so associativity and
+  commutativity are exact; totals are float sums, compared with
+  tolerance).
+* **quantile error bound**: against a sorted-sample nearest-rank
+  oracle, every reported quantile of a positive distribution is within
+  the documented relative error of ``sqrt(GAMMA) - 1`` (< 5%).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import _GAMMA, Histogram
+
+#: the documented relative error bound, padded a hair for float round-off
+_ERROR_FACTOR = math.sqrt(_GAMMA) * 1.0001
+
+#: latency-like positive samples spanning nanoseconds to minutes
+positive_samples = st.lists(
+    st.floats(min_value=1.0, max_value=1e11, allow_nan=False,
+              allow_infinity=False),
+    min_size=1,
+    max_size=200,
+)
+
+#: samples including zero and negatives (clock-skew deltas)
+any_samples = st.lists(
+    st.floats(min_value=-1e6, max_value=1e11, allow_nan=False,
+              allow_infinity=False),
+    max_size=120,
+)
+
+quantiles = st.sampled_from((0.5, 0.9, 0.95, 0.99))
+
+
+def _fill(samples) -> Histogram:
+    histogram = Histogram()
+    for sample in samples:
+        histogram.observe(sample)
+    return histogram
+
+
+def _assert_same_state(left: Histogram, right: Histogram) -> None:
+    assert left.count == right.count
+    assert left.underflow == right.underflow
+    assert left.buckets == right.buckets
+    assert left.minimum == right.minimum
+    assert left.maximum == right.maximum
+    assert math.isclose(left.total, right.total, rel_tol=1e-9, abs_tol=1e-6)
+
+
+@given(any_samples, any_samples)
+@settings(max_examples=80)
+def test_merge_is_commutative(a, b):
+    ab = _fill(a)
+    ab.merge(_fill(b))
+    ba = _fill(b)
+    ba.merge(_fill(a))
+    _assert_same_state(ab, ba)
+
+
+@given(any_samples, any_samples, any_samples)
+@settings(max_examples=80)
+def test_merge_is_associative(a, b, c):
+    # (a + b) + c
+    left = _fill(a)
+    left.merge(_fill(b))
+    left.merge(_fill(c))
+    # a + (b + c)
+    bc = _fill(b)
+    bc.merge(_fill(c))
+    right = _fill(a)
+    right.merge(bc)
+    _assert_same_state(left, right)
+
+
+@given(any_samples, any_samples)
+@settings(max_examples=80)
+def test_merge_equals_single_recorder(a, b):
+    """Worker/shard registry merges must reproduce the histogram one
+    registry would have recorded — the claim metrics.py makes."""
+    merged = _fill(a)
+    merged.merge(_fill(b))
+    single = _fill(a + b)
+    _assert_same_state(merged, single)
+
+
+@given(positive_samples, quantiles)
+@settings(max_examples=150)
+def test_quantile_within_relative_error_of_oracle(samples, q):
+    histogram = _fill(samples)
+    ordered = sorted(samples)
+    rank = min(len(ordered), max(1, math.ceil(q * len(ordered))))
+    oracle = ordered[rank - 1]
+    estimate = histogram.quantile(q)
+    assert oracle / _ERROR_FACTOR <= estimate <= oracle * _ERROR_FACTOR
+
+
+@given(positive_samples)
+@settings(max_examples=60)
+def test_quantiles_are_monotone_and_clamped(samples):
+    histogram = _fill(samples)
+    values = [histogram.quantile(q) for q in (0.5, 0.9, 0.95, 0.99)]
+    assert values == sorted(values)
+    for value in values:
+        assert min(samples) <= value <= max(samples)
+
+
+def test_empty_histogram_reports_zeros():
+    histogram = Histogram()
+    assert histogram.quantile(0.5) == 0.0
+    assert histogram.mean == 0.0
+    summary = histogram.summary()
+    assert summary["count"] == 0
+    assert summary["p99"] == 0.0
+
+
+def test_single_sample_is_exactly_recovered():
+    histogram = Histogram()
+    histogram.observe(1234.5)
+    for q in (0.5, 0.9, 0.95, 0.99):
+        assert histogram.quantile(q) == 1234.5
+    assert histogram.summary()["max"] == 1234.5
+
+
+def test_non_positive_samples_collapse_into_underflow():
+    histogram = Histogram()
+    histogram.observe(-5.0)
+    histogram.observe(0.0)
+    histogram.observe(10.0)
+    assert histogram.underflow == 2
+    assert histogram.quantile(0.5) == -5.0  # reported as the minimum
+    assert histogram.quantile(0.99) <= 10.0

@@ -1,0 +1,135 @@
+"""The Prometheus text exposition: emit → parse round-trip, value
+fidelity, name sanitization, and validator rejections."""
+
+from __future__ import annotations
+
+import math
+
+from repro.obs import (
+    MetricsRegistry,
+    prometheus_text,
+    validate_prometheus_text,
+)
+from repro.obs.flight import FlightContext, FlightRecorder
+
+
+def _registry() -> MetricsRegistry:
+    metrics = MetricsRegistry()
+    metrics.count("service.queries", 42)
+    metrics.count("service.cache.hits", 17)
+    metrics.count("rewrite.rule_fired.17", 3)
+    metrics.gauge("service.pool.connections", 4)
+    for value in (100.0, 2_000.0, 450_000.0, 90_000_000.0):
+        metrics.observe("service.query_ns", value)
+    return metrics
+
+
+def _parse_samples(text: str) -> dict[str, float]:
+    samples: dict[str, float] = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name, value = line.rsplit(" ", 1)
+        samples[name] = float(value)
+    return samples
+
+
+def test_exposition_round_trips_through_the_validator():
+    text = prometheus_text(_registry())
+    assert validate_prometheus_text(text) == []
+
+
+def test_counter_gauge_and_summary_values_survive():
+    metrics = _registry()
+    samples = _parse_samples(prometheus_text(metrics))
+    assert samples["repro_service_queries_total"] == 42
+    assert samples["repro_service_cache_hits_total"] == 17
+    assert samples["repro_service_pool_connections"] == 4
+    assert samples["repro_service_query_ns_count"] == 4
+    assert samples["repro_service_query_ns_sum"] == sum(
+        (100.0, 2_000.0, 450_000.0, 90_000_000.0)
+    )
+    # every exposed quantile is a live histogram estimate, within the
+    # documented ~5% relative error of the true p50 (2000)
+    p50 = samples['repro_service_query_ns{quantile="0.5"}']
+    assert math.isclose(p50, 2_000.0, rel_tol=0.05)
+
+
+def test_flight_recorder_metrics_are_included():
+    recorder = FlightRecorder(slow_threshold_s=10.0)
+    context = FlightContext()
+    context.note_cache("exact")
+    recorder.record(
+        query_text="//a",
+        engine="joingraph-sql",
+        status="ok",
+        context=context,
+        elapsed_ns=5_000_000,
+    )
+    text = prometheus_text(MetricsRegistry(), flight=recorder)
+    assert validate_prometheus_text(text) == []
+    samples = _parse_samples(text)
+    assert samples["repro_flight_recorded"] == 1
+    assert samples["repro_flight_latency_ns_count"] == 1
+
+
+def test_hostile_names_are_sanitized_not_emitted_raw():
+    metrics = MetricsRegistry()
+    metrics.count("bad name{with}=chars\n", 1)
+    metrics.count("analysis.diagnostics.JGI-031", 2)
+    text = prometheus_text(metrics)
+    assert validate_prometheus_text(text) == []
+    # the raw name survives only inside escaped HELP text, never in a
+    # sample line
+    samples = [ln for ln in text.splitlines() if ln and not ln.startswith("#")]
+    assert all("{with}" not in line for line in samples)
+    assert "repro_analysis_diagnostics_JGI_031_total 2" in text
+
+
+def test_colliding_sanitized_counters_sum_not_duplicate():
+    metrics = MetricsRegistry()
+    metrics.count("cache.hits", 2)
+    metrics.count("cache,hits", 3)  # sanitizes to the same name
+    text = prometheus_text(metrics)
+    assert validate_prometheus_text(text) == []
+    assert _parse_samples(text)["repro_cache_hits_total"] == 5
+    assert text.count("# TYPE repro_cache_hits_total") == 1
+
+
+def test_prefixless_exposition_is_still_valid():
+    text = prometheus_text(_registry(), prefix="")
+    assert validate_prometheus_text(text) == []
+    assert "service_queries_total 42" in text
+
+
+def test_validator_rejects_malformed_expositions():
+    assert validate_prometheus_text("9bad_name 1\n") != []
+    assert validate_prometheus_text("no_type_declared 1\n") != []
+    assert validate_prometheus_text(
+        "# TYPE m wrongkind\nm 1\n"
+    ) != []
+    assert validate_prometheus_text(
+        "# TYPE m counter\nm not-a-float\n"
+    ) != []
+    assert validate_prometheus_text(
+        '# TYPE m summary\nm{quantile="1.5"} 1\n'
+    ) != []
+    assert validate_prometheus_text(
+        '# TYPE m counter\nm{l="bad\\q"} 1\n'
+    ) != []
+    assert validate_prometheus_text(
+        "# TYPE m counter\nm 1\n# TYPE m counter\n"
+    ) != []
+
+
+def test_validator_accepts_the_format_corners_we_emit():
+    text = (
+        "# HELP m a\\\\slash and a\\nnewline\n"
+        "# TYPE m counter\n"
+        "m 1\n"
+        "# TYPE s summary\n"
+        's{quantile="0.99"} 0.5\n'
+        "s_sum 1.5\n"
+        "s_count 3\n"
+    )
+    assert validate_prometheus_text(text) == []

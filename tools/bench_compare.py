@@ -1,0 +1,163 @@
+#!/usr/bin/env python
+"""Compare committed BENCH_*.json artifacts against a fresh quick run.
+
+A non-blocking regression radar: CI runs this after the test suite,
+prints throughput and latency-percentile deltas between the artifact
+committed at HEAD and a quick re-measurement on the current checkout,
+and **always exits 0** — quick mode on shared runners is far too noisy
+to gate on, but a 2x swing is still worth seeing in the job log.
+
+Usage::
+
+    python tools/bench_compare.py                 # service bench
+    python tools/bench_compare.py --collection    # + shard-scaling bench
+    python tools/bench_compare.py --ref main      # baseline from a ref
+
+The committed artifact and the fresh run may disagree on schema
+version (older artifacts predate latency percentiles); every
+comparison is keyed defensively and silently skips fields one side
+lacks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO / "src"))
+
+
+def _committed(name: str, ref: str) -> dict | None:
+    try:
+        blob = subprocess.run(
+            ["git", "show", f"{ref}:{name}"],
+            cwd=REPO, capture_output=True, text=True, check=True,
+        ).stdout
+    except (subprocess.CalledProcessError, FileNotFoundError):
+        return None
+    try:
+        return json.loads(blob)
+    except json.JSONDecodeError:
+        return None
+
+
+def _delta(old: float, new: float) -> str:
+    if not old:
+        return "n/a"
+    pct = (new - old) / old * 100.0
+    return f"{pct:+.1f}%"
+
+
+def _throughput_line(label: str, old: dict, new: dict) -> str | None:
+    key = "queries_per_second"
+    if key not in old or key not in new:
+        return None
+    return (
+        f"  {label:<22} {old[key]:>10.1f} -> {new[key]:>10.1f} q/s  "
+        f"({_delta(old[key], new[key])})"
+    )
+
+
+def _latency_lines(label: str, old: dict, new: dict) -> list[str]:
+    before, after = old.get("latency_ms"), new.get("latency_ms")
+    if not isinstance(before, dict) or not isinstance(after, dict):
+        return []
+    cells = [
+        f"p{q[1:]} {before[q]:.2f}->{after[q]:.2f}ms ({_delta(before[q], after[q])})"
+        for q in ("p50", "p95", "p99")
+        if q in before and q in after
+    ]
+    return [f"  {label:<22} {'  '.join(cells)}"] if cells else []
+
+
+def _compare_modes(pairs: list[tuple[str, dict, dict]]) -> list[str]:
+    lines: list[str] = []
+    for label, old, new in pairs:
+        line = _throughput_line(label, old, new)
+        if line:
+            lines.append(line)
+        lines.extend(_latency_lines(label, old, new))
+    return lines
+
+
+def compare_service(ref: str) -> list[str]:
+    from repro.service.bench import run_service_bench
+
+    baseline = _committed("BENCH_service.json", ref)
+    if baseline is None:
+        return [f"BENCH_service.json: no committed artifact at {ref}; skipping"]
+    fresh = run_service_bench(quick=True)
+    pairs = [
+        ("uncached baseline",
+         baseline.get("uncached_baseline", {}), fresh["uncached_baseline"]),
+        ("cached", baseline.get("cached", {}), fresh["cached"]),
+    ]
+    old_scaling = {p["workers"]: p for p in baseline.get("scaling", [])}
+    for point in fresh["scaling"]:
+        old = old_scaling.get(point["workers"])
+        if old:
+            pairs.append((f"{point['workers']} worker(s)", old, point))
+    lines = [
+        f"BENCH_service.json  ({baseline.get('schema')} @ {ref}  vs  "
+        f"{fresh['schema']} quick run — configs differ, deltas are noisy)",
+        *_compare_modes(pairs),
+    ]
+    overhead = fresh.get("flight_overhead", {}).get("overhead_pct")
+    if overhead is not None:
+        lines.append(f"  {'flight overhead':<22} {overhead:+.2f}% (fresh run)")
+    return lines
+
+
+def compare_collection(ref: str) -> list[str]:
+    from repro.bench.collection import run_collection_bench
+
+    baseline = _committed("BENCH_collection.json", ref)
+    if baseline is None:
+        return [f"BENCH_collection.json: no committed artifact at {ref}; skipping"]
+    fresh = run_collection_bench(quick=True)
+    pairs = [
+        ("serial baseline",
+         baseline.get("serial_baseline", {}), fresh["serial_baseline"]),
+    ]
+    old_curve = {p["shards"]: p for p in baseline.get("curve", [])}
+    for point in fresh["curve"]:
+        old = old_curve.get(point["shards"])
+        if old:
+            pairs.append((f"{point['shards']} shard(s)", old, point))
+    return [
+        f"BENCH_collection.json  ({baseline.get('schema')} @ {ref}  vs  "
+        f"{fresh['schema']} quick run — configs differ, deltas are noisy)",
+        *_compare_modes(pairs),
+    ]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--ref", default="HEAD",
+                        help="git ref holding the baseline artifacts")
+    parser.add_argument("--collection", action="store_true",
+                        help="also re-run the shard-scaling bench")
+    parser.add_argument("--out", help="also write the report to this file")
+    args = parser.parse_args(argv)
+
+    lines = ["== bench comparison (informational — never fails the build) =="]
+    for section in (compare_service,) + (
+        (compare_collection,) if args.collection else ()
+    ):
+        try:
+            lines.extend(section(args.ref))
+        except Exception as exc:  # noqa: BLE001 - never block CI on the radar
+            lines.append(f"  comparison failed: {type(exc).__name__}: {exc}")
+    report = "\n".join(lines) + "\n"
+    print(report, end="")
+    if args.out:
+        Path(args.out).write_text(report)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
