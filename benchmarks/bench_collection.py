@@ -49,6 +49,14 @@ def main(argv: list[str] | None = None) -> int:
         help="CI-smoke size: tiny documents, few repeats",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="shard execution mode for every curve point: 'thread' "
+        "stays in-process, 'process' runs one worker process per "
+        "shard over the zero-copy attach",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_collection.json",
         metavar="FILE",
@@ -78,6 +86,7 @@ def main(argv: list[str] | None = None) -> int:
         shards=tuple(int(n) for n in args.shards.split(",")),
         queries=queries,
         quick=args.quick,
+        executor=args.executor,
     )
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
     print(format_collection_bench(report))

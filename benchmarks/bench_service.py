@@ -48,6 +48,14 @@ def main(argv: list[str] | None = None) -> int:
         help="CI-smoke size: tiny document, few repeats",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="scaling-curve execution mode: 'thread' scales the "
+        "shared-cache thread pool, 'process' scales worker processes "
+        "over the zero-copy shard attach",
+    )
+    parser.add_argument(
         "--out",
         default="BENCH_service.json",
         metavar="FILE",
@@ -67,6 +75,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=tuple(int(w) for w in args.workers.split(",")),
         queries=tuple(args.queries.split(",")),
         quick=args.quick,
+        executor=args.executor,
     )
     Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
     print(format_service_bench(report))

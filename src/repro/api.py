@@ -156,6 +156,7 @@ def connect(
     deadline_s: float | None = None,
     retry: RetryPolicy | None = None,
     degrade: bool = True,
+    executor: str = "thread",
     flight: bool = True,
     slow_threshold_s: float = 0.25,
 ) -> Session:
@@ -182,6 +183,15 @@ def connect(
         Resilience defaults: per-query time budget, transient-error
         retry policy, and graceful degradation (see
         ``docs/robustness.md``).
+    executor:
+        Shard execution mode when sharded: ``"thread"`` (default) runs
+        shard plans on in-process worker threads; ``"process"`` owns
+        one long-lived worker process per shard with its own SQLite
+        connection over a zero-copy attach of the shard image —
+        compiled plans ship to the workers, sidestepping the GIL on
+        multi-core hosts (see ``docs/performance.md``).  Ignored for
+        ``shards=1``, where the single-backend thread service always
+        wins.
     flight, slow_threshold_s:
         The query flight recorder (on by default): one structured
         record per query plus a slow-query log promoting queries over
@@ -192,6 +202,10 @@ def connect(
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
     if shards == 1:
         service: QueryService | ShardedService = QueryService(
             default_doc=default_doc,
@@ -216,6 +230,7 @@ def connect(
             deadline_s=deadline_s,
             retry=retry,
             degrade=degrade,
+            executor=executor,
             flight=flight,
             slow_threshold_s=slow_threshold_s,
         )

@@ -23,14 +23,20 @@ against the serial baseline before any number is reported — the
 benchmark doubles as a differential test.  Each grid point also
 reports per-call latency percentiles (p50/p90/p95/p99 in
 milliseconds) from the best timed trial, so the shard curve shows
-tail latency next to throughput.  ``benchmarks/bench_collection.py``
-and ``repro serve-bench --collection`` are thin wrappers over
-:func:`run_collection_bench`; the emitted document is
-``repro.bench.collection/v2`` (see ``docs/schemas.md``).
+tail latency next to throughput.  The curve can run under either
+shard executor (``executor="thread"`` or ``"process"`` — see
+``docs/performance.md``); every point records which one produced it,
+whether the fan-out dispatched in parallel, and its absolute
+``queries_per_second``/``speedup`` next to the relative speedups.
+``benchmarks/bench_collection.py`` and ``repro serve-bench
+--collection`` are thin wrappers over :func:`run_collection_bench`;
+the emitted document is ``repro.bench.collection/v3`` (see
+``docs/schemas.md``).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from typing import Any, Callable, Mapping, Sequence
 
@@ -47,7 +53,7 @@ __all__ = [
     "run_collection_bench",
 ]
 
-SCHEMA = "repro.bench.collection/v2"
+SCHEMA = "repro.bench.collection/v3"
 
 #: Predicate-heavy multi-step shapes: each step's candidate set is
 #: corpus-wide under a combined table, so per-document cost grows with
@@ -129,9 +135,10 @@ def _shard_point(
     reference: dict[str, Any],
     repeat: int,
     shards: int,
+    executor: str = "thread",
 ) -> dict[str, Any]:
     """One shard count: verify against the baseline, then time."""
-    with ShardedService(Collection(shards)) as service:
+    with ShardedService(Collection(shards), executor=executor) as service:
         # pinned round-robin placement: on a small corpus, hash
         # placement variance would dominate the scaling signal the
         # benchmark exists to measure (large corpora converge to
@@ -166,9 +173,14 @@ def _shard_point(
             entry["documents"]
             for entry in service.collection.stats()["per_shard"]
         ]
+        parallel = bool(service.parallel_fanout) and shards > 1
+    calls = repeat * len(queries)
     return {
         "shards": shards,
         "seconds": seconds,
+        "executor": executor,
+        "parallel": parallel,
+        "queries_per_second": calls / seconds if seconds else 0.0,
         "latency_ms": latency_summary_ms(latency),
         "fanout": fanout,
         "documents_per_shard": placement,
@@ -183,12 +195,20 @@ def run_collection_bench(
     queries: Mapping[str, str] = DEFAULT_COLLECTION_QUERIES,
     seed: int = 42,
     quick: bool = False,
+    executor: str = "thread",
 ) -> dict[str, Any]:
     """Run the whole grid; returns the ``BENCH_collection.json`` document.
 
     ``quick`` shrinks the corpus and repeat count to CI-smoke size
     (seconds, not minutes) while keeping every verification.
+    ``executor`` selects the shard execution mode for every curve
+    point (``"thread"`` or ``"process"`` — the curve's results are
+    byte-identical either way; only the seconds move).
     """
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
     if quick:
         factor = min(factor, 0.005)
         repeat = min(repeat, 2)
@@ -200,17 +220,21 @@ def run_collection_bench(
         texts, queries, repeat
     )
     curve = [
-        _shard_point(texts, queries, reference, repeat, n) for n in shards
+        _shard_point(texts, queries, reference, repeat, n, executor)
+        for n in shards
     ]
     by_shards = {point["shards"]: point["seconds"] for point in curve}
     base = by_shards.get(1, serial_s)
     for point in curve:
+        # `speedup` is the headline number (vs the serial combined
+        # table); the *_vs_* fields keep both denominators explicit
+        point["speedup"] = (
+            serial_s / point["seconds"] if point["seconds"] else float("inf")
+        )
         point["speedup_vs_1_shard"] = (
             base / point["seconds"] if point["seconds"] else float("inf")
         )
-        point["speedup_vs_serial"] = (
-            serial_s / point["seconds"] if point["seconds"] else float("inf")
-        )
+        point["speedup_vs_serial"] = point["speedup"]
     return {
         "schema": SCHEMA,
         "metadata": {
@@ -224,6 +248,8 @@ def run_collection_bench(
             "trials": TRIALS,
             "calls_per_mode": calls,
             "placement": "round-robin",
+            "executor": executor,
+            "cpu_count": os.cpu_count(),
             "quick": quick,
         },
         "serial_baseline": {
@@ -252,15 +278,19 @@ def format_collection_bench(report: dict[str, Any]) -> str:
     lines = [
         f"collection bench — {meta['documents']} xmark docs @ factor "
         f"{meta['factor']} ({meta['rows']} rows), "
-        f"{meta['calls_per_mode']} calls/mode",
+        f"{meta['calls_per_mode']} calls/mode, "
+        f"{meta.get('executor', 'thread')} executor",
         f"  serial baseline  : {serial['seconds']:8.3f}s "
         f"({serial['queries_per_second']:.1f} q/s){pct(serial)}",
     ]
     for point in report["curve"]:
         lines.append(
             f"  {point['shards']:2d} shard(s)      : "
-            f"{point['seconds']:8.3f}s   "
+            f"{point['seconds']:8.3f}s "
+            f"({point.get('queries_per_second', 0.0):6.1f} q/s)  "
             f"{point['speedup_vs_1_shard']:5.2f}x vs 1 shard   "
+            f"{point.get('speedup', point['speedup_vs_serial']):5.2f}x vs "
+            "serial   "
             f"docs/shard {point['documents_per_shard']}{pct(point)}"
         )
     return "\n".join(lines)

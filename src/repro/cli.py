@@ -424,6 +424,22 @@ def build_obs_parser() -> argparse.ArgumentParser:
         "analysis-health section",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve through a sharded collection of this many shards "
+        "(documents place by URI hash; default: 1, single backend)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="shard execution mode for --shards > 1: 'thread' runs "
+        "shard plans in-process, 'process' dispatches to one worker "
+        "process per shard over the zero-copy attach — the executor "
+        "summary then shows per-worker request/merge counts",
+    )
+    parser.add_argument(
         "--trace", metavar="FILE", help="also write the Chrome trace JSON"
     )
     parser.add_argument(
@@ -471,12 +487,26 @@ def obs_main(argv: list[str]) -> int:
 
     if not args.doc:
         parser.error("at least one --doc FILE is required")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
 
-    from repro.service import QueryService
+    from repro.service import QueryService, ShardedService
 
-    service = QueryService(
-        checked=args.checked, workers=2, slow_threshold_s=args.slow_threshold
-    )
+    if args.shards > 1:
+        from repro.store import Collection
+
+        service: QueryService | ShardedService = ShardedService(
+            Collection(args.shards),
+            checked=args.checked,
+            executor=args.executor,
+            slow_threshold_s=args.slow_threshold,
+        )
+    else:
+        service = QueryService(
+            checked=args.checked,
+            workers=2,
+            slow_threshold_s=args.slow_threshold,
+        )
     previous_tracer, previous_metrics = get_tracer(), get_metrics()
     tracer = set_tracer(Tracer())
     metrics = set_metrics(MetricsRegistry())
@@ -492,7 +522,11 @@ def obs_main(argv: list[str]) -> int:
         service.execute(args.query, engine=args.engine)
         compiled = service.compile(args.query)
         service.serialize(items)
-        planner = JoinGraphPlanner(service.store.table)
+        if isinstance(service, ShardedService):
+            table = service.collection.combined_store().table
+        else:
+            table = service.store.table
+        planner = JoinGraphPlanner(table)
         plan = planner.plan(flatten_query(compiled.isolated_plan))
         _, audits = audit_plan(plan)
         if args.checked:
@@ -522,6 +556,8 @@ def obs_main(argv: list[str]) -> int:
                 Path(args.prometheus).write_text(exposition)
         print(f"-- {len(items)} item(s) [{args.engine}]\n")
         print(summary_report(tracer, metrics, audits))
+        print()
+        print(_executor_report(service.stats()))
         if args.slow:
             print()
             print(_slow_log_report(service.flight))
@@ -533,6 +569,48 @@ def obs_main(argv: list[str]) -> int:
         service.close()
         set_tracer(previous_tracer)
         set_metrics(previous_metrics)
+
+
+def _executor_report(stats: dict) -> str:
+    """The executor-mode section of ``repro obs``: which shard
+    executor served the query and, for process mode, the per-worker
+    request/merge/restart counters — the numbers that make a
+    flat-scaling regression diagnosable from the CLI (a worker with
+    zero merges never contributed; climbing restarts mean the pool is
+    crash-looping)."""
+    executor = stats.get("executor", "thread")
+    lines = [f"== executor ({executor}) =="]
+    procpool = stats.get("procpool")
+    if procpool:
+        lines.append(
+            f"  {len(procpool['workers'])} worker process(es), "
+            f"{procpool['workers_per_shard']} per shard"
+        )
+        for worker in procpool["workers"]:
+            lines.append(
+                f"  {worker['worker']}: pid {worker['pid']} "
+                f"alive={worker['alive']} requests {worker['requests']} "
+                f"merges {worker['merges']} "
+                f"plans_shipped {worker['plans_shipped']} "
+                f"restarts {worker['restarts']}"
+            )
+    elif executor == "process":
+        lines.append(
+            "  worker pool not started (query was served serially)"
+        )
+    elif "per_shard" in stats:
+        lines.append(
+            f"  in-process shard threads over {len(stats['per_shard'])} "
+            "shard service(s); registry merges happen in-process "
+            "(no cross-process snapshots)"
+        )
+    else:
+        lines.append(
+            f"  in-process thread pool ({stats.get('workers', '?')} "
+            "worker(s)); registry merges happen in-process "
+            "(no cross-process snapshots)"
+        )
+    return "\n".join(lines)
 
 
 def _slow_log_report(recorder) -> str:
@@ -590,6 +668,15 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         help="smoke-test size: tiny document, few repeats",
     )
     parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="shard/worker execution mode: 'thread' (default) stays "
+        "in-process, 'process' runs worker processes over the "
+        "zero-copy shard attach (applies to the scaling curve, "
+        "--collection, and sharded --faults)",
+    )
+    parser.add_argument(
         "--out",
         metavar="FILE",
         help="also write the JSON benchmark document to FILE",
@@ -640,7 +727,7 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         "collection mode (see docs/performance.md)",
         "run the shard-scaling collection benchmark instead of the "
         "service throughput benchmark; writes the "
-        "repro.bench.collection/v2 document",
+        "repro.bench.collection/v3 document",
     )
     coll.add_argument(
         "--collection", action="store_true",
@@ -678,6 +765,7 @@ def serve_bench_main(argv: list[str]) -> int:
             deadline_s=args.deadline,
             shards=args.shards,
             documents=args.documents,
+            executor=args.executor,
         )
         report = run_chaos_campaign(config)
         print(format_chaos_report(report))
@@ -701,6 +789,7 @@ def serve_bench_main(argv: list[str]) -> int:
             repeat=args.repeat if args.repeat != 40 else 5,
             shards=tuple(int(n) for n in args.shard_curve.split(",")),
             quick=args.quick,
+            executor=args.executor,
         )
         print(format_collection_bench(report))
         if args.out:
@@ -716,6 +805,7 @@ def serve_bench_main(argv: list[str]) -> int:
         workers=tuple(int(w) for w in args.workers.split(",")),
         queries=tuple(args.queries.split(",")),
         quick=args.quick,
+        executor=args.executor,
     )
     print(format_service_bench(report))
     if args.out:

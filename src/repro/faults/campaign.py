@@ -95,6 +95,11 @@ class ChaosConfig:
     shards: int = 1
     documents: int = 4
     collection_query_mix: tuple[str, ...] = ("CX1", "CX2", "CX3", "CX4")
+    #: shard execution mode for sharded-mode storms: ``"process"``
+    #: storms the ProcessShardExecutor, so injected faults cross the
+    #: pipe and the ledger must balance across process boundaries
+    #: (ignored in single mode, which has no shard executor)
+    executor: str = "thread"
 
     def plan(self) -> FaultPlan:
         return FaultPlan.uniform(
@@ -211,6 +216,7 @@ def _sharded_target(config: ChaosConfig):
         breaker_threshold=config.breaker_threshold,
         breaker_reset_s=config.breaker_reset_s,
         degrade=True,
+        executor=config.executor,
         flight_recorder=config.recorder(),
     )
     return service, texts, oracle
@@ -372,7 +378,8 @@ def format_chaos_report(report: dict[str, Any]) -> str:
     if report.get("mode") == "sharded":
         lines.append(
             f"  sharded mode      : {config['shards']} shards, "
-            f"{config['documents']}-document collection() storm"
+            f"{config['documents']}-document collection() storm, "
+            f"{config.get('executor', 'thread')} executor"
         )
     lines += [
         f"  calls             : {report['calls']}",

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+import uuid
 from typing import Iterable, NamedTuple
 
 import numpy as np
@@ -40,6 +42,12 @@ def _decimal_cast(value: str) -> float | None:
         return None
 
 
+#: per-process salt + monotonic counter behind :attr:`DocTable.uid` —
+#: see the attribute's comment for why ``id()`` cannot be the identity
+_PROCESS_TAG = uuid.uuid4().hex[:8]
+_TABLE_IDS = itertools.count()
+
+
 class DocTable:
     """Column-oriented, append-only encoding table for XML infosets.
 
@@ -61,6 +69,15 @@ class DocTable:
         #: keep it identical); backends and compiled-query caches key
         #: their artifacts on this counter instead.
         self.version: int = 0
+        #: stable table identity, minted at creation.  ``id(table)``
+        #: is not a safe identity key: the allocator reuses addresses
+        #: after GC (a fresh table can inherit a dead table's id and
+        #: be served that table's cached artifacts), and across
+        #: process boundaries ids carry no meaning at all.  The UID is
+        #: monotonic within a process and salted with a per-process
+        #: random tag so no two tables — in this process or any worker
+        #: process — ever share one.
+        self.uid: str = f"{_PROCESS_TAG}-{next(_TABLE_IDS)}"
         self._doc_roots: dict[str, int] = {}
         self._frozen: _FrozenColumns | None = None
 
@@ -302,6 +319,11 @@ class DocumentStore:
         """The table's monotonic content version (staleness key for
         backends and compiled-query caches)."""
         return self.table.version
+
+    @property
+    def uid(self) -> str:
+        """The table's stable identity (see :attr:`DocTable.uid`)."""
+        return self.table.uid
 
     def load(self, text: str, uri: str) -> int:
         """Parse and add a document; returns the DOC row's pre rank."""

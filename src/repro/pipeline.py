@@ -178,9 +178,13 @@ class XQueryProcessor:
         Staleness is keyed on (table identity, monotonic content
         version) — not the row count, which can stay identical across a
         content change (e.g. swapping in a different store) and would
-        then serve stale data.
+        then serve stale data.  Identity is the table's minted
+        :attr:`~repro.infoset.encoding.DocTable.uid`, not ``id()``: the
+        allocator reuses addresses after GC, so a fresh table at a
+        recycled address with a matching version counter would be
+        served the dead table's backend.
         """
-        token = (id(self.store.table), self.store.version)
+        token = (self.store.table.uid, self.store.version)
         if self._backend is None or self._backend_token != token:
             if self._backend is not None:
                 self._backend.close()

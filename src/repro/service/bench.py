@@ -11,6 +11,12 @@ XMark workload:
 2. **Concurrent execution**: a worker-scaling curve — the same
    repeated workload pushed through :meth:`QueryService.run_many` at
    several thread-pool widths over the shared-cache backend pool.
+   With ``executor="process"`` the curve instead drives a
+   single-shard :class:`repro.service.ShardedService` whose
+   :class:`~repro.service.procpool.ProcessShardExecutor` owns the
+   given number of worker *processes* — pre-lowered SQL executes on
+   independent interpreters, so the curve measures scaling past the
+   GIL (see ``docs/performance.md``).
 
 Every mode reports SLO-grade latency percentiles (p50/p90/p95/p99 in
 milliseconds, from the ``service.query_ns`` quantile histogram — the
@@ -29,19 +35,24 @@ read the emitted JSON.
 
 from __future__ import annotations
 
+import os
+import threading
 import time
 from typing import Any, Sequence
 
 from repro.infoset.encoding import DocumentStore
 from repro.obs import (
     Histogram,
+    MetricsRegistry,
     get_metrics,
     latency_summary_ms,
     metrics_scope,
+    set_metrics,
 )
 from repro.pipeline import XQueryProcessor
 from repro.service.service import QueryService
 from repro.workloads import XMARK_QUERIES, XMarkConfig, generate_xmark
+from repro.xmltree.model import DocumentNode
 
 __all__ = [
     "DEFAULT_QUERY_SET",
@@ -54,7 +65,7 @@ __all__ = [
 #: join, path scans — the repeated-query traffic a service would see
 DEFAULT_QUERY_SET: tuple[str, ...] = ("X1", "X5", "X8", "X13", "X17", "X19")
 
-SCHEMA = "repro.service.bench/v2"
+SCHEMA = "repro.service.bench/v3"
 
 #: Template respellings of in-fragment path queries — the traffic
 #: shape templated clients produce: same canonical pattern, different
@@ -131,6 +142,83 @@ def _worker_throughput(
             service.run_many(batch)
             elapsed = time.perf_counter() - start
     return elapsed, results, timed.histograms.get("service.query_ns")
+
+
+def _process_worker_throughput(
+    tree: DocumentNode, queries: Sequence[str], repeat: int, workers: int
+) -> tuple[float, dict[str, list[Any]], Histogram]:
+    """The full repeated batch through a single-shard process executor
+    at one worker-process count.
+
+    ``workers`` parent threads stripe the batch across the shard's
+    ``workers`` worker processes (the procpool round-robins requests);
+    the parent threads only coordinate pipes, so the worker processes
+    execute concurrently regardless of the GIL.  Per-thread registries
+    and latency histograms merge back after the join — the same
+    lossless merge the executor applies to the workers' snapshots."""
+    from repro.service.scatter import ShardedService
+    from repro.store import Collection
+
+    collection = Collection(1)
+    collection.load_tree(tree, shard=0)
+    with ShardedService(
+        collection,
+        default_doc="auction.xml",
+        workers_per_shard=workers,
+        executor="process",
+    ) as service:
+        # warm every worker process: attach the shard image and ship
+        # each plan `workers` times so the round-robin touches all of
+        # them before the timed window
+        results: dict[str, list[Any]] = {}
+        for _ in range(workers):
+            for query in queries:
+                results[query] = service.execute(query)
+        batch = [query for _ in range(repeat) for query in queries]
+        stripes = [batch[index::workers] for index in range(workers)]
+        latencies = [Histogram() for _ in range(workers)]
+        outer = get_metrics()
+        merge_lock = threading.Lock()
+        failures: list[BaseException] = []
+
+        def drive(stripe: list[str], latency: Histogram) -> None:
+            local = MetricsRegistry()
+            previous = set_metrics(local)
+            try:
+                for query in stripe:
+                    call_start = time.perf_counter_ns()
+                    service.execute(query)
+                    latency.observe(time.perf_counter_ns() - call_start)
+            except BaseException as error:  # noqa: BLE001 - reraised
+                with merge_lock:
+                    failures.append(error)
+            finally:
+                set_metrics(previous)
+                with merge_lock:
+                    outer.merge(local)
+
+        threads = [
+            threading.Thread(
+                target=drive,
+                args=(stripe, latency),
+                name=f"bench-proc-{index}",
+            )
+            for index, (stripe, latency) in enumerate(
+                zip(stripes, latencies)
+            )
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        if failures:
+            raise failures[0]
+    merged = Histogram()
+    for latency in latencies:
+        merged.merge(latency)
+    return elapsed, results, merged
 
 
 def measure_flight_overhead(
@@ -247,19 +335,29 @@ def run_service_bench(
     workers: Sequence[int] = (1, 2, 4, 8),
     queries: Sequence[str] = DEFAULT_QUERY_SET,
     quick: bool = False,
+    executor: str = "thread",
 ) -> dict[str, Any]:
     """Run the whole grid; returns the ``BENCH_service.json`` document.
 
     ``quick`` shrinks the document and the repeat count to CI-smoke
     size (seconds, not minutes) while keeping every verification.
+    ``executor`` selects what the worker-scaling curve measures:
+    ``"thread"`` (default) scales the shared-cache thread pool,
+    ``"process"`` scales worker *processes* over the zero-copy shard
+    attach (results verified byte-identical either way).
     """
+    if executor not in ("thread", "process"):
+        raise ValueError(
+            f"executor must be 'thread' or 'process', got {executor!r}"
+        )
     if quick:
         factor = min(factor, 0.004)
         repeat = min(repeat, 8)
         workers = tuple(w for w in workers if w <= 4) or (1, 4)
     texts = [XMARK_QUERIES[name].text for name in queries]
+    tree = generate_xmark(XMarkConfig(factor=factor))
     store = DocumentStore()
-    store.load_tree(generate_xmark(XMarkConfig(factor=factor)))
+    store.load_tree(tree)
     calls = repeat * len(texts)
 
     with metrics_scope():
@@ -282,14 +380,20 @@ def run_service_bench(
     scaling = []
     for width in workers:
         with metrics_scope():
-            worker_s, worker_results, worker_latency = _worker_throughput(
-                store, texts, repeat, width
-            )
+            if executor == "process":
+                worker_s, worker_results, worker_latency = (
+                    _process_worker_throughput(tree, texts, repeat, width)
+                )
+            else:
+                worker_s, worker_results, worker_latency = (
+                    _worker_throughput(store, texts, repeat, width)
+                )
         _verify(reference, worker_results, f"workers={width}")
         scaling.append(
             {
                 "workers": width,
                 "seconds": worker_s,
+                "executor": executor,
                 "queries_per_second": calls / worker_s if worker_s else 0.0,
                 "latency_ms": latency_summary_ms(worker_latency),
             }
@@ -306,6 +410,8 @@ def run_service_bench(
             "queries": list(queries),
             "repeat": repeat,
             "calls_per_mode": calls,
+            "executor": executor,
+            "cpu_count": os.cpu_count(),
             "quick": quick,
         },
         "uncached_baseline": {
@@ -368,7 +474,12 @@ def format_service_bench(report: dict[str, Any]) -> str:
         f"  ({cached['seconds']:.3f}s){pct(cached)}",
         f"  speedup           : {report['speedup']:8.1f}x"
         "  (compiled-plan cache + prepared statements)",
-        "  scaling (run_many over the shared-cache pool):",
+        (
+            "  scaling (worker processes over the zero-copy shard "
+            "attach):"
+            if meta.get("executor") == "process"
+            else "  scaling (run_many over the shared-cache pool):"
+        ),
     ]
     for point in report["scaling"]:
         lines.append(

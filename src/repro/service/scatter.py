@@ -46,29 +46,38 @@ from __future__ import annotations
 
 import heapq
 import os
+import sqlite3
 import threading
 import time
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import fields, is_dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.analysis.containment import canonicalize, extract_pattern
 from repro.engines import Engine
-from repro.errors import ServiceError
+from repro.errors import BackendUnavailable, DeadlineExceeded, ServiceError
+from repro.faults.injector import is_injected
 from repro.infoset.encoding import DocumentStore
 from repro.obs import get_metrics, get_tracer
 from repro.obs.flight import (
     FlightContext,
     FlightRecorder,
+    adopt_context,
     current_context,
     flight_capture,
     span_tree,
 )
+from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.obs.tracer import Span
 from repro.pipeline import CompiledQuery, XQueryProcessor
 from repro.result import Result, Serialized
 from repro.service.cache import CacheKey, CompiledQueryCache
-from repro.service.resilience import Deadline, RetryPolicy
+from repro.service.procpool import (
+    ProcessShardExecutor,
+    ShippedPlan,
+    WorkerCrash,
+)
+from repro.service.resilience import Deadline, RetryPolicy, is_transient
 from repro.service.service import QueryService, canonical_alias_key
 from repro.store import Collection
 from repro.xquery.core import (
@@ -228,6 +237,17 @@ class ShardedService:
         the per-shard cost reduction (smaller tables, shorter membership
         predicates) is what sharding buys, and it survives serial
         dispatch intact.
+    executor:
+        ``"thread"`` (default) runs each shard plan on the shard's
+        in-process :class:`QueryService`; ``"process"`` dispatches to a
+        :class:`~repro.service.procpool.ProcessShardExecutor` — one
+        long-lived worker *process* per shard (``workers_per_shard``
+        each) holding its own SQLite connection over a zero-copy
+        attach of the shard image, executing pre-lowered shipped SQL
+        on an independent interpreter.  Threads stay the right choice
+        for single-shard stores and tiny corpora where the serialize/
+        spawn cost outweighs the GIL win; see
+        ``docs/performance.md``.
     cache_capacity, cached_statements, indexes:
         As on :class:`QueryService`; apply to every shard.
     deadline_s, retry, breaker_threshold, breaker_reset_s, degrade:
@@ -257,10 +277,15 @@ class ShardedService:
         breaker_reset_s: float = 0.25,
         degrade: bool = True,
         parallel_fanout: bool | None = None,
+        executor: str = "thread",
         flight: bool = True,
         flight_recorder: FlightRecorder | None = None,
         slow_threshold_s: float = 0.25,
     ):
+        if executor not in ("thread", "process"):
+            raise ValueError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         if collection is None:
             collection = Collection(shards if shards is not None else 1)
         elif shards is not None and shards != collection.shards:
@@ -272,7 +297,11 @@ class ShardedService:
         self.serialize_step = serialize_step
         self.deadline_s = deadline_s
         self.degrade_enabled = degrade
+        self.executor = executor
         if parallel_fanout is None:
+            # process workers sidestep the GIL, so concurrent dispatch
+            # pays off whenever the host has cores to run them on;
+            # thread fan-out on a single core is pure scheduling cost
             parallel_fanout = (os.cpu_count() or 1) > 1
         self.parallel_fanout = parallel_fanout
         # exactly one flight record per query, at this serving
@@ -327,6 +356,20 @@ class ShardedService:
         ]
         self._serial_service: QueryService | None = None
         self._serial_lock = threading.Lock()
+        # process-executor state (lazy: thread mode never pays for it).
+        # The parent owns every retry/degrade/surface decision for
+        # worker-raised faults, so the ledger lives here, not in the
+        # workers — one disposition per injected failure, same as
+        # QueryService's accounting.
+        self._workers_per_shard = workers_per_shard
+        self._indexes = indexes
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._procpool: ProcessShardExecutor | None = None
+        self._procpool_lock = threading.Lock()
+        self._dispatch: ThreadPoolExecutor | None = None
+        self._proc_accounting = {"retry": 0, "degrade": 0, "surface": 0}
+        self._proc_accounting_lock = threading.Lock()
+        self._proc_merge_lock = threading.Lock()
         self._closed = False
 
     # -- documents -----------------------------------------------------
@@ -697,11 +740,16 @@ class ShardedService:
                 get_metrics().count("service.scatter.routed")
                 shard = shards[0]
                 with tracer.span("service.scatter.shard", shard=shard):
-                    items = self._shard_services[shard].execute(
-                        self._shard_compiled(compiled, shard),
-                        engine,
-                        deadline_s=remaining,
-                    )
+                    if self.executor == "process":
+                        items = self._process_execute(
+                            compiled, engine, shard, deadline
+                        )
+                    else:
+                        items = self._shard_services[shard].execute(
+                            self._shard_compiled(compiled, shard),
+                            engine,
+                            deadline_s=remaining,
+                        )
                 started = time.perf_counter_ns()
                 merged = self.collection.to_global(shard, items)
                 return merged, time.perf_counter_ns() - started
@@ -709,17 +757,38 @@ class ShardedService:
             per_shard: list[list[int]] = []
             failure: BaseException | None = None
             if self.parallel_fanout:
-                futures: list[tuple[int, Future[Result]]] = [
-                    (
-                        shard,
-                        self._shard_services[shard].submit(
-                            self._shard_compiled(compiled, shard),
-                            engine,
-                            deadline_s=remaining,
-                        ),
-                    )
-                    for shard in shards
-                ]
+                futures: list[tuple[int, Future[Any]]]
+                if self.executor == "process":
+                    # parent dispatch threads only coordinate pipes —
+                    # the worker *processes* execute concurrently
+                    pool = self._dispatch_pool()
+                    futures = [
+                        (
+                            shard,
+                            pool.submit(
+                                self._process_task,
+                                get_metrics(),
+                                current_context(),
+                                compiled,
+                                engine,
+                                shard,
+                                deadline,
+                            ),
+                        )
+                        for shard in shards
+                    ]
+                else:
+                    futures = [
+                        (
+                            shard,
+                            self._shard_services[shard].submit(
+                                self._shard_compiled(compiled, shard),
+                                engine,
+                                deadline_s=remaining,
+                            ),
+                        )
+                        for shard in shards
+                    ]
                 for shard, future in futures:
                     try:
                         items = future.result()
@@ -733,11 +802,16 @@ class ShardedService:
             else:
                 for shard in shards:
                     try:
-                        items = self._shard_services[shard].execute(
-                            self._shard_compiled(compiled, shard),
-                            engine,
-                            deadline_s=_remaining(deadline),
-                        )
+                        if self.executor == "process":
+                            items = self._process_execute(
+                                compiled, engine, shard, deadline
+                            )
+                        else:
+                            items = self._shard_services[shard].execute(
+                                self._shard_compiled(compiled, shard),
+                                engine,
+                                deadline_s=_remaining(deadline),
+                            )
                     except ServiceError as error:
                         get_metrics().count("service.scatter.shard_failures")
                         if failure is None:
@@ -767,6 +841,152 @@ class ShardedService:
             if deadline is not None:
                 deadline.check()
             return merged, merge_ns
+
+    # -- process executor ----------------------------------------------
+
+    def _process_pool(self) -> ProcessShardExecutor:
+        with self._procpool_lock:
+            if self._procpool is None:
+                self._procpool = ProcessShardExecutor(
+                    self.collection.shards,
+                    workers_per_shard=self._workers_per_shard,
+                    cached_statements=self._service_config[
+                        "cached_statements"
+                    ],
+                )
+            return self._procpool
+
+    def _dispatch_pool(self) -> ThreadPoolExecutor:
+        """Parent-side threads that drive the worker pipes during a
+        parallel fan-out; they block on I/O, so the GIL is idle while
+        the worker processes compute."""
+        with self._procpool_lock:
+            if self._dispatch is None:
+                self._dispatch = ThreadPoolExecutor(
+                    max_workers=max(
+                        1, self.collection.shards * self._workers_per_shard
+                    ),
+                    thread_name_prefix="repro-dispatch",
+                )
+            return self._dispatch
+
+    def _shipped_plan(
+        self, compiled: CompiledQuery, engine: Engine, shard: int
+    ) -> ShippedPlan:
+        """The shard-specialized plan in shippable form, keyed by the
+        same canonical cache key the compiled-plan cache uses — the
+        worker's plan cache and the parent's stay in lockstep."""
+        variant = self._shard_compiled(compiled, shard)
+        sql = (
+            variant.stacked_sql
+            if engine == "stacked-sql"
+            else variant.joingraph_sql
+        )
+        key = self._cache_key(compiled.source)._replace(
+            collection=f"shards:{self.collection.shards}:{shard}"
+        )
+        return ShippedPlan(
+            key=(key, engine.value),
+            sql_text=sql.text,
+            item_index=sql.select_aliases.index(sql.item_alias),
+        )
+
+    def _process_task(
+        self,
+        registry: MetricsRegistry,
+        context: FlightContext | None,
+        compiled: CompiledQuery,
+        engine: Engine,
+        shard: int,
+        deadline: Deadline | None,
+    ) -> list[int]:
+        # dispatch-thread bridge, mirroring QueryService._task: record
+        # into a private registry and merge into the submitting
+        # thread's under a lock; adopt the submitter's flight context
+        local = MetricsRegistry()
+        previous = set_metrics(local)
+        try:
+            with adopt_context(context):
+                return self._process_execute(compiled, engine, shard, deadline)
+        finally:
+            set_metrics(previous)
+            with self._proc_merge_lock:
+                registry.merge(local)
+
+    def _process_execute(
+        self,
+        compiled: CompiledQuery,
+        engine: Engine,
+        shard: int,
+        deadline: Deadline | None,
+    ) -> list[int]:
+        """One shard execution on the process executor under the
+        parent-side resilience stack — the process-mode analog of
+        :meth:`QueryService._run_pooled` (no pool, no breaker: the
+        worker owns exactly one connection and a crash is already
+        handled by restart-and-retry)."""
+        plan = self._shipped_plan(compiled, engine, shard)
+        store = self.collection.stores[shard]
+        executor = self._process_pool()
+        metrics = get_metrics()
+        tracer = get_tracer()
+        attempt = 0
+        while True:
+            try:
+                return executor.execute(
+                    shard,
+                    plan,
+                    version=store.version,
+                    payload=lambda: self.collection.shard_payload(
+                        shard, self._indexes
+                    ),
+                    budget_s=_remaining(deadline),
+                )
+            except DeadlineExceeded as error:
+                metrics.count("service.deadline.exceeded")
+                self._proc_account(error, "surface")
+                raise
+            except (sqlite3.Error, WorkerCrash) as error:
+                if isinstance(error, sqlite3.Error) and not is_transient(
+                    error
+                ):
+                    raise
+                if self._retry.allows(attempt, deadline):
+                    self._proc_account(error, "retry")
+                    metrics.count("service.retry.attempts")
+                    flight = current_context()
+                    if flight is not None:
+                        flight.note_retry()
+                    with tracer.span(
+                        "service.retry", attempt=attempt, error=str(error)
+                    ):
+                        metrics.observe(
+                            "service.retry.backoff_s",
+                            self._retry.pause(attempt, deadline),
+                        )
+                    attempt += 1
+                    continue
+                metrics.count("service.retry.exhausted")
+                if self.degrade_enabled:
+                    # the caller's serial fallback is the degraded
+                    # path; this failure's disposition is decided here
+                    self._proc_account(error, "degrade")
+                else:
+                    self._proc_account(error, "surface")
+                raise BackendUnavailable(
+                    f"shard {shard} worker failure persisted through "
+                    f"{self._retry.max_retries} retries: {error}"
+                ) from error
+
+    def _proc_account(self, error: BaseException, disposition: str) -> None:
+        """Tally how an injected worker fault was handled — the
+        parent-side half of the cross-process chaos ledger (worker
+        injection tallies flow back via the executor's fault deltas)."""
+        if not is_injected(error):
+            return
+        with self._proc_accounting_lock:
+            self._proc_accounting[disposition] += 1
+        get_metrics().count(f"service.faults.handled.{disposition}")
 
     def _serial(self) -> QueryService:
         """The serial fallback service over the combined store, built
@@ -816,7 +1036,8 @@ class ShardedService:
         """Injected-fault dispositions summed across every shard
         service and the serial fallback — the ledger side of the
         ``injected == retried + degraded + surfaced`` invariant."""
-        total = {"retry": 0, "degrade": 0, "surface": 0}
+        with self._proc_accounting_lock:
+            total = dict(self._proc_accounting)
         services: list[QueryService] = list(self._shard_services)
         with self._serial_lock:
             if self._serial_service is not None:
@@ -847,12 +1068,16 @@ class ShardedService:
             )
         with self._serial_lock:
             serial = self._serial_service is not None
+        with self._procpool_lock:
+            procpool = self._procpool
         return {
             "collection": self.collection.stats(),
             "cache": self.cache.stats(),
             "flight": self.flight.stats() if self.flight else None,
             "serial_materialized": serial,
             "fault_accounting": self.fault_accounting,
+            "executor": self.executor,
+            "procpool": procpool.stats() if procpool is not None else None,
             "per_shard": per_shard,
         }
 
@@ -865,6 +1090,13 @@ class ShardedService:
             serial, self._serial_service = self._serial_service, None
         if serial is not None:
             serial.close()
+        with self._procpool_lock:
+            procpool, self._procpool = self._procpool, None
+            dispatch, self._dispatch = self._dispatch, None
+        if dispatch is not None:
+            dispatch.shutdown(wait=False, cancel_futures=True)
+        if procpool is not None:
+            procpool.close()
 
     def __enter__(self) -> "ShardedService":
         return self

@@ -79,6 +79,8 @@ class Collection:
         self._global_roots: list[int] | None = None
         self._next_global = 0
         self._version = 0
+        #: shard -> ((store version, index key), serialized DB bytes)
+        self._payloads: dict[int, tuple[tuple[int, Any], bytes]] = {}
 
     # -- loading -----------------------------------------------------------
 
@@ -219,6 +221,34 @@ class Collection:
                 )
         raise DocumentError(f"global pre rank {global_pre} not in any document")
 
+    # -- process transport -------------------------------------------------
+
+    def shard_payload(
+        self, shard: int, indexes: dict[str, tuple[str, ...]] | None = None
+    ) -> bytes:
+        """The shard's fully loaded, fully indexed ``doc`` database as
+        one byte string (:meth:`SQLiteBackend.serialize`), cached per
+        store version: the shard is shredded and indexed exactly once
+        no matter how many worker processes attach to it, and workers
+        adopt the bytes via ``deserialize`` without re-parsing XML.
+        """
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self.shards} shards"
+            )
+        # lazy import: store must not depend on sql at module load
+        from repro.sql.backend import SQLiteBackend
+
+        store = self.stores[shard]
+        key = (store.version, _index_key(indexes))
+        cached = self._payloads.get(shard)
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        with SQLiteBackend(store.table, indexes) as backend:
+            payload = backend.serialize()
+        self._payloads[shard] = (key, payload)
+        return payload
+
     # -- serial view -------------------------------------------------------
 
     def combined_store(self) -> DocumentStore:
@@ -269,3 +299,12 @@ class Collection:
                 for shard in range(self.shards)
             ],
         }
+
+
+def _index_key(
+    indexes: dict[str, tuple[str, ...]] | None,
+) -> tuple[tuple[str, tuple[str, ...]], ...] | None:
+    """Hashable identity of an index set (``None`` = Table 6 default)."""
+    if indexes is None:
+        return None
+    return tuple(sorted(indexes.items()))

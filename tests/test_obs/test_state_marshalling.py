@@ -1,0 +1,87 @@
+"""Cross-process state marshalling of metrics.
+
+The process shard executor ships each worker's :class:`MetricsRegistry`
+back as a plain-data ``state()`` snapshot and folds it in with
+``merge_state``.  These properties pin the lossless-merge contract the
+executor depends on: a histogram round-trips bucket-for-bucket, and
+merging snapshots is indistinguishable from merging the live objects.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+def _observed(rng: random.Random, n: int) -> Histogram:
+    histogram = Histogram()
+    for _ in range(n):
+        # span the bucket range: sub-bucket values (underflow), mid
+        # range, and huge outliers that land in the top bucket
+        histogram.observe(rng.choice((0, 1, rng.randrange(1, 10**10))))
+    return histogram
+
+
+def test_histogram_state_round_trips_bucket_for_bucket():
+    rng = random.Random(7)
+    for trial in range(25):
+        histogram = _observed(rng, rng.randrange(0, 200))
+        state = histogram.state()
+        json.dumps(state)  # must survive a pickle/JSON boundary
+        clone = Histogram.from_state(state)
+        assert clone.state() == state
+        assert clone.summary() == histogram.summary()
+        assert clone.percentiles() == histogram.percentiles()
+
+
+def test_histogram_state_merge_equals_live_merge():
+    rng = random.Random(11)
+    for trial in range(25):
+        a = _observed(rng, rng.randrange(1, 150))
+        b = _observed(rng, rng.randrange(1, 150))
+        live = Histogram.from_state(a.state())
+        live.merge(b)
+        remote = Histogram.from_state(a.state())
+        remote.merge(Histogram.from_state(b.state()))
+        assert remote.state() == live.state()
+
+
+def _registry(rng: random.Random) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for _ in range(rng.randrange(1, 40)):
+        registry.count("calls." + rng.choice("xyz"), rng.randrange(1, 5))
+    for _ in range(rng.randrange(1, 5)):
+        registry.gauge("level." + rng.choice("pq"), rng.randrange(100))
+    for _ in range(rng.randrange(1, 60)):
+        registry.observe(
+            "latency." + rng.choice("ab"), rng.randrange(1, 10**9)
+        )
+    return registry
+
+
+def test_registry_merge_state_equals_live_merge():
+    rng = random.Random(13)
+    for trial in range(20):
+        parts = [_registry(rng) for _ in range(rng.randrange(1, 5))]
+        live = MetricsRegistry()
+        marshalled = MetricsRegistry()
+        for part in parts:
+            live.merge(part)
+            state = part.state()
+            json.dumps(state)
+            marshalled.merge_state(state)
+        assert marshalled.state() == live.state()
+        assert marshalled.snapshot() == live.snapshot()
+
+
+def test_registry_state_survives_a_pickle_boundary():
+    import pickle
+
+    rng = random.Random(17)
+    part = _registry(rng)
+    shipped = pickle.loads(pickle.dumps(part.state()))
+    merged = MetricsRegistry()
+    merged.merge_state(shipped)
+    assert merged.state() == part.state()

@@ -129,6 +129,27 @@ def test_backend_not_stale_after_store_swap():
     assert processor.run("/a/b") == "<b>new</b>"
 
 
+def test_backend_not_stale_after_gc_address_reuse():
+    """Swapping in a *fresh* store each generation must always reload
+    the backend (regression: staleness was keyed on ``id(table)``,
+    and the allocator hands a freed table's address to the next one —
+    same id, same version counter, stale backend).  The token now uses
+    the minted :attr:`DocTable.uid`, which no two tables ever share."""
+    processor = XQueryProcessor(default_doc="swap.xml")
+    seen_uids = set()
+    for generation in range(50):
+        store = DocumentStore()
+        store.load(f"<a><b>gen{generation}</b></a>", "swap.xml")
+        seen_uids.add(store.table.uid)
+        processor.store = store
+        assert processor.run("/a/b") == f"<b>gen{generation}</b>"
+        del store
+    assert len(seen_uids) == 50
+    assert processor._backend_token is not None
+    uid, version = processor._backend_token
+    assert isinstance(uid, str)  # the minted identity, never id()
+
+
 def test_store_version_counts_loads():
     store = DocumentStore()
     assert store.version == 0

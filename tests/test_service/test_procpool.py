@@ -1,0 +1,176 @@
+"""Process-executor serving: byte identity, crash recovery, and the
+cross-process fault ledger.
+
+The :class:`ProcessShardExecutor` owns one long-lived worker process
+per shard (zero-copy shard attach, shipped pre-lowered SQL).  These
+tests pin the contract the tentpole claims: results are byte-identical
+to serial execution, a SIGKILL'd worker is restarted and the query
+retried without the caller noticing, organic crashes stay *out* of the
+injected-fault ledger, and injected faults crossing the pipe keep
+``injected == retried + degraded + surfaced`` balanced.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+import repro
+from repro.errors import DeadlineExceeded, ServiceError
+from repro.faults.injector import FaultInjector, FaultPlan, injection
+from repro.obs import metrics_scope
+from repro.pipeline import XQueryProcessor
+from repro.service.scatter import ShardedService
+from repro.store import Collection
+
+URIS = tuple(f"d{i}.xml" for i in range(4))
+ENGINES = ("joingraph-sql", "stacked-sql")
+QUERIES = (
+    "collection()//item[v > 9]/v",
+    "collection()//item[v = 3]",
+    'collection("d1.xml")//item/v',
+)
+
+
+def _doc(index: int) -> str:
+    items = "".join(
+        f'<item n="{j}"><v>{(index * 7 + j * 3) % 20}</v></item>'
+        for j in range(12)
+    )
+    return f"<root>{items}</root>"
+
+
+def _collection(shards: int) -> Collection:
+    collection = Collection(shards)
+    for index, uri in enumerate(URIS):
+        collection.load(_doc(index), uri, shard=index % shards)
+    return collection
+
+
+@pytest.fixture()
+def service():
+    with ShardedService(
+        _collection(2), default_doc=URIS[0], executor="process"
+    ) as service:
+        yield service
+
+
+@pytest.fixture(scope="module")
+def serial():
+    collection = _collection(1)
+    return XQueryProcessor(
+        store=collection.combined_store(),
+        default_doc=URIS[0],
+        collections=collection.resolve,
+    )
+
+
+def test_process_results_byte_identical_to_serial(service, serial):
+    for query in QUERIES:
+        for engine in ENGINES:
+            expected = serial.execute(query, engine)
+            result = service.execute(query, engine=engine)
+            assert list(result) == list(expected), (query, engine)
+            assert service.serialize(result) == serial.serialize(expected)
+    stats = service.stats()
+    assert stats["executor"] == "process"
+    workers = stats["procpool"]["workers"]
+    assert sum(worker["requests"] for worker in workers) > 0
+    # the worker-side plan cache held: plans ship once per key, not
+    # once per request
+    for worker in workers:
+        if worker["requests"]:
+            assert worker["plans_shipped"] <= worker["requests"]
+            assert worker["merges"] == worker["requests"]
+
+
+def test_invalid_executor_is_rejected():
+    with pytest.raises(ValueError):
+        ShardedService(Collection(2), executor="fibers")
+    with pytest.raises(ValueError):
+        repro.connect(shards=2, executor="fibers")
+
+
+def test_worker_crash_recovers_and_stays_out_of_the_ledger(service):
+    reference = {
+        query: list(service.execute(query)) for query in QUERIES
+    }
+    with metrics_scope() as metrics:
+        pids = [
+            worker["pid"]
+            for worker in service.stats()["procpool"]["workers"]
+            if worker["alive"]
+        ]
+        assert pids, "warm-up must have started worker processes"
+        for pid in pids:
+            os.kill(pid, signal.SIGKILL)
+        # SIGKILL'd children linger as zombies until reaped, so poll
+        # the executor's own liveness view (is_alive() reaps them)
+        deadline = time.monotonic() + 10.0
+        while any(
+            worker["alive"]
+            for worker in service.stats()["procpool"]["workers"]
+        ):
+            assert time.monotonic() < deadline, "workers did not die"
+            time.sleep(0.01)
+        # the very next queries must be served correctly: the dead
+        # workers are detected, restarted, re-attached, and the plans
+        # re-shipped — all inside the retry loop
+        for query, expected in reference.items():
+            assert list(service.execute(query)) == expected
+    counters = metrics.snapshot()["counters"]
+    assert counters.get("service.procpool.worker_restarts", 0) >= 1
+    # an organic crash is not an injected fault: the chaos ledger must
+    # not claim credit for recovering from it
+    assert service.fault_accounting == {
+        "retry": 0, "degrade": 0, "surface": 0,
+    }
+
+
+def test_injected_faults_balance_across_the_process_boundary(serial):
+    expected = {
+        query: list(serial.execute(query)) for query in QUERIES
+    }
+    with ShardedService(
+        _collection(2),
+        default_doc=URIS[0],
+        executor="process",
+        deadline_s=1.0,
+    ) as service:
+        for query in QUERIES:  # warm: plans shipped before the storm
+            assert list(service.execute(query)) == expected[query]
+        injector = FaultInjector(
+            FaultPlan.uniform(0.25, seed=7, stall_ms=4000.0)
+        )
+        with metrics_scope() as metrics, injection(injector):
+            for round_index in range(10):
+                for query in QUERIES:
+                    try:
+                        items = service.execute(query)
+                    except ServiceError:
+                        continue  # typed surfacing is a legal outcome
+                    assert list(items) == expected[query]
+        handled = service.fault_accounting
+        injected = injector.counts.total
+    assert injected > 0, "the storm must actually inject faults"
+    assert injected == sum(handled.values()), (injected, handled)
+    counters = metrics.snapshot()["counters"]
+    assert sum(
+        count
+        for name, count in counters.items()
+        if name.startswith("faults.injected.")
+    ) == injected
+    assert sum(
+        count
+        for name, count in counters.items()
+        if name.startswith("service.faults.handled.")
+    ) == injected
+
+
+def test_deadline_surfaces_typed_through_the_worker(service):
+    service.execute(QUERIES[0])  # warm: attach + plan shipping
+    with pytest.raises(DeadlineExceeded):
+        service.execute(QUERIES[0], deadline_s=1e-5)
