@@ -1,0 +1,120 @@
+"""Open-loop multi-tenant soak benchmark — emits ``BENCH_soak.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_soak.py [--quick] \\
+        [--duration 5.0] [--load-points 0.5,1.0,2.0] [--fault-rate 0.12] \\
+        [--executor thread|process] [--working-set-mb N] \\
+        [--out BENCH_soak.json]
+
+Drives the asyncio front door (:class:`repro.service.FrontDoor`) with
+open-loop Poisson arrivals from three tenant personas across an
+offered-load multiplier curve, optionally under fault injection (see
+``docs/serving.md``).  The report carries the goodput-vs-offered curve
+and its knee, per-tenant latency percentiles and chaos ledgers, Jain's
+fairness index at saturation, and a differential gate that re-executes
+sampled responses serially and byte-compares them.  Exits non-zero
+when any report gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.workloads.soak import SoakConfig, format_soak_report, run_soak
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--duration", type=float, default=5.0)
+    parser.add_argument(
+        "--load-points",
+        default="0.5,1.0,2.0",
+        help="comma-separated offered-load multipliers (of each "
+        "tenant's contracted rate)",
+    )
+    parser.add_argument("--shards", type=int, default=2)
+    parser.add_argument("--documents", type=int, default=4)
+    parser.add_argument("--factor", type=float, default=0.005)
+    parser.add_argument(
+        "--executor",
+        choices=("thread", "process"),
+        default="thread",
+        help="shard execution mode of the backing ShardedService",
+    )
+    parser.add_argument(
+        "--fault-rate",
+        type=float,
+        default=0.0,
+        help="fault-injection rate (0 disables chaos)",
+    )
+    parser.add_argument("--fault-seed", type=int, default=0)
+    parser.add_argument(
+        "--differential-rate",
+        type=float,
+        default=0.05,
+        help="fraction of OK responses sampled for serial re-execution",
+    )
+    parser.add_argument(
+        "--working-set-mb",
+        type=float,
+        default=None,
+        help="working-set byte budget in MiB (process executor only)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-smoke size: short points, tiny corpus",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_soak.json",
+        metavar="FILE",
+        help="where to write the JSON document",
+    )
+    args = parser.parse_args(argv)
+    sys.setrecursionlimit(100_000)
+
+    config = SoakConfig(
+        seed=args.seed,
+        duration_s=args.duration,
+        load_points=tuple(float(m) for m in args.load_points.split(",")),
+        shards=args.shards,
+        documents=args.documents,
+        factor=args.factor,
+        executor=args.executor,
+        fault_rate=args.fault_rate,
+        fault_seed=args.fault_seed,
+        differential_rate=args.differential_rate,
+        working_set_bytes=(
+            None
+            if args.working_set_mb is None
+            else int(args.working_set_mb * 1024 * 1024)
+        ),
+    )
+    if args.quick:
+        config = config.quick()
+
+    report = run_soak(config)
+    Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+    print(format_soak_report(report))
+    print(f"-- wrote {args.out}")
+
+    if not report["gates"]["passed"]:
+        failed = [
+            name
+            for name, ok in report["gates"].items()
+            if name != "passed" and not ok
+        ]
+        print(f"FAIL: soak gates not met: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,7 @@ from repro.errors import (
     DeadlineExceeded,
     DocumentError,
     PlanError,
+    QuotaExceeded,
     ReproError,
     RewriteError,
     ServiceError,
@@ -70,7 +71,7 @@ from repro.errors import (
 from repro.infoset.encoding import DocTable, DocumentStore, shred
 from repro.pipeline import CompiledQuery, XQueryProcessor
 from repro.result import Result, Serialized
-from repro.service import QueryService, ShardedService
+from repro.service import FrontDoor, QueryService, ShardedService, TenantSpec
 from repro.store import Collection
 
 __version__ = "1.1.0"
@@ -87,8 +88,10 @@ __all__ = [
     "DocumentError",
     "DocumentStore",
     "Engine",
+    "FrontDoor",
     "PlanError",
     "QueryService",
+    "QuotaExceeded",
     "ReproError",
     "Result",
     "RewriteError",
@@ -97,6 +100,7 @@ __all__ = [
     "ServiceOverloaded",
     "Session",
     "ShardedService",
+    "TenantSpec",
     "XMLParseError",
     "XQueryProcessor",
     "XQuerySyntaxError",

@@ -73,6 +73,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import replace
 from pathlib import Path
 
 from repro.engines import Engine
@@ -587,12 +588,18 @@ def _executor_report(stats: dict) -> str:
             f"{procpool['workers_per_shard']} per shard"
         )
         for worker in procpool["workers"]:
+            # a worker may be mid-restart when the snapshot was cut:
+            # its pid is None and counter keys may be absent — report
+            # the gap instead of crashing the obs command
+            pid = worker.get("pid")
             lines.append(
-                f"  {worker['worker']}: pid {worker['pid']} "
-                f"alive={worker['alive']} requests {worker['requests']} "
-                f"merges {worker['merges']} "
-                f"plans_shipped {worker['plans_shipped']} "
-                f"restarts {worker['restarts']}"
+                f"  {worker.get('worker', '?')}: "
+                f"pid {'-' if pid is None else pid} "
+                f"alive={worker.get('alive', False)} "
+                f"requests {worker.get('requests', 0)} "
+                f"merges {worker.get('merges', 0)} "
+                f"plans_shipped {worker.get('plans_shipped', 0)} "
+                f"restarts {worker.get('restarts', 0)}"
             )
     elif executor == "process":
         lines.append(
@@ -738,6 +745,38 @@ def build_serve_bench_parser() -> argparse.ArgumentParser:
         help="comma-separated shard counts for --collection "
         "(default: 1,2,4)",
     )
+    soak = parser.add_argument_group(
+        "soak mode (see docs/serving.md)",
+        "drive the multi-tenant front door with open-loop Poisson "
+        "arrivals across a load-multiplier curve; writes the "
+        "repro.bench.soak/v1 document; exit status 1 when a soak gate "
+        "(knee, fairness, per-tenant fault ledger, differential "
+        "byte-identity) fails.  Combine with --faults to run the soak "
+        "under chaos injection at --fault-rate",
+    )
+    soak.add_argument(
+        "--soak", action="store_true",
+        help="soak mode: open-loop multi-tenant front-door storm",
+    )
+    soak.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds per load point (default: 5.0)",
+    )
+    soak.add_argument(
+        "--tenants", type=int, default=3,
+        help="tenant count; profiles cycle through the interactive/"
+        "analytics/reporting personas (default: 3)",
+    )
+    soak.add_argument(
+        "--load-points", default="0.5,1.0,2.0",
+        help="comma-separated offered-load multipliers over each "
+        "tenant's contracted rate (default: 0.5,1.0,2.0)",
+    )
+    soak.add_argument(
+        "--working-set-mb", type=float, default=None,
+        help="front-door working-set budget in MiB (process executor "
+        "only): evict cold shard payloads beyond this",
+    )
     return parser
 
 
@@ -748,6 +787,54 @@ def serve_bench_main(argv: list[str]) -> int:
 
     if args.faults and args.collection:
         parser.error("--faults and --collection are mutually exclusive")
+    if args.soak and args.collection:
+        parser.error("--soak and --collection are mutually exclusive")
+
+    if args.soak:
+        from repro.workloads.soak import (
+            DEFAULT_TENANTS,
+            SoakConfig,
+            format_soak_report,
+            run_soak,
+        )
+
+        if args.tenants < 2:
+            parser.error("--tenants must be at least 2")
+        personas = len(DEFAULT_TENANTS)
+        profiles = []
+        for i in range(args.tenants):
+            base = DEFAULT_TENANTS[i % personas]
+            if i >= personas:
+                base = replace(base, name=f"{base.name}{i // personas + 1}")
+            profiles.append(base)
+        config = SoakConfig(
+            seed=args.fault_seed if args.fault_seed else 42,
+            duration_s=args.duration,
+            load_points=tuple(
+                float(m) for m in args.load_points.split(",")
+            ),
+            shards=args.shards,
+            documents=args.documents,
+            factor=args.factor,
+            executor=args.executor,
+            fault_rate=args.fault_rate if args.faults else 0.0,
+            fault_seed=args.fault_seed,
+            deadline_s=args.deadline,
+            working_set_bytes=(
+                int(args.working_set_mb * 1024 * 1024)
+                if args.working_set_mb is not None
+                else None
+            ),
+            tenants=tuple(profiles),
+        )
+        if args.quick:
+            config = config.quick()
+        report = run_soak(config)
+        print(format_soak_report(report))
+        if args.out:
+            Path(args.out).write_text(json.dumps(report, indent=1) + "\n")
+            print(f"-- wrote {args.out}")
+        return 0 if report["gates"]["passed"] else 1
 
     if args.faults:
         from repro.faults.campaign import (

@@ -126,6 +126,31 @@ class ServiceOverloaded(ServiceError):
     back off and resubmit; nothing was executed."""
 
 
+class QuotaExceeded(ServiceError):
+    """Multi-tenant admission fast-fail: the tenant's token-bucket
+    quota is exhausted for the current window (:mod:`repro.service.
+    tenancy`).  Unlike :class:`ServiceOverloaded` — which signals that
+    the *service* is saturated — this is a per-tenant verdict: other
+    tenants are still being served.  Carries the ``tenant`` name and
+    the ``retry_after_s`` hint (seconds until the bucket can grant one
+    token again) when known."""
+
+    def __init__(
+        self,
+        message: str = "tenant quota exceeded",
+        tenant: str | None = None,
+        retry_after_s: float | None = None,
+    ):
+        if tenant is not None:
+            message = f"{message} (tenant {tenant!r}"
+            if retry_after_s is not None:
+                message += f", retry after {retry_after_s:.3f}s"
+            message += ")"
+        super().__init__(message)
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+
+
 class CircuitOpenError(ServiceError):
     """The backend circuit breaker is open (repeated backend failures)
     and graceful degradation is disabled, so the query fails fast

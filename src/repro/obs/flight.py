@@ -342,6 +342,12 @@ class FlightRecorder:
         self._errors = 0
         self._degraded = 0
         self.latency = Histogram()
+        # the epoch histogram is what stats() summarizes: it restarts
+        # on mark_epoch() (store/collection invalidation) so percentiles
+        # always describe the *current* corpus, while self.latency stays
+        # cumulative for the full snapshot()
+        self._epoch_latency = Histogram()
+        self._epochs = 0
 
     # -- recording -----------------------------------------------------
 
@@ -416,6 +422,7 @@ class FlightRecorder:
             record.seq = self._seq
             self._records.append(record)
             self.latency.observe(elapsed_ns)
+            self._epoch_latency.observe(elapsed_ns)
             if record.surfaced:
                 self._errors += 1
             if record.degraded:
@@ -457,15 +464,29 @@ class FlightRecorder:
                 "degraded": self._degraded,
             }
 
-    def stats(self) -> dict[str, Any]:
-        """The small summary ``Session.stats()`` embeds."""
+    def mark_epoch(self) -> None:
+        """Start a new latency epoch.  The owning service calls this
+        when the corpus changes (document load / collection graft
+        invalidation): cumulative counts and the retained ring survive,
+        but the percentile population behind :meth:`stats` restarts, so
+        ``Session.stats()["flight"]`` never reports percentiles from a
+        corpus that no longer exists."""
         with self._lock:
-            latency = self.latency.summary()
+            self._epochs += 1
+            self._epoch_latency = Histogram()
+
+    def stats(self) -> dict[str, Any]:
+        """The small summary ``Session.stats()`` embeds.  The latency
+        percentiles are recomputed live from the current corpus epoch
+        (:meth:`mark_epoch`); counts stay cumulative."""
+        with self._lock:
+            latency = self._epoch_latency.summary()
             return {
                 "recorded": self._seq,
                 "promoted": self._promoted,
                 "errors": self._errors,
                 "degraded": self._degraded,
+                "epochs": self._epochs,
                 "latency_ns": latency,
             }
 
@@ -501,6 +522,8 @@ class FlightRecorder:
             self._errors = 0
             self._degraded = 0
             self.latency = Histogram()
+            self._epoch_latency = Histogram()
+            self._epochs = 0
 
 
 # -- schema validation ----------------------------------------------------

@@ -4,11 +4,15 @@ The paper isolates the join graph so that one compiled SQL block can
 let the RDBMS do the heavy lifting; this package adds the serving
 economics on top — a compiled-plan LRU (:class:`CompiledQueryCache`),
 a thread-safe shared-cache SQLite connection pool
-(:class:`BackendPool`), and the :class:`QueryService` facade with
-batch/concurrent execution.  See ``docs/performance.md``.
+(:class:`BackendPool`), the :class:`QueryService` facade with
+batch/concurrent execution, and the asyncio multi-tenant
+:class:`FrontDoor` (per-tenant quotas, weighted-fair admission,
+coalesced batching).  See ``docs/performance.md`` and
+``docs/serving.md``.
 """
 
 from repro.service.cache import CacheKey, CompiledQueryCache
+from repro.service.frontdoor import FrontDoor
 from repro.service.pool import BackendPool
 from repro.service.resilience import (
     AdmissionGate,
@@ -18,6 +22,7 @@ from repro.service.resilience import (
 )
 from repro.service.scatter import ShardedService
 from repro.service.service import QueryService
+from repro.service.tenancy import TenantSpec, TokenBucket, WeightedFairQueue
 
 __all__ = [
     "AdmissionGate",
@@ -26,7 +31,11 @@ __all__ = [
     "CircuitBreaker",
     "CompiledQueryCache",
     "Deadline",
+    "FrontDoor",
     "QueryService",
     "RetryPolicy",
     "ShardedService",
+    "TenantSpec",
+    "TokenBucket",
+    "WeightedFairQueue",
 ]

@@ -1,0 +1,662 @@
+"""The asyncio multi-tenant front door over the serving stack.
+
+:class:`FrontDoor` is the admission boundary a production deployment
+puts in front of a :class:`~repro.service.ShardedService` (or a
+single-backend :class:`~repro.service.QueryService`).  It layers three
+things on the PR 4 resilience primitives and the PR 8 process
+executor, in admission order:
+
+1. **Per-tenant quotas** — every tenant (:class:`~repro.service.
+   tenancy.TenantSpec`) owns a token bucket; an exhausted bucket
+   answers a typed :class:`~repro.errors.QuotaExceeded` carrying a
+   ``retry_after_s`` hint, without touching the backend.
+2. **Weighted-fair scheduling** — admitted queries wait in per-tenant
+   lanes drained in deficit-round-robin order
+   (:class:`~repro.service.tenancy.WeightedFairQueue`), so a flooding
+   tenant cannot starve the others; a lane at its backlog cap answers
+   a typed :class:`~repro.errors.ServiceOverloaded`.
+3. **Batched intake with canonical coalescing** — the dispatcher
+   drains the fair queue into small batches, compiles each distinct
+   query through the service's canonical plan cache, and groups
+   requests whose texts resolve to the *same cached plan* (identical
+   canonical-cache keys — template respellings included) into one
+   execution whose :class:`~repro.Result` every waiter shares.  A
+   batch runs through the underlying service on a worker thread, the
+   same ``run_many`` shape the service optimizes for, under an
+   :class:`~repro.service.AdmissionGate` slot.
+
+Execution runs under a per-group private metrics registry (the same
+lossless-merge discipline as :meth:`QueryService._task`), which is
+what makes the **per-tenant fault ledger** possible: the injected /
+retried / degraded / surfaced tallies of each execution are read off
+the group's registry and attributed to the tenant that triggered it,
+so ``injected == retried + degraded + surfaced`` can be asserted per
+tenant, not just globally (``docs/serving.md``).
+
+For corpora larger than RAM, an optional **working-set manager**
+(``working_set_bytes=``) LRU-evicts cold shard payloads: the parent's
+serialized image cache (:meth:`Collection.evict_payload`) and the
+shard's worker processes (:meth:`ProcessShardExecutor.retire_shard`)
+are both released, and the next query against that shard re-attaches
+on demand via the PR 8 ``shard_payload`` cache.  Evictions and
+re-attaches are metered as ``service.frontdoor.evictions`` /
+``service.frontdoor.reattach`` and must balance (every eviction that
+is queried again re-attaches exactly once).
+
+New metric families: ``service.frontdoor.*`` (admission, batching,
+coalescing, eviction counters) and ``service.tenant.<name>.*``
+(per-tenant admission and outcome counters).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.engines import Engine
+from repro.errors import (
+    QuotaExceeded,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.obs import Histogram, latency_summary_ms
+from repro.obs.metrics import MetricsRegistry, get_metrics, set_metrics
+from repro.pipeline import CompiledQuery
+from repro.result import Result
+from repro.service.resilience import AdmissionGate
+from repro.service.scatter import ShardedService, scatter_uris
+from repro.service.service import QueryService
+from repro.service.tenancy import TenantSpec, TokenBucket, WeightedFairQueue
+
+__all__ = ["FrontDoor", "TenantSpec"]
+
+#: the fault-disposition keys of the per-tenant ledger; the invariant
+#: ``injected == retried + degraded + surfaced`` is asserted over them
+LEDGER_KEYS = ("injected", "retried", "degraded", "surfaced")
+
+
+@dataclass
+class _Request:
+    """One admitted query waiting for its execution."""
+
+    tenant: str
+    query: str
+    engine: Engine
+    deadline_s: float | None
+    future: asyncio.Future
+    loop: asyncio.AbstractEventLoop
+    start_ns: int
+
+
+@dataclass
+class _Group:
+    """Requests coalesced onto one cached plan — one execution."""
+
+    compiled: CompiledQuery
+    engine: Engine
+    requests: list[_Request] = field(default_factory=list)
+
+
+class _TenantState:
+    """Runtime half of a :class:`TenantSpec`: bucket, counters, the
+    fault ledger, and the per-tenant latency histogram."""
+
+    def __init__(self, spec: TenantSpec, clock) -> None:
+        self.spec = spec
+        self.bucket = TokenBucket(spec.rate_qps, spec.burst, clock=clock)
+        self.lock = threading.Lock()
+        self.offered = 0
+        self.admitted = 0
+        self.rejected_quota = 0
+        self.rejected_overload = 0
+        self.ok = 0
+        self.errors: dict[str, int] = {}
+        self.latency = Histogram()
+        self.faults = dict.fromkeys(LEDGER_KEYS, 0)
+
+    def ledger_balanced(self) -> bool:
+        with self.lock:
+            return self.faults["injected"] == (
+                self.faults["retried"]
+                + self.faults["degraded"]
+                + self.faults["surfaced"]
+            )
+
+    def stats(self) -> dict[str, Any]:
+        with self.lock:
+            return {
+                "weight": self.spec.weight,
+                "rate_qps": self.spec.rate_qps,
+                "burst": self.spec.burst,
+                "offered": self.offered,
+                "admitted": self.admitted,
+                "rejected_quota": self.rejected_quota,
+                "rejected_overload": self.rejected_overload,
+                "ok": self.ok,
+                "errors": dict(self.errors),
+                "latency_ms": latency_summary_ms(self.latency),
+                "faults": dict(self.faults),
+                "ledger_balanced": self.faults["injected"]
+                == (
+                    self.faults["retried"]
+                    + self.faults["degraded"]
+                    + self.faults["surfaced"]
+                ),
+            }
+
+
+class _WorkingSet:
+    """LRU working-set manager over the collection's shard-payload
+    cache (process executor only): evicts the coldest resident images
+    when the resident total exceeds the budget, and accounts the
+    eviction/re-attach balance."""
+
+    def __init__(self, service: ShardedService, budget_bytes: int):
+        if budget_bytes <= 0:
+            raise ValueError(
+                f"working_set_bytes must be positive, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._service = service
+        self._lock = threading.Lock()
+        self._tick = 0
+        self._stamps: dict[int, int] = {}
+        self._evicted: set[int] = set()
+        self.evictions = 0
+        self.reattached = 0
+
+    def after_batch(self, touched: set[int]) -> None:
+        """Called once per executed batch with the shards the batch
+        scattered/routed to: refresh recency, settle the re-attach
+        ledger, and evict back under budget."""
+        collection = self._service.collection
+        metrics = get_metrics()
+        with self._lock:
+            self._tick += 1
+            for shard in touched:
+                self._stamps[shard] = self._tick
+            stats = collection.payload_stats()
+            per_shard = stats["per_shard"]
+            # a previously evicted shard that is resident again was
+            # re-attached on demand (shard_payload rebuilt the image)
+            for shard in sorted(self._evicted):
+                if per_shard[shard]["resident"]:
+                    self._evicted.discard(shard)
+                    self.reattached += 1
+                    metrics.count("service.frontdoor.reattach")
+            resident = [
+                (self._stamps.get(entry["shard"], -1), entry["shard"], entry["bytes"])
+                for entry in per_shard
+                if entry["resident"]
+            ]
+            total = sum(nbytes for _, _, nbytes in resident)
+            if total <= self.budget_bytes:
+                return
+            resident.sort()  # coldest stamp first
+            for _, shard, nbytes in resident:
+                if total <= self.budget_bytes:
+                    break
+                freed = collection.evict_payload(shard)
+                if not freed:
+                    continue
+                with self._service._procpool_lock:
+                    procpool = self._service._procpool
+                if procpool is not None:
+                    procpool.retire_shard(shard)
+                self._evicted.add(shard)
+                self.evictions += 1
+                metrics.count("service.frontdoor.evictions")
+                total -= freed
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            payload = self._service.collection.payload_stats()
+            return {
+                "budget_bytes": self.budget_bytes,
+                "resident_bytes": payload["resident_bytes"],
+                "evictions": self.evictions,
+                "reattached": self.reattached,
+                "pending_reattach": sorted(self._evicted),
+            }
+
+
+class FrontDoor:
+    """Async multi-tenant admission layer over a serving stack.
+
+    Parameters
+    ----------
+    service:
+        The backend — a :class:`ShardedService` or
+        :class:`QueryService`.  The front door does not own it; close
+        it separately.
+    tenants:
+        The tenant contracts.  Submissions for unknown tenants raise
+        ``ValueError`` (misconfiguration, not backpressure).
+    batch_max, batch_window_s:
+        Intake batching: the dispatcher drains up to ``batch_max``
+        queries per batch and, when the first drain comes up short,
+        waits ``batch_window_s`` for stragglers to coalesce with.
+    max_concurrent_batches:
+        Parallel batch executions (each runs on one worker thread over
+        the service, which fans out internally).
+    working_set_bytes:
+        Optional RAM budget for the shard-payload working set (only
+        meaningful for a sharded service on the process executor).
+    deadline_s:
+        Default per-query deadline forwarded to the service.
+    clock:
+        Token-bucket clock (injectable for deterministic tests).
+    """
+
+    def __init__(
+        self,
+        service: ShardedService | QueryService,
+        tenants: Sequence[TenantSpec],
+        *,
+        batch_max: int = 16,
+        batch_window_s: float = 0.002,
+        max_concurrent_batches: int = 4,
+        working_set_bytes: int | None = None,
+        deadline_s: float | None = None,
+        clock=time.monotonic,
+    ):
+        if not tenants:
+            raise ValueError("at least one tenant is required")
+        if batch_max < 1:
+            raise ValueError(f"batch_max must be >= 1, got {batch_max}")
+        if batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        if max_concurrent_batches < 1:
+            raise ValueError("max_concurrent_batches must be >= 1")
+        names = [spec.name for spec in tenants]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate tenant names in {names}")
+        self.service = service
+        self.batch_max = batch_max
+        self.batch_window_s = batch_window_s
+        self.max_concurrent_batches = max_concurrent_batches
+        self.deadline_s = deadline_s
+        self.metrics = MetricsRegistry()
+        self._merge_lock = threading.Lock()
+        self._gate = AdmissionGate(capacity=max_concurrent_batches)
+        self._queue_lock = threading.Lock()
+        self._wfq = WeightedFairQueue()
+        self._tenants: dict[str, _TenantState] = {}
+        for spec in tenants:
+            self._tenants[spec.name] = _TenantState(spec, clock)
+            self._wfq.register(
+                spec.name, weight=spec.weight, max_backlog=spec.max_backlog
+            )
+        self._working_set: _WorkingSet | None = None
+        if working_set_bytes is not None:
+            if not (
+                isinstance(service, ShardedService)
+                and service.executor == "process"
+            ):
+                raise ValueError(
+                    "working_set_bytes requires a ShardedService with "
+                    "executor='process' (the payload cache is the "
+                    "working set being managed)"
+                )
+            self._working_set = _WorkingSet(service, working_set_bytes)
+        self._started = False
+        self._closing = False
+        self._wake: asyncio.Event | None = None
+        self._dispatcher: asyncio.Task | None = None
+        self._batch_sem: asyncio.Semaphore | None = None
+        self._batches: set[asyncio.Task] = set()
+
+    # -- lifecycle -----------------------------------------------------
+
+    async def start(self) -> "FrontDoor":
+        """Start the dispatcher on the running event loop."""
+        if self._started:
+            return self
+        self._started = True
+        self._closing = False
+        self._wake = asyncio.Event()
+        self._batch_sem = asyncio.Semaphore(self.max_concurrent_batches)
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-frontdoor-dispatch"
+        )
+        return self
+
+    async def close(self) -> None:
+        """Drain the backlog, finish in-flight batches, stop the
+        dispatcher.  New submissions are rejected immediately."""
+        if not self._started:
+            return
+        self._closing = True
+        assert self._wake is not None
+        self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        if self._batches:
+            await asyncio.gather(*self._batches, return_exceptions=True)
+        self._started = False
+
+    async def __aenter__(self) -> "FrontDoor":
+        return await self.start()
+
+    async def __aexit__(self, *exc: object) -> None:
+        await self.close()
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(
+        self,
+        tenant: str,
+        query: str,
+        engine: Engine | str = Engine.JOINGRAPH_SQL,
+        *,
+        deadline_s: float | None = None,
+    ) -> Result:
+        """Admit and execute one query for ``tenant``.
+
+        Raises :class:`QuotaExceeded` when the tenant's token bucket
+        is empty, :class:`ServiceOverloaded` when its fair-queue lane
+        is at capacity, and whatever typed :class:`ServiceError` the
+        execution surfaced otherwise.
+        """
+        if not self._started or self._wake is None:
+            raise ServiceError("front door is not started")
+        try:
+            state = self._tenants[tenant]
+        except KeyError:
+            raise ValueError(f"unknown tenant {tenant!r}") from None
+        engine = Engine.of(engine)
+        with state.lock:
+            state.offered += 1
+        self._count(f"service.tenant.{tenant}.offered")
+        if self._closing:
+            raise ServiceError("front door is closing")
+        if not state.bucket.try_acquire():
+            with state.lock:
+                state.rejected_quota += 1
+            self._count("service.frontdoor.rejected.quota")
+            self._count(f"service.tenant.{tenant}.rejected.quota")
+            raise QuotaExceeded(
+                tenant=tenant,
+                retry_after_s=state.bucket.retry_after_s(),
+            )
+        loop = asyncio.get_running_loop()
+        request = _Request(
+            tenant=tenant,
+            query=query,
+            engine=engine,
+            deadline_s=deadline_s if deadline_s is not None else self.deadline_s,
+            future=loop.create_future(),
+            loop=loop,
+            start_ns=time.perf_counter_ns(),
+        )
+        with self._queue_lock:
+            accepted = self._wfq.offer(tenant, request)
+        if not accepted:
+            with state.lock:
+                state.rejected_overload += 1
+            self._count("service.frontdoor.rejected.overload")
+            self._count(f"service.tenant.{tenant}.rejected.overload")
+            raise ServiceOverloaded(
+                f"tenant {tenant!r} backlog full "
+                f"({state.spec.max_backlog} queries waiting)"
+            )
+        with state.lock:
+            state.admitted += 1
+        self._count("service.frontdoor.admitted")
+        self._count(f"service.tenant.{tenant}.admitted")
+        self._wake.set()
+        return await request.future
+
+    # -- dispatch ------------------------------------------------------
+
+    def _drain(self, limit: int) -> list[_Request]:
+        batch: list[_Request] = []
+        with self._queue_lock:
+            while len(batch) < limit:
+                taken = self._wfq.take()
+                if taken is None:
+                    break
+                batch.append(taken[1])
+        return batch
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None and self._batch_sem is not None
+        while True:
+            with self._queue_lock:
+                backlog = len(self._wfq)
+            if backlog == 0:
+                if self._closing:
+                    return
+                self._wake.clear()
+                # re-check under the new event state: a submit between
+                # the len() and the clear() would otherwise be lost
+                with self._queue_lock:
+                    if len(self._wfq):
+                        continue
+                await self._wake.wait()
+                continue
+            batch = self._drain(self.batch_max)
+            if (
+                batch
+                and len(batch) < self.batch_max
+                and self.batch_window_s > 0
+                and not self._closing
+            ):
+                # a short intake window lets template respellings from
+                # other tenants coalesce onto the same cached plan
+                await asyncio.sleep(self.batch_window_s)
+                batch.extend(self._drain(self.batch_max - len(batch)))
+            if not batch:
+                continue
+            await self._batch_sem.acquire()
+            task = asyncio.create_task(self._run_batch(batch))
+            self._batches.add(task)
+            task.add_done_callback(self._batch_done)
+
+    def _batch_done(self, task: asyncio.Task) -> None:
+        self._batches.discard(task)
+        assert self._batch_sem is not None
+        self._batch_sem.release()
+
+    async def _run_batch(self, batch: list[_Request]) -> None:
+        try:
+            await asyncio.to_thread(self._execute_batch, batch)
+        except BaseException as error:  # noqa: BLE001 - fail the waiters
+            failure = ServiceError(f"front door batch failed: {error}")
+            for request in batch:
+                if not request.future.done():
+                    self._resolve(request, error=failure)
+
+    # -- execution (worker threads) ------------------------------------
+
+    def _execute_batch(self, batch: list[_Request]) -> None:
+        outer = MetricsRegistry()
+        previous = get_metrics()
+        set_metrics(outer)
+        touched: set[int] = set()
+        try:
+            outer.count("service.frontdoor.batches")
+            outer.count("service.frontdoor.batched", len(batch))
+            with self._gate.slot():
+                for group in self._coalesce(batch, outer):
+                    touched |= self._execute_group(group, outer)
+            if self._working_set is not None:
+                self._working_set.after_batch(touched)
+        finally:
+            set_metrics(previous)
+            with self._merge_lock:
+                self.metrics.merge(outer)
+
+    def _coalesce(
+        self, batch: list[_Request], metrics: MetricsRegistry
+    ) -> list[_Group]:
+        """Compile every request through the canonical plan cache and
+        group the ones that resolved to the same cached plan: identical
+        canonical-cache keys hand back the *same* compiled object, so
+        object identity is exactly key identity."""
+        groups: dict[tuple[int, str], _Group] = {}
+        order: list[tuple[int, str]] = []
+        for request in batch:
+            try:
+                compiled = self.service.compile(request.query)
+            except ReproError as error:
+                self._resolve(request, error=error)
+                continue
+            key = (id(compiled), request.engine.value)
+            group = groups.get(key)
+            if group is None:
+                groups[key] = group = _Group(
+                    compiled=compiled, engine=request.engine
+                )
+                order.append(key)
+            else:
+                metrics.count("service.frontdoor.coalesced")
+            group.requests.append(request)
+        return [groups[key] for key in order]
+
+    def _execute_group(
+        self, group: _Group, outer: MetricsRegistry
+    ) -> set[int]:
+        """One coalesced execution under a private registry; the fault
+        ledger delta is attributed to the leading tenant.  Returns the
+        shards the execution touched (working-set recency)."""
+        leader = group.requests[0]
+        local = MetricsRegistry()
+        previous = get_metrics()
+        set_metrics(local)
+        result: Result | None = None
+        error: BaseException | None = None
+        try:
+            result = self.service.execute(
+                group.compiled,
+                group.engine,
+                deadline_s=leader.deadline_s,
+            )
+        except Exception as exc:
+            # typed ServiceErrors and surfaced injected backend faults
+            # alike belong to every coalesced waiter
+            error = exc
+        finally:
+            set_metrics(previous)
+        outer.count("service.frontdoor.executions")
+        self._attribute(leader.tenant, local)
+        outer.merge(local)
+        for request in group.requests:
+            self._resolve(request, result=result, error=error)
+        return self._touched_shards(group.compiled)
+
+    def _attribute(self, tenant: str, local: MetricsRegistry) -> None:
+        """Read the execution's fault tallies off its private registry
+        into the tenant's ledger — injection and handling both count on
+        the executing thread (and worker deltas merge back into it), so
+        the attribution is lossless."""
+        counters = local.snapshot()["counters"]
+        injected = sum(
+            int(value)
+            for name, value in counters.items()
+            if name.startswith("faults.injected.")
+        )
+        retried = int(counters.get("service.faults.handled.retry", 0))
+        degraded = int(counters.get("service.faults.handled.degrade", 0))
+        surfaced = int(counters.get("service.faults.handled.surface", 0))
+        if not (injected or retried or degraded or surfaced):
+            return
+        state = self._tenants[tenant]
+        with state.lock:
+            state.faults["injected"] += injected
+            state.faults["retried"] += retried
+            state.faults["degraded"] += degraded
+            state.faults["surfaced"] += surfaced
+        for name, value in (
+            ("injected", injected),
+            ("retried", retried),
+            ("degraded", degraded),
+            ("surfaced", surfaced),
+        ):
+            if value:
+                local.count(f"service.tenant.{tenant}.faults.{name}", value)
+
+    def _touched_shards(self, compiled: CompiledQuery) -> set[int]:
+        if self._working_set is None or not isinstance(
+            self.service, ShardedService
+        ):
+            return set()
+        uris = scatter_uris(compiled.core)
+        if uris is None:
+            return set()
+        collection = self.service.collection
+        return {
+            collection.entry(uri).shard
+            for uri in uris
+            if uri in collection
+        }
+
+    def _resolve(
+        self,
+        request: _Request,
+        result: Result | None = None,
+        error: BaseException | None = None,
+    ) -> None:
+        state = self._tenants[request.tenant]
+        elapsed_ns = time.perf_counter_ns() - request.start_ns
+        with state.lock:
+            if error is None:
+                state.ok += 1
+                state.latency.observe(elapsed_ns)
+            else:
+                name = type(error).__name__
+                state.errors[name] = state.errors.get(name, 0) + 1
+
+        def deliver() -> None:
+            if request.future.done():
+                return
+            if error is not None:
+                request.future.set_exception(error)
+            else:
+                request.future.set_result(result)
+
+        request.loop.call_soon_threadsafe(deliver)
+
+    # -- introspection -------------------------------------------------
+
+    def _count(self, name: str) -> None:
+        with self._merge_lock:
+            self.metrics.count(name)
+
+    def fault_ledger(self) -> dict[str, dict[str, int]]:
+        """Per-tenant injected/retried/degraded/surfaced tallies (the
+        per-tenant half of the chaos accounting invariant)."""
+        ledger = {}
+        for name, state in self._tenants.items():
+            with state.lock:
+                ledger[name] = dict(state.faults)
+        return ledger
+
+    def stats(self) -> dict[str, Any]:
+        """A JSON-ready snapshot of the admission boundary."""
+        with self._queue_lock:
+            queue = self._wfq.stats()
+        with self._merge_lock:
+            counters = dict(self.metrics.snapshot()["counters"])
+        return {
+            "tenants": {
+                name: state.stats() for name, state in self._tenants.items()
+            },
+            "queue": queue,
+            "inflight_batches": self._gate.inflight,
+            "working_set": (
+                self._working_set.stats()
+                if self._working_set is not None
+                else None
+            ),
+            "counters": {
+                name: value
+                for name, value in counters.items()
+                if name.startswith(("service.frontdoor.", "service.tenant."))
+            },
+        }

@@ -400,6 +400,34 @@ class ProcessShardExecutor:
                             pass
                     self._reap(worker)
 
+    def retire_shard(self, shard: int) -> int:
+        """Stop the shard's worker processes (working-set eviction:
+        their attached database images are the per-shard RAM cost).
+        Returns how many live workers were retired.  The pool stays
+        usable — the next request to the shard restarts a worker and
+        re-attaches the current image on demand (:meth:`_sync`)."""
+        if not 0 <= shard < len(self._workers):
+            raise ValueError(
+                f"shard {shard} out of range for {len(self._workers)} shards"
+            )
+        retired = 0
+        for worker in self._workers[shard]:
+            with worker.lock:
+                if worker.process is None:
+                    continue
+                if worker.conn is not None:
+                    try:
+                        worker.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+                self._reap(worker)
+                retired += 1
+        if retired:
+            get_metrics().count(
+                "service.procpool.workers_retired", retired
+            )
+        return retired
+
     def __enter__(self) -> "ProcessShardExecutor":
         return self
 
@@ -521,18 +549,20 @@ class ProcessShardExecutor:
         workers = []
         for row in self._workers:
             for worker in row:
+                # snapshot the process reference once: a concurrent
+                # restart/reap may null worker.process between reads,
+                # and the report must describe a worker mid-restart
+                # (pid None, alive False) instead of crashing
+                process = worker.process
                 workers.append(
                     {
                         "worker": worker.name,
                         "shard": worker.shard,
                         "pid": (
-                            worker.process.pid
-                            if worker.process is not None
-                            else None
+                            process.pid if process is not None else None
                         ),
                         "alive": (
-                            worker.process is not None
-                            and worker.process.is_alive()
+                            process is not None and process.is_alive()
                         ),
                         "requests": worker.requests,
                         "merges": worker.merges,

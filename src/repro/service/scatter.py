@@ -404,6 +404,11 @@ class ShardedService:
         self._shard_services[entry.shard].cache.invalidate(
             store_version=self.collection.stores[entry.shard].version
         )
+        if self.flight is not None:
+            # the collection graft invalidated every compiled plan;
+            # latency percentiles from the pre-graft corpus would be
+            # stale too — roll the flight-recorder epoch
+            self.flight.mark_epoch()
 
     # -- compilation ---------------------------------------------------
 

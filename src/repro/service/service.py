@@ -258,6 +258,10 @@ class QueryService:
         drain against the old snapshot)."""
         self.processor.load(xml_text, uri)
         self.cache.invalidate(store_version=self.store.version)
+        if self.flight is not None:
+            # percentiles must describe the corpus now being served,
+            # not the pre-load one (see FlightRecorder.mark_epoch)
+            self.flight.mark_epoch()
         with self._pool_lock:
             pool, self._pool = self._pool, None
             self._pool_version = -1

@@ -81,6 +81,11 @@ class Collection:
         self._version = 0
         #: shard -> ((store version, index key), serialized DB bytes)
         self._payloads: dict[int, tuple[tuple[int, Any], bytes]] = {}
+        #: working-set accounting over the payload cache: how many
+        #: times each shard's image was (re)built, and how many times a
+        #: resident image was evicted (``evict_payload``)
+        self._payload_builds: list[int] = [0] * shards
+        self._payload_evictions: list[int] = [0] * shards
 
     # -- loading -----------------------------------------------------------
 
@@ -247,7 +252,45 @@ class Collection:
         with SQLiteBackend(store.table, indexes) as backend:
             payload = backend.serialize()
         self._payloads[shard] = (key, payload)
+        self._payload_builds[shard] += 1
         return payload
+
+    def evict_payload(self, shard: int) -> int:
+        """Drop the shard's cached serialized image (working-set
+        eviction for corpora larger than RAM); returns the bytes freed
+        (0 when nothing was resident).  The next :meth:`shard_payload`
+        call rebuilds the image from the shard table on demand."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(
+                f"shard {shard} out of range for {self.shards} shards"
+            )
+        cached = self._payloads.pop(shard, None)
+        if cached is None:
+            return 0
+        self._payload_evictions[shard] += 1
+        return len(cached[1])
+
+    def payload_stats(self) -> dict[str, Any]:
+        """JSON-ready working-set view of the payload cache: per-shard
+        residency, bytes, build and eviction counts, plus totals."""
+        per_shard = []
+        for shard in range(self.shards):
+            cached = self._payloads.get(shard)
+            per_shard.append(
+                {
+                    "shard": shard,
+                    "resident": cached is not None,
+                    "bytes": len(cached[1]) if cached is not None else 0,
+                    "builds": self._payload_builds[shard],
+                    "evictions": self._payload_evictions[shard],
+                }
+            )
+        return {
+            "resident_bytes": sum(entry["bytes"] for entry in per_shard),
+            "builds": sum(self._payload_builds),
+            "evictions": sum(self._payload_evictions),
+            "per_shard": per_shard,
+        }
 
     # -- serial view -------------------------------------------------------
 

@@ -19,6 +19,7 @@ SCHEMAS = (
     "repro.faults.campaign/v3",
     "repro.obs.metrics/v1",
     "repro.obs.flight/v1",
+    "repro.bench.soak/v1",
 )
 
 _LATENCY_KEYS = {"count", "mean", "p50", "p90", "p95", "p99", "max"}
@@ -272,6 +273,61 @@ def test_validate_flight_snapshot_rejects_bad_documents():
 
     assert validate_flight_snapshot({}) != []
     assert validate_flight_snapshot({"schema": "nope/v1"}) != []
+
+
+# -- repro.bench.soak/v1 ---------------------------------------------------
+
+
+def test_bench_soak_v1():
+    from repro.workloads.soak import SoakConfig, run_soak
+
+    report = run_soak(
+        SoakConfig(
+            duration_s=1.0,
+            documents=2,
+            factor=0.002,
+            load_points=(1.0,),
+            fault_rate=0.0,
+            differential_rate=1.0,
+            max_differential_samples=8,
+        )
+    )
+    assert report["schema"] == "repro.bench.soak/v1"
+    assert len(report["tenants"]) >= 3
+    for profile in report["tenants"].values():
+        assert profile["rate_qps"] > 0
+        assert profile["weight"] > 0
+        assert profile["templates"]
+    [point] = report["curve"]
+    assert point["multiplier"] == 1.0
+    assert point["offered"] >= point["ok"]
+    for tenant in point["per_tenant"].values():
+        assert set(tenant["latency_ms"]) == _LATENCY_KEYS
+        assert set(tenant["faults"]) == {
+            "injected", "retried", "degraded", "surfaced",
+        }
+        assert tenant["ledger_balanced"] is True
+        assert tenant["offered"] == (
+            tenant["ok"]
+            + tenant["rejected_quota"]
+            + tenant["rejected_overload"]
+            + sum(tenant["errors"].values())
+        )
+    assert set(report["knee"]) == {
+        "multiplier", "goodput_qps", "goodput_ratio",
+    }
+    fairness = report["fairness"]
+    assert 0.0 < fairness["index"] <= 1.0
+    assert report["faults"]["enabled"] is False
+    differential = report["differential"]
+    assert differential["sampled"] >= 1
+    assert differential["mismatches"] == []
+    gates = report["gates"]
+    assert set(gates) >= {
+        "knee_found", "fairness_ok", "ledger_balanced",
+        "differential_ok", "passed",
+    }
+    _json_ready(report)
 
 
 # -- the catalog -----------------------------------------------------------

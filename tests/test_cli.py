@@ -235,3 +235,59 @@ def test_serve_bench_faults_subcommand(capsys, tmp_path):
     assert report["config"]["seed"] == 7
     assert report["contract"]["holds"] is True
     assert report["faults"]["injected_total"] == report["faults"]["handled_total"]
+
+
+def test_serve_bench_soak_subcommand(capsys, tmp_path):
+    out_path = tmp_path / "soak.json"
+    out = run(
+        capsys,
+        "serve-bench",
+        "--soak",
+        "--quick",
+        "--duration", "1.0",
+        "--load-points", "1.0",
+        "--documents", "2",
+        "--factor", "0.002",
+        "--faults",
+        "--fault-rate", "0.1",
+        "--out", str(out_path),
+    )
+    assert "soak [repro.bench.soak/v1]" in out
+    assert "fairness" in out and "knee" in out
+    report = json.loads(out_path.read_text())
+    assert report["schema"] == "repro.bench.soak/v1"
+    assert len(report["tenants"]) == 3
+    assert report["faults"]["enabled"] is True
+    assert report["gates"]["passed"] is True
+
+
+def test_serve_bench_soak_excludes_collection():
+    with pytest.raises(SystemExit):
+        main(["serve-bench", "--soak", "--collection"])
+
+
+def test_executor_report_tolerates_worker_mid_restart():
+    """Regression: a worker restarting while `repro obs` cut its
+    snapshot produced a row with pid None / missing counters, and the
+    report crashed on direct key access."""
+    from repro.cli import _executor_report
+
+    stats = {
+        "executor": "process",
+        "procpool": {
+            "workers_per_shard": 1,
+            "workers": [
+                # mid-restart: no pid, counter keys absent entirely
+                {"worker": "s0w0", "pid": None, "alive": False},
+                {
+                    "worker": "s1w0", "pid": 7, "alive": True,
+                    "requests": 2, "merges": 1, "plans_shipped": 3,
+                    "restarts": 0,
+                },
+            ],
+        },
+    }
+    report = _executor_report(stats)
+    assert "s0w0: pid - alive=False" in report
+    assert "s1w0: pid 7 alive=True" in report
+    assert "requests 0" in report  # absent counters render as zeros

@@ -286,3 +286,52 @@ def test_sharded_snapshot_validates():
     [capture] = snapshot["slow"]
     assert capture["reason"] == "slow"
     assert capture["explain"]  # EXPLAIN rows from a shard backend
+
+
+# -- latency epochs (corpus-change invalidation) ---------------------------
+
+
+def test_mark_epoch_restarts_percentiles_but_not_counts():
+    """Regression: ``stats()`` percentiles used to aggregate across
+    corpus changes, so ``Session.stats()["flight"]`` reported latencies
+    of plans that no longer exist.  An epoch mark restarts the
+    percentile population; cumulative counts and the ring survive."""
+    recorder = FlightRecorder(capacity=16, slow_threshold_s=10.0)
+    for _ in range(5):
+        _record(recorder, elapsed_ms=100.0)
+    before = recorder.stats()
+    assert before["latency_ns"]["count"] == 5
+    assert before["epochs"] == 0
+
+    recorder.mark_epoch()
+    after = recorder.stats()
+    assert after["latency_ns"]["count"] == 0
+    assert after["epochs"] == 1
+    assert after["recorded"] == 5  # cumulative counts survive
+    assert len(recorder.records()) == 5  # the ring survives
+    # the full snapshot stays cumulative for offline analysis
+    assert recorder.snapshot()["latency_ns"]["count"] == 5
+
+    _record(recorder, elapsed_ms=1.0)
+    fresh = recorder.stats()
+    assert fresh["latency_ns"]["count"] == 1
+    # percentiles now describe only the new epoch: ~1ms, not ~100ms
+    assert fresh["latency_ns"]["p99"] < 50e6
+
+
+def test_session_flight_percentiles_recompute_after_graft():
+    """A collection graft invalidates every compiled plan; the serving
+    percentiles must roll with it (satellite regression)."""
+    with _sharded_session() as session:
+        session.execute("collection()//item[name]")
+        before = session.stats()["flight"]
+        assert before["latency_ns"]["count"] >= 1
+        session.load("<doc><item><name>n</name></item></doc>", "late.xml")
+        after = session.stats()["flight"]
+        assert after["epochs"] == before["epochs"] + 1
+        assert after["latency_ns"]["count"] == 0
+        assert after["recorded"] == before["recorded"]
+        # new executions repopulate the fresh epoch
+        session.execute("collection()//item[name]")
+        repopulated = session.stats()["flight"]
+        assert repopulated["latency_ns"]["count"] == 1

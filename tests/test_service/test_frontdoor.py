@@ -1,0 +1,310 @@
+"""Front-door behavior: typed backpressure, canonical coalescing,
+batching, per-tenant accounting, and working-set eviction.
+
+The eviction test is the PR's correctness anchor for corpora larger
+than RAM: shard payloads are evicted *while queries keep arriving*,
+every answer must stay byte-identical to the serial reference, and
+the ``service.frontdoor.evictions`` / ``service.frontdoor.reattach``
+counters must balance (every eviction that is queried again
+re-attaches exactly once; the remainder is still pending).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import QuotaExceeded, ServiceError, ServiceOverloaded
+from repro.pipeline import XQueryProcessor
+from repro.service import FrontDoor, ShardedService, TenantSpec
+from repro.store import Collection
+
+DOCS = [
+    ("<site><a>1</a><b>x</b></site>", "doc0.xml"),
+    ("<site><a>2</a><b>y</b></site>", "doc1.xml"),
+    ("<site><a>3</a><b>z</b></site>", "doc2.xml"),
+    ("<site><a>4</a><b>w</b></site>", "doc3.xml"),
+]
+
+
+def make_service(**kwargs) -> ShardedService:
+    service = ShardedService(Collection(2), **kwargs)
+    for index, (text, uri) in enumerate(DOCS):
+        service.load(text, uri, shard=index % 2)
+    return service
+
+
+def generous(name: str, **kwargs) -> TenantSpec:
+    defaults = dict(rate_qps=10_000.0, burst=1_000.0)
+    defaults.update(kwargs)
+    return TenantSpec(name, **defaults)
+
+
+def test_submit_requires_known_tenant_and_started_door():
+    service = make_service()
+    try:
+        door = FrontDoor(service, [generous("alpha")])
+
+        async def check():
+            with pytest.raises(ServiceError, match="not started"):
+                await door.submit("alpha", "collection()//a")
+            async with door:
+                with pytest.raises(ValueError, match="unknown tenant"):
+                    await door.submit("ghost", "collection()//a")
+
+        asyncio.run(check())
+    finally:
+        service.close()
+
+
+def test_quota_exhaustion_is_typed_and_carries_retry_hint():
+    service = make_service()
+    try:
+
+        async def scenario():
+            specs = [
+                generous("alpha"),
+                TenantSpec("tiny", rate_qps=0.01, burst=2.0),
+            ]
+            async with FrontDoor(service, specs) as door:
+                await door.submit("tiny", "collection()//a")
+                await door.submit("tiny", "collection()//a")
+                with pytest.raises(QuotaExceeded) as info:
+                    await door.submit("tiny", "collection()//a")
+                assert info.value.tenant == "tiny"
+                assert info.value.retry_after_s > 0
+                # the untouched tenant is unaffected
+                result = await door.submit("alpha", "collection()//a")
+                assert len(result) == 4
+                stats = door.stats()
+            tiny = stats["tenants"]["tiny"]
+            assert tiny["rejected_quota"] == 1
+            assert tiny["offered"] == 3 and tiny["admitted"] == 2
+            assert (
+                stats["counters"]["service.tenant.tiny.rejected.quota"] == 1
+            )
+
+        asyncio.run(scenario())
+    finally:
+        service.close()
+
+
+def test_backlog_overflow_surfaces_service_overloaded():
+    service = make_service()
+    release = threading.Event()
+    original_execute = service.execute
+
+    def slow_execute(*args, **kwargs):
+        assert release.wait(10), "test gate never released"
+        return original_execute(*args, **kwargs)
+
+    service.execute = slow_execute  # type: ignore[method-assign]
+    try:
+
+        async def scenario():
+            specs = [generous("alpha", max_backlog=2)]
+            async with FrontDoor(
+                service,
+                specs,
+                batch_max=1,
+                batch_window_s=0.0,
+                max_concurrent_batches=1,
+            ) as door:
+                # fill the pipeline in stages: 1 executing + 1 drained
+                # awaiting a batch slot, then 2 queued at the lane cap
+                tasks = [
+                    asyncio.create_task(
+                        door.submit("alpha", "collection()//a")
+                    )
+                    for _ in range(2)
+                ]
+                for _ in range(400):
+                    await asyncio.sleep(0.005)
+                    if len(door._wfq) == 0 and (
+                        door.stats()["tenants"]["alpha"]["admitted"] == 2
+                    ):
+                        break
+                assert len(door._wfq) == 0, "dispatcher never drained"
+                tasks += [
+                    asyncio.create_task(
+                        door.submit("alpha", "collection()//a")
+                    )
+                    for _ in range(2)
+                ]
+                for _ in range(400):
+                    await asyncio.sleep(0.005)
+                    if door.stats()["tenants"]["alpha"]["admitted"] == 4:
+                        break
+                with pytest.raises(ServiceOverloaded, match="backlog full"):
+                    await door.submit("alpha", "collection()//a")
+                release.set()
+                results = await asyncio.gather(*tasks)
+                assert all(len(r) == 4 for r in results)
+                stats = door.stats()
+            assert stats["tenants"]["alpha"]["rejected_overload"] == 1
+            assert stats["tenants"]["alpha"]["ok"] == 4
+
+        asyncio.run(scenario())
+    finally:
+        release.set()
+        service.close()
+
+
+def test_identical_canonical_keys_coalesce_into_one_execution():
+    service = make_service()
+    try:
+
+        async def scenario():
+            specs = [generous("alpha"), generous("beta")]
+            async with FrontDoor(
+                service,
+                specs,
+                batch_max=16,
+                # a long window so every submission below lands in one
+                # batch deterministically
+                batch_window_s=0.2,
+                max_concurrent_batches=1,
+            ) as door:
+                same = "collection()//a"
+                respelled = "  collection()//a  "  # same canonical key
+                other = "collection()//b"
+                tasks = [
+                    asyncio.create_task(door.submit("alpha", same)),
+                    asyncio.create_task(door.submit("beta", same)),
+                    asyncio.create_task(door.submit("alpha", respelled)),
+                    asyncio.create_task(door.submit("beta", other)),
+                ]
+                results = await asyncio.gather(*tasks)
+            # the three equivalent spellings share one Result object
+            assert results[0] is results[1] is results[2]
+            assert results[3] is not results[0]
+            counters = door.stats()["counters"]
+            assert counters["service.frontdoor.executions"] == 2
+            assert counters["service.frontdoor.coalesced"] == 2
+            assert counters["service.frontdoor.batches"] == 1
+
+        asyncio.run(scenario())
+    finally:
+        service.close()
+
+
+def test_compile_errors_resolve_only_the_bad_request():
+    service = make_service()
+    try:
+
+        async def scenario():
+            async with FrontDoor(service, [generous("alpha")]) as door:
+                good = asyncio.create_task(
+                    door.submit("alpha", "collection()//a")
+                )
+                with pytest.raises(Exception):  # noqa: B017 - any typed compile error
+                    await door.submit("alpha", "collection()//a[[[")
+                assert len(await good) == 4
+                stats = door.stats()
+            assert stats["tenants"]["alpha"]["ok"] == 1
+            assert sum(stats["tenants"]["alpha"]["errors"].values()) == 1
+
+        asyncio.run(scenario())
+    finally:
+        service.close()
+
+
+def test_working_set_requires_process_executor():
+    service = make_service()
+    try:
+        with pytest.raises(ValueError, match="process"):
+            FrontDoor(
+                service, [generous("alpha")], working_set_bytes=1 << 20
+            )
+    finally:
+        service.close()
+
+
+def test_eviction_under_concurrent_queries_stays_byte_identical():
+    """Satellite 5: a 1-byte working-set budget forces every resident
+    shard payload out after every batch; queries racing the evictions
+    must still serialize byte-identically to a serial processor, and
+    the eviction/re-attach ledger must balance."""
+    reference = XQueryProcessor()
+    for text, uri in DOCS:
+        reference.load(text, uri)
+    queries = ["collection()//a", "collection()//b"]
+    expected = {
+        query: reference.serialize(reference.execute(query))
+        for query in queries
+    }
+
+    service = make_service(executor="process")
+    try:
+
+        async def scenario():
+            specs = [generous("alpha"), generous("beta")]
+            async with FrontDoor(
+                service,
+                specs,
+                batch_max=4,
+                batch_window_s=0.0,
+                working_set_bytes=1,
+            ) as door:
+                for _ in range(3):
+                    results = await asyncio.gather(
+                        *(
+                            door.submit(tenant, query)
+                            for tenant in ("alpha", "beta")
+                            for query in queries
+                        )
+                    )
+                    flat = [
+                        (tenant, query)
+                        for tenant in ("alpha", "beta")
+                        for query in queries
+                    ]
+                    for (tenant, query), result in zip(flat, results):
+                        assert service.serialize(result) == expected[query]
+            # counters merge when a batch's worker thread finishes —
+            # snapshot only after close() drained the in-flight batches
+            stats = door.stats()
+            working_set = stats["working_set"]
+            assert working_set["evictions"] >= 1
+            # every eviction either re-attached (the shard was queried
+            # again) or is still pending — nothing is lost
+            assert working_set["evictions"] == working_set[
+                "reattached"
+            ] + len(working_set["pending_reattach"])
+            counters = stats["counters"]
+            assert (
+                counters.get("service.frontdoor.evictions", 0)
+                == working_set["evictions"]
+            )
+            assert (
+                counters.get("service.frontdoor.reattach", 0)
+                == working_set["reattached"]
+            )
+            assert working_set["reattached"] >= 1
+
+        asyncio.run(scenario())
+    finally:
+        service.close()
+
+
+def test_per_tenant_latency_and_counters_accumulate():
+    service = make_service()
+    try:
+
+        async def scenario():
+            async with FrontDoor(service, [generous("alpha")]) as door:
+                for _ in range(5):
+                    await door.submit("alpha", "collection()//a")
+                stats = door.stats()
+            alpha = stats["tenants"]["alpha"]
+            assert alpha["ok"] == 5
+            assert alpha["latency_ms"]["count"] == 5
+            assert alpha["latency_ms"]["p50"] > 0
+            assert alpha["ledger_balanced"]
+            assert stats["queue"]["alpha"]["served"] == 5
+
+        asyncio.run(scenario())
+    finally:
+        service.close()

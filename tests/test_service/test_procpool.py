@@ -174,3 +174,65 @@ def test_deadline_surfaces_typed_through_the_worker(service):
     service.execute(QUERIES[0])  # warm: attach + plan shipping
     with pytest.raises(DeadlineExceeded):
         service.execute(QUERIES[0], deadline_s=1e-5)
+
+
+# -- stats() vs concurrent restart -----------------------------------------
+
+
+class _StubProcess:
+    pid = 4242
+
+    @staticmethod
+    def is_alive() -> bool:
+        return True
+
+
+class _RacyWorker:
+    """A worker whose ``process`` is reaped between two attribute
+    reads — exactly what a concurrent ``_reap``/restart does while
+    ``stats()`` walks the table."""
+
+    def __init__(self) -> None:
+        self.shard = 0
+        self.name = "s0w0"
+        self.requests = 3
+        self.merges = 2
+        self.restarts = 1
+        self.shipped: set = set()
+        self.reads = 0
+
+    @property
+    def process(self):
+        self.reads += 1
+        return _StubProcess() if self.reads == 1 else None
+
+
+def test_stats_survives_worker_reaped_mid_snapshot():
+    """Regression: ``stats()`` used to read ``worker.process`` twice
+    (None-check, then ``.pid``); a restart nulling the reference
+    between the reads crashed ``repro obs`` with AttributeError.  The
+    snapshot must instead describe the worker from one coherent read."""
+    from repro.service.procpool import ProcessShardExecutor
+
+    executor = ProcessShardExecutor.__new__(ProcessShardExecutor)
+    executor.workers_per_shard = 1
+    executor._workers = [[_RacyWorker()]]
+    report = executor.stats()
+    [row] = report["workers"]
+    # one coherent snapshot: the single read saw the live process
+    assert row["pid"] == 4242
+    assert row["alive"] is True
+    assert row["requests"] == 3 and row["merges"] == 2
+
+
+def test_stats_reports_worker_mid_restart_as_down():
+    from repro.service.procpool import ProcessShardExecutor
+
+    worker = _RacyWorker()
+    worker.reads = 1  # the next read (stats's one read) returns None
+    executor = ProcessShardExecutor.__new__(ProcessShardExecutor)
+    executor.workers_per_shard = 1
+    executor._workers = [[worker]]
+    [row] = executor.stats()["workers"]
+    assert row["pid"] is None
+    assert row["alive"] is False

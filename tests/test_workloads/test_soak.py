@@ -1,0 +1,185 @@
+"""The open-loop soak harness: schedules, chaos ledger, differential
+byte-identity, and the report gates.
+
+Satellite 4's contract lives here: a quick soak under fault injection
+must (a) sample responses and prove them byte-identical to a serial
+re-execution, and (b) balance the *per-tenant* chaos ledger —
+``injected == retried + degraded + surfaced`` for every tenant, not
+just in aggregate.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.workloads.soak import (
+    DEFAULT_TENANTS,
+    SoakConfig,
+    TenantProfile,
+    _fairness_index,
+    _find_knee,
+    _schedule,
+    format_soak_report,
+    run_soak,
+)
+
+
+def quick_config(**kwargs) -> SoakConfig:
+    defaults = dict(
+        duration_s=1.5,
+        documents=2,
+        factor=0.002,
+        load_points=(1.0, 2.0),
+        differential_rate=0.25,
+        max_differential_samples=16,
+    )
+    defaults.update(kwargs)
+    return SoakConfig(**defaults)
+
+
+# -- building blocks -------------------------------------------------------
+
+
+def test_default_tenants_are_three_distinct_personas():
+    assert len(DEFAULT_TENANTS) >= 3
+    names = [profile.name for profile in DEFAULT_TENANTS]
+    assert len(set(names)) == len(names)
+    mixes = [frozenset(profile.queries.values()) for profile in DEFAULT_TENANTS]
+    assert len(set(mixes)) == len(mixes), "query mixes must be distinct"
+
+
+def test_schedule_is_poisson_open_loop_and_deterministic():
+    profile = DEFAULT_TENANTS[0]
+    first = _schedule(profile, 1.0, 10.0, random.Random(7))
+    again = _schedule(profile, 1.0, 10.0, random.Random(7))
+    assert first == again, "schedules must be reproducible from the seed"
+    times = [when for when, _ in first]
+    assert times == sorted(times)
+    assert all(0 <= when < 10.0 for when in times)
+    # the mean arrival count tracks rate * duration (Poisson, so give
+    # it wide slack)
+    expected = profile.rate_qps * 10.0
+    assert 0.5 * expected < len(first) < 1.5 * expected
+    # doubling the multiplier roughly doubles the arrivals
+    double = _schedule(profile, 2.0, 10.0, random.Random(7))
+    assert len(double) > 1.5 * len(first)
+
+
+def test_fairness_index_bounds():
+    assert _fairness_index([]) == 1.0
+    assert _fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+    skewed = _fairness_index([10.0, 0.0, 0.0])
+    assert skewed == pytest.approx(1 / 3)
+    assert _fairness_index([0.0, 0.0]) == 1.0
+
+
+def test_find_knee_takes_last_tracking_point():
+    curve = [
+        {"multiplier": 0.5, "goodput_qps": 10.0, "goodput_ratio": 1.0},
+        {"multiplier": 1.0, "goodput_qps": 19.0, "goodput_ratio": 0.95},
+        {"multiplier": 2.0, "goodput_qps": 22.0, "goodput_ratio": 0.55},
+    ]
+    knee = _find_knee(curve)
+    assert knee["multiplier"] == 1.0
+    assert _find_knee(curve[2:])["multiplier"] is None
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="two tenants"):
+        SoakConfig(tenants=(DEFAULT_TENANTS[0],))
+    with pytest.raises(ValueError, match="duration"):
+        SoakConfig(duration_s=0)
+    with pytest.raises(ValueError, match="load_points"):
+        SoakConfig(load_points=())
+    with pytest.raises(ValueError, match="differential_rate"):
+        SoakConfig(differential_rate=1.5)
+    quick = SoakConfig().quick()
+    assert quick.duration_s <= 2.0 and quick.documents <= 2
+
+
+# -- the soak under chaos --------------------------------------------------
+
+
+def test_soak_under_faults_balances_every_tenant_ledger():
+    """The per-tenant half of the chaos accounting invariant: faults
+    are attributed to the tenant whose execution absorbed them, and
+    each tenant's ledger balances independently."""
+    report = run_soak(quick_config(fault_rate=0.15, load_points=(1.0,)))
+    assert report["faults"]["enabled"] is True
+    assert report["faults"]["ledger_balanced"] is True
+    total_injected = 0
+    for point in report["curve"]:
+        for name, tenant in point["per_tenant"].items():
+            ledger = tenant["faults"]
+            assert ledger["injected"] == (
+                ledger["retried"]
+                + ledger["degraded"]
+                + ledger["surfaced"]
+            ), f"tenant {name} ledger out of balance: {ledger}"
+            total_injected += ledger["injected"]
+    # a 15% rate over hundreds of calls must actually inject; if this
+    # fires the attribution plumbing is broken, not the dice
+    assert total_injected > 0
+
+
+def test_soak_differential_gate_is_byte_identical_under_chaos():
+    """Satellite 4: sampled storm responses re-executed serially must
+    serialize byte-identically — chaos may slow answers, never change
+    them."""
+    report = run_soak(
+        quick_config(
+            fault_rate=0.12,
+            differential_rate=1.0,
+            max_differential_samples=32,
+        )
+    )
+    differential = report["differential"]
+    assert differential["sampled"] >= 5
+    assert differential["checked"] == differential["sampled"]
+    assert differential["mismatches"] == []
+    assert report["gates"]["differential_ok"] is True
+
+
+def test_soak_report_gates_and_format():
+    report = run_soak(quick_config(load_points=(0.5, 1.0)))
+    assert report["gates"]["passed"] is True
+    assert report["knee"]["multiplier"] is not None
+    # offered tracks goodput up to the knee within the 10% budget
+    for point in report["curve"]:
+        if point["multiplier"] <= report["knee"]["multiplier"]:
+            assert point["goodput_ratio"] >= 0.9
+    rendered = format_soak_report(report)
+    assert "knee" in rendered and "fairness" in rendered
+    assert "differential" in rendered
+
+
+def test_soak_custom_tenants_and_conservation():
+    tenants = (
+        TenantProfile(
+            name="a",
+            queries={"Q": "collection()//item/name"},
+            rate_qps=20.0,
+            burst=10.0,
+            weight=1.0,
+        ),
+        TenantProfile(
+            name="b",
+            queries={"Q": "collection()//person/name"},
+            rate_qps=20.0,
+            burst=10.0,
+            weight=1.0,
+        ),
+    )
+    report = run_soak(quick_config(tenants=tenants, load_points=(1.0,)))
+    [point] = report["curve"]
+    assert set(point["per_tenant"]) == {"a", "b"}
+    for tenant in point["per_tenant"].values():
+        # every offered arrival is accounted for exactly once
+        assert tenant["offered"] == (
+            tenant["ok"]
+            + tenant["rejected_quota"]
+            + tenant["rejected_overload"]
+            + sum(tenant["errors"].values())
+        )
