@@ -52,6 +52,7 @@ Sub-packages
 from repro.api import Session, connect
 from repro.engines import Engine
 from repro.errors import (
+    AnalysisError,
     BackendUnavailable,
     CircuitOpenError,
     CodegenError,
@@ -59,11 +60,14 @@ from repro.errors import (
     DeadlineExceeded,
     DocumentError,
     PlanError,
+    PoolRetiredError,
     QuotaExceeded,
     ReproError,
     RewriteError,
+    SanitizerError,
     ServiceError,
     ServiceOverloaded,
+    WorkerCrash,
     XMLParseError,
     XQuerySyntaxError,
     XQueryTypeError,
@@ -71,13 +75,22 @@ from repro.errors import (
 from repro.infoset.encoding import DocTable, DocumentStore, shred
 from repro.pipeline import CompiledQuery, XQueryProcessor
 from repro.result import Result, Serialized
-from repro.service import FrontDoor, QueryService, ShardedService, TenantSpec
+from repro.service import (
+    CacheStats,
+    FrontDoor,
+    QueryService,
+    ShardedService,
+    TenantSpec,
+    TierStats,
+)
 from repro.store import Collection
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "AnalysisError",
     "BackendUnavailable",
+    "CacheStats",
     "CircuitOpenError",
     "CodegenError",
     "Collection",
@@ -90,17 +103,21 @@ __all__ = [
     "Engine",
     "FrontDoor",
     "PlanError",
+    "PoolRetiredError",
     "QueryService",
     "QuotaExceeded",
     "ReproError",
     "Result",
     "RewriteError",
+    "SanitizerError",
     "Serialized",
     "ServiceError",
     "ServiceOverloaded",
     "Session",
     "ShardedService",
     "TenantSpec",
+    "TierStats",
+    "WorkerCrash",
     "XMLParseError",
     "XQueryProcessor",
     "XQuerySyntaxError",

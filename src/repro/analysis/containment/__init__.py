@@ -40,7 +40,11 @@ from repro.analysis.containment.decision import (
     contains_patterns,
     equivalent,
 )
-from repro.analysis.containment.evaluate import evaluate_pattern
+from repro.analysis.containment.evaluate import (
+    evaluate_pattern,
+    filter_pattern,
+    pattern_selects,
+)
 from repro.analysis.containment.hom import find_homomorphism, verify_witness
 from repro.analysis.containment.pattern import (
     PNode,
@@ -65,7 +69,9 @@ __all__ = [
     "equivalent",
     "evaluate_pattern",
     "extract_pattern",
+    "filter_pattern",
     "find_homomorphism",
+    "pattern_selects",
     "pattern_key",
     "pattern_nodes",
     "verify_witness",

@@ -25,13 +25,13 @@ sanitizer's bounded test documents, not a query engine.
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import Iterable, Iterator
 
 from repro.analysis.containment.pattern import PNode, TreePattern
 from repro.infoset.encoding import DocTable
 from repro.xmltree.model import NodeKind
 
-__all__ = ["evaluate_pattern"]
+__all__ = ["evaluate_pattern", "filter_pattern", "pattern_selects"]
 
 _ATTR = int(NodeKind.ATTR)
 
@@ -121,6 +121,131 @@ def _collect(
             out.add(pre)
         for child in spine:
             _collect(table, child, _targets(table, pre, child.axis), out)
+
+
+def _chain(table: DocTable, root: int, target: int) -> list[int] | None:
+    """Pre ranks on the ancestor-or-self path ``root .. target``, or
+    ``None`` when ``target`` lies outside ``root``'s subtree.  The walk
+    skips whole sibling subtrees via the ``size`` column, so it costs
+    O(depth × branching) instead of a table scan."""
+    if target < root or target > root + table.size[root]:
+        return None
+    chain = [root]
+    node = root
+    while node != target:
+        child = node + 1
+        end = node + table.size[node]
+        step = None
+        while child <= end:
+            if child <= target <= child + table.size[child]:
+                step = child
+                break
+            child += table.size[child] + 1
+        if step is None:  # pragma: no cover - pre/size invariant
+            return None
+        chain.append(step)
+        node = step
+    return chain
+
+
+def _chain_targets(
+    table: DocTable, chain: list[int], index: int, axis: str
+) -> Iterator[int]:
+    """Indices into ``chain`` that one structural step from
+    ``chain[index]`` may reach — the restriction of :func:`_targets`
+    to the ancestor chain (every spine image must keep the target in
+    its subtree, so only chain nodes qualify)."""
+    if axis == "self":
+        yield index
+    elif axis in ("child", "attribute"):
+        # chain[index + 1] is by construction a child of chain[index];
+        # only the ATTR split remains to check.
+        attr = axis == "attribute"
+        if index + 1 < len(chain) and (
+            (table.kind[chain[index + 1]] == _ATTR) == attr
+        ):
+            yield index + 1
+    elif axis == "descendant":
+        for j in range(index + 1, len(chain)):
+            if table.kind[chain[j]] != _ATTR:
+                yield j
+    elif axis == "descendant-or-self":
+        for j in range(index, len(chain)):
+            if table.kind[chain[j]] != _ATTR or j == index:
+                yield j
+    else:  # pragma: no cover - extraction only emits the above
+        raise ValueError(f"axis {axis!r} is not pattern material")
+
+
+def _selects_at(
+    table: DocTable, node: PNode, chain: list[int], index: int
+) -> bool:
+    """With ``node`` bound at ``chain[index]``, can the pattern below
+    it select ``chain[-1]`` (the membership target)?"""
+    pre = chain[index]
+    if not _test(table, node, pre):
+        return False
+    for child in node.children:
+        if not child.has_selected() and not _exists(table, child, pre):
+            return False
+    if node.selected:
+        return index == len(chain) - 1
+    return any(
+        _selects_at(table, child, chain, j)
+        for child in node.children
+        if child.has_selected()
+        for j in _chain_targets(table, chain, index, child.axis)
+    )
+
+
+def pattern_selects(pattern: TreePattern, table: DocTable, target: int) -> bool:
+    """Does ``target`` belong to ``evaluate_pattern(pattern, table)``?
+
+    Decided without materializing the full result: the selected node
+    must bind to ``target`` itself, and every spine node above it must
+    bind to an ancestor of ``target`` — so the search space collapses
+    to the ancestor-or-self chain.  Branch predicates fall back to the
+    unrestricted :func:`_exists` search.  Used by the service view tier
+    as the residual filter over materialized rows."""
+    if pattern.root is None:
+        return False
+    hosted = set(table.doc_uris)
+    for uri in set(pattern.uris):
+        if uri not in hosted:
+            continue
+        chain = _chain(table, table.root_of(uri), target)
+        if chain is not None and _selects_at(table, pattern.root, chain, 0):
+            return True
+    return False
+
+
+def filter_pattern(
+    pattern: TreePattern, table: DocTable, candidates: Iterable[int]
+) -> list[int]:
+    """The subset of ``candidates`` (pre ranks, caller order preserved)
+    that the pattern selects.  Equivalent to intersecting with
+    :func:`evaluate_pattern` but proportional to ``len(candidates)``
+    rather than to the table."""
+    if pattern.root is None:
+        return []
+    hosted = set(table.doc_uris)
+    spans = [
+        (root, root + table.size[root])
+        for root in (
+            table.root_of(uri) for uri in set(pattern.uris) if uri in hosted
+        )
+    ]
+    out: list[int] = []
+    for pre in candidates:
+        for root, end in spans:
+            if root <= pre <= end:
+                chain = _chain(table, root, pre)
+                if chain is not None and _selects_at(
+                    table, pattern.root, chain, 0
+                ):
+                    out.append(pre)
+                break
+    return out
 
 
 def evaluate_pattern(pattern: TreePattern, table: DocTable) -> list[int]:

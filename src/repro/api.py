@@ -34,6 +34,7 @@ from typing import Any, Iterable, Sequence
 
 from repro.engines import Engine
 from repro.result import Result, Serialized
+from repro.service.cache import CacheStats
 from repro.service.resilience import RetryPolicy
 from repro.service.scatter import ShardedService
 from repro.service.service import QueryService
@@ -124,8 +125,19 @@ class Session:
 
     # -- lifecycle -----------------------------------------------------
 
+    def cache_stats(self) -> CacheStats:
+        """The typed cache statistics across all three cache tiers
+        (exact / canonical / view) — the stable structured form of
+        ``stats()["cache"]``.  See ``docs/caching.md``."""
+        return self._service.cache_stats()
+
     def stats(self) -> dict[str, Any]:
-        """A JSON-ready snapshot of the serving stack."""
+        """A JSON-ready snapshot of the serving stack.
+
+        ``stats()["cache"]`` carries the tiered
+        :class:`repro.CacheStats` shape (plus deprecated flat aliases
+        for one release — see ``docs/api.md``), and ``stats()["views"]``
+        the materialized-view tier's counters."""
         return self._service.stats()
 
     def close(self) -> None:
@@ -159,6 +171,9 @@ def connect(
     executor: str = "thread",
     flight: bool = True,
     slow_threshold_s: float = 0.25,
+    views: bool = True,
+    view_budget_bytes: int = 4 << 20,
+    view_admit_after: int = 3,
 ) -> Session:
     """Open a query :class:`Session`.
 
@@ -199,6 +214,13 @@ def connect(
         ``session.service.flight``, summarized (with latency
         percentiles) by :meth:`Session.stats`.  See
         ``docs/observability.md``.
+    views, view_budget_bytes, view_admit_after:
+        The materialized-view cache tier (on by default): queries hot
+        for ``view_admit_after`` executions get their results
+        materialized (LRU within ``view_budget_bytes``), and later
+        queries whose pattern is strictly contained in a view's are
+        answered from the view without compiling.  See
+        ``docs/caching.md``.
     """
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
@@ -218,6 +240,9 @@ def connect(
             degrade=degrade,
             flight=flight,
             slow_threshold_s=slow_threshold_s,
+            views=views,
+            view_budget_bytes=view_budget_bytes,
+            view_admit_after=view_admit_after,
         )
     else:
         service = ShardedService(
@@ -233,5 +258,8 @@ def connect(
             executor=executor,
             flight=flight,
             slow_threshold_s=slow_threshold_s,
+            views=views,
+            view_budget_bytes=view_budget_bytes,
+            view_admit_after=view_admit_after,
         )
     return Session(service)

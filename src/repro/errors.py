@@ -3,6 +3,13 @@
 Every error raised by the library derives from :class:`ReproError` so that
 callers can catch library failures with a single ``except`` clause while
 still being able to distinguish the failing subsystem.
+
+Every class carries a stable, machine-readable ``code`` attribute
+(dotted, ``repro.<subsystem>[.<condition>]``) for log pipelines and
+API clients that must branch on failure kind without string-matching
+messages.  Codes are part of the public API surface: they never change
+for an existing class.  :class:`SanitizerError` refines its class code
+per *instance* with the sanitizer's diagnostic code (``JGI…``).
 """
 
 from __future__ import annotations
@@ -11,6 +18,8 @@ from __future__ import annotations
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
+    code = "repro.error"
+
 
 class XMLParseError(ReproError):
     """Raised when XML text is not well-formed.
@@ -18,6 +27,8 @@ class XMLParseError(ReproError):
     Carries the (1-based) ``line`` and ``column`` of the offending input
     position when known.
     """
+
+    code = "repro.xml.parse"
 
     def __init__(self, message: str, line: int | None = None, column: int | None = None):
         if line is not None:
@@ -30,6 +41,8 @@ class XMLParseError(ReproError):
 class XQuerySyntaxError(ReproError):
     """Raised when an XQuery expression cannot be parsed."""
 
+    code = "repro.xquery.syntax"
+
     def __init__(self, message: str, position: int | None = None):
         if position is not None:
             message = f"{message} (at offset {position})"
@@ -41,13 +54,19 @@ class XQueryTypeError(ReproError):
     """Raised when an XQuery expression is outside the supported fragment
     or violates the static typing rules of the workhorse dialect."""
 
+    code = "repro.xquery.type"
+
 
 class CompileError(ReproError):
     """Raised when loop-lifting compilation fails."""
 
+    code = "repro.compile"
+
 
 class RewriteError(ReproError):
     """Raised when join graph isolation encounters an inconsistent plan."""
+
+    code = "repro.rewrite"
 
 
 class SanitizerError(RewriteError):
@@ -59,6 +78,8 @@ class SanitizerError(RewriteError):
     ``rule`` name, and the full :class:`repro.analysis.Diagnostic`
     list.
     """
+
+    code = "repro.rewrite.sanitizer"
 
     def __init__(self, message: str, code: str, rule: str, diagnostics=()):
         super().__init__(message)
@@ -72,18 +93,26 @@ class AnalysisError(ReproError):
     inconsistencies — e.g. a containment witness that fails its
     independent re-verification (:mod:`repro.analysis.containment`)."""
 
+    code = "repro.analysis"
+
 
 class CodegenError(ReproError):
     """Raised when an isolated plan cannot be rendered as a single
     SELECT-DISTINCT-FROM-WHERE-ORDER BY block."""
 
+    code = "repro.codegen"
+
 
 class PlanError(ReproError):
     """Raised by the relational optimizer / physical engine."""
 
+    code = "repro.plan"
+
 
 class DocumentError(ReproError):
     """Raised when a referenced document URI is unknown to the store."""
+
+    code = "repro.store.document"
 
 
 class ServiceError(ReproError):
@@ -94,6 +123,8 @@ class ServiceError(ReproError):
     result escaped.  See ``docs/robustness.md`` for the failure model.
     """
 
+    code = "repro.service"
+
 
 class DeadlineExceeded(ServiceError):
     """The per-query deadline elapsed before a result was produced.
@@ -103,6 +134,8 @@ class DeadlineExceeded(ServiceError):
     in-flight SQLite statement has been cancelled via the progress
     handler, so the backend connection is immediately reusable.
     """
+
+    code = "repro.service.deadline"
 
     def __init__(
         self,
@@ -125,6 +158,8 @@ class ServiceOverloaded(ServiceError):
     configured maximum of in-flight/queued queries.  The caller should
     back off and resubmit; nothing was executed."""
 
+    code = "repro.service.overloaded"
+
 
 class QuotaExceeded(ServiceError):
     """Multi-tenant admission fast-fail: the tenant's token-bucket
@@ -134,6 +169,8 @@ class QuotaExceeded(ServiceError):
     tenants are still being served.  Carries the ``tenant`` name and
     the ``retry_after_s`` hint (seconds until the bucket can grant one
     token again) when known."""
+
+    code = "repro.service.quota"
 
     def __init__(
         self,
@@ -156,6 +193,8 @@ class CircuitOpenError(ServiceError):
     and graceful degradation is disabled, so the query fails fast
     instead of queueing against a backend that is known to be sick."""
 
+    code = "repro.service.circuit_open"
+
 
 class BackendUnavailable(ServiceError):
     """The backend kept failing after bounded retries and the degraded
@@ -163,8 +202,28 @@ class BackendUnavailable(ServiceError):
     or degradation is disabled.  The ``__cause__`` chain carries the
     final backend error."""
 
+    code = "repro.service.backend_unavailable"
+
 
 class PoolRetiredError(ServiceError):
     """A lease was requested on a retired :class:`BackendPool`
     snapshot.  Transient by construction: the owning service reacts by
     building a fresh pool for the current store version and retrying."""
+
+    code = "repro.service.pool_retired"
+
+
+class WorkerCrash(ServiceError):
+    """A worker process died mid-request (pipe EOF / dead process).
+
+    Transient by construction — the executor has already restarted the
+    worker from the cached payload, so a retry runs against a fresh
+    process — but *organic*: never ``injected``, so crashes stay out of
+    the chaos accounting ledger.
+
+    .. versionchanged:: 1.2
+       Moved here from ``repro.service.procpool`` (which keeps a
+       deprecated re-export shim).
+    """
+
+    code = "repro.service.worker_crash"

@@ -64,6 +64,7 @@ QUERY_HEAD_CHARS = 120
 _CACHE_OUTCOMES = (
     "exact",
     "canonical",
+    "view",
     "miss",
     "single-flight-wait",
     "precompiled",
@@ -226,7 +227,7 @@ class FlightRecord:
     query_head: str  # first QUERY_HEAD_CHARS of the normalized text
     engine: str
     status: str  # "ok" | "error:<ExceptionType>"
-    cache: str  # exact | canonical | miss | single-flight-wait | precompiled
+    cache: str  # exact | canonical | view | miss | single-flight-wait | precompiled
     scatter: str | None  # scatter | route | serial | None (unsharded)
     fanout: int
     pattern_classified: bool

@@ -131,11 +131,13 @@ def summary_report(
         )
         exact_hits = metrics.counters.get("service.cache.hits", 0)
         canonical_hits = metrics.counters.get("service.cache.canonical_hit", 0)
+        view_hits = metrics.counters.get("service.cache.view_hit", 0)
         misses = metrics.counters.get("service.cache.misses", 0)
-        if exact_hits or canonical_hits or misses:
+        if exact_hits or canonical_hits or view_hits or misses:
             sections.append(
                 f"  cache outcomes: {exact_hits:g} exact hit(s), "
                 f"{canonical_hits:g} canonical hit(s), "
+                f"{view_hits:g} view hit(s), "
                 f"{misses:g} miss(es)"
             )
         query_ns = metrics.histograms.get("service.query_ns")

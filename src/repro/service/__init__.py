@@ -11,7 +11,12 @@ coalesced batching).  See ``docs/performance.md`` and
 ``docs/serving.md``.
 """
 
-from repro.service.cache import CacheKey, CompiledQueryCache
+from repro.service.cache import (
+    CacheKey,
+    CacheStats,
+    CompiledQueryCache,
+    TierStats,
+)
 from repro.service.frontdoor import FrontDoor
 from repro.service.pool import BackendPool
 from repro.service.resilience import (
@@ -23,19 +28,24 @@ from repro.service.resilience import (
 from repro.service.scatter import ShardedService
 from repro.service.service import QueryService
 from repro.service.tenancy import TenantSpec, TokenBucket, WeightedFairQueue
+from repro.service.views import MaterializedView, ViewManager
 
 __all__ = [
     "AdmissionGate",
     "BackendPool",
     "CacheKey",
+    "CacheStats",
     "CircuitBreaker",
     "CompiledQueryCache",
     "Deadline",
     "FrontDoor",
+    "MaterializedView",
     "QueryService",
     "RetryPolicy",
     "ShardedService",
     "TenantSpec",
+    "TierStats",
     "TokenBucket",
+    "ViewManager",
     "WeightedFairQueue",
 ]

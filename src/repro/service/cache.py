@@ -34,14 +34,75 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from typing import TYPE_CHECKING, NamedTuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, NamedTuple
 
 from repro.obs import get_metrics
 
 if TYPE_CHECKING:  # import cycle: pipeline imports nothing from here,
     from repro.pipeline import CompiledQuery  # but keep runtime clean
 
-__all__ = ["CacheKey", "CompiledQueryCache"]
+__all__ = ["CacheKey", "CacheStats", "CompiledQueryCache", "TierStats"]
+
+
+@dataclass(frozen=True)
+class TierStats:
+    """Counters for one cache tier (see :class:`CacheStats`)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    bytes: int = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "bytes": self.bytes,
+        }
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """The typed cache-statistics surface of a query service.
+
+    One snapshot across all three cache tiers — ``exact`` (lexically
+    normalized text), ``canonical`` (tree-pattern alias), ``view``
+    (materialized-view rewrites, :mod:`repro.service.views`) — as
+    returned by ``QueryService.cache_stats()`` /
+    ``ShardedService.cache_stats()``.  ``misses`` on the canonical and
+    view tiers count lookups that *fell through* that tier; ``bytes``
+    is only tracked for the view tier (compiled plans are not sized).
+
+    :meth:`to_dict` (what ``stats()["cache"]`` serves) also carries the
+    pre-1.2 flat counter keys (``hits``, ``misses``,
+    ``canonical_hits``, ``evictions``) as **deprecated aliases** — see
+    ``docs/api.md`` for the migration; they will be dropped in the
+    next release.
+    """
+
+    capacity: int = 0
+    size: int = 0
+    exact: TierStats = field(default_factory=TierStats)
+    canonical: TierStats = field(default_factory=TierStats)
+    view: TierStats = field(default_factory=TierStats)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "tiers": {
+                "exact": self.exact.to_dict(),
+                "canonical": self.canonical.to_dict(),
+                "view": self.view.to_dict(),
+            },
+            # deprecated flat aliases (pre-1.2 shape); remove next release
+            "hits": self.exact.hits,
+            "misses": self.exact.misses,
+            "canonical_hits": self.canonical.hits,
+            "evictions": self.exact.evictions,
+        }
 
 
 class CacheKey(NamedTuple):

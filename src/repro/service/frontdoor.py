@@ -194,6 +194,17 @@ class _WorkingSet:
                 if entry["resident"]
             ]
             total = sum(nbytes for _, _, nbytes in resident)
+            views = self._service.views
+            if views is not None:
+                # materialized views share the residency budget and are
+                # the cheapest residency to rebuild (one re-execution
+                # vs a full shard re-shred): shed them first
+                total += views.bytes
+                if total > self.budget_bytes:
+                    freed = views.evict_bytes(total - self.budget_bytes)
+                    if freed:
+                        metrics.count("service.frontdoor.view_evictions")
+                    total -= freed
             if total <= self.budget_bytes:
                 return
             resident.sort()  # coldest stamp first

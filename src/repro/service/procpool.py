@@ -58,6 +58,7 @@ from typing import Any, Callable, NamedTuple
 
 from repro import errors as _errors
 from repro.errors import DeadlineExceeded, ServiceError
+from repro.errors import WorkerCrash as _WorkerCrash
 from repro.faults.injector import (
     FaultInjector,
     FaultPlan,
@@ -83,14 +84,20 @@ __all__ = ["ProcessShardExecutor", "ShippedPlan", "WorkerCrash"]
 _WORKER_SEED_STRIDE = 7919
 
 
-class WorkerCrash(ServiceError):
-    """A worker process died mid-request (pipe EOF / dead process).
+def __getattr__(name: str):
+    # deprecated re-export shim: WorkerCrash moved to repro.errors as
+    # part of the consolidated error hierarchy (see docs/api.md)
+    if name == "WorkerCrash":
+        import warnings
 
-    Transient by construction — the executor has already restarted the
-    worker from the cached payload, so a retry runs against a fresh
-    process — but *organic*: never ``injected``, so crashes stay out of
-    the chaos accounting ledger.
-    """
+        warnings.warn(
+            "importing WorkerCrash from repro.service.procpool is "
+            "deprecated; import it from repro.errors",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _WorkerCrash
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class ShippedPlan(NamedTuple):
@@ -455,7 +462,7 @@ class ProcessShardExecutor:
             return conn.recv()
         except (EOFError, BrokenPipeError, OSError) as cause:
             self._restart(worker)
-            raise WorkerCrash(
+            raise _WorkerCrash(
                 f"shard worker {worker.name} died mid-request "
                 f"({type(cause).__name__}); restarted"
             ) from cause

@@ -53,9 +53,20 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import fields, is_dataclass
 from typing import Any, Iterable, Sequence
 
-from repro.analysis.containment import canonicalize, extract_pattern
+from repro.analysis.containment import (
+    TreePattern,
+    canonicalize,
+    extract_pattern,
+    pattern_key,
+    pattern_selects,
+)
 from repro.engines import Engine
-from repro.errors import BackendUnavailable, DeadlineExceeded, ServiceError
+from repro.errors import (
+    BackendUnavailable,
+    DeadlineExceeded,
+    ServiceError,
+    WorkerCrash,
+)
 from repro.faults.injector import is_injected
 from repro.infoset.encoding import DocumentStore
 from repro.obs import get_metrics, get_tracer
@@ -71,14 +82,15 @@ from repro.obs.metrics import MetricsRegistry, set_metrics
 from repro.obs.tracer import Span
 from repro.pipeline import CompiledQuery, XQueryProcessor
 from repro.result import Result, Serialized
-from repro.service.cache import CacheKey, CompiledQueryCache
-from repro.service.procpool import (
-    ProcessShardExecutor,
-    ShippedPlan,
-    WorkerCrash,
-)
+from repro.service.cache import CacheKey, CacheStats, CompiledQueryCache, TierStats
+from repro.service.procpool import ProcessShardExecutor, ShippedPlan
 from repro.service.resilience import Deadline, RetryPolicy, is_transient
-from repro.service.service import QueryService, canonical_alias_key
+from repro.service.service import (
+    _CANONICAL_NS,
+    QueryService,
+    canonical_pattern_of,
+)
+from repro.service.views import ViewManager
 from repro.store import Collection
 from repro.xquery.core import (
     CoreCollection,
@@ -281,6 +293,9 @@ class ShardedService:
         flight: bool = True,
         flight_recorder: FlightRecorder | None = None,
         slow_threshold_s: float = 0.25,
+        views: bool = True,
+        view_budget_bytes: int = 4 << 20,
+        view_admit_after: int = 3,
     ):
         if executor not in ("thread", "process"):
             raise ValueError(
@@ -327,6 +342,17 @@ class ShardedService:
             collections=collection.resolve,
         )
         self.cache = CompiledQueryCache(cache_capacity)
+        # the view tier answers in *global* ranks at this boundary; the
+        # shard services and the serial fallback run with views off so
+        # bookkeeping happens exactly once per query
+        if views and not serialize_step:
+            self.views: ViewManager | None = ViewManager(
+                self._view_filter,
+                budget_bytes=view_budget_bytes,
+                admit_after=view_admit_after,
+            )
+        else:
+            self.views = None
         self._compile_lock = threading.Lock()
         self._service_config = dict(
             default_doc=default_doc,
@@ -343,6 +369,7 @@ class ShardedService:
             breaker_reset_s=breaker_reset_s,
             degrade=degrade,
             flight=False,
+            views=False,
         )
         self._shard_services: list[QueryService] = [
             QueryService(store=store, **self._service_config)
@@ -398,6 +425,10 @@ class ShardedService:
                 if self._serial_service is not None:
                     self._serial_service.processor.default_doc = uri
         self.cache.invalidate(store_version=self.collection.version)
+        if self.views is not None:
+            # a graft shifts global rank offsets and changes results:
+            # every materialized view is stale (never-stale contract)
+            self.views.invalidate(store_version=self.collection.version)
         # the shard that received the document must drop its pool;
         # QueryService.load would do this, but the collection already
         # loaded the row — retire explicitly instead
@@ -422,6 +453,22 @@ class ShardedService:
             collection=f"shards:{self.collection.shards}",
         )
 
+    def _view_filter(
+        self, pattern: TreePattern, rows: Sequence[int]
+    ) -> list[int]:
+        """Residual filter for the view tier over *global* ranks: each
+        candidate is routed to the shard hosting it and tested against
+        that shard's table with the containment membership oracle.
+        Per-shard monotonic translation keeps the filtered sequence in
+        global document order."""
+        out: list[int] = []
+        for rank in rows:
+            shard, pre = self.collection.to_local(rank)
+            table = self.collection.stores[shard].table
+            if pattern_selects(pattern, table, pre):
+                out.append(rank)
+        return out
+
     def compile(self, query: str) -> CompiledQuery:
         """The compiled artifact for ``query``, resolved against the
         whole collection — from cache when possible.
@@ -429,8 +476,20 @@ class ShardedService:
         Mirrors :meth:`QueryService.compile`'s three tiers: lexically
         normalized exact key, canonical tree-pattern alias key
         (semantically equivalent spellings share one artifact), then a
-        cold compile stored under both keys.
+        cold compile stored under both keys.  (The execution path adds
+        the *view* tier — see :meth:`_resolve`.)
         """
+        compiled, _ = self._resolve(query, allow_view=False)
+        assert compiled is not None
+        return compiled
+
+    def _resolve(
+        self, query: str, allow_view: bool = True
+    ) -> tuple[CompiledQuery | None, list[int] | None]:
+        """The collection-level cache-tier ladder (lexical → exact →
+        canonical → view → cold compile), mirroring
+        :meth:`QueryService._resolve`; a view answer returns global
+        ranks directly and skips compilation and fan-out entirely."""
         text = normalize_query_text(query)
         key = self._cache_key(text)
         flight = current_context()
@@ -438,18 +497,22 @@ class ShardedService:
         if compiled is not None:
             if flight is not None:
                 flight.note_cache("exact")
-            return compiled
+            return compiled, None
         with self._compile_lock:
             compiled = self.cache.peek(key)
             if compiled is not None:
                 if flight is not None:
                     flight.note_cache("single-flight-wait")
-                return compiled
-            alias = canonical_alias_key(
+                return compiled, None
+            pattern = canonical_pattern_of(
                 text,
-                key,
                 self._compiler.default_doc,
                 self._compiler.collections,
+            )
+            alias = (
+                key._replace(query=_CANONICAL_NS + pattern_key(pattern))
+                if pattern is not None
+                else None
             )
             if alias is not None:
                 compiled = self.cache.get_canonical(alias)
@@ -459,7 +522,13 @@ class ShardedService:
                     self.cache.put(key, compiled)
                     if flight is not None:
                         flight.note_cache("canonical")
-                    return compiled
+                    return compiled, None
+            if allow_view and self.views is not None and pattern is not None:
+                rows = self.views.answer(pattern, self.collection.version)
+                if rows is not None:
+                    if flight is not None:
+                        flight.note_cache("view")
+                    return None, rows
             rewrite_start = time.perf_counter_ns()
             compiled = self._compiler.compile(text)
             _ = (compiled.stacked_sql, compiled.joingraph_sql)
@@ -471,7 +540,7 @@ class ShardedService:
             self.cache.put(key, compiled)
             if alias is not None:
                 self.cache.put(alias, compiled)
-        return compiled
+        return compiled, None
 
     def _shard_resolver(self, shard: int):
         def resolve(patterns: tuple[str, ...]) -> tuple[str, ...]:
@@ -596,11 +665,26 @@ class ShardedService:
                 flight.note_cache("precompiled")
         else:
             compile_start = time.perf_counter_ns()
-            compiled = self.compile(query)
+            compiled, view_rows = self._resolve(query)
             if flight is not None:
                 flight.add_phase(
                     "compile", time.perf_counter_ns() - compile_start
                 )
+            if view_rows is not None:
+                # answered from a materialized view (global ranks):
+                # no compilation, no fan-out, no merge
+                if flight is not None:
+                    flight.note_rows(len(view_rows))
+                return Result(
+                    view_rows,
+                    engine=engine,
+                    timings={
+                        "execute_ns": time.perf_counter_ns() - started
+                    },
+                    shards=1,
+                    serializer=self.serialize,
+                )
+            assert compiled is not None
         uris = None
         if engine in Engine.sql_engines() and not self.serialize_step:
             uris = scatter_uris(compiled.core)
@@ -615,6 +699,7 @@ class ShardedService:
             )
             if flight is not None:
                 flight.note_rows(len(items))
+            self._observe_view(query, compiled, items)
             return Result(
                 items,
                 engine=engine,
@@ -642,6 +727,7 @@ class ShardedService:
         if flight is not None:
             flight.add_phase("merge", merge_ns)
             flight.note_rows(len(merged))
+        self._observe_view(query, compiled, merged)
         return Result(
             merged,
             engine=engine,
@@ -649,6 +735,23 @@ class ShardedService:
             shards=max(1, len(shards)),
             serializer=self.serialize,
         )
+
+    def _observe_view(
+        self,
+        query: str | CompiledQuery,
+        compiled: CompiledQuery,
+        items: Sequence[Any],
+    ) -> None:
+        """View-admission bookkeeping after a normal execution: the
+        merged/serial global-rank sequence is exactly what a view for
+        this pattern should serve."""
+        if self.views is not None and isinstance(query, str):
+            self.views.observe(
+                compiled.source,
+                compiled.core,
+                self.collection.version,
+                items,
+            )
 
     def _last_compiled(
         self, query: str | CompiledQuery
@@ -1052,6 +1155,29 @@ class ShardedService:
                 total[disposition] += count
         return total
 
+    def cache_stats(self) -> CacheStats:
+        """The typed, tiered cache statistics for the collection-level
+        plan cache and view tier (mirrors
+        :meth:`QueryService.cache_stats`)."""
+        base = self.cache.stats()
+        view = (
+            self.views.tier_stats() if self.views is not None else TierStats()
+        )
+        return CacheStats(
+            capacity=base["capacity"],
+            size=base["size"],
+            exact=TierStats(
+                hits=base["hits"],
+                misses=base["misses"],
+                evictions=base["evictions"],
+            ),
+            canonical=TierStats(
+                hits=base["canonical_hits"],
+                misses=max(0, base["misses"] - base["canonical_hits"]),
+            ),
+            view=view,
+        )
+
     def stats(self) -> dict[str, Any]:
         """A JSON-ready snapshot: collection placement, per-shard
         service and planner-statistics summaries, plan-cache counters."""
@@ -1077,7 +1203,8 @@ class ShardedService:
             procpool = self._procpool
         return {
             "collection": self.collection.stats(),
-            "cache": self.cache.stats(),
+            "cache": self.cache_stats().to_dict(),
+            "views": self.views.stats() if self.views is not None else None,
             "flight": self.flight.stats() if self.flight else None,
             "serial_materialized": serial,
             "fault_accounting": self.fault_accounting,

@@ -53,7 +53,13 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from typing import Any, Iterable, Sequence
 
 from repro.algebra.interpreter import run_plan
-from repro.analysis.containment import canonical_key
+from repro.analysis.containment import (
+    TreePattern,
+    canonicalize,
+    extract_pattern,
+    filter_pattern,
+    pattern_key,
+)
 from repro.errors import (
     BackendUnavailable,
     CircuitOpenError,
@@ -75,8 +81,9 @@ from repro.obs.flight import (
 from repro.obs.tracer import Span
 from repro.pipeline import CompiledQuery, Engine, XQueryProcessor
 from repro.result import Result, Serialized
-from repro.service.cache import CacheKey, CompiledQueryCache
+from repro.service.cache import CacheKey, CacheStats, CompiledQueryCache, TierStats
 from repro.service.pool import BackendPool
+from repro.service.views import ViewManager
 from repro.service.resilience import (
     AdmissionGate,
     CircuitBreaker,
@@ -92,11 +99,40 @@ from repro.xquery.normalize import normalize
 from repro.xquery.parser import parse_xquery
 from repro.xquery.text import normalize_query_text
 
-__all__ = ["QueryService", "canonical_alias_key"]
+__all__ = ["QueryService", "canonical_alias_key", "canonical_pattern_of"]
 
 #: reserved prefix marking canonical-pattern alias keys in the cache —
 #: contains NUL, which no parseable query text can
 _CANONICAL_NS = "\x00canonical\x00"
+
+
+def canonical_pattern_of(
+    query: str,
+    default_doc: str | None,
+    collections,
+) -> TreePattern | None:
+    """The canonical tree pattern of a query text, or ``None``.
+
+    Parses and normalizes ``query`` and canonicalizes its extracted
+    pattern.  ``None`` for queries outside the pattern fragment (or
+    that fail to parse: the compile path will surface the real error).
+    One parse serves both the canonical-alias cache key and the view
+    tier's containment lookup.
+    """
+    try:
+        core = normalize(
+            parse_xquery(query),
+            default_doc=default_doc,
+            collections=collections,
+        )
+        pattern = extract_pattern(core)
+    except ServiceError:  # pragma: no cover - not raised by the front end
+        raise
+    except Exception:
+        return None
+    if pattern is None:
+        return None
+    return canonicalize(pattern)
 
 
 def canonical_alias_key(
@@ -107,30 +143,17 @@ def canonical_alias_key(
 ) -> CacheKey | None:
     """The canonical-pattern alias of a cache key, or ``None``.
 
-    Parses and normalizes ``query``, extracts its canonical tree
-    pattern, and rewrites ``key`` so its ``query`` field carries the
+    Rewrites ``key`` so its ``query`` field carries the canonical
     pattern's stable serialization (under the reserved namespace
     prefix) instead of the surface text.  Two queries with the same
     alias key are semantically equivalent — provably, via the
     canonicalizer's self-homomorphism certificates — so sharing one
-    compiled plan between them is sound.  Returns ``None`` for queries
-    outside the pattern fragment (or that fail to parse: the compile
-    path will surface the real error).
+    compiled plan between them is sound.
     """
-    try:
-        core = normalize(
-            parse_xquery(query),
-            default_doc=default_doc,
-            collections=collections,
-        )
-        pattern = canonical_key(core)
-    except ServiceError:  # pragma: no cover - not raised by the front end
-        raise
-    except Exception:
-        return None
+    pattern = canonical_pattern_of(query, default_doc, collections)
     if pattern is None:
         return None
-    return key._replace(query=_CANONICAL_NS + pattern)
+    return key._replace(query=_CANONICAL_NS + pattern_key(pattern))
 
 
 class QueryService:
@@ -183,6 +206,14 @@ class QueryService:
         seconds (and every degraded/surfaced query) to a full capture.
         Pass ``flight=False`` to disable, or ``flight_recorder=`` to
         share/configure the recorder explicitly.
+    views, view_budget_bytes, view_admit_after:
+        The materialized-view tier (:mod:`repro.service.views`, see
+        ``docs/caching.md``): queries hot for ``view_admit_after``
+        executions get their result rows materialized (LRU within
+        ``view_budget_bytes``), and later queries whose pattern is
+        *strictly contained* in a view's are answered by re-filtering
+        the view's rows instead of compiling.  On by default; forced
+        off under ``serialize_step`` (items are no longer pre ranks).
     """
 
     def __init__(
@@ -206,6 +237,9 @@ class QueryService:
         flight: bool = True,
         flight_recorder: FlightRecorder | None = None,
         slow_threshold_s: float = 0.25,
+        views: bool = True,
+        view_budget_bytes: int = 4 << 20,
+        view_admit_after: int = 3,
     ):
         if workers <= 0:
             raise ValueError("workers must be positive")
@@ -245,6 +279,14 @@ class QueryService:
             self.flight = FlightRecorder(slow_threshold_s=slow_threshold_s)
         else:
             self.flight = None
+        if views and not serialize_step:
+            self.views: ViewManager | None = ViewManager(
+                self._view_filter,
+                budget_bytes=view_budget_bytes,
+                admit_after=view_admit_after,
+            )
+        else:
+            self.views = None
 
     # -- documents -----------------------------------------------------
 
@@ -258,6 +300,8 @@ class QueryService:
         drain against the old snapshot)."""
         self.processor.load(xml_text, uri)
         self.cache.invalidate(store_version=self.store.version)
+        if self.views is not None:
+            self.views.invalidate(store_version=self.store.version)
         if self.flight is not None:
             # percentiles must describe the corpus now being served,
             # not the pre-load one (see FlightRecorder.mark_epoch)
@@ -279,6 +323,13 @@ class QueryService:
             store_version=self.store.version,
         )
 
+    def _view_filter(
+        self, pattern: TreePattern, rows: Sequence[int]
+    ) -> list[int]:
+        """Residual filter for the view tier: membership of local pre
+        ranks in a pattern, via the containment oracle."""
+        return filter_pattern(pattern, self.store.table, rows)
+
     def compile(self, query: str) -> CompiledQuery:
         """The compiled artifact for ``query`` — from cache when
         possible, compiled (and cached) otherwise.
@@ -290,7 +341,24 @@ class QueryService:
         predicates, explicit axes, redundant self steps) share one
         compiled plan — a canonical hit also back-fills the exact key
         so that spelling hits tier 1 from then on; (3) a cold compile,
-        cached under both keys.
+        cached under both keys.  (The execution path adds a fourth,
+        *view* tier between (2) and (3) — see :meth:`_resolve` — but
+        ``compile`` always returns a compiled artifact.)
+        """
+        compiled, _ = self._resolve(query, allow_view=False)
+        assert compiled is not None  # allow_view=False never view-answers
+        return compiled
+
+    def _resolve(
+        self, query: str, allow_view: bool = True
+    ) -> tuple[CompiledQuery | None, list[int] | None]:
+        """Resolve a query text through the cache-tier ladder: lexical
+        normalization → exact key → canonical-pattern key → **view**
+        (strict-containment rewrite over materialized rows,
+        :mod:`repro.service.views`) → cold compile.
+
+        Returns ``(compiled, None)`` when the query must execute, or
+        ``(None, rows)`` when a view answered it outright.
         """
         text = normalize_query_text(query)
         key = self._cache_key(text)
@@ -299,7 +367,7 @@ class QueryService:
         if compiled is not None:
             if flight is not None:
                 flight.note_cache("exact")
-            return compiled
+            return compiled, None
         with self._compile_lock:
             # single-flight: a racing thread may have compiled the same
             # key while this one waited for the lock
@@ -307,12 +375,16 @@ class QueryService:
             if compiled is not None:
                 if flight is not None:
                     flight.note_cache("single-flight-wait")
-                return compiled
-            canonical = canonical_alias_key(
+                return compiled, None
+            pattern = canonical_pattern_of(
                 text,
-                key,
                 self.processor.default_doc,
                 self.processor.collections,
+            )
+            canonical = (
+                key._replace(query=_CANONICAL_NS + pattern_key(pattern))
+                if pattern is not None
+                else None
             )
             if canonical is not None:
                 compiled = self.cache.get_canonical(canonical)
@@ -320,7 +392,13 @@ class QueryService:
                     self.cache.put(key, compiled)
                     if flight is not None:
                         flight.note_cache("canonical")
-                    return compiled
+                    return compiled, None
+            if allow_view and self.views is not None and pattern is not None:
+                rows = self.views.answer(pattern, self.store.version)
+                if rows is not None:
+                    if flight is not None:
+                        flight.note_cache("view")
+                    return None, rows
             rewrite_start = time.perf_counter_ns()
             compiled = self.processor.compile(text)
             # materialize the lazy SQL artifacts now: cached entries
@@ -334,7 +412,7 @@ class QueryService:
             self.cache.put(key, compiled)
             if canonical is not None:
                 self.cache.put(canonical, compiled)
-        return compiled
+        return compiled, None
 
     # -- execution -----------------------------------------------------
 
@@ -402,6 +480,7 @@ class QueryService:
         # annotates the caller's context instead
         with flight_capture(own=recorder is not None) as flight:
             compiled: CompiledQuery | None = None
+            view_rows: list[int] | None = None
             qspan = get_tracer().span("service.query", engine=engine.value)
             try:
                 with qspan, deadline_scope(deadline):
@@ -411,7 +490,7 @@ class QueryService:
                             flight.note_cache("precompiled")
                     else:
                         compile_start = time.perf_counter_ns()
-                        compiled = self.compile(query)
+                        compiled, view_rows = self._resolve(query)
                         if flight is not None:
                             flight.add_phase(
                                 "compile",
@@ -419,18 +498,29 @@ class QueryService:
                             )
                     if deadline is not None:
                         deadline.check()
-                    sql_start = time.perf_counter_ns()
-                    if engine is Engine.INTERPRETER:
-                        items = run_plan(compiled.stacked_plan)
-                    elif engine is Engine.ISOLATED_INTERPRETER:
-                        items = run_plan(compiled.isolated_plan)
+                    if view_rows is not None:
+                        # answered from a materialized view: the
+                        # residual filter already ran inside _resolve,
+                        # so there is no engine execution to time
+                        items = view_rows
+                        if flight is not None:
+                            flight.note_rows(len(items))
                     else:
-                        items = self._run_pooled(compiled, engine, deadline)
-                    if flight is not None:
-                        flight.add_phase(
-                            "sql", time.perf_counter_ns() - sql_start
-                        )
-                        flight.note_rows(len(items))
+                        assert compiled is not None
+                        sql_start = time.perf_counter_ns()
+                        if engine is Engine.INTERPRETER:
+                            items = run_plan(compiled.stacked_plan)
+                        elif engine is Engine.ISOLATED_INTERPRETER:
+                            items = run_plan(compiled.isolated_plan)
+                        else:
+                            items = self._run_pooled(
+                                compiled, engine, deadline
+                            )
+                        if flight is not None:
+                            flight.add_phase(
+                                "sql", time.perf_counter_ns() - sql_start
+                            )
+                            flight.note_rows(len(items))
                     if deadline is not None:
                         # interpreters cannot be cancelled mid-run; a
                         # late result is still refused so the deadline
@@ -447,6 +537,16 @@ class QueryService:
                 raise
             metrics.count("service.queries")
             metrics.count(f"service.queries.{engine.value}")
+            if (
+                self.views is not None
+                and compiled is not None
+                and isinstance(query, str)
+            ):
+                # admission bookkeeping: normally-executed fragment
+                # queries heat their pattern; hot ones materialize
+                self.views.observe(
+                    compiled.source, compiled.core, self.store.version, items
+                )
             elapsed = time.perf_counter_ns() - start
             metrics.observe("service.query_ns", elapsed)
             if recorder is not None and flight is not None:
@@ -794,6 +894,29 @@ class QueryService:
 
     # -- lifecycle -----------------------------------------------------
 
+    def cache_stats(self) -> CacheStats:
+        """The typed, tiered cache statistics (exact / canonical /
+        view) — the stable API; ``stats()["cache"]`` serves its
+        :meth:`~repro.service.cache.CacheStats.to_dict` form."""
+        base = self.cache.stats()
+        view = (
+            self.views.tier_stats() if self.views is not None else TierStats()
+        )
+        return CacheStats(
+            capacity=base["capacity"],
+            size=base["size"],
+            exact=TierStats(
+                hits=base["hits"],
+                misses=base["misses"],
+                evictions=base["evictions"],
+            ),
+            canonical=TierStats(
+                hits=base["canonical_hits"],
+                misses=max(0, base["misses"] - base["canonical_hits"]),
+            ),
+            view=view,
+        )
+
     def stats(self) -> dict[str, Any]:
         """A JSON-ready snapshot of the service's moving parts."""
         with self._pool_lock:
@@ -801,7 +924,8 @@ class QueryService:
         return {
             "workers": self.workers,
             "store_version": self.store.version,
-            "cache": self.cache.stats(),
+            "cache": self.cache_stats().to_dict(),
+            "views": self.views.stats() if self.views is not None else None,
             "pool_connections": pool.connection_count if pool else 0,
             "flight": self.flight.stats() if self.flight else None,
             "resilience": {

@@ -373,6 +373,22 @@ class QueryGenerator:
             text += f"/@{self.rng.choice(('id', 'key'))}"
         return text
 
+    def contained_pair(self) -> tuple[str, str]:
+        """A ``(broad, narrow)`` pair where *narrow*'s result is a
+        subset of *broad*'s **by construction**: narrow is broad plus
+        one extra conjunctive predicate on its final step.  Both sides
+        are drawn from the tree-pattern sub-grammar — no trailing
+        attribute step, so the predicate attaches to an
+        element-selecting step — which is what lets the containment
+        analyzer actually *prove* the containment the view-tier tests
+        feed it (the extra branch only restricts, never extends)."""
+        self._budget = self.size_budget
+        broad = f'doc("{self.uri}")'
+        for _ in range(self.rng.randint(1, 3)):
+            broad += self._pattern_step(2)
+        narrow = f"{broad}[{self._pattern_predicate(1)}]"
+        return broad, narrow
+
     def equivalent_pair(self, pattern: bool = True) -> tuple[str, str]:
         """A ``(query, variant)`` pair that is semantically equivalent
         *by construction* (see :func:`variant_of`); with

@@ -15,7 +15,7 @@ from pathlib import Path
 SCHEMAS = (
     "repro.bench.table9/v3",
     "repro.bench.collection/v3",
-    "repro.service.bench/v3",
+    "repro.service.bench/v4",
     "repro.faults.campaign/v3",
     "repro.obs.metrics/v1",
     "repro.obs.flight/v1",
@@ -106,16 +106,16 @@ def test_bench_collection_v3_process_executor():
     _check_collection_doc(doc, "process")
 
 
-# -- repro.service.bench/v3 ------------------------------------------------
+# -- repro.service.bench/v4 ------------------------------------------------
 
 
-def test_service_bench_v3():
+def test_service_bench_v4():
     from repro.service.bench import run_service_bench
 
     doc = run_service_bench(
         factor=0.001, repeat=2, workers=(1,), quick=True
     )
-    assert doc["schema"] == "repro.service.bench/v3"
+    assert doc["schema"] == "repro.service.bench/v4"
     assert doc["metadata"]["executor"] == "thread"
     assert doc["metadata"]["cpu_count"] >= 1
     assert doc["uncached_baseline"]["queries_per_second"] > 0
@@ -128,6 +128,13 @@ def test_service_bench_v3():
         assert latency["p50"] <= latency["p95"] <= latency["p99"]
     for point in doc["scaling"]:
         assert point["executor"] == "thread"
+    views = doc["views"]
+    assert views["verified"] is True
+    assert views["view_hits"] > 0
+    assert views["view_hit_rate"] >= 0.30
+    assert views["variant_view_rate"] > 0
+    assert views["speedup_vs_full_compile"] > 0
+    assert views["manager"]["admitted"] == views["templates"]
     overhead = doc["flight_overhead"]
     assert overhead["trials"] > 0
     assert overhead["disabled_seconds"] > 0
@@ -136,14 +143,14 @@ def test_service_bench_v3():
     _json_ready(doc)
 
 
-def test_service_bench_v3_process_executor():
+def test_service_bench_v4_process_executor():
     from repro.service.bench import run_service_bench
 
     doc = run_service_bench(
         factor=0.001, repeat=2, workers=(1, 2), quick=True,
         executor="process",
     )
-    assert doc["schema"] == "repro.service.bench/v3"
+    assert doc["schema"] == "repro.service.bench/v4"
     assert doc["metadata"]["executor"] == "process"
     assert [point["workers"] for point in doc["scaling"]] == [1, 2]
     for point in doc["scaling"]:

@@ -207,7 +207,7 @@ def test_serve_bench_subcommand(capsys, tmp_path):
     assert "uncached baseline" in out
     assert "speedup" in out
     report = json.loads(out_path.read_text())
-    assert report["schema"] == "repro.service.bench/v3"
+    assert report["schema"] == "repro.service.bench/v4"
     assert report["uncached_baseline"]["queries_per_second"] > 0
     assert report["cached"]["cache"]["hits"] > 0
     assert [p["workers"] for p in report["scaling"]] == [1, 2]

@@ -9,7 +9,9 @@ def test_run_service_bench_verifies_and_reports():
     report = run_service_bench(
         factor=0.001, repeat=2, workers=(1, 2), queries=("X1", "X13")
     )
-    assert report["schema"] == "repro.service.bench/v3"
+    assert report["schema"] == "repro.service.bench/v4"
+    assert report["views"]["verified"] is True
+    assert report["views"]["view_hits"] > 0
     assert report["metadata"]["calls_per_mode"] == 4
     assert report["uncached_baseline"]["seconds"] > 0
     assert report["cached"]["seconds"] > 0

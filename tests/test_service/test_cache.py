@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.obs import metrics_scope
-from repro.service import CacheKey, CompiledQueryCache
+from repro.service import CacheKey, CacheStats, CompiledQueryCache, TierStats
 
 
 def key(query: str, version: int = 0, rules: frozenset[str] = frozenset()) -> CacheKey:
@@ -96,3 +96,44 @@ def test_metrics_counters_flow():
 def test_capacity_must_be_positive():
     with pytest.raises(ValueError):
         CompiledQueryCache(capacity=0)
+
+
+# -- the typed CacheStats surface -------------------------------------------
+
+
+def test_cache_stats_to_dict_carries_tiers_and_deprecated_aliases():
+    stats = CacheStats(
+        capacity=16,
+        size=3,
+        exact=TierStats(hits=5, misses=2, evictions=1),
+        canonical=TierStats(hits=4, misses=0),
+        view=TierStats(hits=3, misses=1, bytes=128),
+    )
+    snapshot = stats.to_dict()
+    assert snapshot["capacity"] == 16
+    assert snapshot["size"] == 3
+    assert snapshot["tiers"]["exact"]["hits"] == 5
+    assert snapshot["tiers"]["canonical"]["hits"] == 4
+    assert snapshot["tiers"]["view"] == {
+        "hits": 3,
+        "misses": 1,
+        "evictions": 0,
+        "bytes": 128,
+    }
+    # the pre-1.2 flat keys survive as deprecated aliases (one release)
+    assert snapshot["hits"] == 5
+    assert snapshot["misses"] == 2
+    assert snapshot["canonical_hits"] == 4
+    assert snapshot["evictions"] == 1
+
+
+def test_cache_stats_is_immutable():
+    stats = CacheStats(
+        capacity=1,
+        size=0,
+        exact=TierStats(),
+        canonical=TierStats(),
+        view=TierStats(),
+    )
+    with pytest.raises(AttributeError):
+        stats.size = 5  # type: ignore[misc]
